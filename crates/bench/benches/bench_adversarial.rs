@@ -1,0 +1,54 @@
+//! E5 benchmark: adversary generation and window validation throughput.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dps_bench::setup::single_hop_routes;
+use dps_core::injection::adversarial::{BurstyAdversary, SmoothAdversary, WindowValidator};
+use dps_core::injection::Injector;
+use dps_core::interference::IdentityInterference;
+use dps_core::rng::split_stream;
+
+fn bench_adversaries(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e5_adversaries");
+    group.sample_size(20);
+    let slots = 5_000u64;
+    group.throughput(Throughput::Elements(slots));
+    for &m in &[8usize, 64] {
+        group.bench_with_input(BenchmarkId::new("smooth", m), &m, |b, _| {
+            b.iter(|| {
+                let mut adv = SmoothAdversary::new(
+                    IdentityInterference::new(m),
+                    single_hop_routes(m),
+                    64,
+                    0.8,
+                );
+                let mut rng = split_stream(1, 0);
+                let mut total = 0usize;
+                for slot in 0..slots {
+                    total += adv.inject(slot, &mut rng).len();
+                }
+                total
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("bursty_validated", m), &m, |b, _| {
+            b.iter(|| {
+                let mut adv = BurstyAdversary::new(
+                    IdentityInterference::new(m),
+                    single_hop_routes(m),
+                    64,
+                    0.8,
+                );
+                let mut validator = WindowValidator::new(IdentityInterference::new(m), 64);
+                let mut rng = split_stream(2, 0);
+                for slot in 0..slots {
+                    let injected = adv.inject(slot, &mut rng);
+                    validator.record_slot(injected.iter().map(|p| p.as_ref()));
+                }
+                validator.max_window_measure()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_adversaries);
+criterion_main!(benches);

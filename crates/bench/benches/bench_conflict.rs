@@ -1,0 +1,49 @@
+//! E9 benchmark: conflict-graph kernels — construction, inductive
+//! independence, coloring, and the uniform-rate scheduler.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dps_conflict::coloring::GreedyColoringScheduler;
+use dps_conflict::feasibility::IndependentSetFeasibility;
+use dps_conflict::inductive::{degeneracy_ordering, ordering_by_key, rho_for_ordering};
+use dps_conflict::models::{protocol_model, random_geo_links};
+use dps_core::ids::{LinkId, PacketId};
+use dps_core::rng::split_stream;
+use dps_core::staticsched::{run_static, Request};
+
+fn bench_conflict(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e9_conflict");
+    group.sample_size(10);
+    for &m in &[48usize, 96] {
+        let mut rng = split_stream(6, m as u64);
+        let links = random_geo_links(m, (m as f64).sqrt() * 2.2, 1.0, &mut rng);
+        group.bench_with_input(BenchmarkId::new("protocol_model_build", m), &m, |b, _| {
+            b.iter(|| protocol_model(&links, 0.5))
+        });
+        let graph = protocol_model(&links, 0.5);
+        group.bench_with_input(BenchmarkId::new("degeneracy_ordering", m), &m, |b, _| {
+            b.iter(|| degeneracy_ordering(&graph))
+        });
+        let pi = ordering_by_key(m, |l| links[l.index()].length());
+        group.bench_with_input(BenchmarkId::new("rho_for_ordering", m), &m, |b, _| {
+            b.iter(|| rho_for_ordering(&graph, &pi))
+        });
+        let requests: Vec<Request> = (0..2 * m)
+            .map(|i| Request {
+                packet: PacketId(i as u64),
+                link: LinkId((i % m) as u32),
+            })
+            .collect();
+        let coloring = GreedyColoringScheduler::new(graph.clone(), &pi);
+        let phy = IndependentSetFeasibility::new(graph.clone());
+        group.bench_with_input(BenchmarkId::new("greedy_coloring_run", m), &m, |b, _| {
+            b.iter(|| {
+                let mut rng = split_stream(7, m as u64);
+                run_static(&coloring, &requests, 2.0 * m as f64, &phy, 16 * m, &mut rng)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_conflict);
+criterion_main!(benches);

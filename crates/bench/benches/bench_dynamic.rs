@@ -1,0 +1,49 @@
+//! E2/E3/E4 benchmark: throughput of the dynamic frame protocol — slots
+//! simulated per second on a packet-routing substrate.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dps_bench::setup::{dynamic_run, injector_at_rate};
+use dps_core::staticsched::greedy::GreedyPerLink;
+use dps_routing::workloads::RoutingSetup;
+use dps_sim::runner::{run_simulation, SimulationConfig};
+
+fn bench_frame_protocol(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e2_dynamic_protocol");
+    group.sample_size(10);
+    for &num_links in &[8usize, 32] {
+        let setup = RoutingSetup::ring(num_links, 2).expect("valid ring");
+        let frames = 20u64;
+        let run = dynamic_run(
+            GreedyPerLink::new(),
+            setup.network.significant_size(),
+            num_links,
+            0.9,
+        )
+        .expect("valid config");
+        let slots = frames * run.config.frame_len as u64;
+        group.throughput(Throughput::Elements(slots));
+        group.bench_with_input(BenchmarkId::new("ring", num_links), &num_links, |b, _| {
+            b.iter(|| {
+                let mut run = dynamic_run(
+                    GreedyPerLink::new(),
+                    setup.network.significant_size(),
+                    num_links,
+                    0.9,
+                )
+                .expect("valid config");
+                let mut injector =
+                    injector_at_rate(setup.routes.clone(), &setup.model, 0.7).expect("rate");
+                run_simulation(
+                    &mut run.protocol,
+                    &mut injector,
+                    &setup.feasibility,
+                    SimulationConfig::new(slots, 1),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_frame_protocol);
+criterion_main!(benches);

@@ -1,0 +1,58 @@
+//! E10 benchmark: the star-instance protocols (global vs local clocks)
+//! driven against the exact SINR oracle.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dps_bench::setup::injector_at_rate;
+use dps_core::interference::IdentityInterference;
+use dps_core::path::RoutePath;
+use dps_sim::runner::{run_simulation, SimulationConfig};
+use dps_sinr::feasibility::SinrFeasibility;
+use dps_sinr::instances::star_instance;
+use dps_sinr::power::UniformPower;
+use dps_sinr::star::{GlobalClockStarProtocol, LocalClockAlohaProtocol};
+
+fn bench_star(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e10_star_protocols");
+    group.sample_size(10);
+    let slots = 5_000u64;
+    group.throughput(Throughput::Elements(slots));
+    for &m in &[8usize, 32] {
+        let star = star_instance(m);
+        let oracle = SinrFeasibility::new(star.net.clone(), UniformPower::unit());
+        let routes: Vec<_> = star
+            .short_links
+            .iter()
+            .chain(std::iter::once(&star.long_link))
+            .map(|&l| RoutePath::single_hop(l).shared())
+            .collect();
+        let model = IdentityInterference::new(star.net.num_links());
+        group.bench_with_input(BenchmarkId::new("global_clock", m), &m, |b, _| {
+            b.iter(|| {
+                let mut protocol = GlobalClockStarProtocol::new(&star);
+                let mut injector = injector_at_rate(routes.clone(), &model, 0.4).expect("rate");
+                run_simulation(
+                    &mut protocol,
+                    &mut injector,
+                    &oracle,
+                    SimulationConfig::new(slots, 1),
+                )
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("local_clock", m), &m, |b, _| {
+            b.iter(|| {
+                let mut protocol = LocalClockAlohaProtocol::new(&star, 0.75);
+                let mut injector = injector_at_rate(routes.clone(), &model, 0.4).expect("rate");
+                run_simulation(
+                    &mut protocol,
+                    &mut injector,
+                    &oracle,
+                    SimulationConfig::new(slots, 2),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_star);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! E7/E8 benchmark: Algorithm 2 and Round-Robin-Withholding schedule
+//! computation on the multiple-access channel.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dps_core::feasibility::SingleChannelFeasibility;
+use dps_core::ids::{LinkId, PacketId};
+use dps_core::rng::split_stream;
+use dps_core::staticsched::{run_static, Request, StaticScheduler};
+use dps_mac::algorithm2::SymmetricMacScheduler;
+use dps_mac::round_robin::RoundRobinWithholding;
+
+fn requests(n: usize) -> Vec<Request> {
+    (0..n)
+        .map(|i| Request {
+            packet: PacketId(i as u64),
+            link: LinkId((i % 16) as u32),
+        })
+        .collect()
+}
+
+fn bench_mac(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e7_mac_static");
+    group.sample_size(10);
+    let feas = SingleChannelFeasibility::new();
+    for &n in &[256usize, 1024] {
+        let reqs = requests(n);
+        let alg2 = SymmetricMacScheduler::default_params();
+        group.bench_with_input(BenchmarkId::new("algorithm2", n), &n, |b, _| {
+            b.iter(|| {
+                let mut rng = split_stream(3, n as u64);
+                let budget = 8 * alg2.slots_needed(n as f64, n);
+                run_static(&alg2, &reqs, n as f64, &feas, budget, &mut rng)
+            })
+        });
+        let rrw = RoundRobinWithholding::new(16);
+        group.bench_with_input(BenchmarkId::new("round_robin", n), &n, |b, _| {
+            b.iter(|| {
+                let mut rng = split_stream(4, n as u64);
+                run_static(&rrw, &reqs, n as f64, &feas, n + 17, &mut rng)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_mac);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! Microbenchmarks of the core data-structure kernels every experiment
+//! leans on: interference-measure evaluation, row products, window
+//! validation, and potential-tail statistics.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dps_core::ids::LinkId;
+use dps_core::interference::{CompleteInterference, DenseInterference, InterferenceModel};
+use dps_core::load::LinkLoad;
+use dps_core::potential::PotentialSeries;
+
+fn bench_measure(c: &mut Criterion) {
+    let mut group = c.benchmark_group("micro_measure");
+    for &m in &[64usize, 256] {
+        let dense = DenseInterference::from_fn(m, |on, from| {
+            1.0 / (1.0 + (on.index() as f64 - from.index() as f64).abs())
+        });
+        let mut load = LinkLoad::new(m);
+        for i in (0..m).step_by(3) {
+            load.add(LinkId(i as u32), (i % 5) as f64 + 1.0);
+        }
+        group.bench_with_input(BenchmarkId::new("dense_measure", m), &m, |b, _| {
+            b.iter(|| dense.measure(&load))
+        });
+        let complete = CompleteInterference::new(m);
+        group.bench_with_input(BenchmarkId::new("complete_measure", m), &m, |b, _| {
+            b.iter(|| complete.measure(&load))
+        });
+        group.bench_with_input(BenchmarkId::new("row_load", m), &m, |b, _| {
+            b.iter(|| dense.row_load(LinkId(0), &load))
+        });
+    }
+    group.finish();
+}
+
+fn bench_potential(c: &mut Criterion) {
+    let mut series = PotentialSeries::new();
+    for i in 0..10_000u64 {
+        series.record(i % 17);
+    }
+    c.bench_function("micro_potential_tail_slope", |b| {
+        b.iter(|| series.log_tail_slope())
+    });
+}
+
+criterion_group!(benches, bench_measure, bench_potential);
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! E11 benchmark: dynamic protocol throughput on the classic routing
+//! topologies.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dps_bench::setup::{dynamic_run, injector_at_rate};
+use dps_core::staticsched::greedy::GreedyPerLink;
+use dps_routing::workloads::RoutingSetup;
+use dps_sim::runner::{run_simulation, SimulationConfig};
+
+fn bench_routing(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e11_routing");
+    group.sample_size(10);
+    let setups: Vec<(&str, RoutingSetup)> = vec![
+        ("ring8", RoutingSetup::ring(8, 2).expect("valid")),
+        ("grid3x3", RoutingSetup::grid(3, 3)),
+    ];
+    for (name, setup) in setups {
+        let run0 = dynamic_run(
+            GreedyPerLink::new(),
+            setup.network.significant_size(),
+            setup.network.num_links(),
+            0.9,
+        )
+        .expect("valid config");
+        let slots = 20 * run0.config.frame_len as u64;
+        group.throughput(Throughput::Elements(slots));
+        group.bench_with_input(BenchmarkId::new("dynamic", name), &name, |b, _| {
+            b.iter(|| {
+                let mut run = dynamic_run(
+                    GreedyPerLink::new(),
+                    setup.network.significant_size(),
+                    setup.network.num_links(),
+                    0.9,
+                )
+                .expect("valid config");
+                let mut injector =
+                    injector_at_rate(setup.routes.clone(), &setup.model, 0.8).expect("rate");
+                run_simulation(
+                    &mut run.protocol,
+                    &mut injector,
+                    &setup.feasibility,
+                    SimulationConfig::new(slots, 1),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_routing);
+criterion_main!(benches);

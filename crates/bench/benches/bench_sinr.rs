@@ -1,0 +1,50 @@
+//! E6 benchmark: SINR kernels — affectance matrix construction, exact
+//! feasibility checking, and one dynamic frame on the SINR substrate.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dps_core::feasibility::{Attempt, Feasibility};
+use dps_core::ids::{LinkId, PacketId};
+use dps_core::rng::split_stream;
+use dps_sinr::feasibility::SinrFeasibility;
+use dps_sinr::instances::random_instance;
+use dps_sinr::matrix::SinrInterference;
+use dps_sinr::params::SinrParams;
+use dps_sinr::power::LinearPower;
+
+fn bench_sinr_kernels(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e6_sinr_kernels");
+    group.sample_size(20);
+    for &m in &[32usize, 128] {
+        let mut rng = split_stream(9, m as u64);
+        let net = random_instance(
+            m,
+            20.0 * (m as f64).sqrt(),
+            1.0,
+            3.0,
+            SinrParams::default_noiseless(),
+            &mut rng,
+        );
+        let power = LinearPower::new(net.params().alpha);
+        group.bench_with_input(BenchmarkId::new("matrix_build", m), &m, |b, _| {
+            b.iter(|| SinrInterference::fixed_power(&net, &power))
+        });
+        let oracle = SinrFeasibility::new(net.clone(), power);
+        let attempts: Vec<Attempt> = (0..m as u32)
+            .step_by(4)
+            .map(|l| Attempt {
+                link: LinkId(l),
+                packet: PacketId(l as u64),
+            })
+            .collect();
+        group.bench_with_input(BenchmarkId::new("feasibility_slot", m), &m, |b, _| {
+            b.iter(|| {
+                let mut rng = split_stream(10, m as u64);
+                oracle.successes(&attempts, &mut rng)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sinr_kernels);
+criterion_main!(benches);

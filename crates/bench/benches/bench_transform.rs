@@ -1,0 +1,61 @@
+//! E1 benchmark: static schedule computation — raw uniform-rate vs the
+//! Algorithm 1 transformation vs the two-stage scheduler on a dense MAC
+//! instance.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dps_core::feasibility::ThresholdFeasibility;
+use dps_core::ids::{LinkId, PacketId};
+use dps_core::interference::CompleteInterference;
+use dps_core::rng::split_stream;
+use dps_core::staticsched::two_stage::TwoStageDecayScheduler;
+use dps_core::staticsched::uniform_rate::UniformRateScheduler;
+use dps_core::staticsched::{run_static, Request, StaticScheduler};
+use dps_core::transform::DenseTransform;
+
+fn mac_requests(n: usize, m: usize) -> Vec<Request> {
+    (0..n)
+        .map(|i| Request {
+            packet: PacketId(i as u64),
+            link: LinkId((i % m) as u32),
+        })
+        .collect()
+}
+
+fn bench_schedulers(c: &mut Criterion) {
+    let m = 8;
+    let mut group = c.benchmark_group("e1_static_schedule");
+    group.sample_size(10);
+    for &n in &[128usize, 512] {
+        let requests = mac_requests(n, m);
+        let feas = ThresholdFeasibility::new(CompleteInterference::new(m));
+        let i = n as f64;
+        let raw = UniformRateScheduler::new();
+        group.bench_with_input(BenchmarkId::new("uniform_rate", n), &n, |b, _| {
+            b.iter(|| {
+                let mut rng = split_stream(1, n as u64);
+                let budget = 16 * raw.slots_needed(i, n);
+                run_static(&raw, &requests, i, &feas, budget, &mut rng)
+            })
+        });
+        let transformed = DenseTransform::new(raw, m).with_chi(8.0);
+        group.bench_with_input(BenchmarkId::new("dense_transform", n), &n, |b, _| {
+            b.iter(|| {
+                let mut rng = split_stream(2, n as u64);
+                let budget = 16 * transformed.slots_needed(i, n);
+                run_static(&transformed, &requests, i, &feas, budget, &mut rng)
+            })
+        });
+        let two_stage = TwoStageDecayScheduler::new(m);
+        group.bench_with_input(BenchmarkId::new("two_stage", n), &n, |b, _| {
+            b.iter(|| {
+                let mut rng = split_stream(3, n as u64);
+                let budget = 16 * two_stage.slots_needed(i, n);
+                run_static(&two_stage, &requests, i, &feas, budget, &mut rng)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_schedulers);
+criterion_main!(benches);

@@ -1,0 +1,89 @@
+//! CLI regenerating the paper's quantitative claims.
+//!
+//! ```text
+//! experiments [IDS…] [--full] [--seed N] [--csv DIR] [--list]
+//! ```
+//!
+//! With no ids, runs every experiment (E1–E11). `--full` switches to
+//! paper-scale parameters; `--csv DIR` additionally writes each table as
+//! a CSV file.
+
+use dps_bench::{all_experiments, ExpConfig};
+use std::path::PathBuf;
+use std::time::Instant;
+
+fn main() {
+    let mut cfg = ExpConfig::default();
+    let mut ids: Vec<String> = Vec::new();
+    let mut csv_dir: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--full" => cfg.full = true,
+            "--seed" => {
+                let value = args.next().unwrap_or_else(|| usage("--seed needs a value"));
+                cfg.seed = value.parse().unwrap_or_else(|_| usage("--seed needs an integer"));
+            }
+            "--csv" => {
+                let value = args.next().unwrap_or_else(|| usage("--csv needs a directory"));
+                csv_dir = Some(PathBuf::from(value));
+            }
+            "--list" => {
+                for exp in all_experiments() {
+                    println!("{:4}  {}", exp.id, exp.claim);
+                }
+                return;
+            }
+            "--help" | "-h" => usage(""),
+            id if id.starts_with('-') => usage(&format!("unknown flag {id}")),
+            id => ids.push(id.to_ascii_lowercase()),
+        }
+    }
+
+    let experiments = all_experiments();
+    let selected: Vec<_> = if ids.is_empty() {
+        experiments.iter().collect()
+    } else {
+        let known: Vec<&str> = experiments.iter().map(|e| e.id).collect();
+        for id in &ids {
+            if !known.contains(&id.as_str()) {
+                usage(&format!("unknown experiment {id}; known: {}", known.join(", ")));
+            }
+        }
+        experiments
+            .iter()
+            .filter(|e| ids.contains(&e.id.to_string()))
+            .collect()
+    };
+
+    if let Some(dir) = &csv_dir {
+        std::fs::create_dir_all(dir).expect("create csv directory");
+    }
+
+    println!(
+        "# Kesselheim (PODC 2012) experiment suite — {} mode, seed {}\n",
+        if cfg.full { "full" } else { "fast" },
+        cfg.seed
+    );
+    for exp in selected {
+        println!("=== {} — {}", exp.id.to_uppercase(), exp.claim);
+        let start = Instant::now();
+        let tables = (exp.run)(&cfg);
+        for (i, table) in tables.iter().enumerate() {
+            println!("{}", table.render());
+            if let Some(dir) = &csv_dir {
+                let path = dir.join(format!("{}_{}.csv", exp.id, i));
+                std::fs::write(&path, table.to_csv()).expect("write csv");
+            }
+        }
+        println!("({} finished in {:.1?})\n", exp.id, start.elapsed());
+    }
+}
+
+fn usage(message: &str) -> ! {
+    if !message.is_empty() {
+        eprintln!("error: {message}");
+    }
+    eprintln!("usage: experiments [IDS…] [--full] [--seed N] [--csv DIR] [--list]");
+    std::process::exit(if message.is_empty() { 0 } else { 2 });
+}

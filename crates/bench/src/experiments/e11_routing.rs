@@ -1,0 +1,166 @@
+//! **E11 — packet routing (Sections 2 and 7).** With `W = identity` the
+//! framework reduces to store-and-forward packet routing, and the trivial
+//! per-link algorithm yields stable protocols for every injection rate
+//! `λ < 1` — the classical adversarial-queuing baseline.
+//!
+//! Three topologies (ring, line, grid) are driven across the threshold;
+//! the table reports verdicts and latency.
+
+use crate::setup::{dynamic_run, injector_at_rate, run_and_classify, verdict_cell};
+use crate::ExpConfig;
+use dps_core::staticsched::greedy::GreedyPerLink;
+use dps_routing::sis::SisProtocol;
+use dps_routing::workloads::RoutingSetup;
+use dps_sim::table::{fmt3, Table};
+
+/// Runs E11.
+pub fn run(cfg: &ExpConfig) -> Vec<Table> {
+    let setups: Vec<(&str, RoutingSetup)> = vec![
+        ("ring(8), 2-hop", RoutingSetup::ring(8, 2).expect("valid")),
+        ("line(8), 3-hop", RoutingSetup::line(8, 3).expect("valid")),
+        ("grid(3x3)", RoutingSetup::grid(3, 3)),
+    ];
+    let rates: &[f64] = &[0.5, 0.9, 1.2];
+    let frames = if cfg.full { 150 } else { 50 };
+    let mut table = Table::new(
+        "E11: packet routing (W = identity, greedy per-link, f = 1): stable \
+         for every lambda < 1, unstable beyond",
+        &["topology", "lambda", "verdict", "mean backlog", "mean latency"],
+    );
+    for (row, (name, setup)) in setups.iter().enumerate() {
+        for (col, &lambda) in rates.iter().enumerate() {
+            let lambda_cfg = lambda.min(0.95);
+            let mut run = dynamic_run(
+                GreedyPerLink::new(),
+                setup.network.significant_size(),
+                setup.network.num_links(),
+                lambda_cfg,
+            )
+            .expect("capped rate configures");
+            let mut injector = injector_at_rate(setup.routes.clone(), &setup.model, lambda)
+                .expect("feasible rate");
+            let slots = frames * run.config.frame_len as u64;
+            let (report, verdict) = run_and_classify(
+                &mut run.protocol,
+                &mut injector,
+                &setup.feasibility,
+                slots,
+                cfg.seed,
+                (row * 10 + col) as u64,
+            );
+            table.push_row(vec![
+                name.to_string(),
+                fmt3(lambda),
+                verdict_cell(&verdict),
+                fmt3(report.mean_backlog()),
+                fmt3(report.latency_summary().mean),
+            ]);
+        }
+    }
+
+    // Baseline comparison: Shortest-In-System (Andrews et al., the paper's
+    // related-work reference) against the frame protocol at the same rate.
+    // Both are stable for λ < 1; SIS pays no frame overhead, so its latency
+    // is O(d) instead of O(d·T) — the price of the frame protocol's
+    // generality across interference models.
+    let mut baseline = Table::new(
+        "E11b: frame protocol vs Shortest-In-System baseline (ring(8), 2-hop, lambda = 0.8)",
+        &["protocol", "verdict", "mean backlog", "mean latency (slots)"],
+    );
+    let setup = RoutingSetup::ring(8, 2).expect("valid ring");
+    {
+        let mut run = dynamic_run(GreedyPerLink::new(), 8, 8, 0.9).expect("valid config");
+        let mut injector =
+            injector_at_rate(setup.routes.clone(), &setup.model, 0.8).expect("feasible rate");
+        let slots = frames * run.config.frame_len as u64;
+        let (report, verdict) = run_and_classify(
+            &mut run.protocol,
+            &mut injector,
+            &setup.feasibility,
+            slots,
+            cfg.seed,
+            900,
+        );
+        baseline.push_row(vec![
+            "frame (Section 4)".into(),
+            verdict_cell(&verdict),
+            fmt3(report.mean_backlog()),
+            fmt3(report.latency_summary().mean),
+        ]);
+        let mut sis = SisProtocol::new(8);
+        let mut injector =
+            injector_at_rate(setup.routes.clone(), &setup.model, 0.8).expect("feasible rate");
+        let (report, verdict) =
+            run_and_classify(&mut sis, &mut injector, &setup.feasibility, slots, cfg.seed, 901);
+        baseline.push_row(vec![
+            "SIS (baseline)".into(),
+            verdict_cell(&verdict),
+            fmt3(report.mean_backlog()),
+            fmt3(report.latency_summary().mean),
+        ]);
+    }
+    vec![table, baseline]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sis_has_lower_latency_than_frame_protocol() {
+        // Both stable at λ = 0.7, but SIS latency is O(d) while the frame
+        // protocol pays O(d·T).
+        let setup = RoutingSetup::ring(6, 2).unwrap();
+        let mut run = dynamic_run(GreedyPerLink::new(), 6, 6, 0.9).unwrap();
+        let t = run.config.frame_len;
+        let slots = 50 * t as u64;
+        let mut injector = injector_at_rate(setup.routes.clone(), &setup.model, 0.7).unwrap();
+        let (frame_report, frame_verdict) = run_and_classify(
+            &mut run.protocol,
+            &mut injector,
+            &setup.feasibility,
+            slots,
+            5,
+            0,
+        );
+        let mut sis = SisProtocol::new(6);
+        let mut injector = injector_at_rate(setup.routes.clone(), &setup.model, 0.7).unwrap();
+        let (sis_report, sis_verdict) =
+            run_and_classify(&mut sis, &mut injector, &setup.feasibility, slots, 5, 1);
+        assert!(frame_verdict.is_stable() && sis_verdict.is_stable());
+        let frame_latency = frame_report.latency_summary().mean;
+        let sis_latency = sis_report.latency_summary().mean;
+        assert!(
+            sis_latency * 5.0 < frame_latency,
+            "SIS ({sis_latency}) should be far below the frame protocol ({frame_latency})"
+        );
+    }
+
+    #[test]
+    fn grid_is_stable_below_one_unstable_above() {
+        let setup = RoutingSetup::grid(3, 3);
+        let probe = |lambda: f64, stream: u64| {
+            let mut run = dynamic_run(
+                GreedyPerLink::new(),
+                setup.network.significant_size(),
+                setup.network.num_links(),
+                lambda.min(0.95),
+            )
+            .unwrap();
+            let mut injector =
+                injector_at_rate(setup.routes.clone(), &setup.model, lambda).unwrap();
+            let slots = 50 * run.config.frame_len as u64;
+            run_and_classify(
+                &mut run.protocol,
+                &mut injector,
+                &setup.feasibility,
+                slots,
+                13,
+                stream,
+            )
+            .1
+        };
+        assert!(probe(0.5, 0).is_stable());
+        assert!(!probe(1.5, 1).is_stable());
+    }
+}

@@ -1,0 +1,172 @@
+//! **E2 — Theorem 3 (Section 4.1).** The dynamic frame protocol keeps
+//! expected queue lengths bounded for every injection rate
+//! `λ < 1/f(m)`, and diverges beyond the capacity of its static
+//! algorithm.
+//!
+//! Two substrates exercise the same machinery:
+//!
+//! * packet routing (ring, `W = identity`, greedy per-link, `f = 1`);
+//! * SINR with linear powers (random instance, two-stage scheduler) — the
+//!   Corollary 12 setting.
+//!
+//! For each relative load `λ/λ_max` the table reports the stability
+//! verdict, mean and final backlog, and mean delivery latency.
+
+use crate::setup::{dynamic_run, injector_at_rate, run_and_classify, single_hop_routes, verdict_cell};
+use crate::ExpConfig;
+use dps_core::staticsched::greedy::GreedyPerLink;
+use dps_core::staticsched::two_stage::TwoStageDecayScheduler;
+use dps_routing::workloads::RoutingSetup;
+use dps_sim::table::{fmt3, Table};
+use dps_sinr::feasibility::SinrFeasibility;
+use dps_sinr::instances::random_instance;
+use dps_sinr::matrix::SinrInterference;
+use dps_sinr::params::SinrParams;
+use dps_sinr::power::LinearPower;
+
+/// Relative loads probed, as fractions of the scheduler's `1/f(m)`.
+///
+/// Routing (tiny per-frame overhead) also probes 95% of capacity; the
+/// SINR substrate stops at 80% because its frame length grows as
+/// `Θ(overhead/ε²)` and the two-stage cascade's overhead makes
+/// near-threshold configurations prohibitively long to simulate (the
+/// theory's `T = Θ(1/ε³)` has the same character).
+const ROUTING_LOADS: &[f64] = &[0.5, 0.8, 0.95, 1.3];
+/// The SINR overload row uses a much larger multiple: the two-stage
+/// scheduler's theoretical `f(m)` is conservative (its slot budget carries
+/// worst-case slack the protocol happily spends on excess load), so
+/// overload of the *bound* by several x is still within the protocol's
+/// real capacity — itself a faithful reflection of how loose worst-case
+/// wireless scheduling bounds are.
+const SINR_LOADS: &[f64] = &[0.5, 0.8, 8.0];
+
+/// Runs E2.
+pub fn run(cfg: &ExpConfig) -> Vec<Table> {
+    vec![routing_table(cfg), sinr_table(cfg)]
+}
+
+fn routing_table(cfg: &ExpConfig) -> Table {
+    let mut table = Table::new(
+        "E2a: stability vs load — ring packet routing (m = 8, 2-hop routes, f = 1)",
+        &["lambda/max", "lambda", "verdict", "mean backlog", "final backlog", "mean latency"],
+    );
+    let setup = RoutingSetup::ring(8, 2).expect("valid ring setup");
+    let frames = if cfg.full { 200 } else { 50 };
+    for (row, &load) in ROUTING_LOADS.iter().enumerate() {
+        let lambda = load; // λ_max = 1 for greedy per-link
+        let lambda_cfg = lambda.min(0.95);
+        let mut run = dynamic_run(
+            GreedyPerLink::new(),
+            setup.network.significant_size(),
+            setup.network.num_links(),
+            lambda_cfg,
+        )
+        .expect("config for capped rate");
+        let mut injector =
+            injector_at_rate(setup.routes.clone(), &setup.model, lambda).expect("feasible rate");
+        let slots = frames * run.config.frame_len as u64;
+        let (report, verdict) = run_and_classify(
+            &mut run.protocol,
+            &mut injector,
+            &setup.feasibility,
+            slots,
+            cfg.seed,
+            row as u64,
+        );
+        table.push_row(vec![
+            fmt3(load),
+            fmt3(lambda),
+            verdict_cell(&verdict),
+            fmt3(report.mean_backlog()),
+            report.final_backlog.to_string(),
+            fmt3(report.latency_summary().mean),
+        ]);
+    }
+    table
+}
+
+fn sinr_table(cfg: &ExpConfig) -> Table {
+    let mut table = Table::new(
+        "E2b: stability vs load — SINR with linear powers (random m = 16, two-stage scheduler)",
+        &[
+            "lambda/max",
+            "lambda",
+            "verdict",
+            "mean backlog",
+            "final backlog",
+            "delivered/injected",
+            "mean latency",
+        ],
+    );
+    let m = 16;
+    let mut geo_rng = dps_core::rng::split_stream(cfg.seed, 999);
+    let params = SinrParams::default_noiseless();
+    let net = random_instance(m, 80.0, 1.0, 3.0, params, &mut geo_rng);
+    let scheduler = TwoStageDecayScheduler::new(m);
+    let model = SinrInterference::fixed_power(&net, &LinearPower::new(params.alpha));
+    let phy = SinrFeasibility::new(net.clone(), LinearPower::new(params.alpha));
+    let lambda_max = 1.0 / dps_core::staticsched::StaticScheduler::f_of(&scheduler, m);
+    let frames = if cfg.full { 60 } else { 25 };
+    for (row, &load) in SINR_LOADS.iter().enumerate() {
+        let lambda = load * lambda_max;
+        let lambda_cfg = lambda.min(0.8 * lambda_max);
+        let mut run = dynamic_run(scheduler, m, m, lambda_cfg).expect("config for capped rate");
+        let mut injector =
+            injector_at_rate(single_hop_routes(m), &model, lambda).expect("feasible rate");
+        let slots = frames * run.config.frame_len as u64;
+        let (report, verdict) = run_and_classify(
+            &mut run.protocol,
+            &mut injector,
+            &phy,
+            slots,
+            cfg.seed,
+            100 + row as u64,
+        );
+        table.push_row(vec![
+            fmt3(load),
+            fmt3(lambda),
+            verdict_cell(&verdict),
+            fmt3(report.mean_backlog()),
+            report.final_backlog.to_string(),
+            fmt3(report.delivery_ratio()),
+            fmt3(report.latency_summary().mean),
+        ]);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dps_sim::stability::StabilityVerdict;
+
+    /// The core qualitative claim on the cheap substrate: stable well below
+    /// capacity, unstable well above.
+    #[test]
+    fn routing_threshold_behaviour() {
+        let setup = RoutingSetup::ring(6, 2).expect("valid setup");
+        let probe = |lambda: f64, lambda_cfg: f64, stream: u64| -> StabilityVerdict {
+            let mut run = dynamic_run(
+                GreedyPerLink::new(),
+                setup.network.significant_size(),
+                setup.network.num_links(),
+                lambda_cfg,
+            )
+            .unwrap();
+            let mut injector =
+                injector_at_rate(setup.routes.clone(), &setup.model, lambda).unwrap();
+            let slots = 50 * run.config.frame_len as u64;
+            let (_, verdict) = run_and_classify(
+                &mut run.protocol,
+                &mut injector,
+                &setup.feasibility,
+                slots,
+                7,
+                stream,
+            );
+            verdict
+        };
+        assert!(probe(0.5, 0.9, 0).is_stable());
+        assert!(!probe(1.4, 0.95, 1).is_stable());
+    }
+}

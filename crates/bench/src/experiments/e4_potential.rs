@@ -1,0 +1,103 @@
+//! **E4 — Section 4.1 analysis.** The stability proof bounds the potential
+//! `Φ` (total remaining hops of failed packets) by a geometric tail:
+//! `Pr[Φ ≥ k] ≤ (1 − 1/m²J)^k`.
+//!
+//! Failures require an imperfect physical layer, so this experiment runs
+//! packet routing under a [`dps_core::feasibility::LossyFeasibility`]
+//! wrapper (each success dropped with probability 0.15 — the paper's
+//! "unreliable network" extension from Section 9). The table reports the
+//! empirical tail `Pr[Φ ≥ k]` sampled once per frame and the fitted
+//! `ln Pr` slope, which the theory predicts to be negative and roughly
+//! constant in `k` (a straight line on a log plot).
+
+use crate::setup::{dynamic_run, injector_at_rate};
+use crate::ExpConfig;
+use dps_core::feasibility::LossyFeasibility;
+use dps_core::potential::PotentialSeries;
+use dps_core::staticsched::greedy::GreedyPerLink;
+use dps_routing::workloads::RoutingSetup;
+use dps_sim::runner::{run_simulation, SimulationConfig};
+use dps_sim::table::{fmt3, Table};
+
+/// Runs the protocol and returns the per-frame potential series.
+fn sample_potential(cfg: &ExpConfig, loss: f64, frames: u64) -> (PotentialSeries, usize) {
+    let setup = RoutingSetup::ring(4, 1).expect("valid ring");
+    let mut run = dynamic_run(
+        GreedyPerLink::new(),
+        setup.network.significant_size(),
+        setup.network.num_links(),
+        0.7,
+    )
+    .expect("valid config");
+    let phy = LossyFeasibility::new(setup.feasibility, loss);
+    let mut injector =
+        injector_at_rate(setup.routes.clone(), &setup.model, 0.6).expect("feasible rate");
+    let t = run.config.frame_len as u64;
+    let report = run_simulation(
+        &mut run.protocol,
+        &mut injector,
+        &phy,
+        SimulationConfig::new(frames * t, cfg.seed).with_sample_every(t),
+    );
+    (report.potential.clone(), run.config.frame_len)
+}
+
+/// Runs E4.
+pub fn run(cfg: &ExpConfig) -> Vec<Table> {
+    let frames = if cfg.full { 4000 } else { 800 };
+    let (series, frame_len) = sample_potential(cfg, 0.15, frames);
+    let slope = series.log_tail_slope();
+
+    let mut table = Table::new(
+        format!(
+            "E4: empirical potential tail Pr[Phi >= k] over {} frames (T = {frame_len}, \
+             15% transmission loss); Section 4.1 predicts a geometric tail — \
+             fitted ln-slope {}",
+            series.len(),
+            slope.map_or("n/a".to_string(), |s| format!("{s:.3}")),
+        ),
+        &["k", "Pr[Phi >= k]"],
+    );
+    let max_k = series.max().clamp(1, 12);
+    for k in 1..=max_k {
+        table.push_row(vec![k.to_string(), fmt3(series.tail_probability(k))]);
+    }
+    let mut summary = Table::new(
+        "E4 summary",
+        &["frames", "mean Phi", "max Phi", "ln-tail slope"],
+    );
+    summary.push_row(vec![
+        series.len().to_string(),
+        fmt3(series.mean()),
+        series.max().to_string(),
+        slope.map_or("n/a".to_string(), |s| format!("{s:.3}")),
+    ]);
+    vec![table, summary]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lossy_runs_produce_failures_and_geometric_tail() {
+        let cfg = ExpConfig::default();
+        let (series, _) = sample_potential(&cfg, 0.25, 600);
+        assert!(series.max() > 0, "losses must produce failed packets");
+        // Tail probabilities are non-increasing in k.
+        let curve = series.tail_curve();
+        for pair in curve.windows(2) {
+            assert!(pair[0].1 >= pair[1].1);
+        }
+        if let Some(slope) = series.log_tail_slope() {
+            assert!(slope < 0.05, "tail must decay, slope {slope}");
+        }
+    }
+
+    #[test]
+    fn lossless_runs_keep_zero_potential() {
+        let cfg = ExpConfig::default();
+        let (series, _) = sample_potential(&cfg, 1e-9, 100);
+        assert_eq!(series.max(), 0);
+    }
+}

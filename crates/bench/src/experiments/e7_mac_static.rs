@@ -1,0 +1,107 @@
+//! **E7 — Lemma 15 (Section 7.1).** Algorithm 2 transmits `n` packets on
+//! the multiple-access channel within `(1+δ)·e·n + O(φ²·log²n)` slots
+//! w.h.p.
+//!
+//! The table reports realized schedule lengths for growing `n`, the
+//! `slots/n` ratio (should approach `(1+δ)·e`), and the incremental slope
+//! between consecutive sizes (which removes the additive polylog term and
+//! should be the cleanest estimate of `(1+δ)·e`). A final row runs the
+//! verbatim Lemma 15 constants inside their own budget.
+
+use crate::ExpConfig;
+use dps_core::feasibility::SingleChannelFeasibility;
+use dps_core::ids::{LinkId, PacketId};
+use dps_core::rng::split_stream;
+use dps_core::staticsched::{run_static, Request, StaticScheduler};
+use dps_mac::algorithm2::SymmetricMacScheduler;
+use dps_sim::table::{fmt3, Table};
+
+fn requests(n: usize) -> Vec<Request> {
+    (0..n)
+        .map(|i| Request {
+            packet: PacketId(i as u64),
+            link: LinkId((i % 16) as u32),
+        })
+        .collect()
+}
+
+fn measure(scheduler: &SymmetricMacScheduler, n: usize, seed: u64) -> usize {
+    let reqs = requests(n);
+    let feas = SingleChannelFeasibility::new();
+    let budget = 8 * scheduler.slots_needed(n as f64, n);
+    let mut rng = split_stream(seed, n as u64);
+    let result = run_static(scheduler, &reqs, n as f64, &feas, budget, &mut rng);
+    assert!(result.all_served(), "algorithm 2 must finish within 8x budget");
+    result.slots_used
+}
+
+/// Runs E7.
+pub fn run(cfg: &ExpConfig) -> Vec<Table> {
+    let delta = 0.5;
+    let scheduler = SymmetricMacScheduler::new(delta, 1.0);
+    let target = (1.0 + delta) * std::f64::consts::E;
+    let sizes: &[usize] = if cfg.full {
+        &[256, 512, 1024, 2048, 4096, 8192]
+    } else {
+        &[256, 1024, 4096]
+    };
+    let mut table = Table::new(
+        format!(
+            "E7: Algorithm 2 schedule length on the MAC (delta = {delta}); Lemma 15 \
+             predicts slots ~ (1+delta)*e*n = {target:.3}*n plus polylog"
+        ),
+        &["n", "slots", "slots/n", "incremental slope"],
+    );
+    let mut prev: Option<(usize, usize)> = None;
+    for &n in sizes {
+        let slots = measure(&scheduler, n, cfg.seed);
+        let slope = prev
+            .map(|(pn, ps)| fmt3((slots as f64 - ps as f64) / (n as f64 - pn as f64)))
+            .unwrap_or_else(|| "-".to_string());
+        table.push_row(vec![
+            n.to_string(),
+            slots.to_string(),
+            fmt3(slots as f64 / n as f64),
+            slope,
+        ]);
+        prev = Some((n, slots));
+    }
+
+    let mut paper = Table::new(
+        "E7b: verbatim Lemma 15 constants complete within their own budget",
+        &["n", "budget (Lemma 15)", "slots used", "all served"],
+    );
+    let exact = SymmetricMacScheduler::new(delta, 1.0).with_paper_constants();
+    let n = if cfg.full { 1024 } else { 256 };
+    let budget = exact.slots_needed(n as f64, n);
+    let reqs = requests(n);
+    let feas = SingleChannelFeasibility::new();
+    let mut rng = split_stream(cfg.seed, 31);
+    let result = run_static(&exact, &reqs, n as f64, &feas, budget, &mut rng);
+    paper.push_row(vec![
+        n.to_string(),
+        budget.to_string(),
+        result.slots_used.to_string(),
+        result.all_served().to_string(),
+    ]);
+    vec![table, paper]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn incremental_slope_is_near_the_lemma_constant() {
+        let delta = 0.5;
+        let scheduler = SymmetricMacScheduler::new(delta, 1.0);
+        let s1 = measure(&scheduler, 1024, 5);
+        let s2 = measure(&scheduler, 4096, 5);
+        let slope = (s2 as f64 - s1 as f64) / (4096.0 - 1024.0);
+        let target = (1.0 + delta) * std::f64::consts::E;
+        assert!(
+            (0.5 * target..2.0 * target).contains(&slope),
+            "incremental slope {slope} should be near {target}"
+        );
+    }
+}

@@ -1,0 +1,158 @@
+//! **E9 — Theorem 19 (Section 7.2).** On conflict graphs, the algorithm
+//! that transmits each pending packet with probability `1/4I` needs
+//! `O(I·log n)` slots w.h.p., and conflict graphs with inductive
+//! independence `ρ` admit `O(ρ·log m)`-competitive protocols.
+//!
+//! Workload: random unit links in the plane under the protocol model
+//! (guard zone 0.5), whose conflict graphs have small constant `ρ` under
+//! the shortest-first ordering. The static table scales the demand and
+//! checks the normalized schedule length `slots/(I·ln n)` stays flat;
+//! the greedy-coloring baseline shows the deterministic `≈ ρ·I`
+//! comparison. A final dynamic probe confirms stability at half the
+//! transformed algorithm's rate.
+
+use crate::setup::{dynamic_run, injector_at_rate, run_and_classify, single_hop_routes, verdict_cell};
+use crate::ExpConfig;
+use dps_conflict::coloring::GreedyColoringScheduler;
+use dps_conflict::feasibility::IndependentSetFeasibility;
+use dps_conflict::inductive::{ordering_by_key, rho_for_ordering};
+use dps_conflict::matrix::ConflictInterference;
+use dps_conflict::models::{protocol_model, random_geo_links};
+use dps_core::ids::{LinkId, PacketId};
+use dps_core::rng::split_stream;
+use dps_core::staticsched::uniform_rate::UniformRateScheduler;
+use dps_core::staticsched::{requests_measure, run_static, Request, StaticScheduler};
+use dps_core::transform::DenseTransform;
+use dps_sim::table::{fmt3, Table};
+
+fn duplicated_requests(m: usize, copies: usize) -> Vec<Request> {
+    (0..m * copies)
+        .map(|i| Request {
+            packet: PacketId(i as u64),
+            link: LinkId((i % m) as u32),
+        })
+        .collect()
+}
+
+/// Runs E9.
+pub fn run(cfg: &ExpConfig) -> Vec<Table> {
+    let m = if cfg.full { 96 } else { 48 };
+    let mut geo_rng = split_stream(cfg.seed, 1234);
+    let links = random_geo_links(m, (m as f64).sqrt() * 2.2, 1.0, &mut geo_rng);
+    let graph = protocol_model(&links, 0.5);
+    let pi = ordering_by_key(m, |l| links[l.index()].length());
+    let rho = rho_for_ordering(&graph, &pi);
+    let model = ConflictInterference::new(graph.clone(), &pi);
+    let phy = IndependentSetFeasibility::new(graph.clone());
+
+    let mut table = Table::new(
+        format!(
+            "E9: conflict-graph scheduling (protocol model, m = {m}, rho = {rho}); \
+             Theorem 19 predicts uniform-rate slots/(I*ln n) flat"
+        ),
+        &[
+            "copies",
+            "n",
+            "I",
+            "unif slots",
+            "unif/(I*ln n)",
+            "coloring slots",
+            "coloring/I",
+        ],
+    );
+    let copy_counts: &[usize] = if cfg.full { &[1, 2, 4, 8] } else { &[1, 2, 4] };
+    let uniform = UniformRateScheduler::new();
+    let coloring = GreedyColoringScheduler::new(graph.clone(), &pi);
+    for (row, &copies) in copy_counts.iter().enumerate() {
+        let requests = duplicated_requests(m, copies);
+        let n = requests.len();
+        let i = requests_measure(&model, &requests);
+        let mut rng = split_stream(cfg.seed, 2000 + row as u64);
+        let budget = 16 * uniform.slots_needed(i, n) + 4000;
+        let unif = run_static(&uniform, &requests, i, &phy, budget, &mut rng);
+        assert!(unif.all_served(), "uniform-rate must finish");
+        let color = run_static(&coloring, &requests, i, &phy, 16 * n + 64, &mut rng);
+        assert!(color.all_served(), "coloring plan is deterministic");
+        table.push_row(vec![
+            copies.to_string(),
+            n.to_string(),
+            fmt3(i),
+            unif.slots_used.to_string(),
+            fmt3(unif.slots_used as f64 / (i * (n as f64).ln())),
+            color.slots_used.to_string(),
+            fmt3(color.slots_used as f64 / i),
+        ]);
+    }
+
+    // Dynamic probe: the transformed uniform-rate protocol at half rate.
+    let scheduler = DenseTransform::new(uniform, m).with_chi(8.0);
+    let lambda = 0.5 / scheduler.f_of(m);
+    let mut dyn_table = Table::new(
+        "E9b: dynamic protocol on the conflict graph",
+        &["lambda", "1/f(m)", "verdict", "mean latency"],
+    );
+    let mut run_ = dynamic_run(scheduler.clone(), m, m, lambda).expect("half rate configures");
+    let mut injector =
+        injector_at_rate(single_hop_routes(m), &model, lambda).expect("feasible rate");
+    let frames = if cfg.full { 40 } else { 15 };
+    let slots = frames * run_.config.frame_len as u64;
+    let (report, verdict) =
+        run_and_classify(&mut run_.protocol, &mut injector, &phy, slots, cfg.seed, 77);
+    dyn_table.push_row(vec![
+        fmt3(lambda),
+        fmt3(1.0 / scheduler.f_of(m)),
+        verdict_cell(&verdict),
+        fmt3(report.latency_summary().mean),
+    ]);
+    vec![table, dyn_table]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_rate_normalized_length_is_flat() {
+        let m = 32;
+        let mut geo_rng = split_stream(5, 1);
+        let links = random_geo_links(m, 12.0, 1.0, &mut geo_rng);
+        let graph = protocol_model(&links, 0.5);
+        let pi = ordering_by_key(m, |l| links[l.index()].length());
+        let model = ConflictInterference::new(graph.clone(), &pi);
+        let phy = IndependentSetFeasibility::new(graph);
+        let uniform = UniformRateScheduler::new();
+        let mut normalized = Vec::new();
+        for copies in [1usize, 4] {
+            let requests = duplicated_requests(m, copies);
+            let n = requests.len();
+            let i = requests_measure(&model, &requests);
+            let mut rng = split_stream(5, copies as u64);
+            let budget = 32 * uniform.slots_needed(i, n) + 4000;
+            let result = run_static(&uniform, &requests, i, &phy, budget, &mut rng);
+            assert!(result.all_served());
+            normalized.push(result.slots_used as f64 / (i * (n as f64).ln()));
+        }
+        let ratio = normalized[1] / normalized[0];
+        assert!(
+            (0.2..4.0).contains(&ratio),
+            "normalized lengths should stay within a constant band: {normalized:?}"
+        );
+    }
+
+    #[test]
+    fn coloring_uses_few_colors_on_sparse_conflicts() {
+        let m = 16;
+        let mut geo_rng = split_stream(9, 2);
+        // Spread far apart: conflict-free, so coloring equals congestion.
+        let links = random_geo_links(m, 400.0, 1.0, &mut geo_rng);
+        let graph = protocol_model(&links, 0.5);
+        let pi = ordering_by_key(m, |l| links[l.index()].length());
+        let coloring = GreedyColoringScheduler::new(graph.clone(), &pi);
+        let requests = duplicated_requests(m, 3);
+        let phy = IndependentSetFeasibility::new(graph);
+        let mut rng = split_stream(9, 3);
+        let result = run_static(&coloring, &requests, 3.0, &phy, 64, &mut rng);
+        assert!(result.all_served());
+        assert!(result.slots_used <= 6, "used {}", result.slots_used);
+    }
+}

@@ -1,0 +1,13 @@
+//! One module per experiment; see the crate docs for the index.
+
+pub mod e10_lower_bound;
+pub mod e11_routing;
+pub mod e1_transform;
+pub mod e2_stability;
+pub mod e3_latency;
+pub mod e4_potential;
+pub mod e5_adversarial;
+pub mod e6_sinr;
+pub mod e7_mac_static;
+pub mod e8_mac_dynamic;
+pub mod e9_conflict;

@@ -1,0 +1,121 @@
+//! Experiment harness for the Kesselheim (PODC 2012) reproduction.
+//!
+//! The paper is a theory paper: its "evaluation" is a set of theorems,
+//! corollaries and one figure. Each experiment module here regenerates the
+//! quantitative content of one of them as a simulation table; the mapping
+//! is documented in DESIGN.md §4 and the results in EXPERIMENTS.md.
+//!
+//! | Id  | Paper claim | Module |
+//! |-----|-------------|--------|
+//! | E1  | Theorem 1 — Algorithm 1 makes schedule length linear in `I` | [`experiments::e1_transform`] |
+//! | E2  | Theorem 3 — bounded queues for `λ < 1/f(m)` | [`experiments::e2_stability`] |
+//! | E3  | Theorem 8 — latency `O(d·T)` | [`experiments::e3_latency`] |
+//! | E4  | §4.1 — geometric potential tail | [`experiments::e4_potential`] |
+//! | E5  | Theorem 11 — adversarial stability | [`experiments::e5_adversarial`] |
+//! | E6  | Corollaries 12/13/14 — SINR competitive ratios | [`experiments::e6_sinr`] |
+//! | E7  | Lemma 15 — Algorithm 2 schedule length | [`experiments::e7_mac_static`] |
+//! | E8  | Corollaries 16/18 — MAC stability thresholds | [`experiments::e8_mac_dynamic`] |
+//! | E9  | Theorem 19 — conflict-graph scheduling | [`experiments::e9_conflict`] |
+//! | E10 | Theorem 20 + Figure 1 — global vs local clocks | [`experiments::e10_lower_bound`] |
+//! | E11 | §2/§7 — packet routing stable for `λ < 1` | [`experiments::e11_routing`] |
+//!
+//! Run everything with `cargo run -p dps-bench --bin experiments --release`
+//! (add experiment ids to select, `--full` for paper-scale parameters).
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod experiments;
+pub mod setup;
+
+use dps_sim::table::Table;
+
+/// Global experiment parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct ExpConfig {
+    /// Full mode uses paper-scale parameters (slower, tighter bands);
+    /// fast mode keeps every experiment under a few seconds.
+    pub full: bool,
+    /// Root seed for all random streams.
+    pub seed: u64,
+}
+
+impl Default for ExpConfig {
+    fn default() -> Self {
+        ExpConfig {
+            full: false,
+            seed: 20120616, // PODC 2012 main-conference date
+        }
+    }
+}
+
+/// An experiment: id, one-line description, and a runner producing tables.
+pub struct Experiment {
+    /// Short id (`e1` … `e11`).
+    pub id: &'static str,
+    /// The paper claim the experiment regenerates.
+    pub claim: &'static str,
+    /// Runs the experiment.
+    pub run: fn(&ExpConfig) -> Vec<Table>,
+}
+
+/// The registry of all experiments in order.
+pub fn all_experiments() -> Vec<Experiment> {
+    vec![
+        Experiment {
+            id: "e1",
+            claim: "Theorem 1: Algorithm 1 makes schedule length linear in I",
+            run: experiments::e1_transform::run,
+        },
+        Experiment {
+            id: "e2",
+            claim: "Theorem 3: bounded queues for lambda < 1/f(m)",
+            run: experiments::e2_stability::run,
+        },
+        Experiment {
+            id: "e3",
+            claim: "Theorem 8: expected latency O(d*T)",
+            run: experiments::e3_latency::run,
+        },
+        Experiment {
+            id: "e4",
+            claim: "Section 4.1: geometric tail of the potential",
+            run: experiments::e4_potential::run,
+        },
+        Experiment {
+            id: "e5",
+            claim: "Theorem 11: stability under (w,lambda)-bounded adversaries",
+            run: experiments::e5_adversarial::run,
+        },
+        Experiment {
+            id: "e6",
+            claim: "Corollaries 12/13/14: SINR competitive ratios vs network size",
+            run: experiments::e6_sinr::run,
+        },
+        Experiment {
+            id: "e7",
+            claim: "Lemma 15: Algorithm 2 sends n packets in ~(1+delta)e*n slots",
+            run: experiments::e7_mac_static::run,
+        },
+        Experiment {
+            id: "e8",
+            claim: "Corollaries 16/18: MAC stable iff lambda < 1/e (symmetric) resp. < 1 (ids)",
+            run: experiments::e8_mac_dynamic::run,
+        },
+        Experiment {
+            id: "e9",
+            claim: "Theorem 19: O(I log n) scheduling on conflict graphs",
+            run: experiments::e9_conflict::run,
+        },
+        Experiment {
+            id: "e10",
+            claim: "Theorem 20 / Figure 1: global clock beats local clocks on the star",
+            run: experiments::e10_lower_bound::run,
+        },
+        Experiment {
+            id: "e11",
+            claim: "Packet routing (W = I): stable for every lambda < 1",
+            run: experiments::e11_routing::run,
+        },
+    ]
+}

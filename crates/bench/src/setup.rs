@@ -1,0 +1,170 @@
+//! Shared experiment plumbing: assembling injectors, frame configurations
+//! and dynamic protocols, and running them to a report.
+
+use dps_core::dynamic::{DynamicProtocol, FrameConfig};
+use dps_core::error::ModelError;
+use dps_core::feasibility::Feasibility;
+use dps_core::ids::LinkId;
+use dps_core::injection::stochastic::{uniform_generators, StochasticInjector};
+use dps_core::injection::Injector;
+use dps_core::interference::InterferenceModel;
+use dps_core::path::RoutePath;
+use dps_core::protocol::Protocol;
+use dps_core::staticsched::StaticScheduler;
+use dps_sim::runner::{run_simulation, SimulationConfig, SimulationReport};
+use dps_sim::stability::{classify_stability, StabilityVerdict};
+use std::sync::Arc;
+
+/// One single-hop route per link.
+pub fn single_hop_routes(num_links: usize) -> Vec<Arc<RoutePath>> {
+    (0..num_links as u32)
+        .map(|l| RoutePath::single_hop(LinkId(l)).shared())
+        .collect()
+}
+
+/// Builds a stochastic injector over `routes` whose rate under `model` is
+/// exactly `lambda`.
+///
+/// # Errors
+///
+/// Propagates [`ModelError`] if the target rate is infeasible for the
+/// per-generator probability constraint.
+pub fn injector_at_rate<M: InterferenceModel + ?Sized>(
+    routes: Vec<Arc<RoutePath>>,
+    model: &M,
+    lambda: f64,
+) -> Result<StochasticInjector, ModelError> {
+    uniform_generators(routes, 0.01)?.scaled_to_rate(model, lambda)
+}
+
+/// Everything a dynamic-protocol run needs, pre-assembled.
+pub struct DynamicRun<S: StaticScheduler + Clone> {
+    /// The protocol under test.
+    pub protocol: DynamicProtocol<S>,
+    /// The frame configuration it was built with.
+    pub config: FrameConfig,
+}
+
+/// Builds a tuned frame configuration and protocol for `scheduler`.
+///
+/// `lambda_config` is the rate the protocol is *provisioned* for; the
+/// injector may exceed it to probe overload behaviour.
+///
+/// # Errors
+///
+/// Propagates [`ModelError`] if `lambda_config ≥ 1/f(m)`.
+pub fn dynamic_run<S: StaticScheduler + Clone>(
+    scheduler: S,
+    m: usize,
+    num_links: usize,
+    lambda_config: f64,
+) -> Result<DynamicRun<S>, ModelError> {
+    let config = FrameConfig::tuned(&scheduler, m, lambda_config)?;
+    let protocol = DynamicProtocol::new(scheduler, config.clone(), num_links);
+    Ok(DynamicRun { protocol, config })
+}
+
+/// Runs any protocol with any injector and classifies stability.
+pub fn run_and_classify<P, I>(
+    protocol: &mut P,
+    injector: &mut I,
+    phy: &dyn Feasibility,
+    slots: u64,
+    seed: u64,
+    stream: u64,
+) -> (SimulationReport, StabilityVerdict)
+where
+    P: Protocol + ?Sized,
+    I: Injector + ?Sized,
+{
+    let report = run_simulation(
+        protocol,
+        injector,
+        phy,
+        SimulationConfig::new(slots, seed).with_stream(stream),
+    );
+    let verdict = classify_stability(&report, 0.05);
+    (report, verdict)
+}
+
+/// Wraps an injector and records its trace into a
+/// [`dps_core::injection::adversarial::WindowValidator`], so experiments
+/// can report the *effective* `(w, λ)` rate an adversary achieved.
+pub struct ValidatingInjector<I, M: InterferenceModel> {
+    inner: I,
+    validator: dps_core::injection::adversarial::WindowValidator<M>,
+}
+
+impl<I: Injector, M: InterferenceModel> ValidatingInjector<I, M> {
+    /// Wraps `inner`, validating under `model` with window length `w`.
+    pub fn new(inner: I, model: M, w: usize) -> Self {
+        ValidatingInjector {
+            inner,
+            validator: dps_core::injection::adversarial::WindowValidator::new(model, w),
+        }
+    }
+
+    /// The recorded validator.
+    pub fn validator(&self) -> &dps_core::injection::adversarial::WindowValidator<M> {
+        &self.validator
+    }
+}
+
+impl<I: Injector, M: InterferenceModel> Injector for ValidatingInjector<I, M> {
+    fn inject(
+        &mut self,
+        slot: u64,
+        rng: &mut dyn rand::RngCore,
+    ) -> Vec<Arc<RoutePath>> {
+        let injected = self.inner.inject(slot, rng);
+        self.validator
+            .record_slot(injected.iter().map(|p| p.as_ref()));
+        injected
+    }
+}
+
+/// Renders a verdict as a table cell.
+pub fn verdict_cell(verdict: &StabilityVerdict) -> String {
+    match verdict {
+        StabilityVerdict::Stable { .. } => "stable".to_string(),
+        StabilityVerdict::Unstable { slope } => format!("UNSTABLE ({slope:+.3}/slot)"),
+        StabilityVerdict::Inconclusive => "inconclusive".to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dps_core::feasibility::PerLinkFeasibility;
+    use dps_core::interference::IdentityInterference;
+    use dps_core::staticsched::greedy::GreedyPerLink;
+
+    #[test]
+    fn injector_hits_requested_rate() {
+        let model = IdentityInterference::new(4);
+        let inj = injector_at_rate(single_hop_routes(4), &model, 0.7).unwrap();
+        assert!((inj.rate(&model) - 0.7).abs() < 1e-9);
+    }
+
+    #[test]
+    fn dynamic_run_builds_and_classifies() {
+        let model = IdentityInterference::new(2);
+        let mut run = dynamic_run(GreedyPerLink::new(), 2, 2, 0.9).unwrap();
+        let mut inj = injector_at_rate(single_hop_routes(2), &model, 0.5).unwrap();
+        let phy = PerLinkFeasibility::new(2);
+        let slots = 40 * run.config.frame_len as u64;
+        let (report, verdict) =
+            run_and_classify(&mut run.protocol, &mut inj, &phy, slots, 1, 0);
+        assert!(report.injected > 0);
+        assert!(verdict.is_stable(), "{verdict:?}");
+    }
+
+    #[test]
+    fn verdict_cells_are_distinct() {
+        assert_eq!(
+            verdict_cell(&StabilityVerdict::Stable { slope: 0.0 }),
+            "stable"
+        );
+        assert!(verdict_cell(&StabilityVerdict::Unstable { slope: 0.5 }).contains("UNSTABLE"));
+    }
+}

@@ -1,0 +1,154 @@
+//! The conflict graph: vertices are communication links, edges are
+//! pairwise exclusions.
+
+use dps_core::ids::LinkId;
+use serde::{Deserialize, Serialize};
+
+/// An undirected conflict graph over `m` links.
+///
+/// Stored as both an adjacency matrix (O(1) conflict queries, used by the
+/// feasibility oracle every slot) and adjacency lists (fast neighbourhood
+/// iteration for orderings and coloring).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ConflictGraph {
+    num_links: usize,
+    adjacency: Vec<bool>,
+    neighbors: Vec<Vec<LinkId>>,
+}
+
+impl ConflictGraph {
+    /// Creates a conflict-free graph over `num_links` links.
+    pub fn new(num_links: usize) -> Self {
+        ConflictGraph {
+            num_links,
+            adjacency: vec![false; num_links * num_links],
+            neighbors: vec![Vec::new(); num_links],
+        }
+    }
+
+    /// Creates the graph from an explicit conflict list.
+    pub fn from_conflicts(num_links: usize, conflicts: &[(LinkId, LinkId)]) -> Self {
+        let mut g = ConflictGraph::new(num_links);
+        for &(a, b) in conflicts {
+            g.add_conflict(a, b);
+        }
+        g
+    }
+
+    /// Declares `a` and `b` mutually exclusive.
+    ///
+    /// Self-conflicts are ignored (every link trivially excludes itself);
+    /// duplicate declarations are idempotent.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either id is out of range.
+    pub fn add_conflict(&mut self, a: LinkId, b: LinkId) {
+        assert!(a.index() < self.num_links, "link {a} out of range");
+        assert!(b.index() < self.num_links, "link {b} out of range");
+        if a == b || self.conflicts(a, b) {
+            return;
+        }
+        self.adjacency[a.index() * self.num_links + b.index()] = true;
+        self.adjacency[b.index() * self.num_links + a.index()] = true;
+        self.neighbors[a.index()].push(b);
+        self.neighbors[b.index()].push(a);
+    }
+
+    /// Number of links (vertices).
+    pub fn num_links(&self) -> usize {
+        self.num_links
+    }
+
+    /// Whether `a` and `b` conflict.
+    pub fn conflicts(&self, a: LinkId, b: LinkId) -> bool {
+        self.adjacency[a.index() * self.num_links + b.index()]
+    }
+
+    /// The links conflicting with `link`.
+    pub fn neighbors(&self, link: LinkId) -> &[LinkId] {
+        &self.neighbors[link.index()]
+    }
+
+    /// Degree of `link` in the conflict graph.
+    pub fn degree(&self, link: LinkId) -> usize {
+        self.neighbors[link.index()].len()
+    }
+
+    /// Total number of conflict edges.
+    pub fn num_conflicts(&self) -> usize {
+        self.neighbors.iter().map(Vec::len).sum::<usize>() / 2
+    }
+
+    /// Whether `set` is independent (no two members conflict).
+    pub fn is_independent(&self, set: &[LinkId]) -> bool {
+        for (i, &a) in set.iter().enumerate() {
+            for &b in &set[i + 1..] {
+                if self.conflicts(a, b) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn triangle() -> ConflictGraph {
+        ConflictGraph::from_conflicts(
+            3,
+            &[
+                (LinkId(0), LinkId(1)),
+                (LinkId(1), LinkId(2)),
+                (LinkId(2), LinkId(0)),
+            ],
+        )
+    }
+
+    #[test]
+    fn conflicts_are_symmetric() {
+        let g = triangle();
+        assert!(g.conflicts(LinkId(0), LinkId(1)));
+        assert!(g.conflicts(LinkId(1), LinkId(0)));
+        assert_eq!(g.num_conflicts(), 3);
+    }
+
+    #[test]
+    fn self_conflicts_ignored() {
+        let mut g = ConflictGraph::new(2);
+        g.add_conflict(LinkId(0), LinkId(0));
+        assert!(!g.conflicts(LinkId(0), LinkId(0)));
+        assert_eq!(g.num_conflicts(), 0);
+    }
+
+    #[test]
+    fn duplicate_conflicts_idempotent() {
+        let mut g = ConflictGraph::new(2);
+        g.add_conflict(LinkId(0), LinkId(1));
+        g.add_conflict(LinkId(1), LinkId(0));
+        assert_eq!(g.degree(LinkId(0)), 1);
+        assert_eq!(g.num_conflicts(), 1);
+    }
+
+    #[test]
+    fn independence_check() {
+        let g = triangle();
+        assert!(g.is_independent(&[LinkId(0)]));
+        assert!(g.is_independent(&[]));
+        assert!(!g.is_independent(&[LinkId(0), LinkId(1)]));
+        let mut path = ConflictGraph::new(3);
+        path.add_conflict(LinkId(0), LinkId(1));
+        path.add_conflict(LinkId(1), LinkId(2));
+        assert!(path.is_independent(&[LinkId(0), LinkId(2)]));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_out_of_range_links() {
+        let mut g = ConflictGraph::new(2);
+        g.add_conflict(LinkId(0), LinkId(5));
+    }
+}

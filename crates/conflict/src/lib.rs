@@ -1,0 +1,44 @@
+//! Conflict-graph substrate for *Dynamic Packet Scheduling in Wireless
+//! Networks* (Kesselheim, PODC 2012), Section 7.2.
+//!
+//! A conflict graph has the network's links as vertices; an edge between
+//! two links means their transmissions cannot succeed simultaneously. The
+//! paper shows that for conflict graphs with **inductive independence
+//! number** `ρ`, a 0/1 interference matrix derived from the witnessing
+//! vertex ordering yields `O(ρ·log m)`-competitive protocols — covering the
+//! radio-network model in disk graphs, the protocol model, distance-2
+//! matching, and the node-constrained model (each link endpoint handles one
+//! packet per slot).
+//!
+//! Contents:
+//!
+//! * [`graph::ConflictGraph`] — the graph itself;
+//! * [`models`] — constructions from geometry and network topology;
+//! * [`inductive`] — inductive independence: exact `ρ` for a given
+//!   ordering, degeneracy orderings as witnesses;
+//! * [`matrix::ConflictInterference`] — the §7.2 interference matrix;
+//! * [`feasibility::IndependentSetFeasibility`] — transmissions succeed iff
+//!   the set of transmitting links is independent;
+//! * [`coloring::GreedyColoringScheduler`] — a deterministic coloring
+//!   baseline to compare the randomized algorithms against.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+#![forbid(unsafe_code)]
+
+pub mod coloring;
+pub mod feasibility;
+pub mod graph;
+pub mod inductive;
+pub mod matrix;
+pub mod models;
+
+/// Convenience re-exports of the most commonly used types.
+pub mod prelude {
+    pub use crate::coloring::GreedyColoringScheduler;
+    pub use crate::feasibility::IndependentSetFeasibility;
+    pub use crate::graph::ConflictGraph;
+    pub use crate::inductive::{degeneracy_ordering, rho_for_ordering};
+    pub use crate::matrix::ConflictInterference;
+    pub use crate::models::{distance2_matching, node_constrained, protocol_model};
+}

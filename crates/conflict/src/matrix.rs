@@ -1,0 +1,141 @@
+//! The §7.2 interference matrix: `W[e][e'] = 1` iff `e` and `e'` conflict
+//! and `π(e') ≤ π(e)` — every row is charged only by conflicting links
+//! that come *earlier* in the witness ordering, so the measure of a
+//! feasible (independent) set stays at most `ρ` and no protocol can beat
+//! injection rate `ρ`.
+
+use crate::graph::ConflictGraph;
+use dps_core::ids::LinkId;
+use dps_core::interference::InterferenceModel;
+use std::sync::Arc;
+
+/// The 0/1 conflict interference matrix of Section 7.2.
+#[derive(Clone, Debug)]
+pub struct ConflictInterference {
+    graph: Arc<ConflictGraph>,
+    /// position[link] = rank of the link in the ordering π.
+    position: Vec<usize>,
+}
+
+impl ConflictInterference {
+    /// Creates the matrix from a conflict graph and the ordering `pi`
+    /// (position → link).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pi` is not a permutation of the graph's links.
+    pub fn new(graph: ConflictGraph, pi: &[LinkId]) -> Self {
+        assert_eq!(pi.len(), graph.num_links(), "ordering must cover every link");
+        let mut position = vec![usize::MAX; graph.num_links()];
+        for (pos, &link) in pi.iter().enumerate() {
+            assert!(
+                position[link.index()] == usize::MAX,
+                "ordering repeats link {link}"
+            );
+            position[link.index()] = pos;
+        }
+        ConflictInterference {
+            graph: Arc::new(graph),
+            position,
+        }
+    }
+
+    /// The underlying conflict graph.
+    pub fn graph(&self) -> &ConflictGraph {
+        &self.graph
+    }
+
+    /// Rank of `link` in the witness ordering.
+    pub fn rank(&self, link: LinkId) -> usize {
+        self.position[link.index()]
+    }
+}
+
+impl InterferenceModel for ConflictInterference {
+    fn num_links(&self) -> usize {
+        self.graph.num_links()
+    }
+
+    fn weight(&self, on: LinkId, from: LinkId) -> f64 {
+        if on == from {
+            1.0
+        } else if self.graph.conflicts(on, from)
+            && self.position[from.index()] <= self.position[on.index()]
+        {
+            1.0
+        } else {
+            0.0
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dps_core::interference::validate;
+    use dps_core::load::LinkLoad;
+
+    fn path3() -> ConflictGraph {
+        let mut g = ConflictGraph::new(3);
+        g.add_conflict(LinkId(0), LinkId(1));
+        g.add_conflict(LinkId(1), LinkId(2));
+        g
+    }
+
+    fn identity_ordering(m: usize) -> Vec<LinkId> {
+        (0..m as u32).map(LinkId).collect()
+    }
+
+    #[test]
+    fn satisfies_model_invariants() {
+        let w = ConflictInterference::new(path3(), &identity_ordering(3));
+        validate(&w).unwrap();
+    }
+
+    #[test]
+    fn charges_only_earlier_conflicting_links() {
+        let w = ConflictInterference::new(path3(), &identity_ordering(3));
+        // Link 1 conflicts with 0 (earlier) and 2 (later).
+        assert_eq!(w.weight(LinkId(1), LinkId(0)), 1.0);
+        assert_eq!(w.weight(LinkId(1), LinkId(2)), 0.0);
+        // Link 2 conflicts with 1 (earlier).
+        assert_eq!(w.weight(LinkId(2), LinkId(1)), 1.0);
+        // Non-conflicting pair stays zero both ways.
+        assert_eq!(w.weight(LinkId(0), LinkId(2)), 0.0);
+        assert_eq!(w.weight(LinkId(2), LinkId(0)), 0.0);
+    }
+
+    #[test]
+    fn measure_of_independent_set_stays_small() {
+        // Independent set {0, 2} of the path: each row sees only itself.
+        let w = ConflictInterference::new(path3(), &identity_ordering(3));
+        let load = LinkLoad::from_links(3, [LinkId(0), LinkId(2)]);
+        assert_eq!(w.measure(&load), 1.0);
+    }
+
+    #[test]
+    fn measure_counts_conflicting_earlier_load() {
+        let w = ConflictInterference::new(path3(), &identity_ordering(3));
+        let mut load = LinkLoad::new(3);
+        load.set(LinkId(0), 5.0);
+        load.set(LinkId(1), 1.0);
+        // Row 1: own load 1 + earlier conflicting load 5.
+        assert_eq!(w.row_load(LinkId(1), &load), 6.0);
+        assert_eq!(w.measure(&load), 6.0);
+    }
+
+    #[test]
+    fn ordering_direction_matters() {
+        let reversed: Vec<LinkId> = identity_ordering(3).into_iter().rev().collect();
+        let w = ConflictInterference::new(path3(), &reversed);
+        // Now link 1 is charged by link 2 (earlier in reversed order).
+        assert_eq!(w.weight(LinkId(1), LinkId(2)), 1.0);
+        assert_eq!(w.weight(LinkId(1), LinkId(0)), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "repeats link")]
+    fn rejects_duplicate_ordering() {
+        let _ = ConflictInterference::new(path3(), &[LinkId(0), LinkId(0), LinkId(1)]);
+    }
+}

@@ -1,0 +1,192 @@
+//! Conflict-graph constructions for the interference models Section 7.2
+//! names: the protocol model, the node-constrained model, and distance-2
+//! matching.
+
+use crate::graph::ConflictGraph;
+use dps_core::graph::Network;
+use dps_core::ids::LinkId;
+
+/// A link with planar endpoints, the input to the geometric constructions.
+#[derive(Clone, Copy, Debug)]
+pub struct GeoLink {
+    /// Sender coordinates.
+    pub sender: (f64, f64),
+    /// Receiver coordinates.
+    pub receiver: (f64, f64),
+}
+
+impl GeoLink {
+    /// Geometric length of the link.
+    pub fn length(&self) -> f64 {
+        dist(self.sender, self.receiver)
+    }
+}
+
+fn dist(a: (f64, f64), b: (f64, f64)) -> f64 {
+    ((a.0 - b.0).powi(2) + (a.1 - b.1).powi(2)).sqrt()
+}
+
+/// The protocol model with guard-zone parameter `delta ≥ 0`: links `ℓ` and
+/// `ℓ'` conflict if `ℓ'`'s sender is within `(1 + δ)·d(ℓ)` of `ℓ`'s
+/// receiver, or vice versa.
+///
+/// Under a shortest-first ordering these graphs have constant inductive
+/// independence in the plane.
+pub fn protocol_model(links: &[GeoLink], delta: f64) -> ConflictGraph {
+    assert!(delta >= 0.0, "guard-zone parameter must be non-negative");
+    let mut g = ConflictGraph::new(links.len());
+    for i in 0..links.len() {
+        for j in i + 1..links.len() {
+            let (a, b) = (&links[i], &links[j]);
+            let i_hit = dist(b.sender, a.receiver) <= (1.0 + delta) * a.length();
+            let j_hit = dist(a.sender, b.receiver) <= (1.0 + delta) * b.length();
+            if i_hit || j_hit {
+                g.add_conflict(LinkId(i as u32), LinkId(j as u32));
+            }
+        }
+    }
+    g
+}
+
+/// The node-constrained model: each node can transmit or receive at most
+/// one packet per slot, so two links conflict iff they share an endpoint.
+///
+/// The paper notes the resulting conflict graph has bounded independence,
+/// giving constant-competitive protocols.
+pub fn node_constrained(network: &Network) -> ConflictGraph {
+    let mut g = ConflictGraph::new(network.num_links());
+    let links: Vec<_> = network.link_ids().map(|l| network.link(l)).collect();
+    for i in 0..links.len() {
+        for j in i + 1..links.len() {
+            let (a, b) = (links[i], links[j]);
+            if a.src == b.src || a.src == b.dst || a.dst == b.src || a.dst == b.dst {
+                g.add_conflict(LinkId(i as u32), LinkId(j as u32));
+            }
+        }
+    }
+    g
+}
+
+/// Distance-2 matching: links conflict if they share an endpoint **or**
+/// the underlying graph has an edge between an endpoint of one and an
+/// endpoint of the other (so a feasible slot is an induced matching).
+pub fn distance2_matching(network: &Network) -> ConflictGraph {
+    let mut g = node_constrained(network);
+    let links: Vec<_> = network.link_ids().map(|l| network.link(l)).collect();
+    // Endpoint adjacency via any network edge (either direction).
+    let adjacent_nodes = |u: dps_core::ids::NodeId, v: dps_core::ids::NodeId| {
+        network.outgoing(u).iter().any(|&e| network.link(e).dst == v)
+            || network.outgoing(v).iter().any(|&e| network.link(e).dst == u)
+    };
+    for i in 0..links.len() {
+        for j in i + 1..links.len() {
+            let (a, b) = (links[i], links[j]);
+            let near = [a.src, a.dst]
+                .into_iter()
+                .any(|u| [b.src, b.dst].into_iter().any(|v| u != v && adjacent_nodes(u, v)));
+            if near {
+                g.add_conflict(LinkId(i as u32), LinkId(j as u32));
+            }
+        }
+    }
+    g
+}
+
+/// Random unit-length links in a square, as [`GeoLink`]s — the standard
+/// workload for the protocol-model experiments.
+pub fn random_geo_links(
+    count: usize,
+    side: f64,
+    length: f64,
+    rng: &mut dyn rand::RngCore,
+) -> Vec<GeoLink> {
+    use rand::Rng;
+    (0..count)
+        .map(|_| {
+            let sx = rng.gen::<f64>() * side;
+            let sy = rng.gen::<f64>() * side;
+            let angle = rng.gen::<f64>() * std::f64::consts::TAU;
+            GeoLink {
+                sender: (sx, sy),
+                receiver: (sx + length * angle.cos(), sy + length * angle.sin()),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inductive::{degeneracy_ordering, ordering_by_key, rho_for_ordering};
+    use dps_core::graph::{line_network, ring_network};
+
+    #[test]
+    fn protocol_model_conflicts_by_proximity() {
+        let links = [
+            GeoLink {
+                sender: (0.0, 0.0),
+                receiver: (1.0, 0.0),
+            },
+            GeoLink {
+                sender: (1.5, 0.0),
+                receiver: (2.5, 0.0),
+            },
+            GeoLink {
+                sender: (100.0, 0.0),
+                receiver: (101.0, 0.0),
+            },
+        ];
+        let g = protocol_model(&links, 0.5);
+        assert!(g.conflicts(LinkId(0), LinkId(1)), "close links conflict");
+        assert!(!g.conflicts(LinkId(0), LinkId(2)), "far links do not");
+    }
+
+    #[test]
+    fn protocol_model_rho_is_small_for_random_unit_links() {
+        use rand::SeedableRng;
+        let mut rng = rand_chacha::ChaCha12Rng::seed_from_u64(11);
+        let links = random_geo_links(40, 20.0, 1.0, &mut rng);
+        let g = protocol_model(&links, 0.5);
+        let pi = ordering_by_key(g.num_links(), |l| links[l.index()].length());
+        let rho = rho_for_ordering(&g, &pi);
+        // Unit-disk-like geometry: constant inductive independence.
+        assert!(rho <= 8, "rho {rho} unexpectedly large");
+    }
+
+    #[test]
+    fn node_constrained_on_line_conflicts_neighbours() {
+        let net = line_network(3);
+        let g = node_constrained(&net);
+        assert!(g.conflicts(LinkId(0), LinkId(1)), "share middle node");
+        assert!(!g.conflicts(LinkId(0), LinkId(2)), "disjoint endpoints");
+    }
+
+    #[test]
+    fn node_constrained_rho_is_at_most_two() {
+        // Conflict graphs of the node-constraint model are line graphs,
+        // whose inductive independence is at most 2.
+        let net = ring_network(8);
+        let g = node_constrained(&net);
+        let pi = degeneracy_ordering(&g);
+        assert!(rho_for_ordering(&g, &pi) <= 2);
+    }
+
+    #[test]
+    fn distance2_extends_node_conflicts() {
+        let net = line_network(3);
+        let d2 = distance2_matching(&net);
+        // Links 0 and 2 share no endpoint but their endpoints are joined by
+        // link 1: conflict in distance-2 matching.
+        assert!(d2.conflicts(LinkId(0), LinkId(2)));
+        let d1 = node_constrained(&net);
+        assert!(!d1.conflicts(LinkId(0), LinkId(2)));
+    }
+
+    #[test]
+    fn distance2_far_links_still_independent() {
+        let net = line_network(5);
+        let d2 = distance2_matching(&net);
+        assert!(!d2.conflicts(LinkId(0), LinkId(3)));
+        assert!(d2.is_independent(&[LinkId(0), LinkId(3)]));
+    }
+}

@@ -1,0 +1,286 @@
+//! The Section 5 reduction from adversarial to stochastic injection.
+//!
+//! Each packet injected by a `(w, λ)`-bounded adversary is held at its
+//! source for a uniformly random delay of `δ ∈ {0, …, δ_max − 1}` frames,
+//! `δ_max = ⌈2(D + w)/ε⌉`, before being handed to the underlying protocol.
+//! The random delays smooth any admissible adversarial burst into a
+//! per-frame load whose expectation matches the stochastic analysis with
+//! rate `λ' = (1 − ε/2)/f(m)` (the paper's Theorem 11), so stability and
+//! the `O(D·w·T/ε)` latency bound carry over.
+
+use crate::feasibility::Feasibility;
+use crate::packet::Packet;
+use crate::protocol::{Protocol, SlotOutcome};
+use rand::{Rng, RngCore};
+use std::collections::BinaryHeap;
+use std::cmp::Reverse;
+
+/// Wraps a [`Protocol`] with the random initial delays of Section 5.
+pub struct AdversarialWrapper<P> {
+    inner: P,
+    frame_len: usize,
+    delay_max: u64,
+    /// Min-heap of `(release_slot, sequence, packet)`.
+    pending: BinaryHeap<Reverse<(u64, u64, PendingPacket)>>,
+    sequence: u64,
+}
+
+/// Heap entry wrapper ordering only by the tuple prefix.
+struct PendingPacket(Packet);
+
+impl PartialEq for PendingPacket {
+    fn eq(&self, _other: &Self) -> bool {
+        true
+    }
+}
+impl Eq for PendingPacket {}
+impl PartialOrd for PendingPacket {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for PendingPacket {
+    fn cmp(&self, _other: &Self) -> std::cmp::Ordering {
+        std::cmp::Ordering::Equal
+    }
+}
+
+impl<P: Protocol> AdversarialWrapper<P> {
+    /// Wraps `inner`, delaying each packet by a uniform number of frames
+    /// below `delay_max`. `frame_len` must match the inner protocol's `T`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `frame_len == 0` or `delay_max == 0` (use `delay_max = 1`
+    /// for "no delay": a delay drawn from `{0}`).
+    pub fn new(inner: P, frame_len: usize, delay_max: u64) -> Self {
+        assert!(frame_len > 0, "frame length must be positive");
+        assert!(delay_max > 0, "delay_max must be at least 1");
+        AdversarialWrapper {
+            inner,
+            frame_len,
+            delay_max,
+            pending: BinaryHeap::new(),
+            sequence: 0,
+        }
+    }
+
+    /// The paper's delay horizon `δ_max = ⌈2(D + w)/ε⌉`.
+    pub fn paper_delay_max(d: usize, w: usize, epsilon: f64) -> u64 {
+        assert!(epsilon > 0.0, "epsilon must be positive");
+        (2.0 * (d + w) as f64 / epsilon).ceil().max(1.0) as u64
+    }
+
+    /// The wrapped protocol.
+    pub fn inner(&self) -> &P {
+        &self.inner
+    }
+
+    /// Mutable access to the wrapped protocol (e.g. to drain frame events).
+    pub fn inner_mut(&mut self) -> &mut P {
+        &mut self.inner
+    }
+
+    /// Packets still waiting out their initial delay.
+    pub fn delayed_backlog(&self) -> usize {
+        self.pending.len()
+    }
+}
+
+impl<P: Protocol> Protocol for AdversarialWrapper<P> {
+    fn on_slot(
+        &mut self,
+        slot: u64,
+        arrivals: Vec<Packet>,
+        phy: &dyn Feasibility,
+        rng: &mut dyn RngCore,
+    ) -> SlotOutcome {
+        let t = self.frame_len as u64;
+        let current_frame = slot / t;
+        let mut release_now = Vec::new();
+        for packet in arrivals {
+            let delta = rng.gen_range(0..self.delay_max);
+            if delta == 0 {
+                release_now.push(packet);
+            } else {
+                // Release at the start of frame `current_frame + δ`; the
+                // inner protocol then holds it until the *next* frame
+                // begins, yielding the paper's "waits until the beginning
+                // of the next time frame, then δ more frames".
+                let release_slot = (current_frame + delta) * t;
+                self.pending
+                    .push(Reverse((release_slot, self.sequence, PendingPacket(packet))));
+                self.sequence += 1;
+            }
+        }
+        while let Some(Reverse((release_slot, _, _))) = self.pending.peek() {
+            if *release_slot > slot {
+                break;
+            }
+            let Reverse((_, _, PendingPacket(packet))) =
+                self.pending.pop().expect("peeked entry exists");
+            release_now.push(packet);
+        }
+        self.inner.on_slot(slot, release_now, phy, rng)
+    }
+
+    fn backlog(&self) -> usize {
+        self.inner.backlog() + self.pending.len()
+    }
+
+    fn potential(&self) -> u64 {
+        self.inner.potential()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dynamic::{DynamicProtocol, FrameConfig};
+    use crate::feasibility::PerLinkFeasibility;
+    use crate::ids::{LinkId, PacketId};
+    use crate::injection::adversarial::BurstyAdversary;
+    use crate::injection::Injector;
+    use crate::interference::IdentityInterference;
+    use crate::path::RoutePath;
+    use crate::rng::root_rng;
+    use crate::staticsched::greedy::GreedyPerLink;
+
+    #[test]
+    fn paper_delay_horizon_formula() {
+        assert_eq!(AdversarialWrapper::<Noop>::paper_delay_max(4, 16, 0.5), 80);
+        assert_eq!(AdversarialWrapper::<Noop>::paper_delay_max(0, 1, 1.0), 2);
+    }
+
+    /// Trivial protocol that delivers instantly; used to observe releases.
+    struct Noop {
+        received: Vec<u64>,
+        backlog: usize,
+    }
+
+    impl Protocol for Noop {
+        fn on_slot(
+            &mut self,
+            slot: u64,
+            arrivals: Vec<Packet>,
+            _phy: &dyn Feasibility,
+            _rng: &mut dyn RngCore,
+        ) -> SlotOutcome {
+            for _ in &arrivals {
+                self.received.push(slot);
+            }
+            SlotOutcome::empty()
+        }
+
+        fn backlog(&self) -> usize {
+            self.backlog
+        }
+    }
+
+    #[test]
+    fn packets_release_at_frame_starts() {
+        let inner = Noop {
+            received: Vec::new(),
+            backlog: 0,
+        };
+        let t = 10;
+        let mut wrapper = AdversarialWrapper::new(inner, t, 8);
+        let phy = PerLinkFeasibility::new(1);
+        let mut rng = root_rng(42);
+        let path = RoutePath::single_hop(LinkId(0)).shared();
+        // Inject 50 packets at slot 3 (frame 0).
+        let arrivals: Vec<Packet> = (0..50)
+            .map(|i| Packet::new(PacketId(i), path.clone(), 3))
+            .collect();
+        wrapper.on_slot(3, arrivals, &phy, &mut rng);
+        let immediately = wrapper.inner().received.len();
+        assert!(wrapper.delayed_backlog() > 0, "some packets must be delayed");
+        assert_eq!(immediately + wrapper.delayed_backlog(), 50);
+        // Drive through several frames; delayed packets appear only at
+        // slots that are multiples of T.
+        for slot in 4..200 {
+            wrapper.on_slot(slot, Vec::new(), &phy, &mut rng);
+        }
+        assert_eq!(wrapper.inner().received.len(), 50);
+        for &s in wrapper.inner().received.iter().skip(immediately) {
+            assert_eq!(s % t as u64, 0, "release at slot {s} not a frame start");
+        }
+        assert_eq!(wrapper.delayed_backlog(), 0);
+    }
+
+    #[test]
+    fn delays_are_spread_over_horizon() {
+        let inner = Noop {
+            received: Vec::new(),
+            backlog: 0,
+        };
+        let t = 4;
+        let delay_max = 16;
+        let mut wrapper = AdversarialWrapper::new(inner, t, delay_max);
+        let phy = PerLinkFeasibility::new(1);
+        let mut rng = root_rng(17);
+        let path = RoutePath::single_hop(LinkId(0)).shared();
+        let arrivals: Vec<Packet> = (0..400)
+            .map(|i| Packet::new(PacketId(i), path.clone(), 0))
+            .collect();
+        wrapper.on_slot(0, arrivals, &phy, &mut rng);
+        for slot in 1..(delay_max + 2) * t as u64 {
+            wrapper.on_slot(slot, Vec::new(), &phy, &mut rng);
+        }
+        let received = &wrapper.inner().received;
+        assert_eq!(received.len(), 400);
+        // Releases should span multiple distinct frames (smoothing).
+        let mut frames: Vec<u64> = received.iter().map(|s| s / t as u64).collect();
+        frames.sort_unstable();
+        frames.dedup();
+        assert!(
+            frames.len() >= delay_max as usize / 2,
+            "releases concentrated in {} frames",
+            frames.len()
+        );
+    }
+
+    #[test]
+    fn adversarial_dynamic_protocol_stays_stable() {
+        // Bursty (w, λ)-bounded adversary on a 2-link routing network,
+        // smoothed by the wrapper, served by the frame protocol.
+        let num_links = 2;
+        let model = IdentityInterference::new(num_links);
+        let config = FrameConfig::tuned(&GreedyPerLink::new(), num_links, 0.9).unwrap();
+        let t = config.frame_len;
+        let protocol = DynamicProtocol::new(GreedyPerLink::new(), config, num_links);
+        let mut wrapper = AdversarialWrapper::new(protocol, t, 8);
+        let w = 32;
+        let lambda = 0.5;
+        let templates: Vec<_> = (0..num_links as u32)
+            .map(|l| RoutePath::single_hop(LinkId(l)).shared())
+            .collect();
+        let mut adversary = BurstyAdversary::new(model, templates, w, lambda);
+        let phy = PerLinkFeasibility::new(num_links);
+        let mut rng = root_rng(23);
+        let mut next_id = 0u64;
+        let mut injected = 0usize;
+        let mut delivered = 0usize;
+        let slots = 60 * t as u64;
+        for slot in 0..slots {
+            let arrivals: Vec<Packet> = adversary
+                .inject(slot, &mut rng)
+                .into_iter()
+                .map(|p| {
+                    let pkt = Packet::new(PacketId(next_id), p, slot);
+                    next_id += 1;
+                    pkt
+                })
+                .collect();
+            injected += arrivals.len();
+            delivered += wrapper.on_slot(slot, arrivals, &phy, &mut rng).delivered.len();
+        }
+        assert!(injected > 0);
+        assert_eq!(delivered + wrapper.backlog(), injected, "conservation");
+        assert!(
+            wrapper.backlog() < 4 * w * num_links + 8 * t,
+            "backlog {} looks unbounded",
+            wrapper.backlog()
+        );
+    }
+}

@@ -1,0 +1,279 @@
+//! Frame geometry for the dynamic protocol (Section 4).
+//!
+//! Time is divided into frames of `T` slots. Each frame consists of a main
+//! phase of `T' = f(m)·J + g(m, m·J)` slots executing the static algorithm
+//! `A(J, m·J)` on every un-failed packet's next hop (`J = (1+ε)·λ·T` is the
+//! whp bound on the frame's injected measure), followed by a clean-up phase
+//! executing `A(cleanup_bound, m·J)` on a randomly selected set of failed
+//! packets.
+
+use crate::error::ModelError;
+use crate::staticsched::StaticScheduler;
+
+/// The frame geometry of a [`crate::dynamic::DynamicProtocol`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct FrameConfig {
+    /// Significant network size `m`.
+    pub m: usize,
+    /// Target injection rate `λ`.
+    pub lambda: f64,
+    /// Stability slack `ε` with `λ = (1−ε)/f(m)`.
+    pub epsilon: f64,
+    /// Frame length `T` in slots.
+    pub frame_len: usize,
+    /// Per-frame measure bound `J = (1+ε)·λ·T` handed to the main phase.
+    pub j_bound: f64,
+    /// Main-phase budget `T'` in slots.
+    pub main_budget: usize,
+    /// Clean-up phase budget in slots.
+    pub cleanup_budget: usize,
+    /// Probability with which a link with a non-empty failed buffer selects
+    /// a packet for the clean-up phase (the paper uses `1/m`).
+    pub cleanup_select_prob: f64,
+    /// Measure bound handed to the clean-up execution (the paper uses 1).
+    pub cleanup_bound: f64,
+}
+
+impl FrameConfig {
+    /// The paper's construction: `T ≥ 100·f/ε³ + 48·f·ln m / ε²` and large
+    /// enough that the sublinear `g` term and the clean-up phase fit.
+    ///
+    /// These constants are astronomically conservative — useful to check
+    /// the formulas, far too slow to simulate at scale; experiments use
+    /// [`FrameConfig::tuned`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::InvalidRate`] if `lambda ≥ 1/f(m)` (no `ε > 0`
+    /// exists) or `lambda` is not positive and finite, and
+    /// [`ModelError::InvalidConfig`] if no consistent `T` is found.
+    pub fn theoretical<S: StaticScheduler + ?Sized>(
+        scheduler: &S,
+        m: usize,
+        lambda: f64,
+    ) -> Result<Self, ModelError> {
+        let f = scheduler.f_of(m.max(2));
+        let epsilon = Self::epsilon_for(f, lambda)?;
+        let base = 100.0 * f / epsilon.powi(3) + 48.0 * f * (m.max(2) as f64).ln() / epsilon.powi(2);
+        let mut t = base.ceil().max(1.0) as usize;
+        // Grow T until the g-term condition T ≥ (4f/ε²)·g(m, m·J) and the
+        // two-phase fit hold; both right-hand sides grow sublinearly in T,
+        // so doubling terminates.
+        for _ in 0..128 {
+            let j = (1.0 + epsilon) * lambda * t as f64;
+            let n_bound = ((m as f64) * j).ceil().max(2.0) as usize;
+            let g_cond = 4.0 * f / epsilon.powi(2) * scheduler.g_of(n_bound);
+            let main = scheduler.slots_needed(j, n_bound);
+            let cleanup = scheduler.slots_needed(1.0, n_bound);
+            if (t as f64) >= g_cond && t >= main + cleanup {
+                return Ok(FrameConfig {
+                    m,
+                    lambda,
+                    epsilon,
+                    frame_len: t,
+                    j_bound: j,
+                    main_budget: main,
+                    cleanup_budget: cleanup,
+                    cleanup_select_prob: 1.0 / m.max(1) as f64,
+                    cleanup_bound: 1.0,
+                });
+            }
+            t *= 2;
+        }
+        Err(ModelError::InvalidConfig(
+            "no consistent frame length found; g(m, n) may grow superlinearly".into(),
+        ))
+    }
+
+    /// A practical construction: the smallest `T` such that main and
+    /// clean-up phases fit into the frame, found by fixed-point iteration.
+    /// The map `T ↦ T' + cleanup` is (nearly) affine with slope
+    /// `(1−ε)(1+ε) < 1`, so a fixed point exists whenever `λ < 1/f(m)`.
+    ///
+    /// Clean-up uses a select probability of `min(1, 4/m)` and measure
+    /// bound 4 — draining failed buffers orders of magnitude faster than
+    /// the worst-case `1/m` of the proof while preserving the stability
+    /// argument's shape (the clean-up set's measure stays `O(1)` w.h.p.).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::InvalidRate`] if `lambda ≥ 1/f(m)` or is not
+    /// positive and finite, and [`ModelError::InvalidConfig`] if the
+    /// iteration fails to converge (rate too close to the threshold).
+    pub fn tuned<S: StaticScheduler + ?Sized>(
+        scheduler: &S,
+        m: usize,
+        lambda: f64,
+    ) -> Result<Self, ModelError> {
+        let f = scheduler.f_of(m.max(2));
+        let epsilon = Self::epsilon_for(f, lambda)?;
+        let cleanup_bound = 4.0_f64.min(m as f64).max(1.0);
+        let phases = |t: usize| -> (f64, usize, usize) {
+            let j = ((1.0 + epsilon) * lambda * t as f64).max(1.0);
+            let n_bound = ((m as f64) * j).ceil().max(2.0) as usize;
+            let main = scheduler.slots_needed(j, n_bound);
+            let cleanup = scheduler.slots_needed(cleanup_bound, n_bound);
+            (j, main, cleanup)
+        };
+        // Jump near the fixed point of the (almost affine) map
+        // t ↦ main(t) + cleanup(t), then settle by iteration.
+        let needed = |t: usize| {
+            let (_, main, cleanup) = phases(t);
+            main + cleanup
+        };
+        // Wide sample points keep the integer ceilings in `slots_needed`
+        // from rounding the slope estimate up to exactly 1.
+        let (a, b) = (1usize << 16, 1usize << 20);
+        let (pa, pb) = (needed(a), needed(b));
+        let slope = (pb as f64 - pa as f64) / (b - a) as f64;
+        let mut t = if slope < 1.0 - 1e-9 {
+            let intercept = pa as f64 - slope * a as f64;
+            (intercept / (1.0 - slope)).ceil().max(16.0) as usize
+        } else {
+            16
+        };
+        for _ in 0..1024 {
+            if t > (1usize << 40) {
+                return Err(ModelError::InvalidConfig(
+                    "frame length diverged; lambda is too close to 1/f(m)".into(),
+                ));
+            }
+            let (j, main, cleanup) = phases(t);
+            if main + cleanup <= t {
+                return Ok(FrameConfig {
+                    m,
+                    lambda,
+                    epsilon,
+                    frame_len: t,
+                    j_bound: j,
+                    main_budget: main,
+                    cleanup_budget: cleanup,
+                    cleanup_select_prob: (4.0 / m.max(1) as f64).min(1.0),
+                    cleanup_bound,
+                });
+            }
+            // Geometric fallback step: settles residual error from the
+            // affine jump quickly even when the map's slope is near 1.
+            t = (main + cleanup).max(t + (t / 1024).max(1));
+        }
+        Err(ModelError::InvalidConfig(
+            "frame-length iteration did not converge; lambda may be too close to 1/f(m)".into(),
+        ))
+    }
+
+    /// The stability slack `ε = 1 − λ·f`, clamped to the paper's `ε ≤ 1/2`.
+    fn epsilon_for(f: f64, lambda: f64) -> Result<f64, ModelError> {
+        if !(lambda > 0.0 && lambda.is_finite()) {
+            return Err(ModelError::InvalidRate(lambda));
+        }
+        let epsilon = 1.0 - lambda * f;
+        if epsilon <= 0.0 {
+            return Err(ModelError::InvalidRate(lambda));
+        }
+        Ok(epsilon.min(0.5))
+    }
+
+    /// The maximum injection rate `1/f(m)` the protocol built from
+    /// `scheduler` can target on a network of size `m` — the paper's
+    /// throughput bound, used to compute competitive ratios.
+    pub fn max_rate<S: StaticScheduler + ?Sized>(scheduler: &S, m: usize) -> f64 {
+        1.0 / scheduler.f_of(m.max(2))
+    }
+
+    /// Validates internal consistency (phases fit, bounds positive).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::InvalidConfig`] describing the violated
+    /// condition.
+    pub fn validate(&self) -> Result<(), ModelError> {
+        if self.main_budget + self.cleanup_budget > self.frame_len {
+            return Err(ModelError::InvalidConfig(format!(
+                "phases ({} + {}) exceed frame length {}",
+                self.main_budget, self.cleanup_budget, self.frame_len
+            )));
+        }
+        if !(self.j_bound > 0.0) {
+            return Err(ModelError::InvalidConfig("J must be positive".into()));
+        }
+        if !(0.0..=1.0).contains(&self.cleanup_select_prob) {
+            return Err(ModelError::InvalidConfig(
+                "cleanup selection probability outside [0, 1]".into(),
+            ));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::staticsched::greedy::GreedyPerLink;
+    use crate::staticsched::uniform_rate::UniformRateScheduler;
+
+    #[test]
+    fn tuned_config_fits_phases_into_frame() {
+        let cfg = FrameConfig::tuned(&GreedyPerLink::new(), 8, 0.5).unwrap();
+        cfg.validate().unwrap();
+        assert!(cfg.main_budget + cfg.cleanup_budget <= cfg.frame_len);
+        assert!(cfg.j_bound >= (1.0 + cfg.epsilon) * cfg.lambda * cfg.frame_len as f64 - 1e-9);
+    }
+
+    #[test]
+    fn tuned_rejects_rate_at_or_above_threshold() {
+        // GreedyPerLink has f = 1: rates >= 1 are infeasible.
+        assert!(FrameConfig::tuned(&GreedyPerLink::new(), 8, 1.0).is_err());
+        assert!(FrameConfig::tuned(&GreedyPerLink::new(), 8, 1.5).is_err());
+        assert!(FrameConfig::tuned(&GreedyPerLink::new(), 8, 0.99).is_ok());
+    }
+
+    #[test]
+    fn theoretical_config_satisfies_paper_bounds() {
+        let s = GreedyPerLink::new();
+        let m = 4;
+        let lambda = 0.5;
+        let cfg = FrameConfig::theoretical(&s, m, lambda).unwrap();
+        cfg.validate().unwrap();
+        let f = s.f_of(m);
+        assert!(
+            cfg.frame_len as f64
+                >= 100.0 * f / cfg.epsilon.powi(3)
+                    + 48.0 * f * (m as f64).ln() / cfg.epsilon.powi(2)
+        );
+        assert_eq!(cfg.cleanup_select_prob, 0.25);
+        assert_eq!(cfg.cleanup_bound, 1.0);
+    }
+
+    #[test]
+    fn epsilon_is_clamped_to_half() {
+        let cfg = FrameConfig::tuned(&GreedyPerLink::new(), 4, 0.01).unwrap();
+        assert_eq!(cfg.epsilon, 0.5);
+    }
+
+    #[test]
+    fn max_rate_reflects_scheduler_coefficient() {
+        assert_eq!(FrameConfig::max_rate(&GreedyPerLink::new(), 100), 1.0);
+        assert!(FrameConfig::max_rate(&UniformRateScheduler::new(), 100) < 1.0);
+    }
+
+    #[test]
+    fn tuned_is_minimal_up_to_iteration() {
+        // The returned frame length admits both phases, and shrinking it
+        // below the phase budgets would not.
+        let cfg = FrameConfig::tuned(&GreedyPerLink::new(), 4, 0.5).unwrap();
+        assert!(cfg.main_budget + cfg.cleanup_budget <= cfg.frame_len);
+    }
+
+    #[test]
+    fn validate_catches_overfull_frame() {
+        let mut cfg = FrameConfig::tuned(&GreedyPerLink::new(), 4, 0.5).unwrap();
+        cfg.frame_len = cfg.main_budget; // leave no room for cleanup
+        assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn rejects_nonpositive_lambda() {
+        assert!(FrameConfig::tuned(&GreedyPerLink::new(), 4, 0.0).is_err());
+        assert!(FrameConfig::tuned(&GreedyPerLink::new(), 4, f64::NAN).is_err());
+    }
+}

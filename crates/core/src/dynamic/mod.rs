@@ -1,0 +1,20 @@
+//! The dynamic scheduling protocol of Sections 4 and 5: time frames, a main
+//! phase serving un-failed packets, and a clean-up phase draining the
+//! buffers of failed packets.
+//!
+//! * [`FrameConfig`] — the frame geometry (`T`, `J`, phase budgets), with
+//!   both the paper's conservative constants and a tuned fixed-point
+//!   construction used by the experiments;
+//! * [`DynamicProtocol`] — the protocol itself (stochastic injection,
+//!   Section 4);
+//! * [`AdversarialWrapper`] — the Section 5 reduction: each packet waits a
+//!   uniformly random number of frames before entering the protocol, which
+//!   smooths any `(w, λ)`-bounded adversary into the stochastic analysis.
+
+mod adversarial;
+mod config;
+mod frame;
+
+pub use adversarial::AdversarialWrapper;
+pub use config::FrameConfig;
+pub use frame::{DynamicProtocol, FrameEvent};

@@ -1,0 +1,105 @@
+//! Error types for model construction and validation.
+
+use crate::ids::{LinkId, NodeId};
+use std::error::Error;
+use std::fmt;
+
+/// Errors raised while building or validating the network model.
+#[derive(Clone, Debug, PartialEq)]
+#[non_exhaustive]
+pub enum ModelError {
+    /// A node id referenced a node that does not exist in the network.
+    UnknownNode(NodeId),
+    /// A link id referenced a link that does not exist in the network.
+    UnknownLink(LinkId),
+    /// A route was empty; every packet must cross at least one link.
+    EmptyPath,
+    /// Two consecutive links of a route do not share the required endpoint.
+    DisconnectedPath {
+        /// Position (hop index) of the first of the two offending links.
+        hop: usize,
+        /// The link at `hop`.
+        prev: LinkId,
+        /// The link at `hop + 1`, whose source differs from `prev`'s target.
+        next: LinkId,
+    },
+    /// A route is longer than the network's declared maximum path length `D`.
+    PathTooLong {
+        /// The offending route length.
+        len: usize,
+        /// The maximum allowed length `D`.
+        max: usize,
+    },
+    /// A probability parameter was outside `[0, 1]`, or a generator's total
+    /// injection probability exceeded one.
+    InvalidProbability(f64),
+    /// A rate or measure parameter was not a finite non-negative number.
+    InvalidRate(f64),
+    /// An interference matrix violated `W[e][e] = 1` or `W[e][e'] ∈ [0, 1]`.
+    InvalidWeight {
+        /// Row of the offending entry.
+        on: LinkId,
+        /// Column of the offending entry.
+        from: LinkId,
+        /// The invalid value.
+        value: f64,
+    },
+    /// A configuration parameter was inconsistent (message explains which).
+    InvalidConfig(String),
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::UnknownNode(v) => write!(f, "unknown node {v}"),
+            ModelError::UnknownLink(e) => write!(f, "unknown link {e}"),
+            ModelError::EmptyPath => write!(f, "route path is empty"),
+            ModelError::DisconnectedPath { hop, prev, next } => write!(
+                f,
+                "links {prev} and {next} at hops {hop} and {} are not adjacent",
+                hop + 1
+            ),
+            ModelError::PathTooLong { len, max } => {
+                write!(f, "route of length {len} exceeds maximum path length {max}")
+            }
+            ModelError::InvalidProbability(p) => {
+                write!(f, "probability {p} is outside the unit interval")
+            }
+            ModelError::InvalidRate(r) => {
+                write!(f, "rate {r} is not a finite non-negative number")
+            }
+            ModelError::InvalidWeight { on, from, value } => {
+                write!(f, "interference weight W[{on}][{from}] = {value} is invalid")
+            }
+            ModelError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+        }
+    }
+}
+
+impl Error for ModelError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_specific() {
+        let err = ModelError::DisconnectedPath {
+            hop: 0,
+            prev: LinkId(1),
+            next: LinkId(2),
+        };
+        assert_eq!(err.to_string(), "links e1 and e2 at hops 0 and 1 are not adjacent");
+        assert_eq!(ModelError::EmptyPath.to_string(), "route path is empty");
+        assert_eq!(
+            ModelError::PathTooLong { len: 9, max: 4 }.to_string(),
+            "route of length 9 exceeds maximum path length 4"
+        );
+    }
+
+    #[test]
+    fn error_trait_object_compatible() {
+        fn assert_err<E: Error + Send + Sync + 'static>() {}
+        assert_err::<ModelError>();
+    }
+}

@@ -1,0 +1,301 @@
+//! The wireless network as a directed graph (Section 2 of the paper).
+//!
+//! Vertices are network nodes; directed edges are the possible communication
+//! links. Packets travel along fixed routes of at most `D` hops, and the
+//! *significant network size* is `m = max{|E|, D}` — the quantity every
+//! competitive ratio in the paper is expressed in.
+
+use crate::ids::{LinkId, NodeId};
+use serde::{Deserialize, Serialize};
+
+/// A directed communication link between two nodes.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub struct Link {
+    /// Transmitting node.
+    pub src: NodeId,
+    /// Receiving node.
+    pub dst: NodeId,
+}
+
+/// An immutable directed network `G = (V, E)` with a declared maximum route
+/// length `D`.
+///
+/// Construct with [`NetworkBuilder`]. The network itself carries no
+/// interference information — that lives in a
+/// [`crate::interference::InterferenceModel`] chosen per substrate.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Network {
+    links: Vec<Link>,
+    num_nodes: u32,
+    max_path_len: usize,
+    outgoing: Vec<Vec<LinkId>>,
+    incoming: Vec<Vec<LinkId>>,
+}
+
+impl Network {
+    /// Number of nodes `|V|`.
+    pub fn num_nodes(&self) -> usize {
+        self.num_nodes as usize
+    }
+
+    /// Number of directed links `|E|`.
+    pub fn num_links(&self) -> usize {
+        self.links.len()
+    }
+
+    /// The declared maximum route length `D`.
+    pub fn max_path_len(&self) -> usize {
+        self.max_path_len
+    }
+
+    /// The significant network size `m = max{|E|, D}` (Section 2).
+    pub fn significant_size(&self) -> usize {
+        self.links.len().max(self.max_path_len)
+    }
+
+    /// The link with the given id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range; use [`Network::get_link`] for a
+    /// fallible lookup.
+    pub fn link(&self, id: LinkId) -> Link {
+        self.links[id.index()]
+    }
+
+    /// The link with the given id, or `None` if it does not exist.
+    pub fn get_link(&self, id: LinkId) -> Option<Link> {
+        self.links.get(id.index()).copied()
+    }
+
+    /// Whether `id` refers to an existing node.
+    pub fn contains_node(&self, id: NodeId) -> bool {
+        id.0 < self.num_nodes
+    }
+
+    /// Whether `id` refers to an existing link.
+    pub fn contains_link(&self, id: LinkId) -> bool {
+        id.index() < self.links.len()
+    }
+
+    /// Iterator over all link ids in index order.
+    pub fn link_ids(&self) -> impl Iterator<Item = LinkId> + '_ {
+        (0..self.links.len() as u32).map(LinkId)
+    }
+
+    /// Iterator over all node ids in index order.
+    pub fn node_ids(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.num_nodes).map(NodeId)
+    }
+
+    /// Links leaving `node`.
+    pub fn outgoing(&self, node: NodeId) -> &[LinkId] {
+        &self.outgoing[node.index()]
+    }
+
+    /// Links entering `node`.
+    pub fn incoming(&self, node: NodeId) -> &[LinkId] {
+        &self.incoming[node.index()]
+    }
+
+    /// Whether `next` can directly follow `prev` on a route, i.e. `prev`'s
+    /// target is `next`'s source.
+    pub fn adjacent(&self, prev: LinkId, next: LinkId) -> bool {
+        self.links[prev.index()].dst == self.links[next.index()].src
+    }
+}
+
+/// Incremental builder for a [`Network`].
+///
+/// ```
+/// use dps_core::graph::NetworkBuilder;
+///
+/// let mut b = NetworkBuilder::new();
+/// let u = b.add_node();
+/// let v = b.add_node();
+/// let e = b.add_link(u, v);
+/// let net = b.max_path_len(1).build();
+/// assert_eq!(net.num_links(), 1);
+/// assert_eq!(net.link(e).src, u);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct NetworkBuilder {
+    links: Vec<Link>,
+    num_nodes: u32,
+    max_path_len: Option<usize>,
+}
+
+impl NetworkBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a node and returns its id.
+    pub fn add_node(&mut self) -> NodeId {
+        let id = NodeId(self.num_nodes);
+        self.num_nodes += 1;
+        id
+    }
+
+    /// Adds `count` nodes and returns their ids.
+    pub fn add_nodes(&mut self, count: usize) -> Vec<NodeId> {
+        (0..count).map(|_| self.add_node()).collect()
+    }
+
+    /// Adds a directed link from `src` to `dst` and returns its id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either endpoint has not been added to the builder.
+    pub fn add_link(&mut self, src: NodeId, dst: NodeId) -> LinkId {
+        assert!(src.0 < self.num_nodes, "source node {src} not in builder");
+        assert!(dst.0 < self.num_nodes, "target node {dst} not in builder");
+        let id = LinkId(self.links.len() as u32);
+        self.links.push(Link { src, dst });
+        id
+    }
+
+    /// Declares the maximum route length `D`. Defaults to `|E|` if unset.
+    pub fn max_path_len(&mut self, d: usize) -> &mut Self {
+        self.max_path_len = Some(d);
+        self
+    }
+
+    /// Finalizes the network.
+    pub fn build(&self) -> Network {
+        let max_path_len = self.max_path_len.unwrap_or(self.links.len()).max(1);
+        let mut outgoing = vec![Vec::new(); self.num_nodes as usize];
+        let mut incoming = vec![Vec::new(); self.num_nodes as usize];
+        for (i, link) in self.links.iter().enumerate() {
+            outgoing[link.src.index()].push(LinkId(i as u32));
+            incoming[link.dst.index()].push(LinkId(i as u32));
+        }
+        Network {
+            links: self.links.clone(),
+            num_nodes: self.num_nodes,
+            max_path_len,
+            outgoing,
+            incoming,
+        }
+    }
+}
+
+/// Builds a directed line network `v0 → v1 → … → v_n` with `n` links, a
+/// common workload shape in the latency experiments (E3).
+pub fn line_network(num_links: usize) -> Network {
+    let mut b = NetworkBuilder::new();
+    let nodes = b.add_nodes(num_links + 1);
+    for i in 0..num_links {
+        b.add_link(nodes[i], nodes[i + 1]);
+    }
+    b.max_path_len(num_links.max(1)).build()
+}
+
+/// Builds a directed ring network with `n` nodes and `n` links.
+pub fn ring_network(num_nodes: usize) -> Network {
+    assert!(num_nodes >= 2, "a ring needs at least two nodes");
+    let mut b = NetworkBuilder::new();
+    let nodes = b.add_nodes(num_nodes);
+    for i in 0..num_nodes {
+        b.add_link(nodes[i], nodes[(i + 1) % num_nodes]);
+    }
+    b.max_path_len(num_nodes).build()
+}
+
+/// Builds a `rows × cols` directed grid with rightward and downward links.
+pub fn grid_network(rows: usize, cols: usize) -> Network {
+    assert!(rows >= 1 && cols >= 1, "grid dimensions must be positive");
+    let mut b = NetworkBuilder::new();
+    let nodes = b.add_nodes(rows * cols);
+    let at = |r: usize, c: usize| nodes[r * cols + c];
+    for r in 0..rows {
+        for c in 0..cols {
+            if c + 1 < cols {
+                b.add_link(at(r, c), at(r, c + 1));
+            }
+            if r + 1 < rows {
+                b.add_link(at(r, c), at(r + 1, c));
+            }
+        }
+    }
+    b.max_path_len(rows + cols).build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_assigns_dense_ids() {
+        let mut b = NetworkBuilder::new();
+        let u = b.add_node();
+        let v = b.add_node();
+        let w = b.add_node();
+        assert_eq!((u, v, w), (NodeId(0), NodeId(1), NodeId(2)));
+        let e0 = b.add_link(u, v);
+        let e1 = b.add_link(v, w);
+        assert_eq!((e0, e1), (LinkId(0), LinkId(1)));
+    }
+
+    #[test]
+    fn significant_size_is_max_of_links_and_d() {
+        let mut b = NetworkBuilder::new();
+        let u = b.add_node();
+        let v = b.add_node();
+        b.add_link(u, v);
+        let net_small_d = b.clone().max_path_len(1).build();
+        assert_eq!(net_small_d.significant_size(), 1);
+        let net_large_d = b.max_path_len(10).build();
+        assert_eq!(net_large_d.significant_size(), 10);
+    }
+
+    #[test]
+    fn adjacency_lists_are_consistent() {
+        let net = line_network(3);
+        assert_eq!(net.outgoing(NodeId(0)), &[LinkId(0)]);
+        assert_eq!(net.incoming(NodeId(1)), &[LinkId(0)]);
+        assert_eq!(net.outgoing(NodeId(3)), &[] as &[LinkId]);
+        assert!(net.adjacent(LinkId(0), LinkId(1)));
+        assert!(!net.adjacent(LinkId(1), LinkId(0)));
+    }
+
+    #[test]
+    fn ring_wraps_around() {
+        let net = ring_network(4);
+        assert_eq!(net.num_links(), 4);
+        assert_eq!(net.link(LinkId(3)).dst, NodeId(0));
+        assert!(net.adjacent(LinkId(3), LinkId(0)));
+    }
+
+    #[test]
+    fn grid_has_expected_link_count() {
+        // 3x3 grid: 2 rightward links per row * 3 rows + 2 downward per col * 3 cols.
+        let net = grid_network(3, 3);
+        assert_eq!(net.num_nodes(), 9);
+        assert_eq!(net.num_links(), 12);
+    }
+
+    #[test]
+    fn get_link_is_fallible() {
+        let net = line_network(1);
+        assert!(net.get_link(LinkId(0)).is_some());
+        assert!(net.get_link(LinkId(1)).is_none());
+        assert!(net.contains_link(LinkId(0)));
+        assert!(!net.contains_link(LinkId(1)));
+    }
+
+    #[test]
+    #[should_panic(expected = "not in builder")]
+    fn add_link_rejects_unknown_nodes() {
+        let mut b = NetworkBuilder::new();
+        let u = b.add_node();
+        b.add_link(u, NodeId(99));
+    }
+
+    #[test]
+    fn default_max_path_len_is_link_count() {
+        let net = line_network(5);
+        assert_eq!(net.max_path_len(), 5);
+    }
+}

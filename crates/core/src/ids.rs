@@ -1,0 +1,120 @@
+//! Strongly-typed identifiers for nodes, links and packets.
+//!
+//! Newtypes keep the three index spaces apart at compile time (a
+//! [`LinkId`] can never be used where a [`NodeId`] is expected) while staying
+//! `Copy` and as cheap as the raw integers they wrap.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of a network node (a vertex of the communication graph).
+///
+/// Created by [`crate::graph::NetworkBuilder::add_node`]; indices are dense
+/// and start at zero.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+pub struct NodeId(pub u32);
+
+/// Identifier of a directed communication link (an edge of the graph).
+///
+/// Created by [`crate::graph::NetworkBuilder::add_link`]; indices are dense
+/// and start at zero, so a `LinkId` doubles as an index into per-link arrays
+/// such as [`crate::load::LinkLoad`].
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+pub struct LinkId(pub u32);
+
+/// Identifier of an injected packet, unique within one simulation run.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+pub struct PacketId(pub u64);
+
+impl NodeId {
+    /// The node index as a `usize`, for indexing per-node arrays.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl LinkId {
+    /// The link index as a `usize`, for indexing per-link arrays.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl PacketId {
+    /// The raw packet number.
+    #[inline]
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+impl fmt::Display for LinkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "e{}", self.0)
+    }
+}
+
+impl fmt::Display for PacketId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+impl From<u32> for NodeId {
+    fn from(raw: u32) -> Self {
+        NodeId(raw)
+    }
+}
+
+impl From<u32> for LinkId {
+    fn from(raw: u32) -> Self {
+        LinkId(raw)
+    }
+}
+
+impl From<u64> for PacketId {
+    fn from(raw: u64) -> Self {
+        PacketId(raw)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_display_with_kind_prefix() {
+        assert_eq!(NodeId(3).to_string(), "v3");
+        assert_eq!(LinkId(7).to_string(), "e7");
+        assert_eq!(PacketId(42).to_string(), "p42");
+    }
+
+    #[test]
+    fn ids_order_by_raw_value() {
+        assert!(LinkId(1) < LinkId(2));
+        assert!(NodeId(0) < NodeId(1));
+        assert!(PacketId(5) > PacketId(4));
+    }
+
+    #[test]
+    fn index_round_trips() {
+        assert_eq!(LinkId(9).index(), 9);
+        assert_eq!(NodeId(9).index(), 9);
+        assert_eq!(PacketId(9).raw(), 9);
+    }
+
+    #[test]
+    fn from_raw_integers() {
+        assert_eq!(NodeId::from(2u32), NodeId(2));
+        assert_eq!(LinkId::from(2u32), LinkId(2));
+        assert_eq!(PacketId::from(2u64), PacketId(2));
+    }
+}

@@ -1,0 +1,117 @@
+//! Packet injection models (Section 2.1 of the paper).
+//!
+//! Both models bound the *average interference measure* injected per slot:
+//! if `F(e)` is the average number of packets whose route uses link `e`,
+//! the injection rate is `λ = ‖W·F‖∞`.
+//!
+//! * [`stochastic`] — a finite set of independent generators, each injecting
+//!   at most one packet per slot, identically distributed over time;
+//! * [`adversarial`] — `(w, λ)`-bounded window adversaries: in every
+//!   interval of `w` slots the measure of all injected routes is at most
+//!   `λ·w`.
+
+pub mod adversarial;
+pub mod stochastic;
+
+use crate::path::RoutePath;
+use rand::RngCore;
+use std::sync::Arc;
+
+/// A source of packet injections, queried once per slot.
+pub trait Injector {
+    /// Routes of the packets injected at `slot`.
+    ///
+    /// Implementations must be driven with strictly increasing slot numbers;
+    /// window adversaries rely on this to maintain their budget.
+    fn inject(&mut self, slot: u64, rng: &mut dyn RngCore) -> Vec<Arc<RoutePath>>;
+}
+
+impl<T: Injector + ?Sized> Injector for Box<T> {
+    fn inject(&mut self, slot: u64, rng: &mut dyn RngCore) -> Vec<Arc<RoutePath>> {
+        (**self).inject(slot, rng)
+    }
+}
+
+/// An injector that never injects; useful for draining experiments.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NoInjection;
+
+impl Injector for NoInjection {
+    fn inject(&mut self, _slot: u64, _rng: &mut dyn RngCore) -> Vec<Arc<RoutePath>> {
+        Vec::new()
+    }
+}
+
+/// Replays a fixed list of `(slot, route)` pairs; useful for tests and for
+/// re-running recorded adversary traces.
+#[derive(Clone, Debug)]
+pub struct TraceInjector {
+    // Sorted by slot; `next` advances monotonically.
+    events: Vec<(u64, Arc<RoutePath>)>,
+    next: usize,
+}
+
+impl TraceInjector {
+    /// Creates a replay injector from `(slot, route)` events.
+    ///
+    /// Events are sorted by slot; relative order within a slot is preserved.
+    pub fn new(mut events: Vec<(u64, Arc<RoutePath>)>) -> Self {
+        events.sort_by_key(|(slot, _)| *slot);
+        TraceInjector { events, next: 0 }
+    }
+
+    /// Number of events not yet replayed.
+    pub fn remaining(&self) -> usize {
+        self.events.len() - self.next
+    }
+}
+
+impl Injector for TraceInjector {
+    fn inject(&mut self, slot: u64, _rng: &mut dyn RngCore) -> Vec<Arc<RoutePath>> {
+        let mut out = Vec::new();
+        while self.next < self.events.len() && self.events[self.next].0 <= slot {
+            out.push(self.events[self.next].1.clone());
+            self.next += 1;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::LinkId;
+    use crate::rng::root_rng;
+
+    fn path(link: u32) -> Arc<RoutePath> {
+        RoutePath::single_hop(LinkId(link)).shared()
+    }
+
+    #[test]
+    fn no_injection_is_empty() {
+        let mut rng = root_rng(1);
+        assert!(NoInjection.inject(0, &mut rng).is_empty());
+    }
+
+    #[test]
+    fn trace_injector_replays_in_slot_order() {
+        let mut rng = root_rng(1);
+        let mut inj = TraceInjector::new(vec![(2, path(0)), (0, path(1)), (2, path(2))]);
+        assert_eq!(inj.remaining(), 3);
+        let s0 = inj.inject(0, &mut rng);
+        assert_eq!(s0.len(), 1);
+        assert_eq!(s0[0].hop(0), Some(LinkId(1)));
+        assert!(inj.inject(1, &mut rng).is_empty());
+        let s2 = inj.inject(2, &mut rng);
+        assert_eq!(s2.len(), 2);
+        assert_eq!(inj.remaining(), 0);
+    }
+
+    #[test]
+    fn trace_injector_catches_up_on_skipped_slots() {
+        let mut rng = root_rng(1);
+        let mut inj = TraceInjector::new(vec![(0, path(0)), (5, path(1))]);
+        let all = inj.inject(10, &mut rng);
+        assert_eq!(all.len(), 2);
+    }
+}

@@ -1,0 +1,309 @@
+//! Time-independent, finite-user stochastic injection (Section 2.1).
+//!
+//! A finite set of *generators* each injects at most one packet per slot.
+//! The distribution is identical in every slot and independent across
+//! generators and slots — exactly the three properties (a), (b), (c) the
+//! paper requires. The injection rate is `λ = ‖W·F‖∞` where
+//! `F(e) = Σ_g Σ_{P ∋ e} E[X_{g,P}]` counts the expected number of packets
+//! per slot whose route uses `e` (with multiplicity).
+
+use crate::error::ModelError;
+use crate::injection::Injector;
+use crate::interference::InterferenceModel;
+use crate::load::LinkLoad;
+use crate::path::RoutePath;
+use rand::{Rng, RngCore};
+use std::sync::Arc;
+
+/// One packet generator: a distribution over routes, injecting at most one
+/// packet per slot.
+#[derive(Clone, Debug)]
+pub struct GeneratorSpec {
+    choices: Vec<(Arc<RoutePath>, f64)>,
+    total: f64,
+}
+
+impl GeneratorSpec {
+    /// Creates a generator from `(route, probability)` pairs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::InvalidProbability`] if any probability is
+    /// outside `[0, 1]` or the probabilities sum to more than one (a
+    /// generator injects at most one packet per slot).
+    pub fn new(choices: Vec<(Arc<RoutePath>, f64)>) -> Result<Self, ModelError> {
+        let mut total = 0.0;
+        for (_, p) in &choices {
+            if !(0.0..=1.0).contains(p) || !p.is_finite() {
+                return Err(ModelError::InvalidProbability(*p));
+            }
+            total += p;
+        }
+        if total > 1.0 + 1e-9 {
+            return Err(ModelError::InvalidProbability(total));
+        }
+        Ok(GeneratorSpec { choices, total })
+    }
+
+    /// A generator injecting a single fixed route with probability `p`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::InvalidProbability`] if `p ∉ [0, 1]`.
+    pub fn bernoulli(route: Arc<RoutePath>, p: f64) -> Result<Self, ModelError> {
+        GeneratorSpec::new(vec![(route, p)])
+    }
+
+    /// Total per-slot injection probability of this generator.
+    pub fn total_probability(&self) -> f64 {
+        self.total
+    }
+
+    /// The `(route, probability)` choices of this generator.
+    pub fn choices(&self) -> &[(Arc<RoutePath>, f64)] {
+        &self.choices
+    }
+
+    fn sample(&self, rng: &mut dyn RngCore) -> Option<Arc<RoutePath>> {
+        let u: f64 = rng.gen();
+        let mut acc = 0.0;
+        for (path, p) in &self.choices {
+            acc += p;
+            if u < acc {
+                return Some(path.clone());
+            }
+        }
+        None
+    }
+
+    fn accumulate_expected_load(&self, load: &mut LinkLoad) {
+        for (path, p) in &self.choices {
+            for &link in path.links() {
+                load.add(link, *p);
+            }
+        }
+    }
+}
+
+/// The stochastic injection model: a finite set of independent
+/// [`GeneratorSpec`]s queried once per slot.
+///
+/// ```
+/// use dps_core::prelude::*;
+/// use dps_core::rng::root_rng;
+///
+/// let route = RoutePath::single_hop(LinkId(0)).shared();
+/// let gen = GeneratorSpec::bernoulli(route, 0.25)?;
+/// let injector = StochasticInjector::new(vec![gen]);
+/// let model = IdentityInterference::new(1);
+/// assert!((injector.rate(&model) - 0.25).abs() < 1e-12);
+/// # Ok::<(), dps_core::error::ModelError>(())
+/// ```
+#[derive(Clone, Debug)]
+pub struct StochasticInjector {
+    generators: Vec<GeneratorSpec>,
+}
+
+impl StochasticInjector {
+    /// Creates the injector from its generators.
+    pub fn new(generators: Vec<GeneratorSpec>) -> Self {
+        StochasticInjector { generators }
+    }
+
+    /// The generators.
+    pub fn generators(&self) -> &[GeneratorSpec] {
+        &self.generators
+    }
+
+    /// Expected per-slot load vector `F`.
+    pub fn expected_load(&self, num_links: usize) -> LinkLoad {
+        let mut load = LinkLoad::new(num_links);
+        for g in &self.generators {
+            g.accumulate_expected_load(&mut load);
+        }
+        load
+    }
+
+    /// The injection rate `λ = ‖W·F‖∞` under `model`.
+    pub fn rate<M: InterferenceModel + ?Sized>(&self, model: &M) -> f64 {
+        model.measure(&self.expected_load(model.num_links()))
+    }
+
+    /// Returns a copy whose rate under `model` equals `target_rate`, by
+    /// scaling every probability proportionally.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::InvalidRate`] if the current rate is zero or
+    /// `target_rate` is not a positive finite number, and
+    /// [`ModelError::InvalidProbability`] if scaling would push a
+    /// generator's total probability above one.
+    pub fn scaled_to_rate<M: InterferenceModel + ?Sized>(
+        &self,
+        model: &M,
+        target_rate: f64,
+    ) -> Result<Self, ModelError> {
+        if !(target_rate > 0.0 && target_rate.is_finite()) {
+            return Err(ModelError::InvalidRate(target_rate));
+        }
+        let current = self.rate(model);
+        if current <= 0.0 {
+            return Err(ModelError::InvalidRate(current));
+        }
+        let factor = target_rate / current;
+        let generators = self
+            .generators
+            .iter()
+            .map(|g| {
+                GeneratorSpec::new(
+                    g.choices
+                        .iter()
+                        .map(|(path, p)| (path.clone(), p * factor))
+                        .collect(),
+                )
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(StochasticInjector { generators })
+    }
+}
+
+impl Injector for StochasticInjector {
+    fn inject(&mut self, _slot: u64, rng: &mut dyn RngCore) -> Vec<Arc<RoutePath>> {
+        self.generators
+            .iter()
+            .filter_map(|g| g.sample(rng))
+            .collect()
+    }
+}
+
+/// Builds one Bernoulli generator per given route, each injecting with
+/// probability `p` — the standard symmetric workload of the experiments.
+///
+/// # Errors
+///
+/// Returns [`ModelError::InvalidProbability`] if `p ∉ [0, 1]`.
+pub fn uniform_generators(
+    routes: impl IntoIterator<Item = Arc<RoutePath>>,
+    p: f64,
+) -> Result<StochasticInjector, ModelError> {
+    let generators = routes
+        .into_iter()
+        .map(|r| GeneratorSpec::bernoulli(r, p))
+        .collect::<Result<Vec<_>, _>>()?;
+    Ok(StochasticInjector::new(generators))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::LinkId;
+    use crate::interference::{CompleteInterference, IdentityInterference};
+    use crate::rng::root_rng;
+
+    fn path(link: u32) -> Arc<RoutePath> {
+        RoutePath::single_hop(LinkId(link)).shared()
+    }
+
+    fn two_hop(a: u32, b: u32) -> Arc<RoutePath> {
+        RoutePath::from_links_unchecked(vec![LinkId(a), LinkId(b)]).shared()
+    }
+
+    #[test]
+    fn generator_rejects_excess_probability() {
+        let err = GeneratorSpec::new(vec![(path(0), 0.7), (path(1), 0.6)]).unwrap_err();
+        assert!(matches!(err, ModelError::InvalidProbability(_)));
+    }
+
+    #[test]
+    fn generator_rejects_negative_probability() {
+        let err = GeneratorSpec::new(vec![(path(0), -0.1)]).unwrap_err();
+        assert_eq!(err, ModelError::InvalidProbability(-0.1));
+    }
+
+    #[test]
+    fn expected_load_counts_path_multiplicity() {
+        let g1 = GeneratorSpec::bernoulli(two_hop(0, 1), 0.5).unwrap();
+        let g2 = GeneratorSpec::bernoulli(path(1), 0.25).unwrap();
+        let inj = StochasticInjector::new(vec![g1, g2]);
+        let f = inj.expected_load(2);
+        assert!((f.get(LinkId(0)) - 0.5).abs() < 1e-12);
+        assert!((f.get(LinkId(1)) - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rate_depends_on_model() {
+        let inj = uniform_generators([path(0), path(1)], 0.3).unwrap();
+        let identity = IdentityInterference::new(2);
+        let complete = CompleteInterference::new(2);
+        assert!((inj.rate(&identity) - 0.3).abs() < 1e-12);
+        assert!((inj.rate(&complete) - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn scaling_hits_target_rate() {
+        let inj = uniform_generators([path(0), path(1)], 0.1).unwrap();
+        let model = CompleteInterference::new(2);
+        let scaled = inj.scaled_to_rate(&model, 0.5).unwrap();
+        assert!((scaled.rate(&model) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn scaling_rejects_infeasible_target() {
+        let inj = uniform_generators([path(0)], 0.5).unwrap();
+        let model = IdentityInterference::new(1);
+        // Scaling to rate 3 would need probability 3 > 1.
+        let err = inj.scaled_to_rate(&model, 3.0).unwrap_err();
+        assert!(matches!(err, ModelError::InvalidProbability(_)));
+    }
+
+    #[test]
+    fn scaling_rejects_zero_base_rate() {
+        let inj = StochasticInjector::new(vec![]);
+        let model = IdentityInterference::new(1);
+        assert!(matches!(
+            inj.scaled_to_rate(&model, 0.5),
+            Err(ModelError::InvalidRate(_))
+        ));
+    }
+
+    #[test]
+    fn empirical_rate_matches_expectation() {
+        let inj = uniform_generators([path(0)], 0.3).unwrap();
+        let mut injector = inj.clone();
+        let mut rng = root_rng(99);
+        let slots = 20_000;
+        let mut count = 0usize;
+        for slot in 0..slots {
+            count += injector.inject(slot, &mut rng).len();
+        }
+        let empirical = count as f64 / slots as f64;
+        assert!(
+            (empirical - 0.3).abs() < 0.02,
+            "empirical rate {empirical} far from 0.3"
+        );
+    }
+
+    #[test]
+    fn generator_injects_at_most_one_per_slot() {
+        let g = GeneratorSpec::new(vec![(path(0), 0.5), (path(1), 0.5)]).unwrap();
+        let mut inj = StochasticInjector::new(vec![g]);
+        let mut rng = root_rng(5);
+        for slot in 0..1000 {
+            assert!(inj.inject(slot, &mut rng).len() <= 1);
+        }
+    }
+
+    #[test]
+    fn mixture_generator_samples_each_choice() {
+        let g = GeneratorSpec::new(vec![(path(0), 0.4), (path(1), 0.4)]).unwrap();
+        let mut inj = StochasticInjector::new(vec![g]);
+        let mut rng = root_rng(11);
+        let mut seen = [0usize; 2];
+        for slot in 0..5000 {
+            for p in inj.inject(slot, &mut rng) {
+                seen[p.hop(0).unwrap().index()] += 1;
+            }
+        }
+        assert!(seen[0] > 1500 && seen[1] > 1500, "seen {seen:?}");
+    }
+}

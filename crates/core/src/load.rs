@@ -1,0 +1,247 @@
+//! Link-load vectors: the `R` in the interference measure `I = ‖W·R‖∞`.
+//!
+//! A [`LinkLoad`] maps every link to a non-negative real (usually a packet
+//! count, occasionally an expectation such as the `F` of Section 2.1).
+//! Storage is dense — experiments use networks of at most a few thousand
+//! links — which keeps floating-point summation order deterministic, a
+//! requirement for reproducible experiment tables.
+
+use crate::ids::LinkId;
+use serde::{Deserialize, Serialize};
+
+/// A dense vector of non-negative per-link loads.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct LinkLoad {
+    counts: Vec<f64>,
+}
+
+impl LinkLoad {
+    /// Creates an all-zero load vector over `num_links` links.
+    pub fn new(num_links: usize) -> Self {
+        LinkLoad {
+            counts: vec![0.0; num_links],
+        }
+    }
+
+    /// Builds a load vector by counting how many of the given routes use
+    /// each link (the `R(e)` of Section 2: paths including edge `e`
+    /// *somewhere*, with multiplicity).
+    pub fn from_paths<'a, I>(num_links: usize, paths: I) -> Self
+    where
+        I: IntoIterator<Item = &'a crate::path::RoutePath>,
+    {
+        let mut load = LinkLoad::new(num_links);
+        for path in paths {
+            for &link in path.links() {
+                load.add(link, 1.0);
+            }
+        }
+        load
+    }
+
+    /// Builds a load vector counting each given link once per occurrence.
+    pub fn from_links<I>(num_links: usize, links: I) -> Self
+    where
+        I: IntoIterator<Item = LinkId>,
+    {
+        let mut load = LinkLoad::new(num_links);
+        for link in links {
+            load.add(link, 1.0);
+        }
+        load
+    }
+
+    /// Number of links the vector is defined over.
+    pub fn num_links(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// The load on `link`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `link` is out of range.
+    pub fn get(&self, link: LinkId) -> f64 {
+        self.counts[link.index()]
+    }
+
+    /// Adds `amount` to the load on `link`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `link` is out of range or `amount` would make the load
+    /// negative.
+    pub fn add(&mut self, link: LinkId, amount: f64) {
+        let slot = &mut self.counts[link.index()];
+        *slot += amount;
+        assert!(
+            *slot >= -1e-9,
+            "load on {link} became negative ({})",
+            *slot
+        );
+        if *slot < 0.0 {
+            *slot = 0.0;
+        }
+    }
+
+    /// Sets the load on `link` to `amount`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `link` is out of range or `amount` is negative.
+    pub fn set(&mut self, link: LinkId, amount: f64) {
+        assert!(amount >= 0.0, "load must be non-negative, got {amount}");
+        self.counts[link.index()] = amount;
+    }
+
+    /// Scales every entry by `factor`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor` is negative.
+    pub fn scale(&mut self, factor: f64) {
+        assert!(factor >= 0.0, "scale factor must be non-negative");
+        for c in &mut self.counts {
+            *c *= factor;
+        }
+    }
+
+    /// Adds another load vector entry-wise.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the vectors have different lengths.
+    pub fn merge(&mut self, other: &LinkLoad) {
+        assert_eq!(
+            self.counts.len(),
+            other.counts.len(),
+            "cannot merge load vectors over different link sets"
+        );
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+    }
+
+    /// Total load over all links (`‖R‖₁`).
+    pub fn total(&self) -> f64 {
+        self.counts.iter().sum()
+    }
+
+    /// Largest single-link load (`‖R‖∞`, the congestion).
+    pub fn max(&self) -> f64 {
+        self.counts.iter().copied().fold(0.0, f64::max)
+    }
+
+    /// Whether every entry is zero.
+    pub fn is_zero(&self) -> bool {
+        self.counts.iter().all(|&c| c == 0.0)
+    }
+
+    /// Iterator over `(link, load)` pairs with non-zero load, in link order.
+    pub fn support(&self) -> impl Iterator<Item = (LinkId, f64)> + '_ {
+        self.counts
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c != 0.0)
+            .map(|(i, &c)| (LinkId(i as u32), c))
+    }
+
+    /// Number of links with non-zero load.
+    pub fn support_size(&self) -> usize {
+        self.counts.iter().filter(|&&c| c != 0.0).count()
+    }
+
+    /// Resets every entry to zero, keeping the allocation.
+    pub fn clear(&mut self) {
+        for c in &mut self.counts {
+            *c = 0.0;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::path::RoutePath;
+
+    #[test]
+    fn new_load_is_zero() {
+        let load = LinkLoad::new(4);
+        assert!(load.is_zero());
+        assert_eq!(load.total(), 0.0);
+        assert_eq!(load.max(), 0.0);
+        assert_eq!(load.support_size(), 0);
+    }
+
+    #[test]
+    fn add_and_get_round_trip() {
+        let mut load = LinkLoad::new(3);
+        load.add(LinkId(1), 2.5);
+        load.add(LinkId(1), 0.5);
+        assert_eq!(load.get(LinkId(1)), 3.0);
+        assert_eq!(load.get(LinkId(0)), 0.0);
+        assert_eq!(load.total(), 3.0);
+        assert_eq!(load.max(), 3.0);
+    }
+
+    #[test]
+    fn from_paths_counts_multiplicity() {
+        let p1 = RoutePath::from_links_unchecked(vec![LinkId(0), LinkId(1)]);
+        let p2 = RoutePath::from_links_unchecked(vec![LinkId(1), LinkId(2)]);
+        let load = LinkLoad::from_paths(3, [&p1, &p2]);
+        assert_eq!(load.get(LinkId(0)), 1.0);
+        assert_eq!(load.get(LinkId(1)), 2.0);
+        assert_eq!(load.get(LinkId(2)), 1.0);
+    }
+
+    #[test]
+    fn path_revisiting_link_counts_twice() {
+        let p = RoutePath::from_links_unchecked(vec![LinkId(0), LinkId(1), LinkId(0)]);
+        let load = LinkLoad::from_paths(2, [&p]);
+        assert_eq!(load.get(LinkId(0)), 2.0);
+    }
+
+    #[test]
+    fn support_skips_zero_entries() {
+        let mut load = LinkLoad::new(5);
+        load.add(LinkId(0), 1.0);
+        load.add(LinkId(3), 2.0);
+        let support: Vec<_> = load.support().collect();
+        assert_eq!(support, vec![(LinkId(0), 1.0), (LinkId(3), 2.0)]);
+        assert_eq!(load.support_size(), 2);
+    }
+
+    #[test]
+    fn merge_and_scale() {
+        let mut a = LinkLoad::from_links(3, [LinkId(0), LinkId(1)]);
+        let b = LinkLoad::from_links(3, [LinkId(1), LinkId(2)]);
+        a.merge(&b);
+        a.scale(2.0);
+        assert_eq!(a.get(LinkId(0)), 2.0);
+        assert_eq!(a.get(LinkId(1)), 4.0);
+        assert_eq!(a.get(LinkId(2)), 2.0);
+    }
+
+    #[test]
+    fn clear_keeps_length() {
+        let mut load = LinkLoad::from_links(2, [LinkId(0)]);
+        load.clear();
+        assert!(load.is_zero());
+        assert_eq!(load.num_links(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "negative")]
+    fn negative_set_panics() {
+        let mut load = LinkLoad::new(1);
+        load.set(LinkId(0), -1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "different link sets")]
+    fn merge_length_mismatch_panics() {
+        let mut a = LinkLoad::new(2);
+        let b = LinkLoad::new(3);
+        a.merge(&b);
+    }
+}

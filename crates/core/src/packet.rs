@@ -1,0 +1,115 @@
+//! Packets: a route plus bookkeeping about injection time and progress.
+
+use crate::ids::{LinkId, PacketId};
+use crate::path::RoutePath;
+use std::sync::Arc;
+
+/// A packet travelling through the network along a fixed route.
+#[derive(Clone, Debug)]
+pub struct Packet {
+    id: PacketId,
+    path: Arc<RoutePath>,
+    injected_at: u64,
+}
+
+impl Packet {
+    /// Creates a packet with the given identity, route and injection slot.
+    pub fn new(id: PacketId, path: Arc<RoutePath>, injected_at: u64) -> Self {
+        Packet {
+            id,
+            path,
+            injected_at,
+        }
+    }
+
+    /// The packet's unique id.
+    pub fn id(&self) -> PacketId {
+        self.id
+    }
+
+    /// The packet's route.
+    pub fn path(&self) -> &Arc<RoutePath> {
+        &self.path
+    }
+
+    /// The time slot in which the packet entered the system.
+    pub fn injected_at(&self) -> u64 {
+        self.injected_at
+    }
+
+    /// Total number of hops on the route (the `d` of Theorem 8).
+    pub fn path_len(&self) -> usize {
+        self.path.len()
+    }
+
+    /// The link crossed at hop `hop`, if the route is that long.
+    pub fn hop_link(&self, hop: usize) -> Option<LinkId> {
+        self.path.hop(hop)
+    }
+}
+
+/// Record of a packet that reached its final destination, as reported in a
+/// [`crate::protocol::SlotOutcome`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DeliveredPacket {
+    /// The delivered packet's id.
+    pub id: PacketId,
+    /// Slot at which the packet was injected.
+    pub injected_at: u64,
+    /// Slot at which the last hop succeeded.
+    pub delivered_at: u64,
+    /// Route length `d` of the packet.
+    pub path_len: usize,
+}
+
+impl DeliveredPacket {
+    /// Latency from injection to delivery, in slots.
+    pub fn latency(&self) -> u64 {
+        self.delivered_at.saturating_sub(self.injected_at)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn packet(injected_at: u64) -> Packet {
+        Packet::new(
+            PacketId(1),
+            RoutePath::from_links_unchecked(vec![LinkId(0), LinkId(1)]).shared(),
+            injected_at,
+        )
+    }
+
+    #[test]
+    fn packet_exposes_route_structure() {
+        let p = packet(10);
+        assert_eq!(p.path_len(), 2);
+        assert_eq!(p.hop_link(0), Some(LinkId(0)));
+        assert_eq!(p.hop_link(2), None);
+        assert_eq!(p.injected_at(), 10);
+        assert_eq!(p.id(), PacketId(1));
+    }
+
+    #[test]
+    fn latency_is_delivery_minus_injection() {
+        let d = DeliveredPacket {
+            id: PacketId(1),
+            injected_at: 10,
+            delivered_at: 35,
+            path_len: 2,
+        };
+        assert_eq!(d.latency(), 25);
+    }
+
+    #[test]
+    fn latency_saturates_rather_than_underflows() {
+        let d = DeliveredPacket {
+            id: PacketId(1),
+            injected_at: 10,
+            delivered_at: 5,
+            path_len: 1,
+        };
+        assert_eq!(d.latency(), 0);
+    }
+}

@@ -1,0 +1,176 @@
+//! Fixed packet routes (Section 2: paths are fixed at injection time, e.g.
+//! by routing tables, may revisit nodes, and have length at most `D`).
+
+use crate::error::ModelError;
+use crate::graph::Network;
+use crate::ids::LinkId;
+use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+
+/// A fixed route through the network: a non-empty sequence of links where
+/// consecutive links share the intermediate node.
+///
+/// Routes are validated at construction and immutable afterwards; they are
+/// typically shared between many packets via [`Arc`], which
+/// [`RoutePath::shared`] produces.
+#[derive(Clone, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub struct RoutePath {
+    links: Vec<LinkId>,
+}
+
+impl RoutePath {
+    /// Creates a route after validating it against `network`.
+    ///
+    /// # Errors
+    ///
+    /// * [`ModelError::EmptyPath`] if `links` is empty;
+    /// * [`ModelError::UnknownLink`] if any link does not exist;
+    /// * [`ModelError::DisconnectedPath`] if consecutive links do not share
+    ///   the intermediate node;
+    /// * [`ModelError::PathTooLong`] if the route exceeds the network's `D`.
+    pub fn new(network: &Network, links: Vec<LinkId>) -> Result<Self, ModelError> {
+        if links.is_empty() {
+            return Err(ModelError::EmptyPath);
+        }
+        if links.len() > network.max_path_len() {
+            return Err(ModelError::PathTooLong {
+                len: links.len(),
+                max: network.max_path_len(),
+            });
+        }
+        for &link in &links {
+            if !network.contains_link(link) {
+                return Err(ModelError::UnknownLink(link));
+            }
+        }
+        for (hop, pair) in links.windows(2).enumerate() {
+            if !network.adjacent(pair[0], pair[1]) {
+                return Err(ModelError::DisconnectedPath {
+                    hop,
+                    prev: pair[0],
+                    next: pair[1],
+                });
+            }
+        }
+        Ok(RoutePath { links })
+    }
+
+    /// Creates a single-hop route without network validation.
+    ///
+    /// Useful for substrates (MAC, static single-hop instances) where the
+    /// link set *is* the request set and no multi-hop structure exists.
+    pub fn single_hop(link: LinkId) -> Self {
+        RoutePath { links: vec![link] }
+    }
+
+    /// Creates a route from raw links without validation.
+    ///
+    /// Intended for tests and generators that construct paths which are
+    /// correct by construction; prefer [`RoutePath::new`] elsewhere.
+    pub fn from_links_unchecked(links: Vec<LinkId>) -> Self {
+        assert!(!links.is_empty(), "route path must not be empty");
+        RoutePath { links }
+    }
+
+    /// Number of hops.
+    pub fn len(&self) -> usize {
+        self.links.len()
+    }
+
+    /// Always false: routes have at least one hop.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// The link crossed at hop `hop` (0-based).
+    pub fn hop(&self, hop: usize) -> Option<LinkId> {
+        self.links.get(hop).copied()
+    }
+
+    /// All links of the route in order.
+    pub fn links(&self) -> &[LinkId] {
+        &self.links
+    }
+
+    /// Whether the route uses `link` at any hop.
+    pub fn uses(&self, link: LinkId) -> bool {
+        self.links.contains(&link)
+    }
+
+    /// Wraps the route in an [`Arc`] for cheap sharing between packets.
+    pub fn shared(self) -> Arc<RoutePath> {
+        Arc::new(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::{line_network, NetworkBuilder};
+
+    #[test]
+    fn accepts_connected_path() {
+        let net = line_network(3);
+        let path = RoutePath::new(&net, vec![LinkId(0), LinkId(1), LinkId(2)]).unwrap();
+        assert_eq!(path.len(), 3);
+        assert_eq!(path.hop(1), Some(LinkId(1)));
+        assert_eq!(path.hop(3), None);
+        assert!(path.uses(LinkId(2)));
+        assert!(!path.is_empty());
+    }
+
+    #[test]
+    fn rejects_empty_path() {
+        let net = line_network(1);
+        assert_eq!(RoutePath::new(&net, vec![]), Err(ModelError::EmptyPath));
+    }
+
+    #[test]
+    fn rejects_disconnected_path() {
+        let net = line_network(3);
+        let err = RoutePath::new(&net, vec![LinkId(0), LinkId(2)]).unwrap_err();
+        assert_eq!(
+            err,
+            ModelError::DisconnectedPath {
+                hop: 0,
+                prev: LinkId(0),
+                next: LinkId(2),
+            }
+        );
+    }
+
+    #[test]
+    fn rejects_unknown_link() {
+        let net = line_network(2);
+        let err = RoutePath::new(&net, vec![LinkId(9)]).unwrap_err();
+        assert_eq!(err, ModelError::UnknownLink(LinkId(9)));
+    }
+
+    #[test]
+    fn rejects_too_long_path() {
+        // A 2-cycle with D = 3: going around twice needs 4 hops.
+        let mut b = NetworkBuilder::new();
+        let u = b.add_node();
+        let v = b.add_node();
+        let uv = b.add_link(u, v);
+        let vu = b.add_link(v, u);
+        let net = b.max_path_len(3).build();
+        // Length 3 revisits a node, which the paper explicitly permits.
+        assert!(RoutePath::new(&net, vec![uv, vu, uv]).is_ok());
+        let err = RoutePath::new(&net, vec![uv, vu, uv, vu]).unwrap_err();
+        assert_eq!(err, ModelError::PathTooLong { len: 4, max: 3 });
+    }
+
+    #[test]
+    fn single_hop_helper() {
+        let path = RoutePath::single_hop(LinkId(5));
+        assert_eq!(path.len(), 1);
+        assert_eq!(path.hop(0), Some(LinkId(5)));
+    }
+
+    #[test]
+    #[should_panic(expected = "must not be empty")]
+    fn unchecked_still_rejects_empty() {
+        RoutePath::from_links_unchecked(vec![]);
+    }
+}

@@ -1,0 +1,153 @@
+//! The potential function `Φ` of Section 4.1 and empirical tools around it.
+//!
+//! `Φ` is the total number of remaining hops over all *failed* packets. The
+//! stability proof shows `Pr[Φ ≥ k] ≤ (1 − 1/m²J)^k` — a geometric tail —
+//! and experiment E4 verifies that shape empirically using the
+//! [`PotentialSeries`] recorder here.
+
+use serde::{Deserialize, Serialize};
+
+/// Records a time series of potential samples (typically one per frame) and
+/// computes empirical tail statistics.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct PotentialSeries {
+    samples: Vec<u64>,
+}
+
+impl PotentialSeries {
+    /// Creates an empty series.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a sample.
+    pub fn record(&mut self, phi: u64) {
+        self.samples.push(phi);
+    }
+
+    /// Number of samples recorded.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Whether no samples have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// The raw samples.
+    pub fn samples(&self) -> &[u64] {
+        &self.samples
+    }
+
+    /// Mean potential.
+    pub fn mean(&self) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        self.samples.iter().sum::<u64>() as f64 / self.samples.len() as f64
+    }
+
+    /// Largest sample.
+    pub fn max(&self) -> u64 {
+        self.samples.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Empirical tail probability `Pr[Φ ≥ k]`.
+    pub fn tail_probability(&self, k: u64) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        let count = self.samples.iter().filter(|&&s| s >= k).count();
+        count as f64 / self.samples.len() as f64
+    }
+
+    /// Empirical tail curve at thresholds `1..=max`, as `(k, Pr[Φ ≥ k])`
+    /// pairs; the stability theory predicts a straight line in
+    /// `log Pr` vs `k`.
+    pub fn tail_curve(&self) -> Vec<(u64, f64)> {
+        (1..=self.max().max(1))
+            .map(|k| (k, self.tail_probability(k)))
+            .collect()
+    }
+
+    /// Least-squares slope of `ln Pr[Φ ≥ k]` against `k` over thresholds
+    /// with non-zero tail probability, or `None` with fewer than two
+    /// usable points.
+    ///
+    /// A geometric tail `(1 − q)^k` yields slope `ln(1 − q) < 0`.
+    pub fn log_tail_slope(&self) -> Option<f64> {
+        let points: Vec<(f64, f64)> = self
+            .tail_curve()
+            .into_iter()
+            .filter(|&(_, p)| p > 0.0)
+            .map(|(k, p)| (k as f64, p.ln()))
+            .collect();
+        if points.len() < 2 {
+            return None;
+        }
+        let n = points.len() as f64;
+        let sx: f64 = points.iter().map(|(x, _)| x).sum();
+        let sy: f64 = points.iter().map(|(_, y)| y).sum();
+        let sxx: f64 = points.iter().map(|(x, _)| x * x).sum();
+        let sxy: f64 = points.iter().map(|(x, y)| x * y).sum();
+        let denom = n * sxx - sx * sx;
+        if denom.abs() < 1e-12 {
+            return None;
+        }
+        Some((n * sxy - sx * sy) / denom)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tail_probability_counts_at_least() {
+        let mut s = PotentialSeries::new();
+        for phi in [0, 0, 1, 2, 4] {
+            s.record(phi);
+        }
+        assert_eq!(s.tail_probability(1), 3.0 / 5.0);
+        assert_eq!(s.tail_probability(4), 1.0 / 5.0);
+        assert_eq!(s.tail_probability(5), 0.0);
+        assert_eq!(s.max(), 4);
+        assert_eq!(s.mean(), 7.0 / 5.0);
+    }
+
+    #[test]
+    fn geometric_tail_has_negative_log_slope() {
+        // Deterministic geometric-ish distribution: k appears 2^(10-k) times.
+        let mut s = PotentialSeries::new();
+        for k in 0..10u64 {
+            for _ in 0..(1 << (10 - k)) {
+                s.record(k);
+            }
+        }
+        let slope = s.log_tail_slope().unwrap();
+        assert!(
+            (slope + std::f64::consts::LN_2).abs() < 0.2,
+            "slope {slope} should be near -ln 2"
+        );
+    }
+
+    #[test]
+    fn empty_series_is_well_behaved() {
+        let s = PotentialSeries::new();
+        assert!(s.is_empty());
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.tail_probability(1), 0.0);
+        assert!(s.log_tail_slope().is_none());
+    }
+
+    #[test]
+    fn constant_series_has_no_slope() {
+        let mut s = PotentialSeries::new();
+        s.record(3);
+        s.record(3);
+        // Tail is 1.0 for k in 1..=3: ln(1) = 0 for all, slope 0.
+        let slope = s.log_tail_slope().unwrap();
+        assert_eq!(slope, 0.0);
+    }
+}

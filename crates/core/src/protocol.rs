@@ -1,0 +1,69 @@
+//! The slot-level interface every dynamic protocol implements.
+//!
+//! A protocol is driven one slot at a time: it receives the packets
+//! injected in that slot, may issue transmission attempts against the
+//! physical layer (a [`crate::feasibility::Feasibility`] oracle), and
+//! reports deliveries. The frame protocol of Section 4 implements this, and
+//! so do the custom protocols of the lower-bound experiment (Section 8).
+
+use crate::feasibility::Feasibility;
+use crate::packet::{DeliveredPacket, Packet};
+use rand::RngCore;
+
+/// What happened during one slot of a protocol run.
+#[derive(Clone, Debug, Default)]
+pub struct SlotOutcome {
+    /// Packets that reached their final destination this slot.
+    pub delivered: Vec<DeliveredPacket>,
+    /// Transmission attempts issued this slot.
+    pub attempts: usize,
+    /// Attempts that succeeded this slot.
+    pub successes: usize,
+}
+
+impl SlotOutcome {
+    /// An outcome with no activity.
+    pub fn empty() -> Self {
+        SlotOutcome::default()
+    }
+}
+
+/// A dynamic packet-scheduling protocol, driven slot by slot.
+pub trait Protocol {
+    /// Advances the protocol by one slot.
+    ///
+    /// `arrivals` are the packets injected in this slot (already stamped
+    /// with their injection time); `phy` decides which of the protocol's
+    /// transmission attempts succeed. Implementations must be driven with
+    /// consecutive slot numbers starting at 0.
+    fn on_slot(
+        &mut self,
+        slot: u64,
+        arrivals: Vec<Packet>,
+        phy: &dyn Feasibility,
+        rng: &mut dyn RngCore,
+    ) -> SlotOutcome;
+
+    /// Number of packets currently in the system (injected, not yet
+    /// delivered).
+    fn backlog(&self) -> usize;
+
+    /// The potential `Φ`: total remaining hops of all *failed* packets
+    /// (Section 4.1). Protocols without a failure notion report zero.
+    fn potential(&self) -> u64 {
+        0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_outcome_has_no_activity() {
+        let o = SlotOutcome::empty();
+        assert!(o.delivered.is_empty());
+        assert_eq!(o.attempts, 0);
+        assert_eq!(o.successes, 0);
+    }
+}

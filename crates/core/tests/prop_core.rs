@@ -1,0 +1,178 @@
+//! Property-based tests of the core model invariants.
+
+use dps_core::error::ModelError;
+use dps_core::feasibility::{PerLinkFeasibility, ThresholdFeasibility};
+use dps_core::graph::{line_network, NetworkBuilder};
+use dps_core::ids::{LinkId, PacketId};
+use dps_core::interference::{
+    validate, CompleteInterference, DenseInterference, IdentityInterference, InterferenceModel,
+};
+use dps_core::load::LinkLoad;
+use dps_core::path::RoutePath;
+use dps_core::rng::split_stream;
+use dps_core::staticsched::uniform_rate::UniformRateScheduler;
+use dps_core::staticsched::{requests_measure, run_static, Request, StaticScheduler};
+use dps_core::transform::DenseTransform;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Valid paths on a line are exactly the contiguous ranges.
+    #[test]
+    fn line_paths_validate_iff_contiguous(
+        start in 0usize..6,
+        len in 1usize..6,
+        skip in 0usize..3,
+    ) {
+        let net = line_network(8);
+        let mut links: Vec<LinkId> = (start..(start + len).min(8))
+            .map(|i| LinkId(i as u32))
+            .collect();
+        let contiguous = RoutePath::new(&net, links.clone());
+        prop_assert!(contiguous.is_ok());
+        if skip > 0 && links.len() >= 2 {
+            // Introduce a gap: must fail with DisconnectedPath.
+            let last = links.len() - 1;
+            let broken = LinkId((links[last].index() as u32 + 1 + skip as u32).min(7));
+            if !net.adjacent(links[last - 1], broken) {
+                links[last] = broken;
+                let result = RoutePath::new(&net, links);
+                let rejected = matches!(
+                    result,
+                    Err(ModelError::DisconnectedPath { .. }) | Err(ModelError::UnknownLink(_))
+                );
+                prop_assert!(rejected, "gap must be rejected: {result:?}");
+            }
+        }
+    }
+
+    /// LinkLoad arithmetic: merge then total equals sum of totals; scale is
+    /// linear; support never reports zeros.
+    #[test]
+    fn load_arithmetic(
+        a in proptest::collection::vec(0.0f64..10.0, 6),
+        b in proptest::collection::vec(0.0f64..10.0, 6),
+        factor in 0.0f64..5.0,
+    ) {
+        let mk = |v: &Vec<f64>| {
+            let mut l = LinkLoad::new(6);
+            for (i, &x) in v.iter().enumerate() {
+                l.set(LinkId(i as u32), x);
+            }
+            l
+        };
+        let la = mk(&a);
+        let lb = mk(&b);
+        let mut merged = la.clone();
+        merged.merge(&lb);
+        prop_assert!((merged.total() - (la.total() + lb.total())).abs() < 1e-9);
+        let mut scaled = la.clone();
+        scaled.scale(factor);
+        prop_assert!((scaled.total() - factor * la.total()).abs() < 1e-6);
+        for (_, v) in scaled.support() {
+            prop_assert!(v != 0.0);
+        }
+    }
+
+    /// Random dense interference matrices constructed via `from_fn` always
+    /// validate, and their measure is between congestion and total load.
+    #[test]
+    fn dense_measure_bounded_by_identity_and_complete(
+        entries in proptest::collection::vec(0.0f64..1.0, 25),
+        load_v in proptest::collection::vec(0.0f64..4.0, 5),
+    ) {
+        let m = 5;
+        let dense = DenseInterference::from_fn(m, |on, from| {
+            entries[on.index() * m + from.index()]
+        });
+        prop_assert!(validate(&dense).is_ok());
+        let mut load = LinkLoad::new(m);
+        for (i, &x) in load_v.iter().enumerate() {
+            load.set(LinkId(i as u32), x);
+        }
+        let identity = IdentityInterference::new(m).measure(&load);
+        let complete = CompleteInterference::new(m).measure(&load);
+        let measured = dense.measure(&load);
+        prop_assert!(measured + 1e-9 >= identity, "measure {measured} < congestion {identity}");
+        prop_assert!(measured <= complete + 1e-9, "measure {measured} > total {complete}");
+    }
+
+    /// Threshold feasibility never lets two packets share a link, and on
+    /// the identity model everything else succeeds.
+    #[test]
+    fn threshold_feasibility_identity_semantics(
+        links in proptest::collection::vec(0u32..5, 1..12),
+    ) {
+        let attempts: Vec<_> = links
+            .iter()
+            .enumerate()
+            .map(|(i, &l)| dps_core::feasibility::Attempt {
+                link: LinkId(l),
+                packet: PacketId(i as u64),
+            })
+            .collect();
+        let oracle = ThresholdFeasibility::new(IdentityInterference::new(5));
+        let reference = PerLinkFeasibility::new(5);
+        let mut rng1 = split_stream(1, 0);
+        let mut rng2 = split_stream(1, 0);
+        use dps_core::feasibility::Feasibility;
+        prop_assert_eq!(
+            oracle.successes(&attempts, &mut rng1),
+            reference.successes(&attempts, &mut rng2)
+        );
+    }
+
+    /// Algorithm 1 never serves a request twice and never exceeds its
+    /// declared budget by more than the run loop allows.
+    #[test]
+    fn transform_serves_each_request_at_most_once(
+        n in 1usize..60,
+        seed in 0u64..50,
+    ) {
+        let m = 4;
+        let requests: Vec<Request> = (0..n)
+            .map(|i| Request {
+                packet: PacketId(i as u64),
+                link: LinkId((i % m) as u32),
+            })
+            .collect();
+        let model = CompleteInterference::new(m);
+        let i = requests_measure(&model, &requests);
+        let transform = DenseTransform::new(UniformRateScheduler::new(), m).with_chi(6.0);
+        let feas = ThresholdFeasibility::new(model);
+        let mut rng = split_stream(seed, 5);
+        let budget = transform.slots_needed(i, n);
+        let result = run_static(&transform, &requests, i, &feas, budget, &mut rng);
+        // served_at is Some exactly where served is true, and slots are
+        // within the executed range.
+        for (idx, served) in result.served.iter().enumerate() {
+            prop_assert_eq!(result.served_at[idx].is_some(), *served);
+            if let Some(slot) = result.served_at[idx] {
+                prop_assert!(slot < result.slots_used);
+            }
+        }
+    }
+
+    /// Networks built from random link lists expose consistent adjacency.
+    #[test]
+    fn network_adjacency_is_consistent(edges in proptest::collection::vec((0u32..6, 0u32..6), 1..15)) {
+        let mut b = NetworkBuilder::new();
+        let nodes = b.add_nodes(6);
+        for &(s, d) in &edges {
+            b.add_link(nodes[s as usize], nodes[d as usize]);
+        }
+        let net = b.build();
+        prop_assert_eq!(net.num_links(), edges.len());
+        for node in net.node_ids() {
+            for &l in net.outgoing(node) {
+                prop_assert_eq!(net.link(l).src, node);
+            }
+            for &l in net.incoming(node) {
+                prop_assert_eq!(net.link(l).dst, node);
+            }
+        }
+        let out_total: usize = net.node_ids().map(|v| net.outgoing(v).len()).sum();
+        prop_assert_eq!(out_total, edges.len());
+    }
+}

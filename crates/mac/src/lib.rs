@@ -1,0 +1,36 @@
+//! Multiple-access-channel substrate for *Dynamic Packet Scheduling in
+//! Wireless Networks* (Kesselheim, PODC 2012), Section 7.1.
+//!
+//! On a multiple-access channel all stations share one medium: a slot is
+//! useful iff exactly one station transmits. In the paper's abstraction
+//! this is the all-ones interference matrix
+//! ([`dps_core::interference::CompleteInterference`]) — the measure of a
+//! request set is simply its size — with
+//! [`dps_core::feasibility::SingleChannelFeasibility`] as the physical
+//! layer.
+//!
+//! Two static algorithms cover the two classic regimes:
+//!
+//! * [`algorithm2::SymmetricMacScheduler`] — **Algorithm 2** of the paper:
+//!   a symmetric (no station identifiers), acknowledgment-based algorithm
+//!   transmitting `n` packets in `(1+δ)·e·n + O(φ²·log²n)` slots w.h.p.
+//!   (Lemma 15); through the dynamic transformation it yields a stable
+//!   symmetric protocol for every injection rate `λ < 1/e` (Corollary 16).
+//! * [`round_robin::RoundRobinWithholding`] — the asymmetric (station ids
+//!   + channel sensing) algorithm of Lemma 17, finishing in `n + m` slots
+//!   and yielding stability for every `λ < 1` (Corollary 18).
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+#![forbid(unsafe_code)]
+
+pub mod algorithm2;
+pub mod round_robin;
+
+/// Convenience re-exports of the most commonly used types.
+pub mod prelude {
+    pub use crate::algorithm2::SymmetricMacScheduler;
+    pub use crate::round_robin::RoundRobinWithholding;
+    pub use dps_core::feasibility::SingleChannelFeasibility;
+    pub use dps_core::interference::CompleteInterference;
+}

@@ -1,0 +1,31 @@
+//! Packet-routing substrate for *Dynamic Packet Scheduling in Wireless
+//! Networks* (Kesselheim, PODC 2012).
+//!
+//! Setting the interference matrix to the identity recovers the classic
+//! store-and-forward packet-routing network: the measure of a load vector
+//! is its congestion, each link forwards one packet per slot
+//! ([`dps_core::feasibility::PerLinkFeasibility`]), and the trivial
+//! per-link algorithm ([`dps_core::staticsched::greedy::GreedyPerLink`],
+//! `f = 1`) plugged into the dynamic transformation yields stable
+//! protocols for every injection rate `λ < 1` — the adversarial-queuing
+//! baseline the paper recovers as a special case.
+//!
+//! This crate contributes the *workloads*: route generators over the
+//! classic adversarial-queuing topologies (line, ring, grid) and helpers
+//! that assemble complete experiment setups.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+#![forbid(unsafe_code)]
+
+pub mod sis;
+pub mod workloads;
+
+/// Convenience re-exports of the most commonly used types.
+pub mod prelude {
+    pub use crate::sis::SisProtocol;
+    pub use crate::workloads::{grid_row_column_routes, line_routes, ring_routes, RoutingSetup};
+    pub use dps_core::feasibility::PerLinkFeasibility;
+    pub use dps_core::interference::IdentityInterference;
+    pub use dps_core::staticsched::greedy::GreedyPerLink;
+}

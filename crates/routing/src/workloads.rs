@@ -1,0 +1,212 @@
+//! Route generators over classic packet-routing topologies, and a bundled
+//! setup helper for the routing experiments (E11).
+
+use dps_core::error::ModelError;
+use dps_core::feasibility::PerLinkFeasibility;
+use dps_core::graph::{grid_network, line_network, ring_network, Network};
+use dps_core::ids::LinkId;
+use dps_core::interference::IdentityInterference;
+use dps_core::path::RoutePath;
+use std::sync::Arc;
+
+/// All fixed-length routes on a directed line of `num_links` links:
+/// for every admissible start, the route crossing `len` consecutive links.
+///
+/// # Errors
+///
+/// Returns [`ModelError::PathTooLong`] if `len` exceeds the line length.
+pub fn line_routes(num_links: usize, len: usize) -> Result<Vec<Arc<RoutePath>>, ModelError> {
+    let network = line_network(num_links);
+    if len == 0 || len > num_links {
+        return Err(ModelError::PathTooLong {
+            len,
+            max: num_links,
+        });
+    }
+    (0..=num_links - len)
+        .map(|start| {
+            RoutePath::new(
+                &network,
+                (start..start + len).map(|i| LinkId(i as u32)).collect(),
+            )
+            .map(RoutePath::shared)
+        })
+        .collect()
+}
+
+/// All routes of length `len` on a directed ring of `num_nodes` nodes
+/// (one starting at each node).
+///
+/// # Errors
+///
+/// Returns [`ModelError::PathTooLong`] if `len` exceeds the ring size.
+pub fn ring_routes(num_nodes: usize, len: usize) -> Result<Vec<Arc<RoutePath>>, ModelError> {
+    let network = ring_network(num_nodes);
+    if len == 0 || len > num_nodes {
+        return Err(ModelError::PathTooLong {
+            len,
+            max: num_nodes,
+        });
+    }
+    (0..num_nodes)
+        .map(|start| {
+            RoutePath::new(
+                &network,
+                (0..len)
+                    .map(|i| LinkId(((start + i) % num_nodes) as u32))
+                    .collect(),
+            )
+            .map(RoutePath::shared)
+        })
+        .collect()
+}
+
+/// Row-then-column routes on a `rows × cols` grid: from each row start to
+/// each column end, going right along the row then down the column — the
+/// classic dimension-ordered workload.
+pub fn grid_row_column_routes(rows: usize, cols: usize) -> Vec<Arc<RoutePath>> {
+    let network = grid_network(rows, cols);
+    // Map from (node, node) to the connecting link.
+    let mut routes = Vec::new();
+    let link_between = |src: usize, dst: usize| -> Option<LinkId> {
+        network
+            .outgoing(dps_core::ids::NodeId(src as u32))
+            .iter()
+            .copied()
+            .find(|&l| network.link(l).dst.index() == dst)
+    };
+    let at = |r: usize, c: usize| r * cols + c;
+    for r in 0..rows {
+        for target_c in 1..cols {
+            for target_r in 1..rows {
+                // Right from (r, 0) to (r, target_c), then down to
+                // (target_r', target_c) where target_r' ≥ r.
+                if target_r <= r {
+                    continue;
+                }
+                let mut links = Vec::new();
+                for c in 0..target_c {
+                    links.push(link_between(at(r, c), at(r, c + 1)).expect("grid link"));
+                }
+                for rr in r..target_r {
+                    links.push(link_between(at(rr, target_c), at(rr + 1, target_c)).expect("grid link"));
+                }
+                routes.push(
+                    RoutePath::new(&network, links)
+                        .expect("dimension-ordered routes are connected")
+                        .shared(),
+                );
+            }
+        }
+    }
+    routes
+}
+
+/// A bundled routing setup: network, identity interference, per-link
+/// feasibility, and a route family — everything the routing experiments
+/// need.
+#[derive(Clone, Debug)]
+pub struct RoutingSetup {
+    /// The network topology.
+    pub network: Network,
+    /// Identity interference (`measure = congestion`).
+    pub model: IdentityInterference,
+    /// One-packet-per-link feasibility.
+    pub feasibility: PerLinkFeasibility,
+    /// The workload's routes.
+    pub routes: Vec<Arc<RoutePath>>,
+}
+
+impl RoutingSetup {
+    /// A ring of `num_nodes` nodes with all routes of length `len`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::PathTooLong`] if `len` exceeds the ring size.
+    pub fn ring(num_nodes: usize, len: usize) -> Result<Self, ModelError> {
+        let network = ring_network(num_nodes);
+        let routes = ring_routes(num_nodes, len)?;
+        Ok(RoutingSetup {
+            model: IdentityInterference::new(network.num_links()),
+            feasibility: PerLinkFeasibility::new(network.num_links()),
+            network,
+            routes,
+        })
+    }
+
+    /// A line of `num_links` links with all routes of length `len`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::PathTooLong`] if `len` exceeds the line.
+    pub fn line(num_links: usize, len: usize) -> Result<Self, ModelError> {
+        let network = line_network(num_links);
+        let routes = line_routes(num_links, len)?;
+        Ok(RoutingSetup {
+            model: IdentityInterference::new(network.num_links()),
+            feasibility: PerLinkFeasibility::new(network.num_links()),
+            network,
+            routes,
+        })
+    }
+
+    /// A `rows × cols` grid with dimension-ordered routes.
+    pub fn grid(rows: usize, cols: usize) -> Self {
+        let network = grid_network(rows, cols);
+        let routes = grid_row_column_routes(rows, cols);
+        RoutingSetup {
+            model: IdentityInterference::new(network.num_links()),
+            feasibility: PerLinkFeasibility::new(network.num_links()),
+            network,
+            routes,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_routes_cover_all_starts() {
+        let routes = line_routes(5, 3).unwrap();
+        assert_eq!(routes.len(), 3);
+        for r in &routes {
+            assert_eq!(r.len(), 3);
+        }
+        assert!(line_routes(5, 6).is_err());
+    }
+
+    #[test]
+    fn ring_routes_wrap_around() {
+        let routes = ring_routes(4, 2).unwrap();
+        assert_eq!(routes.len(), 4);
+        // The route starting at node 3 uses links 3 and 0.
+        assert_eq!(routes[3].links(), &[LinkId(3), LinkId(0)]);
+    }
+
+    #[test]
+    fn grid_routes_are_valid_paths() {
+        let routes = grid_row_column_routes(3, 3);
+        assert!(!routes.is_empty());
+        for r in &routes {
+            assert!(r.len() >= 2, "dimension-ordered routes turn at least once");
+        }
+    }
+
+    #[test]
+    fn ring_setup_is_consistent() {
+        let setup = RoutingSetup::ring(6, 3).unwrap();
+        assert_eq!(setup.network.num_links(), 6);
+        assert_eq!(setup.routes.len(), 6);
+        use dps_core::interference::InterferenceModel;
+        assert_eq!(setup.model.num_links(), 6);
+    }
+
+    #[test]
+    fn grid_setup_builds() {
+        let setup = RoutingSetup::grid(3, 4);
+        assert_eq!(setup.network.num_nodes(), 12);
+        assert!(!setup.routes.is_empty());
+    }
+}

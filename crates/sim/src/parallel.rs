@@ -1,0 +1,206 @@
+//! Parallel repetition of simulation runs across independent RNG streams,
+//! with cross-repetition aggregate statistics.
+//!
+//! Experiments report means with confidence intervals where single runs
+//! are noisy (schedule lengths have coupon-collector tails; stability
+//! slopes fluctuate near thresholds). Repetitions use
+//! [`dps_core::rng::split_stream`] streams, so repetition `k` is the same
+//! regardless of how many repetitions run or on how many threads.
+
+use crate::runner::{run_simulation, SimulationConfig, SimulationReport};
+use crate::stability::{classify_stability, StabilityVerdict};
+use crate::stats::Summary;
+use dps_core::feasibility::Feasibility;
+use dps_core::injection::Injector;
+use dps_core::protocol::Protocol;
+
+/// Aggregate statistics over repetitions of the same configuration.
+#[derive(Clone, Debug)]
+pub struct AggregateReport {
+    /// Per-repetition reports, in stream order.
+    pub reports: Vec<SimulationReport>,
+    /// Summary of mean backlogs.
+    pub mean_backlog: Summary,
+    /// Summary of mean latencies (over repetitions with deliveries).
+    pub mean_latency: Summary,
+    /// Summary of delivery ratios.
+    pub delivery_ratio: Summary,
+    /// How many repetitions were classified stable.
+    pub stable_count: usize,
+}
+
+impl AggregateReport {
+    /// Builds the aggregate from per-repetition reports.
+    pub fn from_reports(reports: Vec<SimulationReport>) -> Self {
+        let mean_backlog = Summary::of(
+            &reports
+                .iter()
+                .map(SimulationReport::mean_backlog)
+                .collect::<Vec<_>>(),
+        );
+        let mean_latency = Summary::of(
+            &reports
+                .iter()
+                .map(|r| r.latency_summary().mean)
+                .filter(|&l| l > 0.0)
+                .collect::<Vec<_>>(),
+        );
+        let delivery_ratio = Summary::of(
+            &reports
+                .iter()
+                .map(SimulationReport::delivery_ratio)
+                .collect::<Vec<_>>(),
+        );
+        let stable_count = reports
+            .iter()
+            .filter(|r| classify_stability(r, 0.05).is_stable())
+            .count();
+        AggregateReport {
+            reports,
+            mean_backlog,
+            mean_latency,
+            delivery_ratio,
+            stable_count,
+        }
+    }
+
+    /// The majority stability verdict across repetitions.
+    pub fn majority_verdict(&self) -> StabilityVerdict {
+        if self.stable_count * 2 >= self.reports.len() {
+            StabilityVerdict::Stable { slope: 0.0 }
+        } else {
+            StabilityVerdict::Unstable { slope: f64::NAN }
+        }
+    }
+}
+
+/// Runs `reps` independent repetitions, spreading them over up to
+/// `threads` OS threads. `make_protocol` and `make_injector` build a fresh
+/// protocol/injector per repetition (they receive the stream index).
+pub fn run_repetitions<P, I, FP, FI, F>(
+    make_protocol: FP,
+    make_injector: FI,
+    phy: &F,
+    base: SimulationConfig,
+    reps: u64,
+    threads: usize,
+) -> AggregateReport
+where
+    P: Protocol,
+    I: Injector,
+    FP: Fn(u64) -> P + Sync,
+    FI: Fn(u64) -> I + Sync,
+    F: Feasibility + Sync,
+{
+    assert!(reps > 0, "need at least one repetition");
+    let threads = threads.max(1).min(reps as usize);
+    let next = std::sync::atomic::AtomicU64::new(0);
+    let results: std::sync::Mutex<Vec<(u64, SimulationReport)>> =
+        std::sync::Mutex::new(Vec::with_capacity(reps as usize));
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let rep = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if rep >= reps {
+                    break;
+                }
+                let mut protocol = make_protocol(rep);
+                let mut injector = make_injector(rep);
+                let report = run_simulation(
+                    &mut protocol,
+                    &mut injector,
+                    phy,
+                    base.with_stream(rep),
+                );
+                results
+                    .lock()
+                    .expect("no panics while holding the lock")
+                    .push((rep, report));
+            });
+        }
+    });
+    let mut results = results.into_inner().expect("threads joined");
+    results.sort_by_key(|(rep, _)| *rep);
+    AggregateReport::from_reports(results.into_iter().map(|(_, r)| r).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dps_core::dynamic::{DynamicProtocol, FrameConfig};
+    use dps_core::feasibility::PerLinkFeasibility;
+    use dps_core::ids::LinkId;
+    use dps_core::injection::stochastic::uniform_generators;
+    use dps_core::path::RoutePath;
+    use dps_core::staticsched::greedy::GreedyPerLink;
+
+    fn setup_pieces() -> (FrameConfig, PerLinkFeasibility) {
+        let config = FrameConfig::tuned(&GreedyPerLink::new(), 3, 0.9).unwrap();
+        (config, PerLinkFeasibility::new(3))
+    }
+
+    fn make_protocol(config: &FrameConfig) -> DynamicProtocol<GreedyPerLink> {
+        DynamicProtocol::new(GreedyPerLink::new(), config.clone(), 3)
+    }
+
+    fn make_injector() -> dps_core::injection::stochastic::StochasticInjector {
+        let routes: Vec<_> = (0..3u32)
+            .map(|l| RoutePath::single_hop(LinkId(l)).shared())
+            .collect();
+        uniform_generators(routes, 0.4).unwrap()
+    }
+
+    #[test]
+    fn repetitions_match_sequential_runs() {
+        let (config, phy) = setup_pieces();
+        let base = SimulationConfig::new(10 * config.frame_len as u64, 5);
+        let aggregate = run_repetitions(
+            |_| make_protocol(&config),
+            |_| make_injector(),
+            &phy,
+            base,
+            4,
+            2,
+        );
+        assert_eq!(aggregate.reports.len(), 4);
+        // Stream 2 of the parallel run equals a sequential stream-2 run.
+        let mut protocol = make_protocol(&config);
+        let mut injector = make_injector();
+        let sequential = run_simulation(&mut protocol, &mut injector, &phy, base.with_stream(2));
+        assert_eq!(aggregate.reports[2].injected, sequential.injected);
+        assert_eq!(aggregate.reports[2].delivered, sequential.delivered);
+    }
+
+    #[test]
+    fn aggregate_statistics_cover_all_reps() {
+        let (config, phy) = setup_pieces();
+        let base = SimulationConfig::new(20 * config.frame_len as u64, 6);
+        let aggregate = run_repetitions(
+            |_| make_protocol(&config),
+            |_| make_injector(),
+            &phy,
+            base,
+            3,
+            2,
+        );
+        assert_eq!(aggregate.mean_backlog.count, 3);
+        assert_eq!(aggregate.stable_count, 3, "low load must be stable everywhere");
+        assert!(aggregate.majority_verdict().is_stable());
+        assert!(aggregate.delivery_ratio.mean > 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one repetition")]
+    fn rejects_zero_reps() {
+        let (config, phy) = setup_pieces();
+        let base = SimulationConfig::new(100, 7);
+        let _ = run_repetitions(
+            |_| make_protocol(&config),
+            |_| make_injector(),
+            &phy,
+            base,
+            0,
+            1,
+        );
+    }
+}

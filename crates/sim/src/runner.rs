@@ -1,0 +1,364 @@
+//! The slot loop: inject, schedule, observe.
+
+use crate::stats::Summary;
+use dps_core::feasibility::Feasibility;
+use dps_core::ids::PacketId;
+use dps_core::injection::Injector;
+use dps_core::packet::Packet;
+use dps_core::potential::PotentialSeries;
+use dps_core::protocol::Protocol;
+use dps_core::rng::split_stream;
+
+/// Configuration of one simulation run.
+#[derive(Clone, Copy, Debug)]
+pub struct SimulationConfig {
+    /// Number of slots to simulate.
+    pub slots: u64,
+    /// Root seed; combined with `stream` for independent repetitions.
+    pub seed: u64,
+    /// RNG stream index (repetition number).
+    pub stream: u64,
+    /// Record the backlog every this many slots.
+    pub sample_every: u64,
+}
+
+impl SimulationConfig {
+    /// A run of `slots` slots with the given seed, sampling the backlog
+    /// roughly 512 times.
+    pub fn new(slots: u64, seed: u64) -> Self {
+        SimulationConfig {
+            slots,
+            seed,
+            stream: 0,
+            sample_every: (slots / 512).max(1),
+        }
+    }
+
+    /// Selects an independent repetition stream.
+    pub fn with_stream(mut self, stream: u64) -> Self {
+        self.stream = stream;
+        self
+    }
+
+    /// Overrides the backlog sampling interval.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sample_every == 0`.
+    pub fn with_sample_every(mut self, sample_every: u64) -> Self {
+        assert!(sample_every > 0, "sampling interval must be positive");
+        self.sample_every = sample_every;
+        self
+    }
+}
+
+/// Everything a run produced.
+#[derive(Clone, Debug)]
+pub struct SimulationReport {
+    /// Total packets injected.
+    pub injected: u64,
+    /// Total packets delivered.
+    pub delivered: u64,
+    /// Backlog samples as `(slot, backlog)` pairs.
+    pub backlog_series: Vec<(u64, usize)>,
+    /// Final backlog.
+    pub final_backlog: usize,
+    /// Latencies of delivered packets, in slots.
+    pub latencies: Vec<u64>,
+    /// Path length of each delivered packet, aligned with `latencies`.
+    pub path_lens: Vec<usize>,
+    /// Potential samples (one per backlog sample).
+    pub potential: PotentialSeries,
+    /// Total transmission attempts.
+    pub attempts: u64,
+    /// Total successful transmissions.
+    pub successes: u64,
+    /// Number of slots simulated.
+    pub slots: u64,
+}
+
+impl SimulationReport {
+    /// Delivered fraction of injected packets.
+    pub fn delivery_ratio(&self) -> f64 {
+        if self.injected == 0 {
+            return 1.0;
+        }
+        self.delivered as f64 / self.injected as f64
+    }
+
+    /// Summary of all delivery latencies.
+    pub fn latency_summary(&self) -> Summary {
+        let xs: Vec<f64> = self.latencies.iter().map(|&l| l as f64).collect();
+        Summary::of(&xs)
+    }
+
+    /// Summary of delivery latencies restricted to packets of path length
+    /// `d` — the grouping Theorem 8's `O(d·T)` bound is stated over.
+    pub fn latency_summary_for_path_len(&self, d: usize) -> Summary {
+        let xs: Vec<f64> = self
+            .latencies
+            .iter()
+            .zip(&self.path_lens)
+            .filter(|(_, &len)| len == d)
+            .map(|(&l, _)| l as f64)
+            .collect();
+        Summary::of(&xs)
+    }
+
+    /// Mean backlog over the recorded samples.
+    pub fn mean_backlog(&self) -> f64 {
+        if self.backlog_series.is_empty() {
+            return 0.0;
+        }
+        self.backlog_series.iter().map(|&(_, b)| b as f64).sum::<f64>()
+            / self.backlog_series.len() as f64
+    }
+
+    /// Fraction of attempts that succeeded.
+    pub fn success_ratio(&self) -> f64 {
+        if self.attempts == 0 {
+            return 1.0;
+        }
+        self.successes as f64 / self.attempts as f64
+    }
+}
+
+/// Runs `protocol` for `config.slots` slots, feeding it `injector`'s
+/// packets and judging attempts with `phy`.
+///
+/// Packet ids are assigned densely in injection order; packets are stamped
+/// with their injection slot, so reported latencies include all queueing
+/// (and, under the adversarial wrapper, the random initial delays — as in
+/// Theorem 11).
+pub fn run_simulation<P, I>(
+    protocol: &mut P,
+    injector: &mut I,
+    phy: &dyn Feasibility,
+    config: SimulationConfig,
+) -> SimulationReport
+where
+    P: Protocol + ?Sized,
+    I: Injector + ?Sized,
+{
+    run_simulation_inner(protocol, injector, phy, config, None)
+}
+
+/// Like [`run_simulation`], additionally recording every slot into
+/// `trace` (which keeps a bounded window; see
+/// [`crate::trace::TraceRecorder`]).
+pub fn run_simulation_traced<P, I>(
+    protocol: &mut P,
+    injector: &mut I,
+    phy: &dyn Feasibility,
+    config: SimulationConfig,
+    trace: &mut crate::trace::TraceRecorder,
+) -> SimulationReport
+where
+    P: Protocol + ?Sized,
+    I: Injector + ?Sized,
+{
+    run_simulation_inner(protocol, injector, phy, config, Some(trace))
+}
+
+fn run_simulation_inner<P, I>(
+    protocol: &mut P,
+    injector: &mut I,
+    phy: &dyn Feasibility,
+    config: SimulationConfig,
+    mut trace: Option<&mut crate::trace::TraceRecorder>,
+) -> SimulationReport
+where
+    P: Protocol + ?Sized,
+    I: Injector + ?Sized,
+{
+    let mut rng = split_stream(config.seed, config.stream);
+    let mut report = SimulationReport {
+        injected: 0,
+        delivered: 0,
+        backlog_series: Vec::new(),
+        final_backlog: 0,
+        latencies: Vec::new(),
+        path_lens: Vec::new(),
+        potential: PotentialSeries::new(),
+        attempts: 0,
+        successes: 0,
+        slots: config.slots,
+    };
+    let mut next_id = 0u64;
+    for slot in 0..config.slots {
+        let arrivals: Vec<Packet> = injector
+            .inject(slot, &mut rng)
+            .into_iter()
+            .map(|path| {
+                let packet = Packet::new(PacketId(next_id), path, slot);
+                next_id += 1;
+                packet
+            })
+            .collect();
+        let injected_now = arrivals.len();
+        report.injected += injected_now as u64;
+        let outcome = protocol.on_slot(slot, arrivals, phy, &mut rng);
+        report.attempts += outcome.attempts as u64;
+        report.successes += outcome.successes as u64;
+        let delivered_now = outcome.delivered.len();
+        for d in outcome.delivered {
+            report.delivered += 1;
+            report.latencies.push(d.latency());
+            report.path_lens.push(d.path_len);
+        }
+        if let Some(trace) = trace.as_deref_mut() {
+            trace.record(crate::trace::SlotRecord {
+                slot,
+                injected: injected_now,
+                attempts: outcome.attempts,
+                successes: outcome.successes,
+                delivered: delivered_now,
+                backlog: protocol.backlog(),
+            });
+        }
+        if slot % config.sample_every == 0 {
+            report.backlog_series.push((slot, protocol.backlog()));
+            report.potential.record(protocol.potential());
+        }
+    }
+    report.final_backlog = protocol.backlog();
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dps_core::dynamic::{DynamicProtocol, FrameConfig};
+    use dps_core::feasibility::PerLinkFeasibility;
+    use dps_core::ids::LinkId;
+    use dps_core::injection::stochastic::uniform_generators;
+    use dps_core::path::RoutePath;
+    use dps_core::staticsched::greedy::GreedyPerLink;
+
+    fn setup(lambda: f64) -> (
+        DynamicProtocol<GreedyPerLink>,
+        dps_core::injection::stochastic::StochasticInjector,
+        PerLinkFeasibility,
+    ) {
+        let num_links = 3;
+        let config = FrameConfig::tuned(&GreedyPerLink::new(), num_links, 0.9).unwrap();
+        let protocol = DynamicProtocol::new(GreedyPerLink::new(), config, num_links);
+        let routes: Vec<_> = (0..num_links as u32)
+            .map(|l| RoutePath::single_hop(LinkId(l)).shared())
+            .collect();
+        let injector = uniform_generators(routes, lambda).unwrap();
+        (protocol, injector, PerLinkFeasibility::new(num_links))
+    }
+
+    #[test]
+    fn report_conserves_packets() {
+        let (mut protocol, mut injector, phy) = setup(0.5);
+        let report = run_simulation(
+            &mut protocol,
+            &mut injector,
+            &phy,
+            SimulationConfig::new(20_000, 42),
+        );
+        assert!(report.injected > 0);
+        assert_eq!(
+            report.delivered + report.final_backlog as u64,
+            report.injected
+        );
+        assert_eq!(report.latencies.len() as u64, report.delivered);
+    }
+
+    #[test]
+    fn different_streams_differ_same_stream_repeats() {
+        let run = |stream: u64| {
+            let (mut protocol, mut injector, phy) = setup(0.5);
+            run_simulation(
+                &mut protocol,
+                &mut injector,
+                &phy,
+                SimulationConfig::new(5_000, 42).with_stream(stream),
+            )
+        };
+        let a = run(0);
+        let b = run(0);
+        let c = run(1);
+        assert_eq!(a.injected, b.injected, "same stream must reproduce");
+        assert_eq!(a.delivered, b.delivered);
+        assert_ne!(
+            (a.injected, a.delivered),
+            (c.injected, c.delivered),
+            "different streams should diverge"
+        );
+    }
+
+    #[test]
+    fn backlog_series_is_sampled() {
+        let (mut protocol, mut injector, phy) = setup(0.3);
+        let report = run_simulation(
+            &mut protocol,
+            &mut injector,
+            &phy,
+            SimulationConfig::new(1000, 1).with_sample_every(100),
+        );
+        assert_eq!(report.backlog_series.len(), 10);
+        assert_eq!(report.potential.len(), 10);
+        assert_eq!(report.backlog_series[0].0, 0);
+        assert_eq!(report.backlog_series[9].0, 900);
+    }
+
+    #[test]
+    fn latency_summaries_by_path_length() {
+        let (mut protocol, mut injector, phy) = setup(0.5);
+        let report = run_simulation(
+            &mut protocol,
+            &mut injector,
+            &phy,
+            SimulationConfig::new(20_000, 3),
+        );
+        let all = report.latency_summary();
+        let d1 = report.latency_summary_for_path_len(1);
+        assert_eq!(all.count, d1.count, "all routes here have one hop");
+        assert_eq!(report.latency_summary_for_path_len(7).count, 0);
+        assert!(all.mean > 0.0);
+    }
+
+    #[test]
+    fn traced_run_matches_untraced_and_records_slots() {
+        let (mut protocol, mut injector, phy) = setup(0.4);
+        let mut trace = crate::trace::TraceRecorder::new(256);
+        let cfg = SimulationConfig::new(1000, 11);
+        let traced = super::run_simulation_traced(
+            &mut protocol,
+            &mut injector,
+            &phy,
+            cfg,
+            &mut trace,
+        );
+        let (mut protocol2, mut injector2, phy2) = setup(0.4);
+        let untraced = run_simulation(&mut protocol2, &mut injector2, &phy2, cfg);
+        assert_eq!(traced.injected, untraced.injected);
+        assert_eq!(traced.delivered, untraced.delivered);
+        assert_eq!(trace.len(), 256, "window keeps the last 256 of 1000 slots");
+        assert_eq!(trace.dropped(), 1000 - 256);
+        let total_injected_in_window: usize = trace.records().map(|r| r.injected).sum();
+        assert!(total_injected_in_window > 0);
+    }
+
+    #[test]
+    fn ratios_behave_at_edges() {
+        let empty = SimulationReport {
+            injected: 0,
+            delivered: 0,
+            backlog_series: Vec::new(),
+            final_backlog: 0,
+            latencies: Vec::new(),
+            path_lens: Vec::new(),
+            potential: PotentialSeries::new(),
+            attempts: 0,
+            successes: 0,
+            slots: 0,
+        };
+        assert_eq!(empty.delivery_ratio(), 1.0);
+        assert_eq!(empty.success_ratio(), 1.0);
+        assert_eq!(empty.mean_backlog(), 0.0);
+    }
+}

@@ -1,0 +1,149 @@
+//! Deciding whether a run was stable: is the backlog bounded, or does it
+//! grow linearly with time?
+//!
+//! The classifier fits a least-squares line to the backlog samples of the
+//! second half of the run (the first half is warm-up) and compares its
+//! slope against the injection rate: an unstable system accumulates a
+//! constant fraction of the injected packets, a stable one's slope is
+//! statistical noise around zero.
+
+use crate::runner::SimulationReport;
+use crate::stats::linear_fit;
+
+/// Verdict of the stability classifier.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum StabilityVerdict {
+    /// Backlog bounded: tail slope is a negligible fraction of the
+    /// injection rate.
+    Stable {
+        /// Fitted backlog slope, packets per slot.
+        slope: f64,
+    },
+    /// Backlog grows linearly.
+    Unstable {
+        /// Fitted backlog slope, packets per slot.
+        slope: f64,
+    },
+    /// Not enough samples to decide.
+    Inconclusive,
+}
+
+impl StabilityVerdict {
+    /// Whether the verdict is [`StabilityVerdict::Stable`].
+    pub fn is_stable(&self) -> bool {
+        matches!(self, StabilityVerdict::Stable { .. })
+    }
+
+    /// The fitted slope, if any.
+    pub fn slope(&self) -> Option<f64> {
+        match self {
+            StabilityVerdict::Stable { slope } | StabilityVerdict::Unstable { slope } => {
+                Some(*slope)
+            }
+            StabilityVerdict::Inconclusive => None,
+        }
+    }
+}
+
+/// Classifies a run. `threshold_fraction` is the fraction of the observed
+/// injection rate above which the backlog slope counts as growth (0.05 is
+/// a good default: an unstable system beyond its capacity accumulates
+/// far more than 5% of its arrivals).
+pub fn classify_stability(report: &SimulationReport, threshold_fraction: f64) -> StabilityVerdict {
+    assert!(
+        threshold_fraction > 0.0,
+        "threshold fraction must be positive"
+    );
+    if report.backlog_series.len() < 8 || report.slots == 0 {
+        return StabilityVerdict::Inconclusive;
+    }
+    let tail = &report.backlog_series[report.backlog_series.len() / 2..];
+    let points: Vec<(f64, f64)> = tail
+        .iter()
+        .map(|&(slot, backlog)| (slot as f64, backlog as f64))
+        .collect();
+    let Some((slope, _)) = linear_fit(&points) else {
+        return StabilityVerdict::Inconclusive;
+    };
+    let injection_rate = report.injected as f64 / report.slots as f64;
+    if injection_rate <= 0.0 {
+        return StabilityVerdict::Stable { slope };
+    }
+    if slope > threshold_fraction * injection_rate {
+        StabilityVerdict::Unstable { slope }
+    } else {
+        StabilityVerdict::Stable { slope }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dps_core::potential::PotentialSeries;
+
+    fn report_with_series(series: Vec<(u64, usize)>, injected: u64, slots: u64) -> SimulationReport {
+        SimulationReport {
+            injected,
+            delivered: 0,
+            backlog_series: series,
+            final_backlog: 0,
+            latencies: Vec::new(),
+            path_lens: Vec::new(),
+            potential: PotentialSeries::new(),
+            attempts: 0,
+            successes: 0,
+            slots,
+        }
+    }
+
+    #[test]
+    fn flat_backlog_is_stable() {
+        let series: Vec<(u64, usize)> = (0..32).map(|i| (i * 100, 10)).collect();
+        let report = report_with_series(series, 3200, 3200);
+        let verdict = classify_stability(&report, 0.05);
+        assert!(verdict.is_stable(), "{verdict:?}");
+        assert!(verdict.slope().unwrap().abs() < 1e-9);
+    }
+
+    #[test]
+    fn linear_growth_is_unstable() {
+        // Backlog = slot/2 with injection rate 1: slope 0.5 ≫ 5%.
+        let series: Vec<(u64, usize)> = (0..32).map(|i| (i * 100, (i * 50) as usize)).collect();
+        let report = report_with_series(series, 3200, 3200);
+        let verdict = classify_stability(&report, 0.05);
+        assert!(!verdict.is_stable(), "{verdict:?}");
+    }
+
+    #[test]
+    fn warmup_transient_is_ignored() {
+        // Grows during the first half, flat afterwards: stable.
+        let series: Vec<(u64, usize)> = (0..32)
+            .map(|i| (i * 100, if i < 16 { (i * 10) as usize } else { 160 }))
+            .collect();
+        let report = report_with_series(series, 3200, 3200);
+        assert!(classify_stability(&report, 0.05).is_stable());
+    }
+
+    #[test]
+    fn too_few_samples_is_inconclusive() {
+        let report = report_with_series(vec![(0, 1), (1, 2)], 10, 10);
+        assert_eq!(
+            classify_stability(&report, 0.05),
+            StabilityVerdict::Inconclusive
+        );
+    }
+
+    #[test]
+    fn zero_injection_is_stable() {
+        let series: Vec<(u64, usize)> = (0..32).map(|i| (i, 0)).collect();
+        let report = report_with_series(series, 0, 32);
+        assert!(classify_stability(&report, 0.05).is_stable());
+    }
+
+    #[test]
+    #[should_panic(expected = "threshold")]
+    fn rejects_nonpositive_threshold() {
+        let report = report_with_series(vec![], 0, 0);
+        let _ = classify_stability(&report, 0.0);
+    }
+}

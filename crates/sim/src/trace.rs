@@ -1,0 +1,143 @@
+//! Optional per-slot event tracing for debugging and plotting.
+//!
+//! A [`TraceRecorder`] sits beside the slot loop and captures a bounded
+//! window of per-slot records (injections, attempts, successes,
+//! deliveries, backlog); export to CSV for external plotting. Bounded so
+//! long stability runs cannot exhaust memory — the recorder keeps the
+//! *last* `capacity` slots.
+
+use std::collections::VecDeque;
+
+/// One slot's activity.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SlotRecord {
+    /// Slot number.
+    pub slot: u64,
+    /// Packets injected this slot.
+    pub injected: usize,
+    /// Transmission attempts issued.
+    pub attempts: usize,
+    /// Attempts that succeeded.
+    pub successes: usize,
+    /// Packets delivered.
+    pub delivered: usize,
+    /// Backlog after the slot.
+    pub backlog: usize,
+}
+
+/// A sliding window of [`SlotRecord`]s.
+#[derive(Clone, Debug)]
+pub struct TraceRecorder {
+    records: VecDeque<SlotRecord>,
+    capacity: usize,
+    dropped: u64,
+}
+
+impl TraceRecorder {
+    /// Creates a recorder keeping the last `capacity` slots.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0`.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "capacity must be positive");
+        TraceRecorder {
+            records: VecDeque::with_capacity(capacity),
+            capacity,
+            dropped: 0,
+        }
+    }
+
+    /// Appends a record, evicting the oldest when full.
+    pub fn record(&mut self, record: SlotRecord) {
+        if self.records.len() == self.capacity {
+            self.records.pop_front();
+            self.dropped += 1;
+        }
+        self.records.push_back(record);
+    }
+
+    /// The retained records, oldest first.
+    pub fn records(&self) -> impl Iterator<Item = &SlotRecord> {
+        self.records.iter()
+    }
+
+    /// Number of retained records.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Records evicted due to the capacity bound.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Renders the retained window as CSV.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("slot,injected,attempts,successes,delivered,backlog\n");
+        for r in &self.records {
+            out.push_str(&format!(
+                "{},{},{},{},{},{}\n",
+                r.slot, r.injected, r.attempts, r.successes, r.delivered, r.backlog
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(slot: u64) -> SlotRecord {
+        SlotRecord {
+            slot,
+            injected: 1,
+            attempts: 2,
+            successes: 1,
+            delivered: 1,
+            backlog: 3,
+        }
+    }
+
+    #[test]
+    fn keeps_last_capacity_records() {
+        let mut t = TraceRecorder::new(3);
+        for slot in 0..5 {
+            t.record(rec(slot));
+        }
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.dropped(), 2);
+        let slots: Vec<u64> = t.records().map(|r| r.slot).collect();
+        assert_eq!(slots, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn csv_has_header_and_rows() {
+        let mut t = TraceRecorder::new(8);
+        t.record(rec(7));
+        let csv = t.to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].starts_with("slot,"));
+        assert_eq!(lines[1], "7,1,2,1,1,3");
+    }
+
+    #[test]
+    fn empty_recorder_is_empty() {
+        let t = TraceRecorder::new(2);
+        assert!(t.is_empty());
+        assert_eq!(t.dropped(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity")]
+    fn rejects_zero_capacity() {
+        let _ = TraceRecorder::new(0);
+    }
+}

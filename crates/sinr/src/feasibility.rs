@@ -1,0 +1,207 @@
+//! Exact SINR feasibility: the physical ground truth against which every
+//! protocol in this workspace is validated.
+//!
+//! Unlike the pairwise matrix abstraction used to *design* schedules, this
+//! oracle recomputes the full accumulated interference of the attempts
+//! actually made in a slot and applies the SINR inequality per receiver.
+
+use crate::network::SinrNetwork;
+use crate::power::PowerAssignment;
+use dps_core::feasibility::{Attempt, Feasibility};
+use rand::RngCore;
+
+/// The accumulative SINR oracle under a fixed power assignment.
+#[derive(Clone, Debug)]
+pub struct SinrFeasibility<P> {
+    net: SinrNetwork,
+    power: P,
+}
+
+impl<P: PowerAssignment> SinrFeasibility<P> {
+    /// Creates the oracle.
+    pub fn new(net: SinrNetwork, power: P) -> Self {
+        SinrFeasibility { net, power }
+    }
+
+    /// The network the oracle judges.
+    pub fn network(&self) -> &SinrNetwork {
+        &self.net
+    }
+
+    /// Whether the given set of links (one transmission each) is
+    /// simultaneously feasible — the static "can this be one slot?" check
+    /// used by schedule validators and the star-instance tests.
+    pub fn set_feasible(&self, links: &[dps_core::ids::LinkId]) -> bool {
+        let attempts: Vec<Attempt> = links
+            .iter()
+            .enumerate()
+            .map(|(i, &link)| Attempt {
+                link,
+                packet: dps_core::ids::PacketId(i as u64),
+            })
+            .collect();
+        let mut rng = rand::rngs::mock::StepRng::new(0, 1);
+        self.successes(&attempts, &mut rng).into_iter().all(|ok| ok)
+    }
+}
+
+impl<P: PowerAssignment> Feasibility for SinrFeasibility<P> {
+    fn successes(&self, attempts: &[Attempt], _rng: &mut dyn RngCore) -> Vec<bool> {
+        let params = *self.net.params();
+        // Count transmissions per link: two packets on one link collide at
+        // the shared transmitter regardless of SINR.
+        let mut mult = vec![0u32; self.net.num_links()];
+        for a in attempts {
+            mult[a.link.index()] += 1;
+        }
+        attempts
+            .iter()
+            .map(|a| {
+                if mult[a.link.index()] != 1 {
+                    return false;
+                }
+                let len = self.net.link_length(a.link);
+                let signal = self.power.power(len) / len.powf(params.alpha);
+                let mut interference = 0.0;
+                for (other_idx, &count) in mult.iter().enumerate() {
+                    if count == 0 || other_idx == a.link.index() {
+                        continue;
+                    }
+                    let other = dps_core::ids::LinkId(other_idx as u32);
+                    let d = self.net.cross_distance(other, a.link);
+                    if d <= 0.0 {
+                        return false;
+                    }
+                    interference += count as f64 * self.power.power(self.net.link_length(other))
+                        / d.powf(params.alpha);
+                }
+                signal >= params.beta * (interference + params.noise)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::network::SinrNetworkBuilder;
+    use crate::params::SinrParams;
+    use crate::power::{LinearPower, UniformPower};
+    use dps_core::ids::{LinkId, PacketId};
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha12Rng;
+
+    fn rng() -> ChaCha12Rng {
+        ChaCha12Rng::seed_from_u64(1)
+    }
+
+    fn attempt(link: u32, packet: u64) -> Attempt {
+        Attempt {
+            link: LinkId(link),
+            packet: PacketId(packet),
+        }
+    }
+
+    /// Unit links at the given x offsets.
+    fn net_at(offsets: &[f64], params: SinrParams) -> SinrNetwork {
+        let mut b = SinrNetworkBuilder::new(params);
+        for &x in offsets {
+            b.add_isolated_link((x, 0.0), (x, 1.0));
+        }
+        b.build()
+    }
+
+    #[test]
+    fn lone_transmission_succeeds_without_noise() {
+        let net = net_at(&[0.0], SinrParams::default_noiseless());
+        let oracle = SinrFeasibility::new(net, UniformPower::unit());
+        assert_eq!(oracle.successes(&[attempt(0, 1)], &mut rng()), vec![true]);
+    }
+
+    #[test]
+    fn overwhelming_noise_blocks_even_lone_transmission() {
+        // Unit link, unit power: signal 1; β(ν) = 2·1 > 1.
+        let net = net_at(&[0.0], SinrParams::with_noise(1.0));
+        let oracle = SinrFeasibility::new(net, UniformPower::unit());
+        assert_eq!(oracle.successes(&[attempt(0, 1)], &mut rng()), vec![false]);
+    }
+
+    #[test]
+    fn near_links_collide_far_links_coexist() {
+        // With α=3, β=2 a unit link dies when interference exceeds 1/β =
+        // 0.5, i.e. when the interferer is closer than 2^(1/3) ≈ 1.26.
+        // Gap 0.5 puts the cross distance at √1.25 ≈ 1.12 (collision);
+        // gap 50 is far beyond it.
+        let params = SinrParams::default_noiseless();
+        let near = SinrFeasibility::new(net_at(&[0.0, 0.5], params), UniformPower::unit());
+        let far = SinrFeasibility::new(net_at(&[0.0, 50.0], params), UniformPower::unit());
+        let atts = [attempt(0, 1), attempt(1, 2)];
+        assert_eq!(near.successes(&atts, &mut rng()), vec![false, false]);
+        assert_eq!(far.successes(&atts, &mut rng()), vec![true, true]);
+    }
+
+    #[test]
+    fn interference_accumulates() {
+        // Spacing 1.2: a single neighbour contributes 1/(√2.44)³ ≈ 0.26 <
+        // 0.5 (tolerable), but both neighbours plus the next ring sum to
+        // ≈ 0.64 ≥ 0.5 — accumulation is what kills the centre link.
+        let params = SinrParams::default_noiseless();
+        let net = net_at(&[0.0, 1.2, 2.4, 3.6, 4.8], params);
+        let oracle = SinrFeasibility::new(net, UniformPower::unit());
+        // Middle link with one active neighbour: passes.
+        let two = [attempt(2, 1), attempt(3, 2)];
+        let res = oracle.successes(&two, &mut rng());
+        assert!(res[0], "single neighbour should be tolerable");
+        // Middle link with all four others active: accumulated interference
+        // blocks it.
+        let all: Vec<Attempt> = (0..5).map(|i| attempt(i, i as u64)).collect();
+        let res = oracle.successes(&all, &mut rng());
+        assert!(!res[2], "centre link must drown in accumulated interference");
+    }
+
+    #[test]
+    fn same_link_collision_fails_both() {
+        let net = net_at(&[0.0], SinrParams::default_noiseless());
+        let oracle = SinrFeasibility::new(net, UniformPower::unit());
+        let res = oracle.successes(&[attempt(0, 1), attempt(0, 2)], &mut rng());
+        assert_eq!(res, vec![false, false]);
+    }
+
+    #[test]
+    fn linear_power_rescues_short_link_next_to_long() {
+        // A unit link whose sender sits 5 away from the receiver of a
+        // length-8 link (but > 10 from its powerful sender). Under uniform
+        // powers the long link's weak signal (1/8³) drowns in the short
+        // sender's interference (1/5³); under linear powers the long link
+        // receives at full strength and both coexist.
+        let params = SinrParams::default_noiseless();
+        let mut b = SinrNetworkBuilder::new(params);
+        let _short = b.add_isolated_link((5.0, 12.0), (5.0, 11.0));
+        let _long = b.add_isolated_link((0.0, 20.0), (0.0, 12.0));
+        let net = b.build();
+        let atts = [attempt(0, 1), attempt(1, 2)];
+        let uni = SinrFeasibility::new(net.clone(), UniformPower::unit());
+        let lin = SinrFeasibility::new(net, LinearPower::new(params.alpha));
+        let res_uni = uni.successes(&atts, &mut rng());
+        let res_lin = lin.successes(&atts, &mut rng());
+        assert!(res_uni[0], "short link passes under uniform power");
+        assert!(!res_uni[1], "long link should fail under uniform power");
+        assert!(res_lin[0] && res_lin[1], "both should pass under linear power");
+    }
+
+    #[test]
+    fn set_feasible_helper_agrees_with_successes() {
+        let params = SinrParams::default_noiseless();
+        let oracle = SinrFeasibility::new(net_at(&[0.0, 50.0], params), UniformPower::unit());
+        assert!(oracle.set_feasible(&[LinkId(0), LinkId(1)]));
+        let near = SinrFeasibility::new(net_at(&[0.0, 0.5], params), UniformPower::unit());
+        assert!(!near.set_feasible(&[LinkId(0), LinkId(1)]));
+    }
+
+    #[test]
+    fn empty_attempt_set_is_trivially_fine() {
+        let net = net_at(&[0.0], SinrParams::default_noiseless());
+        let oracle = SinrFeasibility::new(net, UniformPower::unit());
+        assert!(oracle.successes(&[], &mut rng()).is_empty());
+    }
+}

@@ -1,0 +1,208 @@
+//! A [`dps_core::graph::Network`] embedded in the plane: every node has a
+//! position, every link a geometric length.
+
+use crate::geom::Point;
+use crate::params::SinrParams;
+use dps_core::graph::{Network, NetworkBuilder};
+use dps_core::ids::{LinkId, NodeId};
+
+/// A network with node positions and SINR parameters.
+///
+/// Built with [`SinrNetworkBuilder`] or one of the generators in
+/// [`crate::instances`].
+#[derive(Clone, Debug)]
+pub struct SinrNetwork {
+    network: Network,
+    positions: Vec<Point>,
+    params: SinrParams,
+}
+
+impl SinrNetwork {
+    /// The underlying topological network.
+    pub fn network(&self) -> &Network {
+        &self.network
+    }
+
+    /// The SINR parameters.
+    pub fn params(&self) -> &SinrParams {
+        &self.params
+    }
+
+    /// Number of links.
+    pub fn num_links(&self) -> usize {
+        self.network.num_links()
+    }
+
+    /// The significant size `m = max{|E|, D}`.
+    pub fn significant_size(&self) -> usize {
+        self.network.significant_size()
+    }
+
+    /// Position of `node`.
+    pub fn position(&self, node: NodeId) -> Point {
+        self.positions[node.index()]
+    }
+
+    /// Position of the sender of `link`.
+    pub fn sender_pos(&self, link: LinkId) -> Point {
+        self.position(self.network.link(link).src)
+    }
+
+    /// Position of the receiver of `link`.
+    pub fn receiver_pos(&self, link: LinkId) -> Point {
+        self.position(self.network.link(link).dst)
+    }
+
+    /// Geometric length `d(ℓ)` of `link`.
+    pub fn link_length(&self, link: LinkId) -> f64 {
+        self.sender_pos(link).distance(&self.receiver_pos(link))
+    }
+
+    /// Distance from the sender of `from` to the receiver of `to` — the
+    /// `d(s', r)` term of the SINR condition.
+    pub fn cross_distance(&self, from: LinkId, to: LinkId) -> f64 {
+        self.sender_pos(from).distance(&self.receiver_pos(to))
+    }
+
+    /// Ratio `Δ` between the longest and shortest link lengths.
+    pub fn length_diversity(&self) -> f64 {
+        let mut min = f64::INFINITY;
+        let mut max = 0.0f64;
+        for link in self.network.link_ids() {
+            let len = self.link_length(link);
+            min = min.min(len);
+            max = max.max(len);
+        }
+        if min <= 0.0 || !min.is_finite() {
+            return f64::INFINITY;
+        }
+        max / min
+    }
+}
+
+/// Builder for a [`SinrNetwork`].
+///
+/// ```
+/// use dps_sinr::network::SinrNetworkBuilder;
+/// use dps_sinr::params::SinrParams;
+///
+/// let mut b = SinrNetworkBuilder::new(SinrParams::default());
+/// let u = b.add_node((0.0, 0.0));
+/// let v = b.add_node((1.0, 0.0));
+/// let e = b.add_link(u, v);
+/// let net = b.build();
+/// assert_eq!(net.link_length(e), 1.0);
+/// ```
+#[derive(Clone, Debug)]
+pub struct SinrNetworkBuilder {
+    builder: NetworkBuilder,
+    positions: Vec<Point>,
+    params: SinrParams,
+}
+
+impl SinrNetworkBuilder {
+    /// Creates an empty builder with the given parameters.
+    pub fn new(params: SinrParams) -> Self {
+        SinrNetworkBuilder {
+            builder: NetworkBuilder::new(),
+            positions: Vec::new(),
+            params,
+        }
+    }
+
+    /// Adds a node at `position`.
+    pub fn add_node(&mut self, position: impl Into<Point>) -> NodeId {
+        self.positions.push(position.into());
+        self.builder.add_node()
+    }
+
+    /// Adds a directed link.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either endpoint has not been added, or if the endpoints
+    /// coincide (zero-length links have undefined path loss).
+    pub fn add_link(&mut self, src: NodeId, dst: NodeId) -> LinkId {
+        assert!(
+            self.positions[src.index()].distance(&self.positions[dst.index()]) > 0.0,
+            "link endpoints must be distinct points"
+        );
+        self.builder.add_link(src, dst)
+    }
+
+    /// Adds a standalone link between two fresh nodes at the given
+    /// positions; convenient for single-hop instances.
+    pub fn add_isolated_link(
+        &mut self,
+        sender: impl Into<Point>,
+        receiver: impl Into<Point>,
+    ) -> LinkId {
+        let s = self.add_node(sender);
+        let r = self.add_node(receiver);
+        self.add_link(s, r)
+    }
+
+    /// Declares the maximum route length `D`.
+    pub fn max_path_len(&mut self, d: usize) -> &mut Self {
+        self.builder.max_path_len(d);
+        self
+    }
+
+    /// Finalizes the network.
+    pub fn build(&self) -> SinrNetwork {
+        SinrNetwork {
+            network: self.builder.build(),
+            positions: self.positions.clone(),
+            params: self.params,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lengths_and_cross_distances() {
+        let mut b = SinrNetworkBuilder::new(SinrParams::default());
+        let e0 = b.add_isolated_link((0.0, 0.0), (1.0, 0.0));
+        let e1 = b.add_isolated_link((0.0, 3.0), (4.0, 0.0));
+        let net = b.build();
+        assert_eq!(net.link_length(e0), 1.0);
+        assert_eq!(net.link_length(e1), 5.0);
+        // Sender of e0 at origin, receiver of e1 at (4, 0): distance 4.
+        assert_eq!(net.cross_distance(e0, e1), 4.0);
+        // Sender of e1 at (0, 3), receiver of e0 at (1, 0).
+        assert!((net.cross_distance(e1, e0) - 10f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn length_diversity_is_max_over_min() {
+        let mut b = SinrNetworkBuilder::new(SinrParams::default());
+        b.add_isolated_link((0.0, 0.0), (1.0, 0.0));
+        b.add_isolated_link((10.0, 0.0), (18.0, 0.0));
+        let net = b.build();
+        assert_eq!(net.length_diversity(), 8.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "distinct points")]
+    fn rejects_zero_length_link() {
+        let mut b = SinrNetworkBuilder::new(SinrParams::default());
+        let u = b.add_node((1.0, 1.0));
+        let v = b.add_node((1.0, 1.0));
+        b.add_link(u, v);
+    }
+
+    #[test]
+    fn multi_hop_chain_shares_nodes() {
+        let mut b = SinrNetworkBuilder::new(SinrParams::default());
+        let n0 = b.add_node((0.0, 0.0));
+        let n1 = b.add_node((1.0, 0.0));
+        let n2 = b.add_node((2.0, 0.0));
+        let e0 = b.add_link(n0, n1);
+        let e1 = b.add_link(n1, n2);
+        let net = b.build();
+        assert!(net.network().adjacent(e0, e1));
+    }
+}

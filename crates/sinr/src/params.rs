@@ -1,0 +1,73 @@
+//! Physical parameters of the SINR model: path-loss exponent `α`, SINR
+//! threshold `β`, and ambient noise `ν`.
+
+use serde::{Deserialize, Serialize};
+
+/// SINR model parameters.
+#[derive(Clone, Copy, PartialEq, Debug, Serialize, Deserialize)]
+pub struct SinrParams {
+    /// Path-loss exponent `α`; realistic outdoor values are 2–6, and much
+    /// of the SINR-algorithmics literature assumes `α > 2` (our default 3).
+    pub alpha: f64,
+    /// SINR threshold `β ≥ 1` for successful reception.
+    pub beta: f64,
+    /// Ambient noise `ν ≥ 0`.
+    pub noise: f64,
+}
+
+impl SinrParams {
+    /// Creates a parameter set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `alpha <= 0`, `beta <= 0`, or `noise < 0`, or any value is
+    /// not finite.
+    pub fn new(alpha: f64, beta: f64, noise: f64) -> Self {
+        assert!(alpha > 0.0 && alpha.is_finite(), "alpha must be positive");
+        assert!(beta > 0.0 && beta.is_finite(), "beta must be positive");
+        assert!(noise >= 0.0 && noise.is_finite(), "noise must be non-negative");
+        SinrParams { alpha, beta, noise }
+    }
+
+    /// `α = 3`, `β = 2`, `ν = 0`: the workhorse parameters of the
+    /// experiments (noise-free keeps feasibility scale-invariant).
+    pub fn default_noiseless() -> Self {
+        SinrParams::new(3.0, 2.0, 0.0)
+    }
+
+    /// Like [`SinrParams::default_noiseless`] but with the given noise.
+    pub fn with_noise(noise: f64) -> Self {
+        SinrParams::new(3.0, 2.0, noise)
+    }
+}
+
+impl Default for SinrParams {
+    fn default() -> Self {
+        Self::default_noiseless()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_parameters() {
+        let p = SinrParams::default();
+        assert_eq!(p.alpha, 3.0);
+        assert_eq!(p.beta, 2.0);
+        assert_eq!(p.noise, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha")]
+    fn rejects_nonpositive_alpha() {
+        let _ = SinrParams::new(0.0, 2.0, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "noise")]
+    fn rejects_negative_noise() {
+        let _ = SinrParams::new(3.0, 2.0, -1.0);
+    }
+}

@@ -1,0 +1,219 @@
+//! Power assignments (Section 6.1): how much power each link uses for its
+//! transmissions.
+//!
+//! The paper distinguishes *fixed* assignments (powers are a function of
+//! the link, set at deployment) from powers chosen per transmission. All
+//! assignments here are fixed and **monotone (sub-)linear** in the paper's
+//! sense: for `d(ℓ) ≤ d(ℓ')` they satisfy `p(ℓ) ≤ p(ℓ')` and
+//! `p(ℓ)/d(ℓ)^α ≥ p(ℓ')/d(ℓ')^α`.
+
+use serde::{Deserialize, Serialize};
+
+/// A fixed transmission-power assignment, a function of the link length.
+pub trait PowerAssignment {
+    /// Power used by a link of geometric length `length`.
+    fn power(&self, length: f64) -> f64;
+
+    /// Short human-readable name, used in experiment tables.
+    fn name(&self) -> &str;
+}
+
+impl<P: PowerAssignment + ?Sized> PowerAssignment for &P {
+    fn power(&self, length: f64) -> f64 {
+        (**self).power(length)
+    }
+
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+}
+
+/// Uniform powers: every link transmits at the same power.
+///
+/// The setting of the Theorem 20 lower bound and of most early SINR
+/// scheduling work.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct UniformPower {
+    level: f64,
+}
+
+impl UniformPower {
+    /// Creates the assignment with the given power level.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `level` is positive and finite.
+    pub fn new(level: f64) -> Self {
+        assert!(level > 0.0 && level.is_finite(), "power must be positive");
+        UniformPower { level }
+    }
+
+    /// Unit power.
+    pub fn unit() -> Self {
+        UniformPower::new(1.0)
+    }
+}
+
+impl PowerAssignment for UniformPower {
+    fn power(&self, _length: f64) -> f64 {
+        self.level
+    }
+
+    fn name(&self) -> &str {
+        "uniform"
+    }
+}
+
+/// Linear powers: `p(ℓ) = scale · d(ℓ)^α`, so every link's signal arrives
+/// at the same strength — the assignment behind Corollary 12's
+/// constant-competitive protocol.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct LinearPower {
+    alpha: f64,
+    scale: f64,
+}
+
+impl LinearPower {
+    /// Creates the assignment for path-loss exponent `alpha` with unit
+    /// scale.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `alpha` is positive and finite.
+    pub fn new(alpha: f64) -> Self {
+        Self::with_scale(alpha, 1.0)
+    }
+
+    /// Creates the assignment with an explicit scale factor.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless both arguments are positive and finite.
+    pub fn with_scale(alpha: f64, scale: f64) -> Self {
+        assert!(alpha > 0.0 && alpha.is_finite(), "alpha must be positive");
+        assert!(scale > 0.0 && scale.is_finite(), "scale must be positive");
+        LinearPower { alpha, scale }
+    }
+}
+
+impl PowerAssignment for LinearPower {
+    fn power(&self, length: f64) -> f64 {
+        self.scale * length.powf(self.alpha)
+    }
+
+    fn name(&self) -> &str {
+        "linear"
+    }
+}
+
+/// Square-root (mean) powers: `p(ℓ) = scale · d(ℓ)^{α/2}`, the oblivious
+/// assignment of [20, 25] — monotone and sub-linear, used as the concrete
+/// assignment for the power-control experiments (Corollary 14).
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct SquareRootPower {
+    alpha: f64,
+    scale: f64,
+}
+
+impl SquareRootPower {
+    /// Creates the assignment for path-loss exponent `alpha` with unit
+    /// scale.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `alpha` is positive and finite.
+    pub fn new(alpha: f64) -> Self {
+        Self::with_scale(alpha, 1.0)
+    }
+
+    /// Creates the assignment with an explicit scale factor.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless both arguments are positive and finite.
+    pub fn with_scale(alpha: f64, scale: f64) -> Self {
+        assert!(alpha > 0.0 && alpha.is_finite(), "alpha must be positive");
+        assert!(scale > 0.0 && scale.is_finite(), "scale must be positive");
+        SquareRootPower { alpha, scale }
+    }
+}
+
+impl PowerAssignment for SquareRootPower {
+    fn power(&self, length: f64) -> f64 {
+        self.scale * length.powf(self.alpha / 2.0)
+    }
+
+    fn name(&self) -> &str {
+        "square-root"
+    }
+}
+
+/// Checks the monotone (sub-)linear property over a set of link lengths:
+/// `p` non-decreasing and `p(d)/d^α` non-increasing in `d`.
+pub fn is_monotone_sublinear<P: PowerAssignment + ?Sized>(
+    power: &P,
+    alpha: f64,
+    lengths: &[f64],
+) -> bool {
+    let mut sorted = lengths.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite lengths"));
+    sorted.windows(2).all(|w| {
+        let (short, long) = (w[0], w[1]);
+        let (p_s, p_l) = (power.power(short), power.power(long));
+        p_s <= p_l * (1.0 + 1e-9)
+            && p_s / short.powf(alpha) >= p_l / long.powf(alpha) * (1.0 - 1e-9)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const LENGTHS: [f64; 5] = [0.5, 1.0, 2.0, 4.5, 10.0];
+
+    #[test]
+    fn uniform_is_constant_and_sublinear() {
+        let p = UniformPower::unit();
+        assert_eq!(p.power(1.0), 1.0);
+        assert_eq!(p.power(100.0), 1.0);
+        assert!(is_monotone_sublinear(&p, 3.0, &LENGTHS));
+    }
+
+    #[test]
+    fn linear_equalizes_received_strength() {
+        let alpha = 3.0;
+        let p = LinearPower::new(alpha);
+        for &d in &LENGTHS {
+            assert!((p.power(d) / d.powf(alpha) - 1.0).abs() < 1e-12);
+        }
+        assert!(is_monotone_sublinear(&p, alpha, &LENGTHS));
+    }
+
+    #[test]
+    fn square_root_is_monotone_sublinear() {
+        let alpha = 3.0;
+        let p = SquareRootPower::new(alpha);
+        assert!(is_monotone_sublinear(&p, alpha, &LENGTHS));
+        // Strictly between uniform and linear in growth.
+        assert!(p.power(4.0) > p.power(1.0));
+        assert!(p.power(4.0) < LinearPower::new(alpha).power(4.0));
+    }
+
+    #[test]
+    fn names_are_distinct() {
+        let names = [
+            UniformPower::unit().name().to_string(),
+            LinearPower::new(3.0).name().to_string(),
+            SquareRootPower::new(3.0).name().to_string(),
+        ];
+        let mut unique = names.to_vec();
+        unique.dedup();
+        assert_eq!(names.len(), unique.len());
+    }
+
+    #[test]
+    #[should_panic(expected = "power must be positive")]
+    fn uniform_rejects_zero() {
+        let _ = UniformPower::new(0.0);
+    }
+}

@@ -1,0 +1,154 @@
+//! Property-based tests tying the affectance abstraction to the exact
+//! SINR oracle.
+
+use dps_core::feasibility::{Attempt, Feasibility};
+use dps_core::ids::{LinkId, PacketId};
+use dps_core::interference::{validate, InterferenceModel};
+use dps_core::load::LinkLoad;
+use dps_sinr::affectance::{affectance, total_affectance};
+use dps_sinr::feasibility::SinrFeasibility;
+use dps_sinr::instances::random_instance;
+use dps_sinr::matrix::SinrInterference;
+use dps_sinr::network::SinrNetworkBuilder;
+use dps_sinr::params::SinrParams;
+use dps_sinr::power::{is_monotone_sublinear, LinearPower, SquareRootPower, UniformPower};
+use proptest::prelude::*;
+use rand::SeedableRng;
+use rand_chacha::ChaCha12Rng;
+
+fn attempt(link: LinkId, id: u64) -> Attempt {
+    Attempt {
+        link,
+        packet: PacketId(id),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The affectance-sum criterion agrees with the exact SINR inequality:
+    /// a transmission succeeds iff the total affectance from the other
+    /// transmitters is at most 1 (away from the float boundary).
+    #[test]
+    fn affectance_sum_equals_sinr_condition(seed in 0u64..400, subset_bits in 0u32..63) {
+        let mut rng = ChaCha12Rng::seed_from_u64(seed);
+        let params = SinrParams::default_noiseless();
+        let net = random_instance(6, 30.0, 1.0, 3.0, params, &mut rng);
+        let power = LinearPower::new(params.alpha);
+        let active: Vec<LinkId> = (0..6u32)
+            .filter(|i| subset_bits & (1 << i) != 0)
+            .map(LinkId)
+            .collect();
+        prop_assume!(!active.is_empty());
+        let oracle = SinrFeasibility::new(net.clone(), power);
+        let attempts: Vec<Attempt> = active
+            .iter()
+            .enumerate()
+            .map(|(i, &l)| attempt(l, i as u64))
+            .collect();
+        let mut srng = ChaCha12Rng::seed_from_u64(1);
+        let successes = oracle.successes(&attempts, &mut srng);
+        for (i, &on) in active.iter().enumerate() {
+            let others: Vec<LinkId> = active
+                .iter()
+                .copied()
+                .filter(|&l| l != on)
+                .collect();
+            let sum = total_affectance(&net, &power, &others, on);
+            // Clamping at 1 can only hide mass when already infeasible, so
+            // away from the boundary the equivalence is exact.
+            if (sum - 1.0).abs() > 1e-6 && others.iter().all(|&o| affectance(&net, &power, o, on) < 1.0 - 1e-9) {
+                prop_assert_eq!(
+                    successes[i],
+                    sum < 1.0,
+                    "link {} with affectance sum {}",
+                    on,
+                    sum
+                );
+            }
+        }
+    }
+
+    /// Affectance is scale-invariant for noiseless linear powers: scaling
+    /// all coordinates leaves every affectance unchanged.
+    #[test]
+    fn affectance_scale_invariance(seed in 0u64..200, factor in 0.5f64..4.0) {
+        let mut rng = ChaCha12Rng::seed_from_u64(seed);
+        let params = SinrParams::default_noiseless();
+        let base = random_instance(4, 20.0, 1.0, 2.0, params, &mut rng);
+        // Rebuild the same instance scaled by `factor`.
+        let mut b = SinrNetworkBuilder::new(params);
+        for link in base.network().link_ids() {
+            let s = base.sender_pos(link);
+            let r = base.receiver_pos(link);
+            b.add_isolated_link((s.x * factor, s.y * factor), (r.x * factor, r.y * factor));
+        }
+        let scaled = b.build();
+        let power = LinearPower::new(params.alpha);
+        for from in base.network().link_ids() {
+            for on in base.network().link_ids() {
+                let a0 = affectance(&base, &power, from, on);
+                let a1 = affectance(&scaled, &power, from, on);
+                prop_assert!((a0 - a1).abs() < 1e-9, "{a0} vs {a1}");
+            }
+        }
+    }
+
+    /// All three §6 matrix constructions validate on random geometry, and
+    /// the fixed-power measure of a single link's load is exactly 1.
+    #[test]
+    fn matrices_validate_on_random_geometry(seed in 0u64..300) {
+        let mut rng = ChaCha12Rng::seed_from_u64(seed);
+        let params = SinrParams::default_noiseless();
+        let net = random_instance(5, 25.0, 0.5, 4.0, params, &mut rng);
+        let lin = LinearPower::new(params.alpha);
+        let w = SinrInterference::fixed_power(&net, &lin);
+        prop_assert!(validate(&w).is_ok());
+        prop_assert!(validate(&SinrInterference::monotone_power(&net, &lin)).is_ok());
+        prop_assert!(validate(&SinrInterference::power_control(&net)).is_ok());
+        let mut load = LinkLoad::new(5);
+        load.set(LinkId(0), 1.0);
+        // Row 0 sees exactly its own unit load; other rows see at most 1.
+        prop_assert!((w.row_load(LinkId(0), &load) - 1.0).abs() < 1e-12);
+        prop_assert!(w.measure(&load) >= 1.0 - 1e-12);
+    }
+
+    /// The provided power assignments are monotone sub-linear over any
+    /// sampled length set (the §6.1 precondition).
+    #[test]
+    fn assignments_are_monotone_sublinear(
+        lengths in proptest::collection::vec(0.2f64..50.0, 2..12),
+        alpha in 2.0f64..5.0,
+    ) {
+        prop_assert!(is_monotone_sublinear(&UniformPower::unit(), alpha, &lengths));
+        prop_assert!(is_monotone_sublinear(&LinearPower::new(alpha), alpha, &lengths));
+        prop_assert!(is_monotone_sublinear(&SquareRootPower::new(alpha), alpha, &lengths));
+    }
+
+    /// Feasibility is monotone under removal: if a set of transmissions
+    /// lets link x succeed, removing other transmitters keeps x succeeding
+    /// (noise-free SINR has no capture inversions).
+    #[test]
+    fn success_is_monotone_under_removal(seed in 0u64..200, drop_idx in 0usize..5) {
+        let mut rng = ChaCha12Rng::seed_from_u64(seed);
+        let params = SinrParams::default_noiseless();
+        let net = random_instance(6, 40.0, 1.0, 3.0, params, &mut rng);
+        let oracle = SinrFeasibility::new(net, UniformPower::unit());
+        let all: Vec<Attempt> = (0..6u32).map(|l| attempt(LinkId(l), l as u64)).collect();
+        let mut srng = ChaCha12Rng::seed_from_u64(2);
+        let full = oracle.successes(&all, &mut srng);
+        let reduced: Vec<Attempt> = all
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| *i != drop_idx.min(5))
+            .map(|(_, &a)| a)
+            .collect();
+        let after = oracle.successes(&reduced, &mut srng);
+        for (i, a) in reduced.iter().enumerate() {
+            let before = full[all.iter().position(|b| b.link == a.link).unwrap()];
+            if before {
+                prop_assert!(after[i], "link {} regressed after removal", a.link);
+            }
+        }
+    }
+}

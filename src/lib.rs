@@ -1,0 +1,68 @@
+//! **dps** — *Dynamic Packet Scheduling in Wireless Networks* (Thomas
+//! Kesselheim, PODC 2012), reproduced as a Rust workspace.
+//!
+//! This facade crate re-exports every member crate and offers a combined
+//! [`prelude`]. The pieces:
+//!
+//! * [`dps_core`] — the linear-interference-measure model, injection
+//!   models, static scheduling algorithms, **Algorithm 1** (the dense
+//!   -instance transformation) and the **dynamic frame protocol**;
+//! * [`dps_sinr`] — the SINR substrate (geometry, power assignments,
+//!   affectance, exact feasibility, the Figure 1 star instance);
+//! * [`dps_conflict`] — conflict graphs, inductive independence, protocol
+//!   model / distance-2 matching / node constraints;
+//! * [`dps_mac`] — the multiple-access channel (Algorithm 2 and
+//!   Round-Robin-Withholding);
+//! * [`dps_routing`] — packet-routing workloads (`W = identity`);
+//! * [`dps_sim`] — the slotted simulation engine, metrics and stability
+//!   classification.
+//!
+//! # Quickstart
+//!
+//! Build a protocol from a static algorithm, inject packets, observe
+//! stability:
+//!
+//! ```
+//! use dps::prelude::*;
+//!
+//! // An 8-link ring, identity interference (= packet routing).
+//! let setup = dps::dps_routing::workloads::RoutingSetup::ring(8, 2)?;
+//!
+//! // The paper's transformation: frame protocol around a static algorithm.
+//! let config = FrameConfig::tuned(&GreedyPerLink::new(), 8, 0.9)?;
+//! let mut protocol = DynamicProtocol::new(GreedyPerLink::new(), config.clone(), 8);
+//!
+//! // Stochastic injection at rate 0.5 < 1/f(m) = 1.
+//! let mut injector = dps::dps_core::injection::stochastic::uniform_generators(
+//!     setup.routes.clone(), 0.05)?.scaled_to_rate(&setup.model, 0.5)?;
+//!
+//! let report = run_simulation(
+//!     &mut protocol,
+//!     &mut injector,
+//!     &setup.feasibility,
+//!     SimulationConfig::new(20 * config.frame_len as u64, 7),
+//! );
+//! assert_eq!(report.delivered + report.final_backlog as u64, report.injected);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+#![forbid(unsafe_code)]
+
+pub use dps_conflict;
+pub use dps_core;
+pub use dps_mac;
+pub use dps_routing;
+pub use dps_sim;
+pub use dps_sinr;
+
+/// Combined prelude of every member crate.
+pub mod prelude {
+    pub use dps_conflict::prelude::*;
+    pub use dps_core::prelude::*;
+    pub use dps_mac::prelude::*;
+    pub use dps_routing::prelude::*;
+    pub use dps_sim::prelude::*;
+    pub use dps_sinr::prelude::*;
+}
