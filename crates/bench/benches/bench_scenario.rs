@@ -1,0 +1,94 @@
+//! Scenario-API overhead benchmark: the boxed-trait scenario path
+//! (substrate/protocol/injector behind `dyn` factories, `Arc`'d
+//! feasibility, `Box<dyn Protocol>`) vs direct monomorphic wiring, on the
+//! E2 ring-routing workload.
+//!
+//! The dynamic dispatch sits outside the hot per-slot arithmetic (one
+//! virtual call per slot per component against hundreds of queue/array
+//! operations), so the scenario path is expected to stay within ~2% of
+//! the direct path; the `overhead` line printed at the end measures it.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dps_bench::setup::{dynamic_run, injector_at_rate};
+use dps_core::staticsched::greedy::GreedyPerLink;
+use dps_routing::workloads::RoutingSetup;
+use dps_scenario::{registry, Scenario};
+use dps_sim::runner::{run_simulation, SimulationConfig};
+use std::time::Instant;
+
+const FRAMES: u64 = 20;
+const LAMBDA: f64 = 0.7;
+
+/// The direct path: concrete types end to end, as `setup.rs` wires them.
+fn run_direct(setup: &RoutingSetup, slots: u64) -> u64 {
+    let mut run = dynamic_run(
+        GreedyPerLink::new(),
+        setup.network.significant_size(),
+        setup.network.num_links(),
+        LAMBDA,
+    )
+    .expect("valid config");
+    let mut injector = injector_at_rate(setup.routes.clone(), &setup.model, LAMBDA).expect("rate");
+    run_simulation(
+        &mut run.protocol,
+        &mut injector,
+        &setup.feasibility,
+        SimulationConfig::new(slots, 1),
+    )
+    .delivered
+}
+
+fn scenario_spec() -> dps_scenario::ScenarioSpec {
+    let mut spec = registry::spec_for("ring-routing").expect("preset");
+    spec = spec.with_lambda(LAMBDA).with_seed(1);
+    spec.run.frames = FRAMES;
+    spec.run.provision_cap = 0.9;
+    spec
+}
+
+/// The boxed path: the same workload assembled through the scenario API.
+fn run_boxed(scenario: &Scenario) -> u64 {
+    scenario.run().expect("runs").report.delivered
+}
+
+fn bench_scenario_overhead(c: &mut Criterion) {
+    let setup = RoutingSetup::ring(8, 2).expect("valid ring");
+    let slots = {
+        let run = dynamic_run(GreedyPerLink::new(), 8, 8, LAMBDA).expect("valid config");
+        FRAMES * run.config.frame_len as u64
+    };
+    let scenario = Scenario::from_spec(&scenario_spec()).expect("valid spec");
+
+    let mut group = c.benchmark_group("scenario_overhead");
+    group.sample_size(20);
+    group.throughput(Throughput::Elements(slots));
+    group.bench_with_input(BenchmarkId::new("direct", 8), &8, |b, _| {
+        b.iter(|| run_direct(&setup, slots))
+    });
+    group.bench_with_input(BenchmarkId::new("boxed_scenario", 8), &8, |b, _| {
+        b.iter(|| run_boxed(&scenario))
+    });
+    group.finish();
+
+    // A paired measurement for the headline number: interleaved batches so
+    // both paths see the same thermal/scheduler conditions.
+    let mut direct_total = 0.0;
+    let mut boxed_total = 0.0;
+    let mut checksum = 0u64;
+    for _ in 0..12 {
+        let t = Instant::now();
+        checksum ^= run_direct(&setup, slots);
+        direct_total += t.elapsed().as_secs_f64();
+        let t = Instant::now();
+        checksum ^= run_boxed(&scenario);
+        boxed_total += t.elapsed().as_secs_f64();
+    }
+    println!(
+        "scenario_overhead/overhead: boxed/direct = {:.4} ({:+.2}%)  [checksum {checksum}]",
+        boxed_total / direct_total,
+        (boxed_total / direct_total - 1.0) * 100.0
+    );
+}
+
+criterion_group!(benches, bench_scenario_overhead);
+criterion_main!(benches);

@@ -1,12 +1,12 @@
 //! CLI regenerating the paper's quantitative claims.
 //!
 //! ```text
-//! experiments [IDS…] [--full] [--seed N] [--csv DIR] [--list]
+//! experiments [IDS…] [--full] [--seed N] [--csv DIR] [--json DIR] [--list]
 //! ```
 //!
 //! With no ids, runs every experiment (E1–E11). `--full` switches to
 //! paper-scale parameters; `--csv DIR` additionally writes each table as
-//! a CSV file.
+//! a CSV file, `--json DIR` as machine-readable JSON.
 
 use dps_bench::{all_experiments, ExpConfig};
 use std::path::PathBuf;
@@ -16,17 +16,28 @@ fn main() {
     let mut cfg = ExpConfig::default();
     let mut ids: Vec<String> = Vec::new();
     let mut csv_dir: Option<PathBuf> = None;
+    let mut json_dir: Option<PathBuf> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--full" => cfg.full = true,
             "--seed" => {
                 let value = args.next().unwrap_or_else(|| usage("--seed needs a value"));
-                cfg.seed = value.parse().unwrap_or_else(|_| usage("--seed needs an integer"));
+                cfg.seed = value
+                    .parse()
+                    .unwrap_or_else(|_| usage("--seed needs an integer"));
             }
             "--csv" => {
-                let value = args.next().unwrap_or_else(|| usage("--csv needs a directory"));
+                let value = args
+                    .next()
+                    .unwrap_or_else(|| usage("--csv needs a directory"));
                 csv_dir = Some(PathBuf::from(value));
+            }
+            "--json" => {
+                let value = args
+                    .next()
+                    .unwrap_or_else(|| usage("--json needs a directory"));
+                json_dir = Some(PathBuf::from(value));
             }
             "--list" => {
                 for exp in all_experiments() {
@@ -47,7 +58,10 @@ fn main() {
         let known: Vec<&str> = experiments.iter().map(|e| e.id).collect();
         for id in &ids {
             if !known.contains(&id.as_str()) {
-                usage(&format!("unknown experiment {id}; known: {}", known.join(", ")));
+                usage(&format!(
+                    "unknown experiment {id}; known: {}",
+                    known.join(", ")
+                ));
             }
         }
         experiments
@@ -56,8 +70,8 @@ fn main() {
             .collect()
     };
 
-    if let Some(dir) = &csv_dir {
-        std::fs::create_dir_all(dir).expect("create csv directory");
+    for dir in [&csv_dir, &json_dir].into_iter().flatten() {
+        std::fs::create_dir_all(dir).expect("create output directory");
     }
 
     println!(
@@ -75,6 +89,10 @@ fn main() {
                 let path = dir.join(format!("{}_{}.csv", exp.id, i));
                 std::fs::write(&path, table.to_csv()).expect("write csv");
             }
+            if let Some(dir) = &json_dir {
+                let path = dir.join(format!("{}_{}.json", exp.id, i));
+                std::fs::write(&path, table.to_json()).expect("write json");
+            }
         }
         println!("({} finished in {:.1?})\n", exp.id, start.elapsed());
     }
@@ -84,6 +102,6 @@ fn usage(message: &str) -> ! {
     if !message.is_empty() {
         eprintln!("error: {message}");
     }
-    eprintln!("usage: experiments [IDS…] [--full] [--seed N] [--csv DIR] [--list]");
+    eprintln!("usage: experiments [IDS…] [--full] [--seed N] [--csv DIR] [--json DIR] [--list]");
     std::process::exit(if message.is_empty() { 0 } else { 2 });
 }

@@ -54,8 +54,7 @@ fn run_protocol<P: Protocol>(
     let oracle = SinrFeasibility::new(star.net.clone(), UniformPower::unit());
     // Rate λ *per link*: identity model ⇒ per-link expected load is λ.
     let model = IdentityInterference::new(star.net.num_links());
-    let mut injector =
-        injector_at_rate(star_routes(star), &model, lambda).expect("feasible rate");
+    let mut injector = injector_at_rate(star_routes(star), &model, lambda).expect("feasible rate");
     let report = run_simulation(
         protocol,
         &mut injector,

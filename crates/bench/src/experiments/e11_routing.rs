@@ -3,57 +3,50 @@
 //! per-link algorithm yields stable protocols for every injection rate
 //! `λ < 1` — the classical adversarial-queuing baseline.
 //!
-//! Three topologies (ring, line, grid) are driven across the threshold;
-//! the table reports verdicts and latency.
+//! Three topologies (the `ring-routing`, `line-routing` and
+//! `grid-routing` scenario presets) are driven across the threshold; the
+//! table reports verdicts and latency.
 
-use crate::setup::{dynamic_run, injector_at_rate, run_and_classify, verdict_cell};
 use crate::ExpConfig;
-use dps_core::staticsched::greedy::GreedyPerLink;
-use dps_routing::sis::SisProtocol;
-use dps_routing::workloads::RoutingSetup;
+use dps_scenario::{registry, Scenario, Sweep};
 use dps_sim::table::{fmt3, Table};
 
 /// Runs E11.
 pub fn run(cfg: &ExpConfig) -> Vec<Table> {
-    let setups: Vec<(&str, RoutingSetup)> = vec![
-        ("ring(8), 2-hop", RoutingSetup::ring(8, 2).expect("valid")),
-        ("line(8), 3-hop", RoutingSetup::line(8, 3).expect("valid")),
-        ("grid(3x3)", RoutingSetup::grid(3, 3)),
+    let presets: &[(&str, &str)] = &[
+        ("ring-routing", "ring(8), 2-hop"),
+        ("line-routing", "line(8), 3-hop"),
+        ("grid-routing", "grid(3x3)"),
     ];
     let rates: &[f64] = &[0.5, 0.9, 1.2];
     let frames = if cfg.full { 150 } else { 50 };
     let mut table = Table::new(
         "E11: packet routing (W = identity, greedy per-link, f = 1): stable \
          for every lambda < 1, unstable beyond",
-        &["topology", "lambda", "verdict", "mean backlog", "mean latency"],
+        &[
+            "topology",
+            "lambda",
+            "verdict",
+            "mean backlog",
+            "mean latency",
+        ],
     );
-    for (row, (name, setup)) in setups.iter().enumerate() {
-        for (col, &lambda) in rates.iter().enumerate() {
-            let lambda_cfg = lambda.min(0.95);
-            let mut run = dynamic_run(
-                GreedyPerLink::new(),
-                setup.network.significant_size(),
-                setup.network.num_links(),
-                lambda_cfg,
-            )
-            .expect("capped rate configures");
-            let mut injector = injector_at_rate(setup.routes.clone(), &setup.model, lambda)
-                .expect("feasible rate");
-            let slots = frames * run.config.frame_len as u64;
-            let (report, verdict) = run_and_classify(
-                &mut run.protocol,
-                &mut injector,
-                &setup.feasibility,
-                slots,
-                cfg.seed,
-                (row * 10 + col) as u64,
-            );
+    for &(preset, name) in presets {
+        let mut spec = registry::spec_for(preset).expect("registry preset");
+        spec.run.seed = cfg.seed;
+        spec.run.frames = frames;
+        let report = Sweep::new(spec)
+            .over_lambdas(rates)
+            .run()
+            .expect("routing sweep runs");
+        for cell in &report.cells {
+            let o = &cell.outcome;
             table.push_row(vec![
                 name.to_string(),
-                fmt3(lambda),
-                verdict_cell(&verdict),
-                fmt3(report.mean_backlog()),
-                fmt3(report.latency_summary().mean),
+                fmt3(o.lambda),
+                o.verdict_cell(),
+                fmt3(o.report.mean_backlog()),
+                fmt3(o.report.latency_summary().mean),
             ]);
         }
     }
@@ -65,38 +58,38 @@ pub fn run(cfg: &ExpConfig) -> Vec<Table> {
     // generality across interference models.
     let mut baseline = Table::new(
         "E11b: frame protocol vs Shortest-In-System baseline (ring(8), 2-hop, lambda = 0.8)",
-        &["protocol", "verdict", "mean backlog", "mean latency (slots)"],
+        &[
+            "protocol",
+            "verdict",
+            "mean backlog",
+            "mean latency (slots)",
+        ],
     );
-    let setup = RoutingSetup::ring(8, 2).expect("valid ring");
-    {
-        let mut run = dynamic_run(GreedyPerLink::new(), 8, 8, 0.9).expect("valid config");
-        let mut injector =
-            injector_at_rate(setup.routes.clone(), &setup.model, 0.8).expect("feasible rate");
-        let slots = frames * run.config.frame_len as u64;
-        let (report, verdict) = run_and_classify(
-            &mut run.protocol,
-            &mut injector,
-            &setup.feasibility,
-            slots,
-            cfg.seed,
-            900,
-        );
+    let mut frame_spec = registry::spec_for("ring-routing")
+        .expect("registry preset")
+        .with_lambda(0.8)
+        .with_seed(cfg.seed);
+    frame_spec.run.frames = frames;
+    let frame = Scenario::from_spec(&frame_spec)
+        .expect("valid spec")
+        .run_stream(900)
+        .expect("run completes");
+    let mut sis_spec = registry::spec_for("routing-sis")
+        .expect("registry preset")
+        .with_lambda(0.8)
+        .with_seed(cfg.seed);
+    // SIS is frameless (T = 1); give it the frame protocol's exact horizon.
+    sis_spec.run.frames = frame.slots;
+    let sis = Scenario::from_spec(&sis_spec)
+        .expect("valid spec")
+        .run_stream(901)
+        .expect("run completes");
+    for (label, outcome) in [("frame (Section 4)", frame), ("SIS (baseline)", sis)] {
         baseline.push_row(vec![
-            "frame (Section 4)".into(),
-            verdict_cell(&verdict),
-            fmt3(report.mean_backlog()),
-            fmt3(report.latency_summary().mean),
-        ]);
-        let mut sis = SisProtocol::new(8);
-        let mut injector =
-            injector_at_rate(setup.routes.clone(), &setup.model, 0.8).expect("feasible rate");
-        let (report, verdict) =
-            run_and_classify(&mut sis, &mut injector, &setup.feasibility, slots, cfg.seed, 901);
-        baseline.push_row(vec![
-            "SIS (baseline)".into(),
-            verdict_cell(&verdict),
-            fmt3(report.mean_backlog()),
-            fmt3(report.latency_summary().mean),
+            label.to_string(),
+            outcome.verdict_cell(),
+            fmt3(outcome.report.mean_backlog()),
+            fmt3(outcome.report.latency_summary().mean),
         ]);
     }
     vec![table, baseline]
@@ -110,26 +103,24 @@ mod tests {
     fn sis_has_lower_latency_than_frame_protocol() {
         // Both stable at λ = 0.7, but SIS latency is O(d) while the frame
         // protocol pays O(d·T).
-        let setup = RoutingSetup::ring(6, 2).unwrap();
-        let mut run = dynamic_run(GreedyPerLink::new(), 6, 6, 0.9).unwrap();
-        let t = run.config.frame_len;
-        let slots = 50 * t as u64;
-        let mut injector = injector_at_rate(setup.routes.clone(), &setup.model, 0.7).unwrap();
-        let (frame_report, frame_verdict) = run_and_classify(
-            &mut run.protocol,
-            &mut injector,
-            &setup.feasibility,
-            slots,
-            5,
-            0,
-        );
-        let mut sis = SisProtocol::new(6);
-        let mut injector = injector_at_rate(setup.routes.clone(), &setup.model, 0.7).unwrap();
-        let (sis_report, sis_verdict) =
-            run_and_classify(&mut sis, &mut injector, &setup.feasibility, slots, 5, 1);
-        assert!(frame_verdict.is_stable() && sis_verdict.is_stable());
-        let frame_latency = frame_report.latency_summary().mean;
-        let sis_latency = sis_report.latency_summary().mean;
+        let mut frame_spec = registry::spec_for("ring-routing").unwrap().with_lambda(0.7);
+        frame_spec.substrate = dps_scenario::SubstrateConfig::RingRouting { nodes: 6, hops: 2 };
+        frame_spec.run.seed = 5;
+        frame_spec.run.frames = 50;
+        let frame = Scenario::from_spec(&frame_spec).unwrap().run().unwrap();
+
+        let mut sis_spec = registry::spec_for("routing-sis").unwrap().with_lambda(0.7);
+        sis_spec.substrate = dps_scenario::SubstrateConfig::RingRouting { nodes: 6, hops: 2 };
+        sis_spec.run.seed = 5;
+        sis_spec.run.frames = frame.slots; // frameless: one slot per frame
+        let sis = Scenario::from_spec(&sis_spec)
+            .unwrap()
+            .run_stream(1)
+            .unwrap();
+
+        assert!(frame.verdict.is_stable() && sis.verdict.is_stable());
+        let frame_latency = frame.report.latency_summary().mean;
+        let sis_latency = sis.report.latency_summary().mean;
         assert!(
             sis_latency * 5.0 < frame_latency,
             "SIS ({sis_latency}) should be far below the frame protocol ({frame_latency})"
@@ -138,27 +129,15 @@ mod tests {
 
     #[test]
     fn grid_is_stable_below_one_unstable_above() {
-        let setup = RoutingSetup::grid(3, 3);
+        let mut spec = registry::spec_for("grid-routing").unwrap();
+        spec.run.seed = 13;
+        spec.run.frames = 50;
         let probe = |lambda: f64, stream: u64| {
-            let mut run = dynamic_run(
-                GreedyPerLink::new(),
-                setup.network.significant_size(),
-                setup.network.num_links(),
-                lambda.min(0.95),
-            )
-            .unwrap();
-            let mut injector =
-                injector_at_rate(setup.routes.clone(), &setup.model, lambda).unwrap();
-            let slots = 50 * run.config.frame_len as u64;
-            run_and_classify(
-                &mut run.protocol,
-                &mut injector,
-                &setup.feasibility,
-                slots,
-                13,
-                stream,
-            )
-            .1
+            Scenario::from_spec(&spec.clone().with_lambda(lambda))
+                .unwrap()
+                .run_stream(stream)
+                .unwrap()
+                .verdict
         };
         assert!(probe(0.5, 0).is_stable());
         assert!(!probe(1.5, 1).is_stable());

@@ -3,7 +3,9 @@
 //! `λ < 1/f(m)`, and diverges beyond the capacity of its static
 //! algorithm.
 //!
-//! Two substrates exercise the same machinery:
+//! Two substrates exercise the same machinery, both driven through the
+//! declarative scenario API (`ring-routing` and `sinr-linear` registry
+//! presets swept over load):
 //!
 //! * packet routing (ring, `W = identity`, greedy per-link, `f = 1`);
 //! * SINR with linear powers (random instance, two-stage scheduler) — the
@@ -12,17 +14,9 @@
 //! For each relative load `λ/λ_max` the table reports the stability
 //! verdict, mean and final backlog, and mean delivery latency.
 
-use crate::setup::{dynamic_run, injector_at_rate, run_and_classify, single_hop_routes, verdict_cell};
 use crate::ExpConfig;
-use dps_core::staticsched::greedy::GreedyPerLink;
-use dps_core::staticsched::two_stage::TwoStageDecayScheduler;
-use dps_routing::workloads::RoutingSetup;
+use dps_scenario::{registry, Sweep};
 use dps_sim::table::{fmt3, Table};
-use dps_sinr::feasibility::SinrFeasibility;
-use dps_sinr::instances::random_instance;
-use dps_sinr::matrix::SinrInterference;
-use dps_sinr::params::SinrParams;
-use dps_sinr::power::LinearPower;
 
 /// Relative loads probed, as fractions of the scheduler's `1/f(m)`.
 ///
@@ -48,38 +42,32 @@ pub fn run(cfg: &ExpConfig) -> Vec<Table> {
 fn routing_table(cfg: &ExpConfig) -> Table {
     let mut table = Table::new(
         "E2a: stability vs load — ring packet routing (m = 8, 2-hop routes, f = 1)",
-        &["lambda/max", "lambda", "verdict", "mean backlog", "final backlog", "mean latency"],
+        &[
+            "lambda/max",
+            "lambda",
+            "verdict",
+            "mean backlog",
+            "final backlog",
+            "mean latency",
+        ],
     );
-    let setup = RoutingSetup::ring(8, 2).expect("valid ring setup");
-    let frames = if cfg.full { 200 } else { 50 };
-    for (row, &load) in ROUTING_LOADS.iter().enumerate() {
-        let lambda = load; // λ_max = 1 for greedy per-link
-        let lambda_cfg = lambda.min(0.95);
-        let mut run = dynamic_run(
-            GreedyPerLink::new(),
-            setup.network.significant_size(),
-            setup.network.num_links(),
-            lambda_cfg,
-        )
-        .expect("config for capped rate");
-        let mut injector =
-            injector_at_rate(setup.routes.clone(), &setup.model, lambda).expect("feasible rate");
-        let slots = frames * run.config.frame_len as u64;
-        let (report, verdict) = run_and_classify(
-            &mut run.protocol,
-            &mut injector,
-            &setup.feasibility,
-            slots,
-            cfg.seed,
-            row as u64,
-        );
+    let mut spec = registry::spec_for("ring-routing").expect("registry preset");
+    spec.run.seed = cfg.seed;
+    spec.run.frames = if cfg.full { 200 } else { 50 };
+    // Greedy per-link has λ_max = 1, so the relative loads are the rates.
+    let report = Sweep::new(spec)
+        .over_lambdas(ROUTING_LOADS)
+        .run()
+        .expect("routing sweep runs");
+    for cell in &report.cells {
+        let o = &cell.outcome;
         table.push_row(vec![
-            fmt3(load),
-            fmt3(lambda),
-            verdict_cell(&verdict),
-            fmt3(report.mean_backlog()),
-            report.final_backlog.to_string(),
-            fmt3(report.latency_summary().mean),
+            fmt3(o.lambda / o.lambda_max),
+            fmt3(o.lambda),
+            o.verdict_cell(),
+            fmt3(o.report.mean_backlog()),
+            o.report.final_backlog.to_string(),
+            fmt3(o.report.latency_summary().mean),
         ]);
     }
     table
@@ -98,38 +86,29 @@ fn sinr_table(cfg: &ExpConfig) -> Table {
             "mean latency",
         ],
     );
-    let m = 16;
-    let mut geo_rng = dps_core::rng::split_stream(cfg.seed, 999);
-    let params = SinrParams::default_noiseless();
-    let net = random_instance(m, 80.0, 1.0, 3.0, params, &mut geo_rng);
-    let scheduler = TwoStageDecayScheduler::new(m);
-    let model = SinrInterference::fixed_power(&net, &LinearPower::new(params.alpha));
-    let phy = SinrFeasibility::new(net.clone(), LinearPower::new(params.alpha));
-    let lambda_max = 1.0 / dps_core::staticsched::StaticScheduler::f_of(&scheduler, m);
-    let frames = if cfg.full { 60 } else { 25 };
-    for (row, &load) in SINR_LOADS.iter().enumerate() {
-        let lambda = load * lambda_max;
-        let lambda_cfg = lambda.min(0.8 * lambda_max);
-        let mut run = dynamic_run(scheduler, m, m, lambda_cfg).expect("config for capped rate");
-        let mut injector =
-            injector_at_rate(single_hop_routes(m), &model, lambda).expect("feasible rate");
-        let slots = frames * run.config.frame_len as u64;
-        let (report, verdict) = run_and_classify(
-            &mut run.protocol,
-            &mut injector,
-            &phy,
-            slots,
-            cfg.seed,
-            100 + row as u64,
-        );
+    let mut spec = registry::spec_for("sinr-linear").expect("registry preset");
+    spec.run.seed = cfg.seed;
+    spec.run.frames = if cfg.full { 60 } else { 25 };
+    // The geometry follows the CLI seed (distinct from the run streams),
+    // so different --seed values probe different random instances.
+    if let dps_scenario::SubstrateConfig::SinrRandom { seed, .. } = &mut spec.substrate {
+        *seed = cfg.seed.wrapping_add(999);
+    }
+    // The preset's λ is capacity-relative, so the loads sweep directly.
+    let report = Sweep::new(spec)
+        .over_lambdas(SINR_LOADS)
+        .run()
+        .expect("sinr sweep runs");
+    for cell in &report.cells {
+        let o = &cell.outcome;
         table.push_row(vec![
-            fmt3(load),
-            fmt3(lambda),
-            verdict_cell(&verdict),
-            fmt3(report.mean_backlog()),
-            report.final_backlog.to_string(),
-            fmt3(report.delivery_ratio()),
-            fmt3(report.latency_summary().mean),
+            fmt3(cell.point.lambda),
+            fmt3(o.lambda),
+            o.verdict_cell(),
+            fmt3(o.report.mean_backlog()),
+            o.report.final_backlog.to_string(),
+            fmt3(o.report.delivery_ratio()),
+            fmt3(o.report.latency_summary().mean),
         ]);
     }
     table
@@ -138,35 +117,24 @@ fn sinr_table(cfg: &ExpConfig) -> Table {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use dps_sim::stability::StabilityVerdict;
+    use dps_scenario::Scenario;
 
     /// The core qualitative claim on the cheap substrate: stable well below
     /// capacity, unstable well above.
     #[test]
     fn routing_threshold_behaviour() {
-        let setup = RoutingSetup::ring(6, 2).expect("valid setup");
-        let probe = |lambda: f64, lambda_cfg: f64, stream: u64| -> StabilityVerdict {
-            let mut run = dynamic_run(
-                GreedyPerLink::new(),
-                setup.network.significant_size(),
-                setup.network.num_links(),
-                lambda_cfg,
-            )
-            .unwrap();
-            let mut injector =
-                injector_at_rate(setup.routes.clone(), &setup.model, lambda).unwrap();
-            let slots = 50 * run.config.frame_len as u64;
-            let (_, verdict) = run_and_classify(
-                &mut run.protocol,
-                &mut injector,
-                &setup.feasibility,
-                slots,
-                7,
-                stream,
-            );
-            verdict
+        let mut spec = registry::spec_for("ring-routing").unwrap();
+        spec.substrate = dps_scenario::SubstrateConfig::RingRouting { nodes: 6, hops: 2 };
+        spec.run.seed = 7;
+        spec.run.frames = 50;
+        let probe = |lambda: f64, stream: u64| {
+            Scenario::from_spec(&spec.clone().with_lambda(lambda))
+                .unwrap()
+                .run_stream(stream)
+                .unwrap()
+                .verdict
         };
-        assert!(probe(0.5, 0.9, 0).is_stable());
-        assert!(!probe(1.4, 0.95, 1).is_stable());
+        assert!(probe(0.5, 0).is_stable());
+        assert!(!probe(1.4, 1).is_stable());
     }
 }

@@ -29,12 +29,9 @@ pub fn run(cfg: &ExpConfig) -> Vec<Table> {
     let generators: Vec<GeneratorSpec> = depths
         .iter()
         .map(|&d| {
-            let route = RoutePath::new(
-                &setup.network,
-                (0..d as u32).map(LinkId).collect(),
-            )
-            .expect("prefix of the line")
-            .shared();
+            let route = RoutePath::new(&setup.network, (0..d as u32).map(LinkId).collect())
+                .expect("prefix of the line")
+                .shared();
             GeneratorSpec::bernoulli(route, per_route_rate).expect("valid probability")
         })
         .collect();
@@ -66,7 +63,13 @@ pub fn run(cfg: &ExpConfig) -> Vec<Table> {
              predicts mean latency = O(d*T), i.e. a flat last column",
             run.config.frame_len
         ),
-        &["d", "delivered", "mean latency", "max latency", "latency/(d*T)"],
+        &[
+            "d",
+            "delivered",
+            "mean latency",
+            "max latency",
+            "latency/(d*T)",
+        ],
     );
     for &d in depths {
         let summary = report.latency_summary_for_path_len(d);

@@ -6,36 +6,30 @@
 //! Workload: single-hop ring routing under the four adversary shapes of
 //! [`dps_core::injection::adversarial`] — smooth, bursty, single-edge
 //! flooding, and round-robin — at relative loads below and above the
-//! threshold. The table reports the adversary's *effective* rate (measured
-//! by a window validator on the actual trace), the stability verdict and
-//! the mean latency (which includes the smoothing delays, as in the
-//! theorem).
+//! threshold, driven through the `adversarial-ring` scenario preset with
+//! the injection kind swapped per row. The table reports the adversary's
+//! *effective* rate (measured by the scenario runner's window validator
+//! on the actual trace), the stability verdict and the mean latency
+//! (which includes the smoothing delays, as in the theorem).
 
-use crate::setup::{dynamic_run, single_hop_routes, verdict_cell, ValidatingInjector};
 use crate::ExpConfig;
-use dps_core::dynamic::AdversarialWrapper;
-use dps_core::injection::adversarial::{
-    BurstyAdversary, RoundRobinAdversary, SingleEdgeAdversary, SmoothAdversary,
-};
-use dps_core::injection::Injector;
-use dps_core::interference::IdentityInterference;
-use dps_core::staticsched::greedy::GreedyPerLink;
-use dps_routing::workloads::RoutingSetup;
-use dps_sim::runner::{run_simulation, SimulationConfig};
-use dps_sim::stability::classify_stability;
+use dps_scenario::{registry, InjectionKind, Scenario};
 use dps_sim::table::{fmt3, Table};
+
+const KINDS: &[(InjectionKind, &str)] = &[
+    (InjectionKind::Smooth, "smooth"),
+    (InjectionKind::Bursty, "bursty"),
+    (InjectionKind::SingleEdge, "single-edge"),
+    (InjectionKind::RoundRobin, "round-robin"),
+];
 
 /// Runs E5.
 pub fn run(cfg: &ExpConfig) -> Vec<Table> {
-    let num_links = 8;
-    let setup = RoutingSetup::ring(num_links, 1).expect("valid ring");
     let w = 64;
-    let frames = if cfg.full { 150 } else { 50 };
     let loads: &[f64] = &[0.5, 0.9, 1.3];
-
     let mut table = Table::new(
         format!(
-            "E5: adversarial injection on ring routing (m = {num_links}, w = {w}); \
+            "E5: adversarial injection on ring routing (m = 8, w = {w}); \
              Theorem 11 predicts stability for every (w, lambda)-bounded adversary \
              with lambda < 1/f(m) = 1"
         ),
@@ -49,47 +43,26 @@ pub fn run(cfg: &ExpConfig) -> Vec<Table> {
         ],
     );
 
-    for &load in loads {
-        for kind in ["smooth", "bursty", "single-edge", "round-robin"] {
-            let model = IdentityInterference::new(num_links);
-            let routes = single_hop_routes(num_links);
-            let adversary: Box<dyn Injector> = match kind {
-                "smooth" => Box::new(SmoothAdversary::new(model, routes, w, load)),
-                "bursty" => Box::new(BurstyAdversary::new(model, routes, w, load)),
-                "single-edge" => {
-                    Box::new(SingleEdgeAdversary::new(model, routes[0].clone(), w, load))
-                }
-                _ => Box::new(RoundRobinAdversary::new(model, routes, w, load)),
-            };
-            let mut injector =
-                ValidatingInjector::new(adversary, IdentityInterference::new(num_links), w);
+    let mut base = registry::spec_for("adversarial-ring").expect("registry preset");
+    base.run.seed = cfg.seed;
+    base.run.frames = if cfg.full { 150 } else { 50 };
+    base.injection.window = w;
 
-            let lambda_cfg = load.min(0.95);
-            let run = dynamic_run(
-                GreedyPerLink::new(),
-                setup.network.significant_size(),
-                num_links,
-                lambda_cfg,
-            )
-            .expect("config for capped rate");
-            let t = run.config.frame_len;
-            let delay_max = 8;
-            let mut protocol = AdversarialWrapper::new(run.protocol, t, delay_max);
-            let slots = frames * t as u64;
-            let report = run_simulation(
-                &mut protocol,
-                &mut injector,
-                &setup.feasibility,
-                SimulationConfig::new(slots, cfg.seed),
-            );
-            let verdict = classify_stability(&report, 0.05);
+    for &load in loads {
+        for &(kind, name) in KINDS {
+            let mut spec = base.clone().with_lambda(load);
+            spec.injection.kind = kind;
+            let outcome = Scenario::from_spec(&spec)
+                .expect("valid spec")
+                .run()
+                .expect("run completes");
             table.push_row(vec![
-                kind.to_string(),
+                name.to_string(),
                 fmt3(load),
-                fmt3(injector.validator().effective_rate()),
-                verdict_cell(&verdict),
-                fmt3(report.mean_backlog()),
-                fmt3(report.latency_summary().mean),
+                fmt3(outcome.effective_rate.expect("adversarial runs validate")),
+                outcome.verdict_cell(),
+                fmt3(outcome.report.mean_backlog()),
+                fmt3(outcome.report.latency_summary().mean),
             ]);
         }
     }
@@ -102,28 +75,21 @@ mod tests {
 
     #[test]
     fn bursty_below_threshold_is_stable_and_bounded() {
-        let num_links = 4;
-        let setup = RoutingSetup::ring(num_links, 1).unwrap();
-        let w = 32;
-        let model = IdentityInterference::new(num_links);
-        let adversary =
-            BurstyAdversary::new(model, single_hop_routes(num_links), w, 0.6);
-        let mut injector =
-            ValidatingInjector::new(adversary, IdentityInterference::new(num_links), w);
-        let run = dynamic_run(GreedyPerLink::new(), num_links, num_links, 0.9).unwrap();
-        let t = run.config.frame_len;
-        let mut protocol = AdversarialWrapper::new(run.protocol, t, 4);
-        let report = run_simulation(
-            &mut protocol,
-            &mut injector,
-            &setup.feasibility,
-            SimulationConfig::new(60 * t as u64, 11),
-        );
-        let verdict = classify_stability(&report, 0.05);
-        assert!(verdict.is_stable(), "{verdict:?}");
+        let mut spec = registry::spec_for("adversarial-ring").unwrap();
+        spec.substrate = dps_scenario::SubstrateConfig::RingRouting { nodes: 4, hops: 1 };
+        spec.injection.kind = InjectionKind::Bursty;
+        spec.injection.window = 32;
+        spec.injection.lambda = 0.6;
+        spec.injection.delay_max = 4;
+        spec.run.seed = 11;
+        spec.run.frames = 60;
+        spec.run.provision_cap = 0.9;
+        let outcome = Scenario::from_spec(&spec).unwrap().run().unwrap();
+        assert!(outcome.verdict.is_stable(), "{:?}", outcome.verdict);
         // The adversary must actually be (w, 0.6)-bounded…
-        assert!(injector.validator().is_bounded(0.6 + 1e-9));
+        let effective = outcome.effective_rate.unwrap();
+        assert!(effective <= 0.6 + 1e-9, "effective rate {effective}");
         // …and must have injected a non-trivial amount.
-        assert!(injector.validator().effective_rate() > 0.2);
+        assert!(effective > 0.2, "effective rate {effective}");
     }
 }

@@ -14,7 +14,9 @@
 //! the mean latency at 50% — the *shape* to check is the `1/f(m)` column:
 //! flat for linear powers, shrinking like `1/log m` for the others.
 
-use crate::setup::{dynamic_run, injector_at_rate, run_and_classify, single_hop_routes, verdict_cell};
+use crate::setup::{
+    dynamic_run, injector_at_rate, run_and_classify, single_hop_routes, verdict_cell,
+};
 use crate::ExpConfig;
 use dps_core::feasibility::Feasibility;
 use dps_core::interference::InterferenceModel;
@@ -40,6 +42,7 @@ struct ProbeResult {
 
 /// Probes one scheduler/model/oracle combination at 50% and 75% of its
 /// theoretical maximum rate.
+#[allow(clippy::too_many_arguments)]
 fn probe<S, M, F>(
     scheduler: S,
     model: &M,
@@ -102,7 +105,11 @@ fn instance(m: usize, seed: u64) -> SinrNetwork {
 
 /// Runs E6.
 pub fn run(cfg: &ExpConfig) -> Vec<Table> {
-    let sizes: &[usize] = if cfg.full { &[16, 32, 64, 128] } else { &[16, 32] };
+    let sizes: &[usize] = if cfg.full {
+        &[16, 32, 64, 128]
+    } else {
+        &[16, 32]
+    };
     let frames = if cfg.full { 40 } else { 15 };
     let mut table = Table::new(
         "E6: SINR achievable rates vs network size m; Cor 12 predicts the \
@@ -222,7 +229,16 @@ mod tests {
         let linear = LinearPower::new(alpha);
         let model = SinrInterference::fixed_power(&net, &linear);
         let phy = SinrFeasibility::new(net.clone(), linear);
-        let r = probe(TwoStageDecayScheduler::new(m), &model, &phy, m, 12, false, 3, 1);
+        let r = probe(
+            TwoStageDecayScheduler::new(m),
+            &model,
+            &phy,
+            m,
+            12,
+            false,
+            3,
+            1,
+        );
         assert_eq!(r.verdict_50, "stable");
     }
 }

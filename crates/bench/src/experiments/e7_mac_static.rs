@@ -31,7 +31,10 @@ fn measure(scheduler: &SymmetricMacScheduler, n: usize, seed: u64) -> usize {
     let budget = 8 * scheduler.slots_needed(n as f64, n);
     let mut rng = split_stream(seed, n as u64);
     let result = run_static(scheduler, &reqs, n as f64, &feas, budget, &mut rng);
-    assert!(result.all_served(), "algorithm 2 must finish within 8x budget");
+    assert!(
+        result.all_served(),
+        "algorithm 2 must finish within 8x budget"
+    );
     result.slots_used
 }
 

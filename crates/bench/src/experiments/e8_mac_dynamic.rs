@@ -5,20 +5,36 @@
 //! `λ < 1` — the factor-`e` separation between anonymous stations and
 //! stations with identifiers.
 //!
-//! The table sweeps injection rates across both thresholds and reports the
-//! stability verdict of each protocol.
+//! Both protocols are the `mac-symmetric` / `mac-roundrobin` scenario
+//! presets; the table sweeps absolute injection rates across both
+//! thresholds and reports the stability verdict of each.
 
-use crate::setup::{dynamic_run, injector_at_rate, run_and_classify, single_hop_routes, verdict_cell};
 use crate::ExpConfig;
-use dps_core::feasibility::SingleChannelFeasibility;
-use dps_core::interference::CompleteInterference;
-use dps_core::staticsched::StaticScheduler;
-use dps_mac::algorithm2::SymmetricMacScheduler;
-use dps_mac::round_robin::RoundRobinWithholding;
+use dps_scenario::{registry, ProtocolConfig, Scenario, ScenarioSpec, SubstrateConfig};
 use dps_sim::table::{fmt3, Table};
 
-fn probe<S: StaticScheduler + Clone + 'static>(
-    scheduler: S,
+fn mac_spec(
+    protocol: ProtocolConfig,
+    m: usize,
+    lambda: f64,
+    provision_cap: f64,
+    frames: u64,
+    seed: u64,
+) -> ScenarioSpec {
+    let mut spec = registry::spec_for("mac-symmetric").expect("registry preset");
+    spec.substrate = SubstrateConfig::Mac { stations: m };
+    spec.protocol = protocol;
+    // Absolute rates here: the sweep crosses both protocols' thresholds.
+    spec.injection.relative = false;
+    spec.injection.lambda = lambda;
+    spec.run.frames = frames;
+    spec.run.seed = seed;
+    spec.run.provision_cap = provision_cap;
+    spec
+}
+
+fn probe(
+    protocol: ProtocolConfig,
     m: usize,
     lambda: f64,
     max_cfg_fraction: f64,
@@ -26,30 +42,33 @@ fn probe<S: StaticScheduler + Clone + 'static>(
     seed: u64,
     stream: u64,
 ) -> (String, f64) {
-    let lambda_max = 1.0 / scheduler.f_of(m);
     // Frame length grows as Θ(overhead/ε²); schedulers with a large
     // additive term (Algorithm 2's tail) cap the provisioning rate lower
     // so near-threshold rows stay cheap to simulate, while the low-overhead
     // Round-Robin-Withholding can be provisioned at 95% of capacity.
-    let lambda_cfg = lambda.min(max_cfg_fraction * lambda_max);
-    let mut run = dynamic_run(scheduler, m, m, lambda_cfg).expect("capped rate configures");
-    let model = CompleteInterference::new(m);
-    let mut injector =
-        injector_at_rate(single_hop_routes(m), &model, lambda).expect("feasible rate");
-    let phy = SingleChannelFeasibility::new();
-    let slots = frames * run.config.frame_len as u64;
-    let (report, verdict) =
-        run_and_classify(&mut run.protocol, &mut injector, &phy, slots, seed, stream);
-    (verdict_cell(&verdict), report.latency_summary().mean)
+    let spec = mac_spec(protocol, m, lambda, max_cfg_fraction, frames, seed);
+    let outcome = Scenario::from_spec(&spec)
+        .expect("valid spec")
+        .run_stream(stream)
+        .expect("run completes");
+    (
+        outcome.verdict_cell(),
+        outcome.report.latency_summary().mean,
+    )
 }
 
 /// Runs E8.
 pub fn run(cfg: &ExpConfig) -> Vec<Table> {
     let m = 8;
     let delta = 0.5;
-    let symmetric = SymmetricMacScheduler::new(delta, 1.0);
-    let asymmetric = RoundRobinWithholding::new(m);
-    let sym_max = 1.0 / symmetric.f_of(m);
+    let symmetric = ProtocolConfig::FrameMacSymmetric { delta };
+    let asymmetric = ProtocolConfig::FrameMacRoundRobin;
+    // The threshold comes from the scheduler itself, not a re-derived
+    // formula, so the table stays truthful if f(m) is ever adjusted.
+    let sym_max = {
+        use dps_core::staticsched::StaticScheduler;
+        1.0 / dps_mac::algorithm2::SymmetricMacScheduler::new(delta, 1.0).f_of(m)
+    };
     let frames = if cfg.full { 120 } else { 40 };
 
     let mut table = Table::new(
@@ -58,7 +77,12 @@ pub fn run(cfg: &ExpConfig) -> Vec<Table> {
              1/(1+delta)e = {sym_max:.3} (Cor 16, -> 1/e as delta -> 0), \
              asymmetric threshold 1 (Cor 18)"
         ),
-        &["lambda", "lambda/(1/e)", "symmetric verdict", "asymmetric verdict"],
+        &[
+            "lambda",
+            "lambda/(1/e)",
+            "symmetric verdict",
+            "asymmetric verdict",
+        ],
     );
     let inv_e = 1.0 / std::f64::consts::E;
     let rates: &[f64] = &[
@@ -75,10 +99,24 @@ pub fn run(cfg: &ExpConfig) -> Vec<Table> {
     // sweep fast while the stable region is still demonstrated.
     let sym_cap = if cfg.full { 0.85 } else { 0.7 };
     for (i, &lambda) in rates.iter().enumerate() {
-        let (sym_verdict, _) =
-            probe(symmetric, m, lambda, sym_cap, frames, cfg.seed, i as u64);
-        let (asym_verdict, _) =
-            probe(asymmetric, m, lambda, 0.95, frames, cfg.seed, 100 + i as u64);
+        let (sym_verdict, _) = probe(
+            symmetric.clone(),
+            m,
+            lambda,
+            sym_cap,
+            frames,
+            cfg.seed,
+            i as u64,
+        );
+        let (asym_verdict, _) = probe(
+            asymmetric.clone(),
+            m,
+            lambda,
+            0.95,
+            frames,
+            cfg.seed,
+            100 + i as u64,
+        );
         table.push_row(vec![
             fmt3(lambda),
             fmt3(lambda / inv_e),
@@ -96,16 +134,17 @@ mod tests {
     #[test]
     fn symmetric_threshold_separates_from_asymmetric() {
         let m = 6;
+        let sym = || ProtocolConfig::FrameMacSymmetric { delta: 0.5 };
         // Far below 1/e: both stable.
-        let (sym, _) = probe(SymmetricMacScheduler::new(0.5, 1.0), m, 0.1, 0.8, 40, 3, 0);
-        let (asym, _) = probe(RoundRobinWithholding::new(m), m, 0.1, 0.95, 40, 3, 1);
-        assert_eq!(sym, "stable");
-        assert_eq!(asym, "stable");
+        let (s, _) = probe(sym(), m, 0.1, 0.8, 40, 3, 0);
+        let (a, _) = probe(ProtocolConfig::FrameMacRoundRobin, m, 0.1, 0.95, 40, 3, 1);
+        assert_eq!(s, "stable");
+        assert_eq!(a, "stable");
         // Between the thresholds (0.6 > 1/(1+δ)e ≈ 0.245, < 1): only the
         // asymmetric protocol survives.
-        let (sym, _) = probe(SymmetricMacScheduler::new(0.5, 1.0), m, 0.6, 0.7, 40, 3, 2);
-        let (asym, _) = probe(RoundRobinWithholding::new(m), m, 0.6, 0.95, 40, 3, 3);
-        assert!(sym.contains("UNSTABLE"), "symmetric at 0.6: {sym}");
-        assert_eq!(asym, "stable", "asymmetric at 0.6");
+        let (s, _) = probe(sym(), m, 0.6, 0.7, 40, 3, 2);
+        let (a, _) = probe(ProtocolConfig::FrameMacRoundRobin, m, 0.6, 0.95, 40, 3, 3);
+        assert!(s.contains("UNSTABLE"), "symmetric at 0.6: {s}");
+        assert_eq!(a, "stable", "asymmetric at 0.6");
     }
 }

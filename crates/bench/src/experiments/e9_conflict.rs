@@ -11,7 +11,9 @@
 //! comparison. A final dynamic probe confirms stability at half the
 //! transformed algorithm's rate.
 
-use crate::setup::{dynamic_run, injector_at_rate, run_and_classify, single_hop_routes, verdict_cell};
+use crate::setup::{
+    dynamic_run, injector_at_rate, run_and_classify, single_hop_routes, verdict_cell,
+};
 use crate::ExpConfig;
 use dps_conflict::coloring::GreedyColoringScheduler;
 use dps_conflict::feasibility::IndependentSetFeasibility;

@@ -1,11 +1,15 @@
-//! Shared experiment plumbing: assembling injectors, frame configurations
-//! and dynamic protocols, and running them to a report.
+//! Thin shims over [`dps_scenario`] for the experiments that still wire
+//! components by hand (E1, E3, E4, E6, E7, E9, E10 drive protocol
+//! internals no declarative spec exposes).
+//!
+//! New workloads should not use this module: describe a
+//! [`dps_scenario::ScenarioSpec`] (or implement the factory traits) and
+//! run it — see E2/E5/E8/E11 for the pattern.
 
 use dps_core::dynamic::{DynamicProtocol, FrameConfig};
 use dps_core::error::ModelError;
 use dps_core::feasibility::Feasibility;
-use dps_core::ids::LinkId;
-use dps_core::injection::stochastic::{uniform_generators, StochasticInjector};
+use dps_core::injection::stochastic::StochasticInjector;
 use dps_core::injection::Injector;
 use dps_core::interference::InterferenceModel;
 use dps_core::path::RoutePath;
@@ -15,15 +19,13 @@ use dps_sim::runner::{run_simulation, SimulationConfig, SimulationReport};
 use dps_sim::stability::{classify_stability, StabilityVerdict};
 use std::sync::Arc;
 
-/// One single-hop route per link.
-pub fn single_hop_routes(num_links: usize) -> Vec<Arc<RoutePath>> {
-    (0..num_links as u32)
-        .map(|l| RoutePath::single_hop(LinkId(l)).shared())
-        .collect()
-}
+pub use dps_scenario::injector::ValidatingInjector;
+pub use dps_scenario::scenario::verdict_cell;
+pub use dps_scenario::substrate::single_hop_routes;
 
 /// Builds a stochastic injector over `routes` whose rate under `model` is
-/// exactly `lambda`.
+/// exactly `lambda`. Delegates to
+/// [`dps_scenario::injector::stochastic_at_rate`].
 ///
 /// # Errors
 ///
@@ -34,7 +36,10 @@ pub fn injector_at_rate<M: InterferenceModel + ?Sized>(
     model: &M,
     lambda: f64,
 ) -> Result<StochasticInjector, ModelError> {
-    uniform_generators(routes, 0.01)?.scaled_to_rate(model, lambda)
+    dps_scenario::injector::stochastic_at_rate(model, routes, lambda).map_err(|e| match e {
+        dps_scenario::ScenarioError::Model(e) => e,
+        other => ModelError::InvalidConfig(other.to_string()),
+    })
 }
 
 /// Everything a dynamic-protocol run needs, pre-assembled.
@@ -87,51 +92,6 @@ where
     (report, verdict)
 }
 
-/// Wraps an injector and records its trace into a
-/// [`dps_core::injection::adversarial::WindowValidator`], so experiments
-/// can report the *effective* `(w, λ)` rate an adversary achieved.
-pub struct ValidatingInjector<I, M: InterferenceModel> {
-    inner: I,
-    validator: dps_core::injection::adversarial::WindowValidator<M>,
-}
-
-impl<I: Injector, M: InterferenceModel> ValidatingInjector<I, M> {
-    /// Wraps `inner`, validating under `model` with window length `w`.
-    pub fn new(inner: I, model: M, w: usize) -> Self {
-        ValidatingInjector {
-            inner,
-            validator: dps_core::injection::adversarial::WindowValidator::new(model, w),
-        }
-    }
-
-    /// The recorded validator.
-    pub fn validator(&self) -> &dps_core::injection::adversarial::WindowValidator<M> {
-        &self.validator
-    }
-}
-
-impl<I: Injector, M: InterferenceModel> Injector for ValidatingInjector<I, M> {
-    fn inject(
-        &mut self,
-        slot: u64,
-        rng: &mut dyn rand::RngCore,
-    ) -> Vec<Arc<RoutePath>> {
-        let injected = self.inner.inject(slot, rng);
-        self.validator
-            .record_slot(injected.iter().map(|p| p.as_ref()));
-        injected
-    }
-}
-
-/// Renders a verdict as a table cell.
-pub fn verdict_cell(verdict: &StabilityVerdict) -> String {
-    match verdict {
-        StabilityVerdict::Stable { .. } => "stable".to_string(),
-        StabilityVerdict::Unstable { slope } => format!("UNSTABLE ({slope:+.3}/slot)"),
-        StabilityVerdict::Inconclusive => "inconclusive".to_string(),
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -153,8 +113,7 @@ mod tests {
         let mut inj = injector_at_rate(single_hop_routes(2), &model, 0.5).unwrap();
         let phy = PerLinkFeasibility::new(2);
         let slots = 40 * run.config.frame_len as u64;
-        let (report, verdict) =
-            run_and_classify(&mut run.protocol, &mut inj, &phy, slots, 1, 0);
+        let (report, verdict) = run_and_classify(&mut run.protocol, &mut inj, &phy, slots, 1, 0);
         assert!(report.injected > 0);
         assert!(verdict.is_stable(), "{verdict:?}");
     }

@@ -1,0 +1,307 @@
+//! Minimal in-tree stand-in for the
+//! [`criterion`](https://crates.io/crates/criterion) benchmark harness,
+//! used because this build environment has no network access to crates.io.
+//!
+//! It keeps criterion's API shape (`criterion_group!`, benchmark groups,
+//! `Bencher::iter`) and reports median per-iteration wall-clock times to
+//! stdout. There is no statistical regression analysis or HTML report;
+//! numbers are good enough for the relative comparisons the workspace's
+//! benches make (e.g. boxed-vs-direct overhead).
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+use std::fmt::Display;
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier, re-exported from `std::hint`.
+pub fn black_box<T>(value: T) -> T {
+    std_black_box(value)
+}
+
+/// Throughput annotation for a benchmark (reported, not analysed).
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Identifier of one benchmark within a group.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// An id composed of a function name and a parameter value.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            name: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    /// An id from a parameter value alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            name: parameter.to_string(),
+        }
+    }
+}
+
+/// The measurement driver handed to benchmark closures.
+pub struct Bencher {
+    /// Median per-iteration time of the last `iter` call.
+    last_median: Duration,
+    measurement_time: Duration,
+}
+
+impl Bencher {
+    /// Times `routine`, storing the median per-iteration duration.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up and calibration: find an iteration count lasting ~1ms.
+        let mut iters_per_batch = 1u64;
+        loop {
+            let start = Instant::now();
+            for _ in 0..iters_per_batch {
+                std_black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= Duration::from_millis(1) || iters_per_batch >= 1 << 24 {
+                break;
+            }
+            iters_per_batch *= 4;
+        }
+        // Measure batches until the measurement budget is exhausted.
+        let mut samples: Vec<Duration> = Vec::new();
+        let budget_start = Instant::now();
+        while budget_start.elapsed() < self.measurement_time || samples.len() < 5 {
+            let start = Instant::now();
+            for _ in 0..iters_per_batch {
+                std_black_box(routine());
+            }
+            samples.push(start.elapsed() / iters_per_batch as u32);
+            if samples.len() >= 200 {
+                break;
+            }
+        }
+        samples.sort();
+        self.last_median = samples[samples.len() / 2];
+    }
+
+    /// Like `iter`, with a per-batch setup closure whose time is excluded
+    /// only approximately (setup runs once per sample batch).
+    pub fn iter_with_setup<S, O, I, R>(&mut self, mut setup: S, mut routine: R)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let mut samples: Vec<Duration> = Vec::new();
+        let budget_start = Instant::now();
+        while budget_start.elapsed() < self.measurement_time || samples.len() < 5 {
+            let input = setup();
+            let start = Instant::now();
+            std_black_box(routine(input));
+            samples.push(start.elapsed());
+            if samples.len() >= 200 {
+                break;
+            }
+        }
+        samples.sort();
+        self.last_median = samples[samples.len() / 2];
+    }
+}
+
+fn format_duration(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos < 1_000 {
+        format!("{nanos} ns")
+    } else if nanos < 1_000_000 {
+        format!("{:.2} µs", nanos as f64 / 1e3)
+    } else if nanos < 1_000_000_000 {
+        format!("{:.2} ms", nanos as f64 / 1e6)
+    } else {
+        format!("{:.2} s", nanos as f64 / 1e9)
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the nominal sample count (scales the measurement budget).
+    pub fn sample_size(&mut self, samples: usize) -> &mut Self {
+        // Map criterion's default of 100 samples onto our default budget.
+        self.criterion.measurement_time =
+            Duration::from_millis((3 * samples as u64).clamp(30, 2000));
+        self
+    }
+
+    /// Sets the measurement time per benchmark.
+    pub fn measurement_time(&mut self, time: Duration) -> &mut Self {
+        self.criterion.measurement_time = time;
+        self
+    }
+
+    /// Annotates subsequent benchmarks with a throughput.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Runs one benchmark with an input value.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut routine: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut bencher = Bencher {
+            last_median: Duration::ZERO,
+            measurement_time: self.criterion.measurement_time,
+        };
+        routine(&mut bencher, input);
+        self.report(&id.name, bencher.last_median);
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut routine: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut bencher = Bencher {
+            last_median: Duration::ZERO,
+            measurement_time: self.criterion.measurement_time,
+        };
+        routine(&mut bencher);
+        self.report(&id, bencher.last_median);
+        self
+    }
+
+    fn report(&self, id: &str, median: Duration) {
+        let mut line = format!("{}/{id}: {}", self.name, format_duration(median));
+        if let Some(throughput) = self.throughput {
+            let (count, unit) = match throughput {
+                Throughput::Elements(n) => (n, "elem"),
+                Throughput::Bytes(n) => (n, "B"),
+            };
+            if median > Duration::ZERO {
+                let per_sec = count as f64 / median.as_secs_f64();
+                line.push_str(&format!("  ({per_sec:.3e} {unit}/s)"));
+            }
+        }
+        println!("{line}");
+    }
+
+    /// Finishes the group.
+    pub fn finish(self) {}
+}
+
+/// The top-level benchmark driver.
+pub struct Criterion {
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // Short default budget: CI runs every bench binary.
+        let measurement_time = std::env::var("CRITERION_MEASUREMENT_MS")
+            .ok()
+            .and_then(|v| v.parse::<u64>().ok())
+            .map(Duration::from_millis)
+            .unwrap_or_else(|| Duration::from_millis(300));
+        Criterion { measurement_time }
+    }
+}
+
+impl Criterion {
+    /// Opens a benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            criterion: self,
+            throughput: None,
+        }
+    }
+
+    /// Runs one stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, id: &str, mut routine: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher {
+            last_median: Duration::ZERO,
+            measurement_time: self.measurement_time,
+        };
+        routine(&mut bencher);
+        println!("{id}: {}", format_duration(bencher.last_median));
+        self
+    }
+}
+
+/// Declares a group of benchmark functions; mirrors
+/// `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the benchmark entry point; mirrors
+/// `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        let mut group = c.benchmark_group("shim");
+        group.sample_size(10);
+        group.throughput(Throughput::Elements(64));
+        group.bench_with_input(BenchmarkId::new("sum", 64), &64u64, |b, &n| {
+            b.iter(|| (0..n).sum::<u64>())
+        });
+        group.finish();
+    }
+
+    criterion_group!(shim_benches, sample_bench);
+
+    #[test]
+    fn group_runs_and_reports() {
+        std::env::set_var("CRITERION_MEASUREMENT_MS", "5");
+        shim_benches();
+    }
+
+    #[test]
+    fn bencher_measures_nonzero_time() {
+        let mut bencher = Bencher {
+            last_median: Duration::ZERO,
+            measurement_time: Duration::from_millis(5),
+        };
+        bencher.iter(|| std::hint::black_box((0..1000u64).sum::<u64>()));
+        assert!(bencher.last_median > Duration::ZERO);
+    }
+}

@@ -1,0 +1,454 @@
+//! Minimal in-tree stand-in for the [`serde`](https://serde.rs) crate,
+//! used because this build environment has no network access to crates.io.
+//!
+//! Unlike real serde's zero-copy visitor architecture, this shim routes
+//! everything through a self-describing [`Value`] tree — `Serialize`
+//! produces a `Value`, `Deserialize` consumes one. The `derive` feature
+//! re-exports the in-tree `serde_derive` proc-macros generating those two
+//! impls for structs. Text formats live in the [`json`] and [`toml`]
+//! modules.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod json;
+pub mod toml;
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+
+/// A self-describing serialized value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    /// Absence of a value (JSON `null`).
+    Null,
+    /// A boolean.
+    Bool(bool),
+    /// A signed integer.
+    I64(i64),
+    /// An unsigned integer (used when the value exceeds `i64::MAX`).
+    U64(u64),
+    /// A float.
+    F64(f64),
+    /// A string.
+    Str(String),
+    /// A sequence.
+    Seq(Vec<Value>),
+    /// A map with string keys, preserving insertion order.
+    Map(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Looks up a key in a map value.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Map(entries) => entries.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The value as a bool.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The value as an `i64` (accepting any integer representation).
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::I64(x) => Some(*x),
+            Value::U64(x) => i64::try_from(*x).ok(),
+            _ => None,
+        }
+    }
+
+    /// The value as a `u64` (accepting any non-negative integer).
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::I64(x) => u64::try_from(*x).ok(),
+            Value::U64(x) => Some(*x),
+            _ => None,
+        }
+    }
+
+    /// The value as an `f64` (accepting any numeric representation).
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::I64(x) => Some(*x as f64),
+            Value::U64(x) => Some(*x as f64),
+            Value::F64(x) => Some(*x),
+            _ => None,
+        }
+    }
+
+    /// The value as a string slice.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as a sequence.
+    pub fn as_seq(&self) -> Option<&[Value]> {
+        match self {
+            Value::Seq(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The value as map entries.
+    pub fn as_map(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Map(entries) => Some(entries),
+            _ => None,
+        }
+    }
+
+    /// A short description of the value's kind, for error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::I64(_) | Value::U64(_) => "integer",
+            Value::F64(_) => "float",
+            Value::Str(_) => "string",
+            Value::Seq(_) => "sequence",
+            Value::Map(_) => "map",
+        }
+    }
+}
+
+/// A (de)serialization error.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Error {
+    message: String,
+}
+
+impl Error {
+    /// Creates an error from a message.
+    pub fn custom(message: impl Into<String>) -> Self {
+        Error {
+            message: message.into(),
+        }
+    }
+
+    /// A "missing field" error.
+    pub fn missing_field(name: &str) -> Self {
+        Error::custom(format!("missing field `{name}`"))
+    }
+
+    /// A type-mismatch error.
+    pub fn expected(what: &str, got: &Value) -> Self {
+        Error::custom(format!("expected {what}, got {}", got.kind()))
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Types that can be serialized into a [`Value`].
+pub trait Serialize {
+    /// Serializes `self`.
+    fn to_value(&self) -> Value;
+}
+
+/// Types that can be deserialized from a [`Value`].
+pub trait Deserialize: Sized {
+    /// Deserializes from `value`.
+    fn from_value(value: &Value) -> Result<Self, Error>;
+
+    /// The value to use when a struct field is absent (`None` makes
+    /// absence an error; `Option<T>` overrides this to permit it).
+    fn absent() -> Option<Self> {
+        None
+    }
+}
+
+/// Deserializes the field `name` of a map value, honouring
+/// [`Deserialize::absent`] for missing keys. Used by the derive macro.
+pub fn de_field<T: Deserialize>(value: &Value, name: &str) -> Result<T, Error> {
+    match value.get(name) {
+        Some(field) => {
+            T::from_value(field).map_err(|e| Error::custom(format!("field `{name}`: {e}")))
+        }
+        None => T::absent().ok_or_else(|| Error::missing_field(name)),
+    }
+}
+
+macro_rules! impl_serde_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                if *self as u64 <= i64::MAX as u64 {
+                    Value::I64(*self as i64)
+                } else {
+                    Value::U64(*self as u64)
+                }
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(value: &Value) -> Result<Self, Error> {
+                let raw = value.as_u64().ok_or_else(|| Error::expected("unsigned integer", value))?;
+                <$t>::try_from(raw).map_err(|_| Error::custom(format!("{raw} out of range")))
+            }
+        }
+    )*};
+}
+
+impl_serde_unsigned!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_serde_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::I64(*self as i64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(value: &Value) -> Result<Self, Error> {
+                let raw = value.as_i64().ok_or_else(|| Error::expected("integer", value))?;
+                <$t>::try_from(raw).map_err(|_| Error::custom(format!("{raw} out of range")))
+            }
+        }
+    )*};
+}
+
+impl_serde_signed!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::F64(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        value
+            .as_f64()
+            .ok_or_else(|| Error::expected("number", value))
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::F64(*self as f64)
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        value
+            .as_f64()
+            .map(|x| x as f32)
+            .ok_or_else(|| Error::expected("number", value))
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        value
+            .as_bool()
+            .ok_or_else(|| Error::expected("bool", value))
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        value
+            .as_str()
+            .map(str::to_string)
+            .ok_or_else(|| Error::expected("string", value))
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        value
+            .as_seq()
+            .ok_or_else(|| Error::expected("sequence", value))?
+            .iter()
+            .map(T::from_value)
+            .collect()
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(inner) => inner.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+
+    fn absent() -> Option<Self> {
+        Some(None)
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        T::from_value(value).map(Box::new)
+    }
+}
+
+impl<V: Serialize> Serialize for HashMap<String, V> {
+    fn to_value(&self) -> Value {
+        let mut entries: Vec<(String, Value)> = self
+            .iter()
+            .map(|(k, v)| (k.clone(), v.to_value()))
+            .collect();
+        entries.sort_by(|a, b| a.0.cmp(&b.0));
+        Value::Map(entries)
+    }
+}
+
+impl<V: Deserialize> Deserialize for HashMap<String, V> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        value
+            .as_map()
+            .ok_or_else(|| Error::expected("map", value))?
+            .iter()
+            .map(|(k, v)| Ok((k.clone(), V::from_value(v)?)))
+            .collect()
+    }
+}
+
+impl<V: Serialize> Serialize for BTreeMap<String, V> {
+    fn to_value(&self) -> Value {
+        Value::Map(
+            self.iter()
+                .map(|(k, v)| (k.clone(), v.to_value()))
+                .collect(),
+        )
+    }
+}
+
+impl<V: Deserialize> Deserialize for BTreeMap<String, V> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        value
+            .as_map()
+            .ok_or_else(|| Error::expected("map", value))?
+            .iter()
+            .map(|(k, v)| Ok((k.clone(), V::from_value(v)?)))
+            .collect()
+    }
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        Ok(value.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        assert_eq!(u32::from_value(&42u32.to_value()).unwrap(), 42);
+        assert_eq!(i64::from_value(&(-7i64).to_value()).unwrap(), -7);
+        assert_eq!(f64::from_value(&1.5f64.to_value()).unwrap(), 1.5);
+        assert!(bool::from_value(&true.to_value()).unwrap());
+        assert_eq!(
+            String::from_value(&"hi".to_string().to_value()).unwrap(),
+            "hi"
+        );
+    }
+
+    #[test]
+    fn numeric_coercions() {
+        // An integer-written value deserializes as f64.
+        assert_eq!(f64::from_value(&Value::I64(3)).unwrap(), 3.0);
+        // A negative integer does not deserialize as unsigned.
+        assert!(u32::from_value(&Value::I64(-1)).is_err());
+    }
+
+    #[test]
+    fn vec_and_option() {
+        let v = vec![1u32, 2, 3];
+        assert_eq!(Vec::<u32>::from_value(&v.to_value()).unwrap(), v);
+        assert_eq!(Option::<u32>::from_value(&Value::Null).unwrap(), None);
+        assert_eq!(Option::<u32>::from_value(&Value::I64(5)).unwrap(), Some(5));
+        assert_eq!(Option::<u32>::absent(), Some(None));
+        assert_eq!(u32::absent(), None);
+    }
+
+    #[test]
+    fn de_field_reports_missing_and_nested_errors() {
+        let map = Value::Map(vec![("a".into(), Value::I64(1))]);
+        assert_eq!(de_field::<u32>(&map, "a").unwrap(), 1);
+        assert!(de_field::<u32>(&map, "b").is_err());
+        assert_eq!(de_field::<Option<u32>>(&map, "b").unwrap(), None);
+        let err = de_field::<u32>(&map, "a").unwrap();
+        assert_eq!(err, 1);
+    }
+}

@@ -1,0 +1,467 @@
+//! TOML rendering and parsing for [`Value`](crate::Value) trees.
+//!
+//! Covers the TOML subset declarative specs in this workspace use: tables
+//! and nested tables (`[a]`, `[a.b]`), arrays of tables (`[[a]]`), bare
+//! keys, strings, booleans, integers, floats, single-line arrays and
+//! inline tables, plus `#` comments.
+
+use crate::json::write_json_string;
+use crate::{Deserialize, Error, Serialize, Value};
+use std::fmt::Write as _;
+
+/// Serializes `value` as TOML. The top-level value must be a map.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> String {
+    let value = value.to_value();
+    let mut out = String::new();
+    match &value {
+        Value::Map(_) => write_table(&mut out, &value, &mut Vec::new()),
+        other => {
+            // Not representable as a TOML document; wrap for debugging.
+            let _ = write!(out, "# non-table value\nvalue = ");
+            write_scalar(&mut out, other);
+            out.push('\n');
+        }
+    }
+    out
+}
+
+/// Parses TOML text into a `T`.
+///
+/// # Errors
+///
+/// Returns [`Error`] on malformed TOML or on a shape `T` rejects.
+pub fn from_str<T: Deserialize>(text: &str) -> Result<T, Error> {
+    T::from_value(&parse(text)?)
+}
+
+fn is_scalar(value: &Value) -> bool {
+    !matches!(value, Value::Map(_)) && !is_seq_of_maps(value)
+}
+
+fn is_seq_of_maps(value: &Value) -> bool {
+    match value {
+        Value::Seq(items) => !items.is_empty() && items.iter().all(|v| matches!(v, Value::Map(_))),
+        _ => false,
+    }
+}
+
+fn write_table(out: &mut String, table: &Value, path: &mut Vec<String>) {
+    let entries = table.as_map().expect("tables are maps");
+    // Scalar entries first (they belong to the current table header).
+    for (key, value) in entries.iter().filter(|(_, v)| is_scalar(v)) {
+        write_key(out, key);
+        out.push_str(" = ");
+        write_scalar(out, value);
+        out.push('\n');
+    }
+    // Sub-tables and arrays of tables after.
+    for (key, value) in entries.iter().filter(|(_, v)| !is_scalar(v)) {
+        path.push(key.clone());
+        if is_seq_of_maps(value) {
+            for item in value.as_seq().expect("seq") {
+                if !out.is_empty() {
+                    out.push('\n');
+                }
+                let _ = writeln!(out, "[[{}]]", join_path(path));
+                write_table(out, item, path);
+            }
+        } else {
+            if !out.is_empty() {
+                out.push('\n');
+            }
+            let _ = writeln!(out, "[{}]", join_path(path));
+            write_table(out, value, path);
+        }
+        path.pop();
+    }
+}
+
+fn join_path(path: &[String]) -> String {
+    path.iter()
+        .map(|segment| {
+            if is_bare_key(segment) {
+                segment.clone()
+            } else {
+                let mut quoted = String::new();
+                write_json_string(&mut quoted, segment);
+                quoted
+            }
+        })
+        .collect::<Vec<_>>()
+        .join(".")
+}
+
+fn is_bare_key(key: &str) -> bool {
+    !key.is_empty()
+        && key
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '-')
+}
+
+fn write_key(out: &mut String, key: &str) {
+    if is_bare_key(key) {
+        out.push_str(key);
+    } else {
+        write_json_string(out, key);
+    }
+}
+
+fn write_scalar(out: &mut String, value: &Value) {
+    match value {
+        Value::Null => out.push_str("\"\""),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::I64(x) => {
+            let _ = write!(out, "{x}");
+        }
+        Value::U64(x) => {
+            let _ = write!(out, "{x}");
+        }
+        Value::F64(x) => crate::json::write_f64(out, *x),
+        Value::Str(s) => write_json_string(out, s),
+        Value::Seq(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                write_scalar(out, item);
+            }
+            out.push(']');
+        }
+        Value::Map(entries) => {
+            out.push_str("{ ");
+            for (i, (key, item)) in entries.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                write_key(out, key);
+                out.push_str(" = ");
+                write_scalar(out, item);
+            }
+            out.push_str(" }");
+        }
+    }
+}
+
+/// Parses TOML text into a [`Value`].
+///
+/// # Errors
+///
+/// Returns [`Error`] on malformed input.
+pub fn parse(text: &str) -> Result<Value, Error> {
+    let mut root: Vec<(String, Value)> = Vec::new();
+    // Path of the table the current `key = value` lines land in.
+    let mut current: Vec<String> = Vec::new();
+    for (lineno, raw_line) in text.lines().enumerate() {
+        let line = strip_comment(raw_line).trim();
+        if line.is_empty() {
+            continue;
+        }
+        let err = |msg: &str| Error::custom(format!("TOML line {}: {msg}", lineno + 1));
+        if let Some(header) = line.strip_prefix("[[") {
+            let header = header
+                .strip_suffix("]]")
+                .ok_or_else(|| err("unterminated [[table]] header"))?;
+            current = parse_key_path(header).map_err(|e| err(&e.to_string()))?;
+            push_array_table(&mut root, &current).map_err(|e| err(&e.to_string()))?;
+        } else if let Some(header) = line.strip_prefix('[') {
+            let header = header
+                .strip_suffix(']')
+                .ok_or_else(|| err("unterminated [table] header"))?;
+            current = parse_key_path(header).map_err(|e| err(&e.to_string()))?;
+            ensure_table(&mut root, &current).map_err(|e| err(&e.to_string()))?;
+        } else {
+            let (key, value_text) = line
+                .split_once('=')
+                .ok_or_else(|| err("expected `key = value`"))?;
+            let key = parse_single_key(key.trim()).map_err(|e| err(&e.to_string()))?;
+            let value = parse_value(value_text.trim()).map_err(|e| err(&e.to_string()))?;
+            insert(&mut root, &current, key, value).map_err(|e| err(&e.to_string()))?;
+        }
+    }
+    Ok(Value::Map(root))
+}
+
+fn strip_comment(line: &str) -> &str {
+    let mut in_string = false;
+    let mut escaped = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '\\' if in_string => {
+                escaped = !escaped;
+                continue;
+            }
+            '"' if !escaped => in_string = !in_string,
+            '#' if !in_string => return &line[..i],
+            _ => {}
+        }
+        escaped = false;
+    }
+    line
+}
+
+fn parse_key_path(text: &str) -> Result<Vec<String>, Error> {
+    text.split('.')
+        .map(|segment| parse_single_key(segment.trim()))
+        .collect()
+}
+
+fn parse_single_key(text: &str) -> Result<String, Error> {
+    if let Some(stripped) = text.strip_prefix('"') {
+        let inner = stripped
+            .strip_suffix('"')
+            .ok_or_else(|| Error::custom("unterminated quoted key"))?;
+        Ok(inner.to_string())
+    } else if is_bare_key(text) {
+        Ok(text.to_string())
+    } else {
+        Err(Error::custom(format!("invalid key `{text}`")))
+    }
+}
+
+/// Navigates to the table at `path` (creating empty tables as needed) and
+/// returns its entries.
+fn navigate<'a>(
+    root: &'a mut Vec<(String, Value)>,
+    path: &[String],
+) -> Result<&'a mut Vec<(String, Value)>, Error> {
+    let mut entries = root;
+    for segment in path {
+        if !entries.iter().any(|(k, _)| k == segment) {
+            entries.push((segment.clone(), Value::Map(Vec::new())));
+        }
+        let slot = entries
+            .iter_mut()
+            .find(|(k, _)| k == segment)
+            .map(|(_, v)| v)
+            .expect("just ensured");
+        entries = match slot {
+            Value::Map(inner) => inner,
+            Value::Seq(items) => match items.last_mut() {
+                Some(Value::Map(inner)) => inner,
+                _ => return Err(Error::custom(format!("`{segment}` is not a table"))),
+            },
+            _ => return Err(Error::custom(format!("`{segment}` is not a table"))),
+        };
+    }
+    Ok(entries)
+}
+
+fn ensure_table(root: &mut Vec<(String, Value)>, path: &[String]) -> Result<(), Error> {
+    navigate(root, path).map(|_| ())
+}
+
+fn push_array_table(root: &mut Vec<(String, Value)>, path: &[String]) -> Result<(), Error> {
+    let (last, parents) = path
+        .split_last()
+        .ok_or_else(|| Error::custom("empty header"))?;
+    let entries = navigate(root, parents)?;
+    if !entries.iter().any(|(k, _)| k == last) {
+        entries.push((last.clone(), Value::Seq(Vec::new())));
+    }
+    match entries.iter_mut().find(|(k, _)| k == last).map(|(_, v)| v) {
+        Some(Value::Seq(items)) => {
+            items.push(Value::Map(Vec::new()));
+            Ok(())
+        }
+        _ => Err(Error::custom(format!("`{last}` is not an array of tables"))),
+    }
+}
+
+fn insert(
+    root: &mut Vec<(String, Value)>,
+    table_path: &[String],
+    key: String,
+    value: Value,
+) -> Result<(), Error> {
+    let entries = navigate(root, table_path)?;
+    if entries.iter().any(|(k, _)| *k == key) {
+        return Err(Error::custom(format!("duplicate key `{key}`")));
+    }
+    entries.push((key, value));
+    Ok(())
+}
+
+fn parse_value(text: &str) -> Result<Value, Error> {
+    let (value, rest) = parse_value_prefix(text)?;
+    if !rest.trim().is_empty() {
+        return Err(Error::custom(format!("trailing characters `{rest}`")));
+    }
+    Ok(value)
+}
+
+/// Parses one value at the front of `text`, returning it and the rest.
+fn parse_value_prefix(text: &str) -> Result<(Value, &str), Error> {
+    let text = text.trim_start();
+    if let Some(rest) = text.strip_prefix('"') {
+        let mut out = String::new();
+        let mut chars = rest.char_indices();
+        while let Some((i, c)) = chars.next() {
+            match c {
+                '"' => return Ok((Value::Str(out), &rest[i + 1..])),
+                '\\' => match chars.next() {
+                    Some((_, 'n')) => out.push('\n'),
+                    Some((_, 't')) => out.push('\t'),
+                    Some((_, 'r')) => out.push('\r'),
+                    Some((_, '"')) => out.push('"'),
+                    Some((_, '\\')) => out.push('\\'),
+                    Some((_, other)) => {
+                        return Err(Error::custom(format!("invalid escape \\{other}")))
+                    }
+                    None => return Err(Error::custom("unterminated escape")),
+                },
+                c => out.push(c),
+            }
+        }
+        Err(Error::custom("unterminated string"))
+    } else if let Some(mut rest) = text.strip_prefix('[') {
+        let mut items = Vec::new();
+        loop {
+            rest = rest.trim_start();
+            if let Some(after) = rest.strip_prefix(']') {
+                return Ok((Value::Seq(items), after));
+            }
+            let (item, after) = parse_value_prefix(rest)?;
+            items.push(item);
+            rest = after.trim_start();
+            if let Some(after) = rest.strip_prefix(',') {
+                rest = after;
+            } else if !rest.starts_with(']') {
+                return Err(Error::custom("expected ',' or ']' in array"));
+            }
+        }
+    } else if let Some(mut rest) = text.strip_prefix('{') {
+        let mut entries = Vec::new();
+        loop {
+            rest = rest.trim_start();
+            if let Some(after) = rest.strip_prefix('}') {
+                return Ok((Value::Map(entries), after));
+            }
+            let eq = rest
+                .find('=')
+                .ok_or_else(|| Error::custom("expected `key = value` in inline table"))?;
+            let key = parse_single_key(rest[..eq].trim())?;
+            let (value, after) = parse_value_prefix(&rest[eq + 1..])?;
+            entries.push((key, value));
+            rest = after.trim_start();
+            if let Some(after) = rest.strip_prefix(',') {
+                rest = after;
+            } else if !rest.starts_with('}') {
+                return Err(Error::custom("expected ',' or '}' in inline table"));
+            }
+        }
+    } else {
+        // Bare scalar: ends at ',', ']' or '}' (array/table context).
+        let end = text.find([',', ']', '}']).unwrap_or(text.len());
+        let (token, rest) = text.split_at(end);
+        let token = token.trim();
+        let value = if token == "true" {
+            Value::Bool(true)
+        } else if token == "false" {
+            Value::Bool(false)
+        } else if token.contains(['.', 'e', 'E'])
+            || token == "inf"
+            || token == "-inf"
+            || token == "nan"
+        {
+            Value::F64(
+                token
+                    .parse::<f64>()
+                    .map_err(|_| Error::custom(format!("invalid float `{token}`")))?,
+            )
+        } else if let Ok(x) = token.parse::<i64>() {
+            Value::I64(x)
+        } else if let Ok(x) = token.parse::<u64>() {
+            Value::U64(x)
+        } else {
+            return Err(Error::custom(format!("invalid value `{token}`")));
+        };
+        Ok((value, rest))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn document_round_trips() {
+        let value = Value::Map(vec![
+            ("name".into(), Value::Str("ring".into())),
+            (
+                "substrate".into(),
+                Value::Map(vec![
+                    ("kind".into(), Value::Str("ring-routing".into())),
+                    ("nodes".into(), Value::I64(8)),
+                ]),
+            ),
+            (
+                "run".into(),
+                Value::Map(vec![
+                    ("lambda".into(), Value::F64(0.5)),
+                    (
+                        "lambdas".into(),
+                        Value::Seq(vec![Value::F64(0.25), Value::F64(0.75)]),
+                    ),
+                    ("trace".into(), Value::Bool(false)),
+                ]),
+            ),
+        ]);
+        let text = to_string(&value);
+        assert_eq!(parse(&text).unwrap(), value);
+    }
+
+    #[test]
+    fn parses_comments_nested_tables_and_inline_tables() {
+        let text = r#"
+# top comment
+title = "demo" # trailing comment
+[a.b]
+x = 1
+point = { x = 1.5, y = -2.0 }
+[a]
+y = 2
+"#;
+        let value = parse(text).unwrap();
+        assert_eq!(value.get("title").unwrap().as_str().unwrap(), "demo");
+        let a = value.get("a").unwrap();
+        assert_eq!(a.get("y").unwrap().as_i64().unwrap(), 2);
+        let b = a.get("b").unwrap();
+        assert_eq!(b.get("x").unwrap().as_i64().unwrap(), 1);
+        assert_eq!(
+            b.get("point").unwrap().get("y").unwrap().as_f64().unwrap(),
+            -2.0
+        );
+    }
+
+    #[test]
+    fn parses_arrays_of_tables() {
+        let text = "
+[[cell]]
+x = 1
+[[cell]]
+x = 2
+";
+        let value = parse(text).unwrap();
+        let cells = value.get("cell").unwrap().as_seq().unwrap();
+        assert_eq!(cells.len(), 2);
+        assert_eq!(cells[1].get("x").unwrap().as_i64().unwrap(), 2);
+    }
+
+    #[test]
+    fn rejects_malformed_documents() {
+        assert!(parse("key").is_err());
+        assert!(parse("[unclosed").is_err());
+        assert!(parse("x = ").is_err());
+        assert!(parse("x = 1\nx = 2").is_err());
+        assert!(parse("x = \"unterminated").is_err());
+    }
+
+    #[test]
+    fn floats_and_integers_are_distinguished() {
+        let v = parse("a = 1\nb = 1.0\nc = 1e3").unwrap();
+        assert_eq!(v.get("a").unwrap(), &Value::I64(1));
+        assert_eq!(v.get("b").unwrap(), &Value::F64(1.0));
+        assert_eq!(v.get("c").unwrap(), &Value::F64(1000.0));
+    }
+}

@@ -1,0 +1,245 @@
+//! Derive macros for the in-tree `serde` stand-in.
+//!
+//! Supports non-generic structs: named-field structs serialize as maps,
+//! one-field tuple structs as their inner value (newtype convention),
+//! longer tuple structs as sequences, unit structs as empty maps. Enums
+//! are not supported — spec enums in this workspace write their impls by
+//! hand, where validation errors are clearer anyway.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug)]
+enum Shape {
+    Named(Vec<String>),
+    Tuple(usize),
+    Unit,
+}
+
+struct Parsed {
+    name: String,
+    shape: Shape,
+}
+
+/// Derives `serde::Serialize`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    match parse_struct(input) {
+        Ok(parsed) => gen_serialize(&parsed)
+            .parse()
+            .expect("generated code parses"),
+        Err(message) => compile_error(&message),
+    }
+}
+
+/// Derives `serde::Deserialize`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    match parse_struct(input) {
+        Ok(parsed) => gen_deserialize(&parsed)
+            .parse()
+            .expect("generated code parses"),
+        Err(message) => compile_error(&message),
+    }
+}
+
+fn compile_error(message: &str) -> TokenStream {
+    format!("compile_error!({message:?});")
+        .parse()
+        .expect("literal parses")
+}
+
+fn parse_struct(input: TokenStream) -> Result<Parsed, String> {
+    let mut tokens = input.into_iter().peekable();
+    // Skip outer attributes and visibility.
+    loop {
+        match tokens.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                tokens.next();
+                tokens.next(); // the [...] group
+            }
+            Some(TokenTree::Ident(ident)) if ident.to_string() == "pub" => {
+                tokens.next();
+                if let Some(TokenTree::Group(g)) = tokens.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        tokens.next(); // pub(crate) etc.
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+    match tokens.next() {
+        Some(TokenTree::Ident(kw)) if kw.to_string() == "struct" => {}
+        Some(TokenTree::Ident(kw)) if kw.to_string() == "enum" => {
+            return Err("this in-tree serde derive supports structs only; \
+                        implement Serialize/Deserialize by hand for enums"
+                .to_string());
+        }
+        other => return Err(format!("expected `struct`, found {other:?}")),
+    }
+    let name = match tokens.next() {
+        Some(TokenTree::Ident(ident)) => ident.to_string(),
+        other => return Err(format!("expected struct name, found {other:?}")),
+    };
+    if matches!(tokens.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err("this in-tree serde derive does not support generics".to_string());
+    }
+    let shape = match tokens.next() {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+            Shape::Named(named_fields(g.stream())?)
+        }
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+            Shape::Tuple(count_tuple_fields(g.stream()))
+        }
+        Some(TokenTree::Punct(p)) if p.as_char() == ';' => Shape::Unit,
+        None => Shape::Unit,
+        other => return Err(format!("unexpected token {other:?}")),
+    };
+    Ok(Parsed { name, shape })
+}
+
+/// Extracts the field names of a named-struct body.
+fn named_fields(stream: TokenStream) -> Result<Vec<String>, String> {
+    let mut names = Vec::new();
+    let mut tokens = stream.into_iter().peekable();
+    loop {
+        // Skip attributes and visibility before the field name.
+        loop {
+            match tokens.peek() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    tokens.next();
+                    tokens.next();
+                }
+                Some(TokenTree::Ident(ident)) if ident.to_string() == "pub" => {
+                    tokens.next();
+                    if let Some(TokenTree::Group(g)) = tokens.peek() {
+                        if g.delimiter() == Delimiter::Parenthesis {
+                            tokens.next();
+                        }
+                    }
+                }
+                _ => break,
+            }
+        }
+        let name = match tokens.next() {
+            Some(TokenTree::Ident(ident)) => ident.to_string(),
+            None => break,
+            other => return Err(format!("expected field name, found {other:?}")),
+        };
+        match tokens.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => return Err(format!("expected `:` after `{name}`, found {other:?}")),
+        }
+        names.push(name);
+        // Skip the type up to the next top-level comma (commas inside
+        // angle brackets belong to the type).
+        let mut angle_depth = 0i32;
+        for token in tokens.by_ref() {
+            match token {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => break,
+                _ => {}
+            }
+        }
+    }
+    Ok(names)
+}
+
+/// Counts the fields of a tuple-struct body.
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let mut count = 0;
+    let mut angle_depth = 0i32;
+    let mut saw_token = false;
+    for token in stream {
+        match token {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                count += 1;
+                saw_token = false;
+                continue;
+            }
+            _ => {}
+        }
+        saw_token = true;
+    }
+    if saw_token {
+        count += 1;
+    }
+    count
+}
+
+fn gen_serialize(parsed: &Parsed) -> String {
+    let name = &parsed.name;
+    let body = match &parsed.shape {
+        Shape::Named(fields) => {
+            let mut pushes = String::new();
+            for field in fields {
+                pushes.push_str(&format!(
+                    "__fields.push(({field:?}.to_string(), ::serde::Serialize::to_value(&self.{field})));\n"
+                ));
+            }
+            format!(
+                "let mut __fields: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = \
+                 ::std::vec::Vec::new();\n{pushes}::serde::Value::Map(__fields)"
+            )
+        }
+        Shape::Tuple(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Shape::Tuple(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Seq(vec![{}])", items.join(", "))
+        }
+        Shape::Unit => "::serde::Value::Map(::std::vec::Vec::new())".to_string(),
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{\n{body}\n}}\n\
+         }}"
+    )
+}
+
+fn gen_deserialize(parsed: &Parsed) -> String {
+    let name = &parsed.name;
+    let body = match &parsed.shape {
+        Shape::Named(fields) => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|field| format!("{field}: ::serde::de_field(__value, {field:?})?"))
+                .collect();
+            format!(
+                "if __value.as_map().is_none() {{\n\
+                     return ::std::result::Result::Err(::serde::Error::expected(\"map\", __value));\n\
+                 }}\n\
+                 ::std::result::Result::Ok({name} {{ {} }})",
+                inits.join(", ")
+            )
+        }
+        Shape::Tuple(1) => {
+            format!("::std::result::Result::Ok({name}(::serde::Deserialize::from_value(__value)?))")
+        }
+        Shape::Tuple(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_value(&__seq[{i}])?"))
+                .collect();
+            format!(
+                "let __seq = __value.as_seq()\
+                     .ok_or_else(|| ::serde::Error::expected(\"sequence\", __value))?;\n\
+                 if __seq.len() != {n} {{\n\
+                     return ::std::result::Result::Err(::serde::Error::custom(\
+                         format!(\"expected {n} elements, got {{}}\", __seq.len())));\n\
+                 }}\n\
+                 ::std::result::Result::Ok({name}({}))",
+                items.join(", ")
+            )
+        }
+        Shape::Unit => format!("::std::result::Result::Ok({name})"),
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(__value: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n{body}\n}}\n\
+         }}"
+    )
+}

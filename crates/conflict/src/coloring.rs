@@ -29,7 +29,11 @@ impl GreedyColoringScheduler {
     ///
     /// Panics if `pi` is not a permutation of the graph's links.
     pub fn new(graph: ConflictGraph, pi: &[dps_core::ids::LinkId]) -> Self {
-        assert_eq!(pi.len(), graph.num_links(), "ordering must cover every link");
+        assert_eq!(
+            pi.len(),
+            graph.num_links(),
+            "ordering must cover every link"
+        );
         let mut position = vec![usize::MAX; graph.num_links()];
         for (pos, &link) in pi.iter().enumerate() {
             assert!(

@@ -111,10 +111,7 @@ mod tests {
         g.add_conflict(LinkId(0), LinkId(1));
         let oracle = IndependentSetFeasibility::new(g);
         let mut rng = ChaCha12Rng::seed_from_u64(1);
-        let res = oracle.successes(
-            &[attempt(0, 1), attempt(1, 2), attempt(2, 3)],
-            &mut rng,
-        );
+        let res = oracle.successes(&[attempt(0, 1), attempt(1, 2), attempt(2, 3)], &mut rng);
         assert_eq!(res, vec![false, false, true]);
     }
 

@@ -25,7 +25,11 @@ impl ConflictInterference {
     ///
     /// Panics if `pi` is not a permutation of the graph's links.
     pub fn new(graph: ConflictGraph, pi: &[LinkId]) -> Self {
-        assert_eq!(pi.len(), graph.num_links(), "ordering must cover every link");
+        assert_eq!(
+            pi.len(),
+            graph.num_links(),
+            "ordering must cover every link"
+        );
         let mut position = vec![usize::MAX; graph.num_links()];
         for (pos, &link) in pi.iter().enumerate() {
             assert!(
@@ -57,11 +61,9 @@ impl InterferenceModel for ConflictInterference {
     }
 
     fn weight(&self, on: LinkId, from: LinkId) -> f64 {
-        if on == from {
-            1.0
-        } else if self.graph.conflicts(on, from)
-            && self.position[from.index()] <= self.position[on.index()]
-        {
+        let earlier_conflict = self.graph.conflicts(on, from)
+            && self.position[from.index()] <= self.position[on.index()];
+        if on == from || earlier_conflict {
             1.0
         } else {
             0.0

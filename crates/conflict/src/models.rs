@@ -75,15 +75,23 @@ pub fn distance2_matching(network: &Network) -> ConflictGraph {
     let links: Vec<_> = network.link_ids().map(|l| network.link(l)).collect();
     // Endpoint adjacency via any network edge (either direction).
     let adjacent_nodes = |u: dps_core::ids::NodeId, v: dps_core::ids::NodeId| {
-        network.outgoing(u).iter().any(|&e| network.link(e).dst == v)
-            || network.outgoing(v).iter().any(|&e| network.link(e).dst == u)
+        network
+            .outgoing(u)
+            .iter()
+            .any(|&e| network.link(e).dst == v)
+            || network
+                .outgoing(v)
+                .iter()
+                .any(|&e| network.link(e).dst == u)
     };
     for i in 0..links.len() {
         for j in i + 1..links.len() {
             let (a, b) = (links[i], links[j]);
-            let near = [a.src, a.dst]
-                .into_iter()
-                .any(|u| [b.src, b.dst].into_iter().any(|v| u != v && adjacent_nodes(u, v)));
+            let near = [a.src, a.dst].into_iter().any(|u| {
+                [b.src, b.dst]
+                    .into_iter()
+                    .any(|v| u != v && adjacent_nodes(u, v))
+            });
             if near {
                 g.add_conflict(LinkId(i as u32), LinkId(j as u32));
             }

@@ -12,8 +12,8 @@ use crate::feasibility::Feasibility;
 use crate::packet::Packet;
 use crate::protocol::{Protocol, SlotOutcome};
 use rand::{Rng, RngCore};
-use std::collections::BinaryHeap;
 use std::cmp::Reverse;
+use std::collections::BinaryHeap;
 
 /// Wraps a [`Protocol`] with the random initial delays of Section 5.
 pub struct AdversarialWrapper<P> {
@@ -108,8 +108,11 @@ impl<P: Protocol> Protocol for AdversarialWrapper<P> {
                 // begins, yielding the paper's "waits until the beginning
                 // of the next time frame, then δ more frames".
                 let release_slot = (current_frame + delta) * t;
-                self.pending
-                    .push(Reverse((release_slot, self.sequence, PendingPacket(packet))));
+                self.pending.push(Reverse((
+                    release_slot,
+                    self.sequence,
+                    PendingPacket(packet),
+                )));
                 self.sequence += 1;
             }
         }
@@ -194,7 +197,10 @@ mod tests {
             .collect();
         wrapper.on_slot(3, arrivals, &phy, &mut rng);
         let immediately = wrapper.inner().received.len();
-        assert!(wrapper.delayed_backlog() > 0, "some packets must be delayed");
+        assert!(
+            wrapper.delayed_backlog() > 0,
+            "some packets must be delayed"
+        );
         assert_eq!(immediately + wrapper.delayed_backlog(), 50);
         // Drive through several frames; delayed packets appear only at
         // slots that are multiples of T.
@@ -273,7 +279,10 @@ mod tests {
                 })
                 .collect();
             injected += arrivals.len();
-            delivered += wrapper.on_slot(slot, arrivals, &phy, &mut rng).delivered.len();
+            delivered += wrapper
+                .on_slot(slot, arrivals, &phy, &mut rng)
+                .delivered
+                .len();
         }
         assert!(injected > 0);
         assert_eq!(delivered + wrapper.backlog(), injected, "conservation");

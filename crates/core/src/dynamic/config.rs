@@ -54,7 +54,8 @@ impl FrameConfig {
     ) -> Result<Self, ModelError> {
         let f = scheduler.f_of(m.max(2));
         let epsilon = Self::epsilon_for(f, lambda)?;
-        let base = 100.0 * f / epsilon.powi(3) + 48.0 * f * (m.max(2) as f64).ln() / epsilon.powi(2);
+        let base =
+            100.0 * f / epsilon.powi(3) + 48.0 * f * (m.max(2) as f64).ln() / epsilon.powi(2);
         let mut t = base.ceil().max(1.0) as usize;
         // Grow T until the g-term condition T ≥ (4f/ε²)·g(m, m·J) and the
         // two-phase fit hold; both right-hand sides grow sublinearly in T,
@@ -193,7 +194,7 @@ impl FrameConfig {
                 self.main_budget, self.cleanup_budget, self.frame_len
             )));
         }
-        if !(self.j_bound > 0.0) {
+        if self.j_bound.is_nan() || self.j_bound <= 0.0 {
             return Err(ModelError::InvalidConfig("J must be positive".into()));
         }
         if !(0.0..=1.0).contains(&self.cleanup_select_prob) {

@@ -194,7 +194,10 @@ impl<S: StaticScheduler> DynamicProtocol<S> {
                         .expect("active packet always has a next hop"),
                 })
                 .collect();
-            Some(self.scheduler.instantiate(&requests, self.config.j_bound, rng))
+            Some(
+                self.scheduler
+                    .instantiate(&requests, self.config.j_bound, rng),
+            )
         };
     }
 
@@ -472,8 +475,8 @@ mod tests {
         PerLinkFeasibility,
     ) {
         let network = line_network(num_links);
-        let config = FrameConfig::tuned(&GreedyPerLink::new(), network.significant_size(), 0.9)
-            .unwrap();
+        let config =
+            FrameConfig::tuned(&GreedyPerLink::new(), network.significant_size(), 0.9).unwrap();
         let protocol = DynamicProtocol::new(GreedyPerLink::new(), config, num_links);
         let routes: Vec<_> = (0..num_links as u32)
             .map(|l| RoutePath::single_hop(LinkId(l)).shared())
@@ -529,8 +532,7 @@ mod tests {
         let num_links = 4;
         let network = line_network(num_links);
         let config =
-            FrameConfig::tuned(&GreedyPerLink::new(), network.significant_size(), 0.9)
-                .unwrap();
+            FrameConfig::tuned(&GreedyPerLink::new(), network.significant_size(), 0.9).unwrap();
         let t = config.frame_len as u64;
         let mut protocol = DynamicProtocol::new(GreedyPerLink::new(), config, num_links);
         let full_path = RoutePath::new(&network, (0..num_links as u32).map(LinkId).collect())
@@ -559,8 +561,7 @@ mod tests {
         let num_links = 2;
         let network = line_network(num_links);
         let config =
-            FrameConfig::tuned(&GreedyPerLink::new(), network.significant_size(), 0.9)
-                .unwrap();
+            FrameConfig::tuned(&GreedyPerLink::new(), network.significant_size(), 0.9).unwrap();
         let mut protocol = DynamicProtocol::new(GreedyPerLink::new(), config, num_links);
         // Three generators all hammering link 0.
         let routes: Vec<_> = (0..3)

@@ -69,7 +69,10 @@ impl fmt::Display for ModelError {
                 write!(f, "rate {r} is not a finite non-negative number")
             }
             ModelError::InvalidWeight { on, from, value } => {
-                write!(f, "interference weight W[{on}][{from}] = {value} is invalid")
+                write!(
+                    f,
+                    "interference weight W[{on}][{from}] = {value} is invalid"
+                )
             }
             ModelError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
         }
@@ -89,7 +92,10 @@ mod tests {
             prev: LinkId(1),
             next: LinkId(2),
         };
-        assert_eq!(err.to_string(), "links e1 and e2 at hops 0 and 1 are not adjacent");
+        assert_eq!(
+            err.to_string(),
+            "links e1 and e2 at hops 0 and 1 are not adjacent"
+        );
         assert_eq!(ModelError::EmptyPath.to_string(), "route path is empty");
         assert_eq!(
             ModelError::PathTooLong { len: 9, max: 4 }.to_string(),

@@ -49,6 +49,18 @@ impl<F: Feasibility + ?Sized> Feasibility for &F {
     }
 }
 
+impl<F: Feasibility + ?Sized> Feasibility for Box<F> {
+    fn successes(&self, attempts: &[Attempt], rng: &mut dyn RngCore) -> Vec<bool> {
+        (**self).successes(attempts, rng)
+    }
+}
+
+impl<F: Feasibility + ?Sized> Feasibility for std::sync::Arc<F> {
+    fn successes(&self, attempts: &[Attempt], rng: &mut dyn RngCore) -> Vec<bool> {
+        (**self).successes(attempts, rng)
+    }
+}
+
 /// Marks as failed every attempt that shares its link with another attempt;
 /// returns the per-link multiplicity for further checks.
 fn link_multiplicities(attempts: &[Attempt], num_links: usize) -> Vec<u32> {
@@ -146,10 +158,7 @@ impl<M: InterferenceModel> Feasibility for ThresholdFeasibility<M> {
             let mut links: Vec<LinkId> = attempts.iter().map(|a| a.link).collect();
             links.sort_unstable();
             links.dedup();
-            links
-                .into_iter()
-                .map(|l| (l, mult[l.index()]))
-                .collect()
+            links.into_iter().map(|l| (l, mult[l.index()])).collect()
         };
         attempts
             .iter()
@@ -280,9 +289,7 @@ impl<F: Feasibility> JammedFeasibility<F> {
 
 impl<F: Feasibility> Feasibility for JammedFeasibility<F> {
     fn successes(&self, attempts: &[Attempt], rng: &mut dyn RngCore) -> Vec<bool> {
-        let slot = self
-            .slot
-            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        let slot = self.slot.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
         let mut successes = self.inner.successes(attempts, rng);
         for (s, a) in successes.iter_mut().zip(attempts) {
             if *s && self.is_jammed(slot, a.link) {
@@ -418,8 +425,8 @@ mod tests {
 
     #[test]
     fn targeted_jammer_spares_other_links() {
-        let oracle = JammedFeasibility::new(PerLinkFeasibility::new(2), 4, 2)
-            .with_targets(vec![LinkId(0)]);
+        let oracle =
+            JammedFeasibility::new(PerLinkFeasibility::new(2), 4, 2).with_targets(vec![LinkId(0)]);
         let mut r = rng();
         // Slot 0 (jammed window): link 0 blocked, link 1 fine.
         let out = oracle.successes(&[attempt(0, 1), attempt(1, 2)], &mut r);

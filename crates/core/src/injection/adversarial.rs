@@ -77,11 +77,7 @@ impl WindowBudget {
 
     /// Whether adding `route` in the current slot keeps the window within
     /// budget under `model`.
-    pub fn admissible<M: InterferenceModel + ?Sized>(
-        &self,
-        model: &M,
-        route: &RoutePath,
-    ) -> bool {
+    pub fn admissible<M: InterferenceModel + ?Sized>(&self, model: &M, route: &RoutePath) -> bool {
         let mut with = self.sum.clone();
         for &link in route.links() {
             with.add(link, 1.0);
@@ -219,7 +215,10 @@ struct AdversaryCore<M> {
 
 impl<M: InterferenceModel> AdversaryCore<M> {
     fn new(model: M, templates: Vec<Arc<RoutePath>>, w: usize, lambda: f64) -> Self {
-        assert!(!templates.is_empty(), "adversary needs at least one route template");
+        assert!(
+            !templates.is_empty(),
+            "adversary needs at least one route template"
+        );
         let num_links = model.num_links();
         AdversaryCore {
             model,
@@ -234,7 +233,10 @@ impl<M: InterferenceModel> AdversaryCore<M> {
         match self.last_slot {
             None => {}
             Some(prev) => {
-                assert!(slot > prev, "injector driven with non-increasing slot {slot}");
+                assert!(
+                    slot > prev,
+                    "injector driven with non-increasing slot {slot}"
+                );
                 for _ in 0..(slot - prev) {
                     self.budget.advance_slot();
                 }
@@ -338,7 +340,7 @@ impl<M: InterferenceModel> Injector for BurstyAdversary<M> {
     fn inject(&mut self, slot: u64, _rng: &mut dyn RngCore) -> Vec<Arc<RoutePath>> {
         self.core.sync_to(slot);
         let mut out = Vec::new();
-        if slot % self.w as u64 == 0 {
+        if slot.is_multiple_of(self.w as u64) {
             let k = self.core.templates.len();
             let mut misses = 0;
             while misses < k {
@@ -422,7 +424,7 @@ impl<M: InterferenceModel> Injector for RoundRobinAdversary<M> {
         let mut out = Vec::new();
         for idx in 0..self.core.templates.len() {
             let period = self.periods[idx];
-            if period != u64::MAX && (slot + idx as u64) % period == 0 {
+            if period != u64::MAX && (slot + idx as u64).is_multiple_of(period) {
                 self.core.try_inject(idx, &mut out);
             }
         }
@@ -476,7 +478,10 @@ mod tests {
         budget.commit(&route);
         assert!(!budget.admissible(&model, &route));
         budget.advance_slot();
-        assert!(!budget.admissible(&model, &route), "window of 2 still holds the packet");
+        assert!(
+            !budget.admissible(&model, &route),
+            "window of 2 still holds the packet"
+        );
         budget.advance_slot();
         assert!(budget.admissible(&model, &route), "old slot expired");
     }
@@ -487,9 +492,13 @@ mod tests {
         let templates: Vec<_> = (0..4).map(path).collect();
         let lambda = 0.5;
         let w = 20;
-        let mut adv = SmoothAdversary::new(model.clone(), templates, w, lambda);
+        let mut adv = SmoothAdversary::new(model, templates, w, lambda);
         let v = run_and_validate(&mut adv, &model, w, 2000);
-        assert!(v.is_bounded(lambda), "effective rate {}", v.effective_rate());
+        assert!(
+            v.is_bounded(lambda),
+            "effective rate {}",
+            v.effective_rate()
+        );
         assert!(
             v.effective_rate() > 0.35 * lambda,
             "smooth adversary too timid: {}",
@@ -503,14 +512,14 @@ mod tests {
         let templates: Vec<_> = (0..2).map(path).collect();
         let lambda = 0.4;
         let w = 10;
-        let mut adv = BurstyAdversary::new(model.clone(), templates.clone(), w, lambda);
+        let mut adv = BurstyAdversary::new(model, templates.clone(), w, lambda);
         let mut rng = root_rng(1);
         let first = adv.inject(0, &mut rng);
         assert_eq!(first.len(), 4, "burst should fill the whole budget λw = 4");
         for slot in 1..w as u64 {
             assert!(adv.inject(slot, &mut rng).is_empty());
         }
-        let mut adv = BurstyAdversary::new(model.clone(), templates, w, lambda);
+        let mut adv = BurstyAdversary::new(model, templates, w, lambda);
         let v = run_and_validate(&mut adv, &model, w, 500);
         assert!(v.is_bounded(lambda));
     }
@@ -520,7 +529,7 @@ mod tests {
         let model = IdentityInterference::new(3);
         let lambda = 1.0;
         let w = 8;
-        let mut adv = SingleEdgeAdversary::new(model.clone(), path(1), w, lambda);
+        let mut adv = SingleEdgeAdversary::new(model, path(1), w, lambda);
         let v = run_and_validate(&mut adv, &model, w, 400);
         assert!(v.is_bounded(lambda));
         assert!(
@@ -537,17 +546,17 @@ mod tests {
         let w = 16;
         // Deterministic: two instances produce identical patterns.
         let run_pattern = || {
-            let mut adv =
-                RoundRobinAdversary::new(model.clone(), (0..3).map(path).collect(), w, lambda);
+            let mut adv = RoundRobinAdversary::new(model, (0..3).map(path).collect(), w, lambda);
             let mut rng = root_rng(2);
-            (0..64u64).map(|s| adv.inject(s, &mut rng).len()).collect::<Vec<_>>()
+            (0..64u64)
+                .map(|s| adv.inject(s, &mut rng).len())
+                .collect::<Vec<_>>()
         };
         assert_eq!(run_pattern(), run_pattern());
         // Template i fires at (slot + i) % 4 == 0 subject to the budget:
         // the very first slot carries exactly one injection (template 0).
         assert_eq!(run_pattern()[0], 1);
-        let mut adv =
-            RoundRobinAdversary::new(model.clone(), (0..3).map(path).collect(), w, lambda);
+        let mut adv = RoundRobinAdversary::new(model, (0..3).map(path).collect(), w, lambda);
         let v = run_and_validate(&mut adv, &model, w, 800);
         assert!(v.is_bounded(lambda));
         // The budget throttles the over-eager cadence down to ~lambda.
@@ -567,7 +576,7 @@ mod tests {
         let templates: Vec<_> = (0..4).map(path).collect();
         let lambda = 0.5;
         let w = 32;
-        let mut adv = SmoothAdversary::new(model.clone(), templates, w, lambda);
+        let mut adv = SmoothAdversary::new(model, templates, w, lambda);
         let v = run_and_validate(&mut adv, &model, w, 2000);
         assert!(v.is_bounded(lambda));
         assert!(
@@ -619,7 +628,7 @@ mod tests {
     #[test]
     fn zero_rate_adversary_injects_nothing() {
         let model = IdentityInterference::new(1);
-        let mut adv = SmoothAdversary::new(model.clone(), vec![path(0)], 4, 0.0);
+        let mut adv = SmoothAdversary::new(model, vec![path(0)], 4, 0.0);
         let v = run_and_validate(&mut adv, &model, 4, 100);
         assert_eq!(v.total_injected(), 0);
     }

@@ -56,6 +56,27 @@ pub trait InterferenceModel {
     }
 }
 
+macro_rules! impl_interference_for_wrapper {
+    ($($wrapper:ty),*) => {$(
+        impl<M: InterferenceModel + ?Sized> InterferenceModel for $wrapper {
+            fn num_links(&self) -> usize {
+                (**self).num_links()
+            }
+            fn weight(&self, on: LinkId, from: LinkId) -> f64 {
+                (**self).weight(on, from)
+            }
+            fn row_load(&self, on: LinkId, load: &LinkLoad) -> f64 {
+                (**self).row_load(on, load)
+            }
+            fn measure(&self, load: &LinkLoad) -> f64 {
+                (**self).measure(load)
+            }
+        }
+    )*};
+}
+
+impl_interference_for_wrapper!(&M, Box<M>, std::sync::Arc<M>);
+
 /// Checks the structural invariants of an interference model:
 /// unit diagonal and entries within `[0, 1]`.
 ///
@@ -357,6 +378,9 @@ mod tests {
             }
         }
         let load = load3([2.0, 5.0, 1.0]);
-        assert_eq!(Slow(3).measure(&load), IdentityInterference::new(3).measure(&load));
+        assert_eq!(
+            Slow(3).measure(&load),
+            IdentityInterference::new(3).measure(&load)
+        );
     }
 }

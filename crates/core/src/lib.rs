@@ -86,8 +86,7 @@ pub mod prelude {
     pub use crate::graph::{Link, Network, NetworkBuilder};
     pub use crate::ids::{LinkId, NodeId, PacketId};
     pub use crate::injection::adversarial::{
-        BurstyAdversary, RoundRobinAdversary, SingleEdgeAdversary, SmoothAdversary,
-        WindowValidator,
+        BurstyAdversary, RoundRobinAdversary, SingleEdgeAdversary, SmoothAdversary, WindowValidator,
     };
     pub use crate::injection::stochastic::{GeneratorSpec, StochasticInjector};
     pub use crate::injection::Injector;

@@ -74,11 +74,7 @@ impl LinkLoad {
     pub fn add(&mut self, link: LinkId, amount: f64) {
         let slot = &mut self.counts[link.index()];
         *slot += amount;
-        assert!(
-            *slot >= -1e-9,
-            "load on {link} became negative ({})",
-            *slot
-        );
+        assert!(*slot >= -1e-9, "load on {link} became negative ({})", *slot);
         if *slot < 0.0 {
             *slot = 0.0;
         }

@@ -55,6 +55,26 @@ pub trait Protocol {
     }
 }
 
+impl<P: Protocol + ?Sized> Protocol for Box<P> {
+    fn on_slot(
+        &mut self,
+        slot: u64,
+        arrivals: Vec<Packet>,
+        phy: &dyn Feasibility,
+        rng: &mut dyn RngCore,
+    ) -> SlotOutcome {
+        (**self).on_slot(slot, arrivals, phy, rng)
+    }
+
+    fn backlog(&self) -> usize {
+        (**self).backlog()
+    }
+
+    fn potential(&self) -> u64 {
+        (**self).potential()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -43,7 +43,10 @@ pub struct Request {
 ///
 /// Indices in [`StaticAlgorithm::attempts`] and [`StaticAlgorithm::ack`]
 /// refer to positions in the request slice the instance was created for.
-pub trait StaticAlgorithm {
+///
+/// `Send` is a supertrait so protocols owning boxed instances can move
+/// across the threads of the parallel runners.
+pub trait StaticAlgorithm: Send {
     /// Request indices to attempt in the next slot.
     ///
     /// Called exactly once per slot; implementations advance their internal
@@ -91,6 +94,33 @@ pub trait StaticScheduler {
 
     /// Short human-readable name, used in experiment tables.
     fn name(&self) -> &str;
+}
+
+impl<S: StaticScheduler + ?Sized> StaticScheduler for Box<S> {
+    fn instantiate(
+        &self,
+        requests: &[Request],
+        measure_bound: f64,
+        rng: &mut dyn RngCore,
+    ) -> Box<dyn StaticAlgorithm> {
+        (**self).instantiate(requests, measure_bound, rng)
+    }
+
+    fn f_of(&self, n: usize) -> f64 {
+        (**self).f_of(n)
+    }
+
+    fn g_of(&self, n: usize) -> f64 {
+        (**self).g_of(n)
+    }
+
+    fn slots_needed(&self, measure_bound: f64, n: usize) -> usize {
+        (**self).slots_needed(measure_bound, n)
+    }
+
+    fn name(&self) -> &str {
+        (**self).name()
+    }
 }
 
 impl<S: StaticScheduler + ?Sized> StaticScheduler for &S {

@@ -222,8 +222,8 @@ mod tests {
     use crate::ids::{LinkId, PacketId};
     use crate::interference::CompleteInterference;
     use crate::rng::root_rng;
-    use crate::staticsched::{run_static, StaticScheduler};
     use crate::staticsched::uniform_rate::UniformRateScheduler;
+    use crate::staticsched::{run_static, StaticScheduler};
 
     fn mac_requests(n: usize) -> Vec<Request> {
         (0..n)

@@ -90,8 +90,7 @@ impl StaticScheduler for UniformRateScheduler {
         // Per pending packet the per-slot success probability is at least
         // (rate/I)·(1 − 1/4); a budget of (8/rate)·I·(ln n + 4) drives the
         // expected survivor count below n·e^{-(ln n + 4)} ≤ e^{-4}.
-        self.budget_factor * (8.0 / self.rate_factor.min(0.25))
-            * ((n.max(2) as f64).ln() + 4.0)
+        self.budget_factor * (8.0 / self.rate_factor.min(0.25)) * ((n.max(2) as f64).ln() + 4.0)
             / 8.0
     }
 

@@ -120,7 +120,7 @@ impl<S: StaticScheduler> DenseTransform<S> {
     }
 }
 
-impl<S: StaticScheduler + Clone + 'static> StaticScheduler for DenseTransform<S> {
+impl<S: StaticScheduler + Clone + Send + 'static> StaticScheduler for DenseTransform<S> {
     fn instantiate(
         &self,
         requests: &[Request],
@@ -168,8 +168,7 @@ impl<S: StaticScheduler + Clone + 'static> StaticScheduler for DenseTransform<S>
         // final executions.
         let iters = 64.0;
         let final_budget = self.inner.slots_needed(self.final_bound(n), n.max(1));
-        iters * self.class_window() as f64
-            + (self.phi.ceil() + 1.0) * final_budget as f64
+        iters * self.class_window() as f64 + (self.phi.ceil() + 1.0) * final_budget as f64
     }
 
     fn slots_needed(&self, measure_bound: f64, n: usize) -> usize {
@@ -181,7 +180,9 @@ impl<S: StaticScheduler + Clone + 'static> StaticScheduler for DenseTransform<S>
             let psi = (i * 2f64.powi(1 - iter as i32) / self.chi).ceil().max(1.0) as usize;
             slots += psi * window;
         }
-        slots + (self.phi.ceil() as usize + 1) * self.inner.slots_needed(self.final_bound(n), n.max(1))
+        slots
+            + (self.phi.ceil() as usize + 1)
+                * self.inner.slots_needed(self.final_bound(n), n.max(1))
     }
 
     fn name(&self) -> &str {
@@ -232,7 +233,13 @@ impl<S: StaticScheduler> DenseTransformRun<S> {
     }
 
     /// Starts the inner run for the member set `members`.
-    fn start_inner(&mut self, members: Vec<usize>, bound: f64, budget: usize, rng: &mut dyn RngCore) {
+    fn start_inner(
+        &mut self,
+        members: Vec<usize>,
+        bound: f64,
+        budget: usize,
+        rng: &mut dyn RngCore,
+    ) {
         let class_requests: Vec<Request> = members.iter().map(|&o| self.requests[o]).collect();
         for (inner_idx, &outer) in members.iter().enumerate() {
             self.outer_to_inner[outer] = inner_idx;
@@ -246,11 +253,7 @@ impl<S: StaticScheduler> DenseTransformRun<S> {
     /// packets currently in `carry`.
     fn begin_next_iteration(&mut self, rng: &mut dyn RngCore) {
         self.iter += 1;
-        let pool: Vec<usize> = self
-            .carry
-            .drain(..)
-            .filter(|&o| self.pending[o])
-            .collect();
+        let pool: Vec<usize> = self.carry.drain(..).filter(|&o| self.pending[o]).collect();
         if self.in_final || self.iter > self.xi {
             self.in_final = true;
             // Final stage runs on all remaining packets.
@@ -321,7 +324,7 @@ impl<S: StaticScheduler> DenseTransformRun<S> {
     }
 }
 
-impl<S: StaticScheduler> StaticAlgorithm for DenseTransformRun<S> {
+impl<S: StaticScheduler + Send> StaticAlgorithm for DenseTransformRun<S> {
     fn attempts(&mut self, rng: &mut dyn RngCore) -> Vec<usize> {
         self.ensure_inner(rng);
         let Some(inner) = &mut self.inner else {

@@ -180,8 +180,7 @@ impl Algorithm2Run {
                 self.in_tail = true;
                 return;
             }
-            let window =
-                (self.decay.powi(self.iteration as i32) * self.n0 as f64).floor() as usize;
+            let window = (self.decay.powi(self.iteration as i32) * self.n0 as f64).floor() as usize;
             if window == 0 {
                 self.in_tail = true;
                 return;
@@ -322,8 +321,7 @@ mod tests {
         let n = 512;
         let reqs = requests(n);
         let feas = SingleChannelFeasibility::new();
-        let stage1_budget =
-            ((1.0 + 0.5) * std::f64::consts::E * n as f64).ceil() as usize;
+        let stage1_budget = ((1.0 + 0.5) * std::f64::consts::E * n as f64).ceil() as usize;
         let mut rng = root_rng(3);
         let result = run_static(&scheduler, &reqs, n as f64, &feas, stage1_budget, &mut rng);
         assert!(

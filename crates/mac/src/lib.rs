@@ -16,9 +16,9 @@
 //!   transmitting `n` packets in `(1+δ)·e·n + O(φ²·log²n)` slots w.h.p.
 //!   (Lemma 15); through the dynamic transformation it yields a stable
 //!   symmetric protocol for every injection rate `λ < 1/e` (Corollary 16).
-//! * [`round_robin::RoundRobinWithholding`] — the asymmetric (station ids
-//!   + channel sensing) algorithm of Lemma 17, finishing in `n + m` slots
-//!   and yielding stability for every `λ < 1` (Corollary 18).
+//! * [`round_robin::RoundRobinWithholding`] — the asymmetric (station
+//!   ids + channel sensing) algorithm of Lemma 17, finishing in `n + m`
+//!   slots, yielding stability for every `λ < 1` (Corollary 18).
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]

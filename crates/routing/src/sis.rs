@@ -202,7 +202,11 @@ mod tests {
         let pkt = Packet::new(PacketId(0), path, 0);
         let mut delivered_at = None;
         for slot in 0..20 {
-            let arrivals = if slot == 0 { vec![pkt.clone()] } else { Vec::new() };
+            let arrivals = if slot == 0 {
+                vec![pkt.clone()]
+            } else {
+                Vec::new()
+            };
             let out = protocol.on_slot(slot, arrivals, &setup.feasibility, &mut rng);
             if let Some(d) = out.delivered.first() {
                 delivered_at = Some(d.delivered_at);

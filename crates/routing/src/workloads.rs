@@ -89,7 +89,9 @@ pub fn grid_row_column_routes(rows: usize, cols: usize) -> Vec<Arc<RoutePath>> {
                     links.push(link_between(at(r, c), at(r, c + 1)).expect("grid link"));
                 }
                 for rr in r..target_r {
-                    links.push(link_between(at(rr, target_c), at(rr + 1, target_c)).expect("grid link"));
+                    links.push(
+                        link_between(at(rr, target_c), at(rr + 1, target_c)).expect("grid link"),
+                    );
                 }
                 routes.push(
                     RoutePath::new(&network, links)

@@ -1,0 +1,217 @@
+//! Built protocols and the object-safe [`ProtocolSpec`] factory trait.
+
+use crate::error::ScenarioError;
+use crate::spec::ProtocolConfig;
+use crate::substrate::Substrate;
+use dps_core::dynamic::{DynamicProtocol, FrameConfig};
+use dps_core::protocol::Protocol;
+use dps_core::staticsched::greedy::GreedyPerLink;
+use dps_core::staticsched::two_stage::TwoStageDecayScheduler;
+use dps_core::staticsched::uniform_rate::UniformRateScheduler;
+use dps_core::staticsched::StaticScheduler;
+use dps_core::transform::DenseTransform;
+use std::fmt;
+
+/// A protocol assembled by a [`ProtocolSpec`], with the metadata every
+/// runner needs alongside it.
+pub struct BuiltProtocol {
+    /// The protocol, boxed so any spec combination composes.
+    pub protocol: Box<dyn Protocol + Send>,
+    /// Frame length in slots (1 for frameless protocols) — run horizons
+    /// are counted in frames.
+    pub frame_len: usize,
+    /// The protocol's capacity `1/f(m)`.
+    pub lambda_max: f64,
+    /// The rate the protocol was actually provisioned for (capped below
+    /// `lambda_max`; the injector may exceed it to probe overload).
+    pub provisioned: f64,
+}
+
+/// An object-safe factory of protocols.
+///
+/// The built-in implementation is [`ProtocolConfig`]; custom protocols
+/// (e.g. the Section 8 star protocols) implement this trait directly.
+pub trait ProtocolSpec: fmt::Debug + Send + Sync {
+    /// A short human-readable label for tables.
+    fn label(&self) -> String;
+
+    /// The capacity `1/f(m)` this protocol would have on `substrate`,
+    /// before any protocol state is built. Sweeps use this to resolve
+    /// capacity-relative injection rates.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScenarioError`] if the spec cannot serve the substrate.
+    fn lambda_max(&self, substrate: &Substrate) -> Result<f64, ScenarioError>;
+
+    /// Builds the protocol, provisioned for rate
+    /// `min(lambda, provision_cap · lambda_max)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScenarioError`] if the configuration is inconsistent.
+    fn build(
+        &self,
+        substrate: &Substrate,
+        lambda: f64,
+        provision_cap: f64,
+    ) -> Result<BuiltProtocol, ScenarioError>;
+}
+
+impl ProtocolConfig {
+    /// The boxed static scheduler of frame-protocol variants
+    /// (`None` for direct protocols like SIS).
+    fn scheduler(
+        &self,
+        substrate: &Substrate,
+    ) -> Result<Option<Box<dyn StaticScheduler + Send + Sync>>, ScenarioError> {
+        Ok(match self {
+            ProtocolConfig::FrameGreedy => Some(Box::new(GreedyPerLink::new())),
+            ProtocolConfig::FrameTwoStage => {
+                Some(Box::new(TwoStageDecayScheduler::new(substrate.m)))
+            }
+            ProtocolConfig::FrameUniformTransformed { chi } => Some(Box::new(
+                DenseTransform::new(UniformRateScheduler::new(), substrate.m).with_chi(*chi),
+            )),
+            ProtocolConfig::FrameMacSymmetric { delta } => Some(Box::new(
+                dps_mac::algorithm2::SymmetricMacScheduler::new(*delta, 1.0),
+            )),
+            ProtocolConfig::FrameMacRoundRobin => Some(Box::new(
+                dps_mac::round_robin::RoundRobinWithholding::new(substrate.m),
+            )),
+            ProtocolConfig::ConflictColoring => {
+                let parts = substrate.conflict.as_ref().ok_or_else(|| {
+                    ScenarioError::spec(format!(
+                        "protocol `conflict-coloring` needs a conflict-graph substrate, \
+                         got `{}`",
+                        substrate.label
+                    ))
+                })?;
+                Some(Box::new(
+                    dps_conflict::coloring::GreedyColoringScheduler::new(
+                        parts.graph.clone(),
+                        &parts.pi,
+                    ),
+                ))
+            }
+            ProtocolConfig::Sis => None,
+        })
+    }
+}
+
+impl ProtocolSpec for ProtocolConfig {
+    fn label(&self) -> String {
+        match self {
+            ProtocolConfig::FrameGreedy => "frame(greedy per-link)".into(),
+            ProtocolConfig::FrameTwoStage => "frame(two-stage decay)".into(),
+            ProtocolConfig::FrameUniformTransformed { chi } => {
+                format!("frame(transformed uniform-rate, chi={chi})")
+            }
+            ProtocolConfig::FrameMacSymmetric { delta } => {
+                format!("frame(Algorithm 2, delta={delta})")
+            }
+            ProtocolConfig::FrameMacRoundRobin => "frame(round-robin-withholding)".into(),
+            ProtocolConfig::ConflictColoring => "frame(greedy coloring)".into(),
+            ProtocolConfig::Sis => "shortest-in-system".into(),
+        }
+    }
+
+    fn lambda_max(&self, substrate: &Substrate) -> Result<f64, ScenarioError> {
+        Ok(match self.scheduler(substrate)? {
+            Some(scheduler) => 1.0 / scheduler.f_of(substrate.m),
+            // SIS is stable for every λ < 1.
+            None => 1.0,
+        })
+    }
+
+    fn build(
+        &self,
+        substrate: &Substrate,
+        lambda: f64,
+        provision_cap: f64,
+    ) -> Result<BuiltProtocol, ScenarioError> {
+        match self.scheduler(substrate)? {
+            Some(scheduler) => {
+                let lambda_max = 1.0 / scheduler.f_of(substrate.m);
+                let provisioned = lambda.min(provision_cap * lambda_max);
+                let config = FrameConfig::tuned(&scheduler, substrate.m, provisioned)?;
+                let frame_len = config.frame_len;
+                let protocol = DynamicProtocol::new(scheduler, config, substrate.num_links);
+                Ok(BuiltProtocol {
+                    protocol: Box::new(protocol),
+                    frame_len,
+                    lambda_max,
+                    provisioned,
+                })
+            }
+            None => Ok(BuiltProtocol {
+                protocol: Box::new(dps_routing::sis::SisProtocol::new(substrate.num_links)),
+                frame_len: 1,
+                lambda_max: 1.0,
+                provisioned: lambda,
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::SubstrateConfig;
+    use crate::substrate::SubstrateSpec;
+
+    #[test]
+    fn frame_protocols_report_capacity_and_build_boxed() {
+        let substrate = SubstrateConfig::RingRouting { nodes: 6, hops: 2 }
+            .build()
+            .unwrap();
+        let spec = ProtocolConfig::FrameGreedy;
+        assert_eq!(spec.lambda_max(&substrate).unwrap(), 1.0);
+        let built = spec.build(&substrate, 0.5, 0.95).unwrap();
+        assert!(built.frame_len > 1);
+        assert_eq!(built.provisioned, 0.5);
+        assert_eq!(built.protocol.backlog(), 0);
+    }
+
+    #[test]
+    fn provisioning_is_capped_below_capacity() {
+        let substrate = SubstrateConfig::Mac { stations: 6 }.build().unwrap();
+        let spec = ProtocolConfig::FrameMacSymmetric { delta: 0.5 };
+        let lambda_max = spec.lambda_max(&substrate).unwrap();
+        assert!(lambda_max < 1.0 / std::f64::consts::E + 1e-9);
+        let built = spec.build(&substrate, 10.0 * lambda_max, 0.7).unwrap();
+        assert!((built.provisioned - 0.7 * lambda_max).abs() < 1e-12);
+    }
+
+    #[test]
+    fn coloring_requires_conflict_substrate() {
+        let routing = SubstrateConfig::RingRouting { nodes: 4, hops: 1 }
+            .build()
+            .unwrap();
+        assert!(ProtocolConfig::ConflictColoring
+            .build(&routing, 0.2, 0.7)
+            .is_err());
+        let conflict = SubstrateConfig::ConflictGeometric {
+            links: 8,
+            side_factor: 2.0,
+            delta: 0.5,
+            seed: 1,
+        }
+        .build()
+        .unwrap();
+        let built = ProtocolConfig::ConflictColoring
+            .lambda_max(&conflict)
+            .unwrap();
+        assert!(built > 0.0);
+    }
+
+    #[test]
+    fn sis_is_frameless() {
+        let substrate = SubstrateConfig::RingRouting { nodes: 4, hops: 2 }
+            .build()
+            .unwrap();
+        let built = ProtocolConfig::Sis.build(&substrate, 0.8, 0.95).unwrap();
+        assert_eq!(built.frame_len, 1);
+        assert_eq!(built.lambda_max, 1.0);
+    }
+}

@@ -1,0 +1,322 @@
+//! The named-preset registry: one ready-to-run [`ScenarioSpec`] per
+//! substrate/protocol pairing the paper analyses.
+//!
+//! | Preset | Paper | Substrate |
+//! |--------|-------|-----------|
+//! | `ring-routing` | Thm 3 (§4) / E2a | ring packet routing |
+//! | `line-routing` | §7 / E11 | line packet routing |
+//! | `grid-routing` | §7 / E11 | grid packet routing |
+//! | `routing-sis` | §7 / E11b | ring + Shortest-In-System baseline |
+//! | `sinr-linear` | Cor 12 (§6) / E2b | SINR, linear powers |
+//! | `sinr-uniform` | Cor 13 (§6) / E6 | SINR, uniform powers |
+//! | `mac-symmetric` | Cor 16 (§7.1) / E8 | MAC, Algorithm 2 |
+//! | `mac-roundrobin` | Cor 18 (§7.1) / E8 | MAC, Round-Robin-Withholding |
+//! | `conflict-coloring` | Thm 19 (§7.2) / E9 | conflict graph, greedy coloring |
+//! | `conflict-transformed` | §3 + §7.2 / E9 | conflict graph, Algorithm 1 |
+//! | `adversarial-ring` | Thm 11 (§5) / E5 | ring + bursty window adversary |
+
+use crate::error::ScenarioError;
+use crate::spec::{
+    InjectionConfig, InjectionKind, PowerConfig, ProtocolConfig, RunConfig, ScenarioSpec,
+    SubstrateConfig,
+};
+
+/// One registry entry.
+pub struct Preset {
+    /// The preset's name (the `scenario run <name>` argument).
+    pub name: &'static str,
+    /// The paper claim it exercises.
+    pub paper: &'static str,
+    /// One-line description.
+    pub summary: &'static str,
+    make: fn() -> ScenarioSpec,
+}
+
+impl Preset {
+    /// Materializes the preset's spec.
+    pub fn spec(&self) -> ScenarioSpec {
+        (self.make)()
+    }
+}
+
+fn spec(
+    name: &str,
+    substrate: SubstrateConfig,
+    protocol: ProtocolConfig,
+    injection: InjectionConfig,
+    provision_cap: f64,
+) -> ScenarioSpec {
+    ScenarioSpec {
+        name: name.to_string(),
+        substrate,
+        protocol,
+        injection,
+        run: RunConfig {
+            provision_cap,
+            ..RunConfig::default()
+        },
+    }
+}
+
+fn stochastic(lambda: f64, relative: bool) -> InjectionConfig {
+    InjectionConfig {
+        kind: InjectionKind::Stochastic,
+        lambda,
+        relative,
+        ..InjectionConfig::default()
+    }
+}
+
+/// All presets, in registry order.
+pub fn presets() -> &'static [Preset] {
+    &[
+        Preset {
+            name: "ring-routing",
+            paper: "Theorem 3 (Section 4) / E2a",
+            summary: "ring packet routing under the frame protocol, stable for lambda < 1",
+            make: || {
+                spec(
+                    "ring-routing",
+                    SubstrateConfig::RingRouting { nodes: 8, hops: 2 },
+                    ProtocolConfig::FrameGreedy,
+                    stochastic(0.5, false),
+                    0.95,
+                )
+            },
+        },
+        Preset {
+            name: "line-routing",
+            paper: "Section 7 / E11",
+            summary: "line packet routing under the frame protocol",
+            make: || {
+                spec(
+                    "line-routing",
+                    SubstrateConfig::LineRouting { links: 8, hops: 3 },
+                    ProtocolConfig::FrameGreedy,
+                    stochastic(0.5, false),
+                    0.95,
+                )
+            },
+        },
+        Preset {
+            name: "grid-routing",
+            paper: "Section 7 / E11",
+            summary: "grid packet routing with dimension-ordered routes",
+            make: || {
+                spec(
+                    "grid-routing",
+                    SubstrateConfig::GridRouting { rows: 3, cols: 3 },
+                    ProtocolConfig::FrameGreedy,
+                    stochastic(0.5, false),
+                    0.95,
+                )
+            },
+        },
+        Preset {
+            name: "routing-sis",
+            paper: "Section 7 / E11b",
+            summary: "ring packet routing under the Shortest-In-System baseline",
+            make: || {
+                spec(
+                    "routing-sis",
+                    SubstrateConfig::RingRouting { nodes: 8, hops: 2 },
+                    ProtocolConfig::Sis,
+                    stochastic(0.8, false),
+                    0.95,
+                )
+            },
+        },
+        Preset {
+            name: "sinr-linear",
+            paper: "Corollary 12 (Section 6) / E2b",
+            summary: "random SINR instance with linear powers, two-stage decay scheduler",
+            make: || {
+                spec(
+                    "sinr-linear",
+                    SubstrateConfig::SinrRandom {
+                        links: 16,
+                        side: 80.0,
+                        min_len: 1.0,
+                        max_len: 3.0,
+                        power: PowerConfig::Linear,
+                        seed: 999,
+                    },
+                    ProtocolConfig::FrameTwoStage,
+                    stochastic(0.5, true),
+                    0.8,
+                )
+            },
+        },
+        Preset {
+            name: "sinr-uniform",
+            paper: "Corollary 13 (Section 6) / E6",
+            summary: "random SINR instance with uniform powers, two-stage decay scheduler",
+            make: || {
+                spec(
+                    "sinr-uniform",
+                    SubstrateConfig::SinrRandom {
+                        links: 16,
+                        side: 80.0,
+                        min_len: 1.0,
+                        max_len: 3.0,
+                        power: PowerConfig::Uniform,
+                        seed: 999,
+                    },
+                    ProtocolConfig::FrameTwoStage,
+                    stochastic(0.5, true),
+                    0.8,
+                )
+            },
+        },
+        Preset {
+            name: "mac-symmetric",
+            paper: "Corollary 16 (Section 7.1) / E8",
+            summary: "multiple-access channel under Algorithm 2, threshold 1/(1+delta)e",
+            make: || {
+                spec(
+                    "mac-symmetric",
+                    SubstrateConfig::Mac { stations: 8 },
+                    ProtocolConfig::FrameMacSymmetric { delta: 0.5 },
+                    stochastic(0.5, true),
+                    0.7,
+                )
+            },
+        },
+        Preset {
+            name: "mac-roundrobin",
+            paper: "Corollary 18 (Section 7.1) / E8",
+            summary: "multiple-access channel under Round-Robin-Withholding, threshold 1",
+            make: || {
+                spec(
+                    "mac-roundrobin",
+                    SubstrateConfig::Mac { stations: 8 },
+                    ProtocolConfig::FrameMacRoundRobin,
+                    stochastic(0.6, true),
+                    0.95,
+                )
+            },
+        },
+        Preset {
+            name: "conflict-coloring",
+            paper: "Theorem 19 (Section 7.2) / E9",
+            summary: "protocol-model conflict graph under the greedy-coloring scheduler",
+            make: || {
+                spec(
+                    "conflict-coloring",
+                    SubstrateConfig::ConflictGeometric {
+                        links: 24,
+                        side_factor: 2.0,
+                        delta: 0.5,
+                        seed: 21,
+                    },
+                    ProtocolConfig::ConflictColoring,
+                    stochastic(0.5, true),
+                    0.7,
+                )
+            },
+        },
+        Preset {
+            name: "conflict-transformed",
+            paper: "Section 3 + Section 7.2 / E9",
+            summary: "protocol-model conflict graph under Algorithm 1 over uniform-rate",
+            make: || {
+                spec(
+                    "conflict-transformed",
+                    SubstrateConfig::ConflictGeometric {
+                        links: 24,
+                        side_factor: 2.0,
+                        delta: 0.5,
+                        seed: 21,
+                    },
+                    ProtocolConfig::FrameUniformTransformed { chi: 8.0 },
+                    stochastic(0.5, true),
+                    0.7,
+                )
+            },
+        },
+        Preset {
+            name: "adversarial-ring",
+            paper: "Theorem 11 (Section 5) / E5",
+            summary: "ring routing under a bursty (w, lambda)-bounded adversary with smoothing",
+            make: || {
+                spec(
+                    "adversarial-ring",
+                    SubstrateConfig::RingRouting { nodes: 8, hops: 1 },
+                    ProtocolConfig::FrameGreedy,
+                    InjectionConfig {
+                        kind: InjectionKind::Bursty,
+                        lambda: 0.6,
+                        relative: false,
+                        window: 64,
+                        delay_max: 8,
+                    },
+                    0.95,
+                )
+            },
+        },
+    ]
+}
+
+/// Looks a preset up by name.
+pub fn find(name: &str) -> Option<&'static Preset> {
+    presets().iter().find(|p| p.name == name)
+}
+
+/// Materializes the spec of the preset `name`.
+///
+/// # Errors
+///
+/// Returns [`ScenarioError::UnknownPreset`] if no preset has that name.
+pub fn spec_for(name: &str) -> Result<ScenarioSpec, ScenarioError> {
+    find(name)
+        .map(Preset::spec)
+        .ok_or_else(|| ScenarioError::UnknownPreset(name.to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_preset_validates_and_round_trips() {
+        for preset in presets() {
+            let spec = preset.spec();
+            spec.validate()
+                .unwrap_or_else(|e| panic!("{}: {e}", preset.name));
+            let toml = spec.to_toml();
+            let parsed = ScenarioSpec::from_toml(&toml)
+                .unwrap_or_else(|e| panic!("{} TOML: {e}", preset.name));
+            assert_eq!(parsed, spec, "{}", preset.name);
+            let parsed = ScenarioSpec::from_json(&spec.to_json())
+                .unwrap_or_else(|e| panic!("{} JSON: {e}", preset.name));
+            assert_eq!(parsed, spec, "{}", preset.name);
+        }
+    }
+
+    #[test]
+    fn names_are_unique_and_lookup_works() {
+        let mut names: Vec<&str> = presets().iter().map(|p| p.name).collect();
+        names.sort();
+        names.dedup();
+        assert_eq!(names.len(), presets().len());
+        assert!(find("ring-routing").is_some());
+        assert!(find("nope").is_none());
+        assert!(matches!(
+            spec_for("nope"),
+            Err(ScenarioError::UnknownPreset(_))
+        ));
+    }
+
+    #[test]
+    fn registry_spans_all_four_substrate_families() {
+        let specs: Vec<ScenarioSpec> = presets().iter().map(Preset::spec).collect();
+        assert!(specs.iter().any(|s| s.substrate.is_routing()));
+        assert!(specs.iter().any(|s| s.substrate.is_conflict()));
+        assert!(specs
+            .iter()
+            .any(|s| matches!(s.substrate, SubstrateConfig::SinrRandom { .. })));
+        assert!(specs
+            .iter()
+            .any(|s| matches!(s.substrate, SubstrateConfig::Mac { .. })));
+    }
+}

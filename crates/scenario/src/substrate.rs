@@ -1,0 +1,301 @@
+//! Built substrates and the object-safe [`SubstrateSpec`] factory trait.
+//!
+//! A [`Substrate`] bundles everything workload-independent about a run:
+//! the network, the interference matrix the protocol designs against, the
+//! physical-layer feasibility oracle transmissions are judged by, and the
+//! route family packets travel on. Components are held behind `Arc`s so
+//! one substrate can hand the same model to a protocol, an injector and a
+//! window validator without re-deriving geometry.
+
+use crate::error::ScenarioError;
+use crate::spec::{PowerConfig, SubstrateConfig};
+use dps_conflict::graph::ConflictGraph;
+use dps_conflict::matrix::ConflictInterference;
+use dps_core::feasibility::{Feasibility, PerLinkFeasibility, SingleChannelFeasibility};
+use dps_core::ids::LinkId;
+use dps_core::interference::{CompleteInterference, IdentityInterference, InterferenceModel};
+use dps_core::path::RoutePath;
+use dps_core::rng::split_stream;
+use dps_routing::workloads::RoutingSetup;
+use dps_sinr::instances::random_instance;
+use dps_sinr::matrix::SinrInterference;
+use dps_sinr::params::SinrParams;
+use dps_sinr::power::{LinearPower, SquareRootPower, UniformPower};
+use std::fmt;
+use std::sync::Arc;
+
+/// The conflict-graph pieces a conflict substrate additionally carries
+/// (protocol specs like greedy coloring need the graph itself, not just
+/// its interference matrix).
+#[derive(Clone, Debug)]
+pub struct ConflictParts {
+    /// The conflict graph over the links.
+    pub graph: ConflictGraph,
+    /// The witness ordering (shortest-first) the matrix is derived from.
+    pub pi: Vec<LinkId>,
+}
+
+/// A fully built substrate: everything a protocol/injector pair plugs
+/// into.
+pub struct Substrate {
+    /// Human-readable description, used in tables.
+    pub label: String,
+    /// Number of links `m` of the network.
+    pub num_links: usize,
+    /// Significant size (the `m` handed to `f(m)` and frame tuning).
+    pub m: usize,
+    /// The linear interference measure schedules are designed against.
+    pub model: Arc<dyn InterferenceModel + Send + Sync>,
+    /// The physical ground truth judging transmission attempts.
+    pub feasibility: Arc<dyn Feasibility + Send + Sync>,
+    /// The route family packets are injected on.
+    pub routes: Vec<Arc<RoutePath>>,
+    /// Conflict-graph pieces, for conflict substrates.
+    pub conflict: Option<ConflictParts>,
+}
+
+impl fmt::Debug for Substrate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Substrate")
+            .field("label", &self.label)
+            .field("num_links", &self.num_links)
+            .field("m", &self.m)
+            .field("routes", &self.routes.len())
+            .finish_non_exhaustive()
+    }
+}
+
+/// An object-safe factory of [`Substrate`]s.
+///
+/// The built-in implementation is [`SubstrateConfig`] (the declarative
+/// enum); custom substrates implement this trait directly and compose
+/// with every protocol and injector spec — see the `star_lowerbound`
+/// example for a custom implementation.
+pub trait SubstrateSpec: fmt::Debug + Send + Sync {
+    /// A short human-readable label for tables.
+    fn label(&self) -> String;
+
+    /// Builds the substrate.
+    ///
+    /// Building must be deterministic: any internal randomness (geometry)
+    /// must come from seeds stored in the spec, so that repetitions and
+    /// sweep cells see the same instance.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScenarioError`] if the configuration is not realizable.
+    fn build(&self) -> Result<Substrate, ScenarioError>;
+}
+
+/// One single-hop route per link — the demand family of the MAC, SINR and
+/// conflict experiments.
+pub fn single_hop_routes(num_links: usize) -> Vec<Arc<RoutePath>> {
+    (0..num_links as u32)
+        .map(|l| RoutePath::single_hop(LinkId(l)).shared())
+        .collect()
+}
+
+impl SubstrateSpec for SubstrateConfig {
+    fn label(&self) -> String {
+        match self {
+            SubstrateConfig::RingRouting { nodes, hops } => {
+                format!("ring({nodes}), {hops}-hop routing")
+            }
+            SubstrateConfig::LineRouting { links, hops } => {
+                format!("line({links}), {hops}-hop routing")
+            }
+            SubstrateConfig::GridRouting { rows, cols } => format!("grid({rows}x{cols}) routing"),
+            SubstrateConfig::SinrRandom { links, power, .. } => {
+                let power = match power {
+                    PowerConfig::Uniform => "uniform",
+                    PowerConfig::Linear => "linear",
+                    PowerConfig::SquareRoot => "sqrt",
+                };
+                format!("SINR random(m={links}), {power} power")
+            }
+            SubstrateConfig::Mac { stations } => format!("MAC({stations} stations)"),
+            SubstrateConfig::ConflictGeometric { links, .. } => {
+                format!("conflict protocol-model(m={links})")
+            }
+        }
+    }
+
+    fn build(&self) -> Result<Substrate, ScenarioError> {
+        let label = SubstrateSpec::label(self);
+        match *self {
+            SubstrateConfig::RingRouting { nodes, hops } => {
+                routing_substrate(label, RoutingSetup::ring(nodes, hops)?)
+            }
+            SubstrateConfig::LineRouting { links, hops } => {
+                routing_substrate(label, RoutingSetup::line(links, hops)?)
+            }
+            SubstrateConfig::GridRouting { rows, cols } => {
+                routing_substrate(label, RoutingSetup::grid(rows, cols))
+            }
+            SubstrateConfig::SinrRandom {
+                links,
+                side,
+                min_len,
+                max_len,
+                power,
+                seed,
+            } => {
+                let params = SinrParams::default_noiseless();
+                // Geometry stream 0 of the substrate's own seed space.
+                let mut geo_rng = split_stream(seed, 0);
+                let net = random_instance(links, side, min_len, max_len, params, &mut geo_rng);
+                let (model, feasibility): (
+                    Arc<dyn InterferenceModel + Send + Sync>,
+                    Arc<dyn Feasibility + Send + Sync>,
+                ) = match power {
+                    PowerConfig::Uniform => (
+                        Arc::new(SinrInterference::fixed_power(&net, &UniformPower::unit())),
+                        Arc::new(dps_sinr::feasibility::SinrFeasibility::new(
+                            net.clone(),
+                            UniformPower::unit(),
+                        )),
+                    ),
+                    PowerConfig::Linear => (
+                        Arc::new(SinrInterference::fixed_power(
+                            &net,
+                            &LinearPower::new(params.alpha),
+                        )),
+                        Arc::new(dps_sinr::feasibility::SinrFeasibility::new(
+                            net.clone(),
+                            LinearPower::new(params.alpha),
+                        )),
+                    ),
+                    PowerConfig::SquareRoot => (
+                        Arc::new(SinrInterference::monotone_power(
+                            &net,
+                            &SquareRootPower::new(params.alpha),
+                        )),
+                        Arc::new(dps_sinr::feasibility::SinrFeasibility::new(
+                            net.clone(),
+                            SquareRootPower::new(params.alpha),
+                        )),
+                    ),
+                };
+                Ok(Substrate {
+                    label,
+                    num_links: links,
+                    m: links,
+                    model,
+                    feasibility,
+                    routes: single_hop_routes(links),
+                    conflict: None,
+                })
+            }
+            SubstrateConfig::Mac { stations } => Ok(Substrate {
+                label,
+                num_links: stations,
+                m: stations,
+                model: Arc::new(CompleteInterference::new(stations)),
+                feasibility: Arc::new(SingleChannelFeasibility::new()),
+                routes: single_hop_routes(stations),
+                conflict: None,
+            }),
+            SubstrateConfig::ConflictGeometric {
+                links,
+                side_factor,
+                delta,
+                seed,
+            } => {
+                let mut geo_rng = split_stream(seed, 0);
+                let side = side_factor * (links as f64).sqrt();
+                let geo = dps_conflict::models::random_geo_links(links, side, 1.0, &mut geo_rng);
+                let graph = dps_conflict::models::protocol_model(&geo, delta);
+                let pi =
+                    dps_conflict::inductive::ordering_by_key(links, |l| geo[l.index()].length());
+                let model = ConflictInterference::new(graph.clone(), &pi);
+                let feasibility =
+                    dps_conflict::feasibility::IndependentSetFeasibility::new(graph.clone());
+                Ok(Substrate {
+                    label,
+                    num_links: links,
+                    m: links,
+                    model: Arc::new(model),
+                    feasibility: Arc::new(feasibility),
+                    routes: single_hop_routes(links),
+                    conflict: Some(ConflictParts { graph, pi }),
+                })
+            }
+        }
+    }
+}
+
+fn routing_substrate(label: String, setup: RoutingSetup) -> Result<Substrate, ScenarioError> {
+    let num_links = setup.network.num_links();
+    Ok(Substrate {
+        label,
+        num_links,
+        m: setup.network.significant_size(),
+        model: Arc::new(IdentityInterference::new(num_links)),
+        feasibility: Arc::new(PerLinkFeasibility::new(num_links)),
+        routes: setup.routes,
+        conflict: None,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dps_core::interference::validate;
+
+    #[test]
+    fn every_builtin_substrate_builds_consistently() {
+        let configs = vec![
+            SubstrateConfig::RingRouting { nodes: 6, hops: 2 },
+            SubstrateConfig::LineRouting { links: 6, hops: 3 },
+            SubstrateConfig::GridRouting { rows: 3, cols: 3 },
+            SubstrateConfig::SinrRandom {
+                links: 6,
+                side: 40.0,
+                min_len: 1.0,
+                max_len: 3.0,
+                power: PowerConfig::Linear,
+                seed: 3,
+            },
+            SubstrateConfig::Mac { stations: 5 },
+            SubstrateConfig::ConflictGeometric {
+                links: 10,
+                side_factor: 2.0,
+                delta: 0.5,
+                seed: 4,
+            },
+        ];
+        for config in configs {
+            let substrate = config.build().expect("builds");
+            assert!(substrate.num_links > 0);
+            assert!(substrate.m > 0);
+            assert!(!substrate.routes.is_empty());
+            assert_eq!(substrate.model.num_links(), substrate.num_links);
+            validate(&*substrate.model).expect("structural invariants");
+            assert_eq!(
+                substrate.conflict.is_some(),
+                config.is_conflict(),
+                "{config:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn seeded_geometry_is_reproducible() {
+        let config = SubstrateConfig::SinrRandom {
+            links: 8,
+            side: 60.0,
+            min_len: 1.0,
+            max_len: 2.0,
+            power: PowerConfig::Uniform,
+            seed: 11,
+        };
+        let a = config.build().unwrap();
+        let b = config.build().unwrap();
+        // Same seed ⇒ same interference matrix.
+        let mut load = dps_core::load::LinkLoad::new(8);
+        for l in 0..8u32 {
+            load.set(LinkId(l), (l + 1) as f64);
+        }
+        assert_eq!(a.model.measure(&load), b.model.measure(&load));
+    }
+}

@@ -26,7 +26,7 @@ pub mod trace;
 
 /// Convenience re-exports of the most commonly used types.
 pub mod prelude {
-    pub use crate::parallel::{run_repetitions, AggregateReport};
+    pub use crate::parallel::{parallel_map, run_repetitions, AggregateReport};
     pub use crate::runner::{run_simulation, SimulationConfig, SimulationReport};
     pub use crate::stability::{classify_stability, StabilityVerdict};
     pub use crate::stats::{linear_fit, quantile, Summary};

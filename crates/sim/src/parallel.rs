@@ -74,6 +74,50 @@ impl AggregateReport {
     }
 }
 
+/// Maps `job` over `0..jobs` on up to `threads` OS threads, returning the
+/// results in job order.
+///
+/// This is the workspace's one parallel-execution primitive: repetition
+/// runs ([`run_repetitions`]) and scenario sweeps build on it. Work is
+/// handed out through an atomic counter, so the partitioning of jobs onto
+/// threads never affects which job computes what — results are a pure
+/// function of the job index, making runs reproducible across thread
+/// counts.
+pub fn parallel_map<R, F>(jobs: usize, threads: usize, job: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    if jobs == 0 {
+        return Vec::new();
+    }
+    let threads = threads.max(1).min(jobs);
+    if threads == 1 {
+        return (0..jobs).map(job).collect();
+    }
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let results: std::sync::Mutex<Vec<(usize, R)>> =
+        std::sync::Mutex::new(Vec::with_capacity(jobs));
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let index = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if index >= jobs {
+                    break;
+                }
+                let result = job(index);
+                results
+                    .lock()
+                    .expect("no panics while holding the lock")
+                    .push((index, result));
+            });
+        }
+    });
+    let mut results = results.into_inner().expect("threads joined");
+    results.sort_by_key(|(index, _)| *index);
+    results.into_iter().map(|(_, r)| r).collect()
+}
+
 /// Runs `reps` independent repetitions, spreading them over up to
 /// `threads` OS threads. `make_protocol` and `make_injector` build a fresh
 /// protocol/injector per repetition (they receive the stream index).
@@ -93,35 +137,13 @@ where
     F: Feasibility + Sync,
 {
     assert!(reps > 0, "need at least one repetition");
-    let threads = threads.max(1).min(reps as usize);
-    let next = std::sync::atomic::AtomicU64::new(0);
-    let results: std::sync::Mutex<Vec<(u64, SimulationReport)>> =
-        std::sync::Mutex::new(Vec::with_capacity(reps as usize));
-    std::thread::scope(|scope| {
-        for _ in 0..threads {
-            scope.spawn(|| loop {
-                let rep = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                if rep >= reps {
-                    break;
-                }
-                let mut protocol = make_protocol(rep);
-                let mut injector = make_injector(rep);
-                let report = run_simulation(
-                    &mut protocol,
-                    &mut injector,
-                    phy,
-                    base.with_stream(rep),
-                );
-                results
-                    .lock()
-                    .expect("no panics while holding the lock")
-                    .push((rep, report));
-            });
-        }
+    let reports = parallel_map(reps as usize, threads, |rep| {
+        let rep = rep as u64;
+        let mut protocol = make_protocol(rep);
+        let mut injector = make_injector(rep);
+        run_simulation(&mut protocol, &mut injector, phy, base.with_stream(rep))
     });
-    let mut results = results.into_inner().expect("threads joined");
-    results.sort_by_key(|(rep, _)| *rep);
-    AggregateReport::from_reports(results.into_iter().map(|(_, r)| r).collect())
+    AggregateReport::from_reports(reports)
 }
 
 #[cfg(test)]
@@ -184,7 +206,10 @@ mod tests {
             2,
         );
         assert_eq!(aggregate.mean_backlog.count, 3);
-        assert_eq!(aggregate.stable_count, 3, "low load must be stable everywhere");
+        assert_eq!(
+            aggregate.stable_count, 3,
+            "low load must be stable everywhere"
+        );
         assert!(aggregate.majority_verdict().is_stable());
         assert!(aggregate.delivery_ratio.mean > 0.5);
     }

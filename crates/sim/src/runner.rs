@@ -110,7 +110,10 @@ impl SimulationReport {
         if self.backlog_series.is_empty() {
             return 0.0;
         }
-        self.backlog_series.iter().map(|&(_, b)| b as f64).sum::<f64>()
+        self.backlog_series
+            .iter()
+            .map(|&(_, b)| b as f64)
+            .sum::<f64>()
             / self.backlog_series.len() as f64
     }
 
@@ -235,7 +238,9 @@ mod tests {
     use dps_core::path::RoutePath;
     use dps_core::staticsched::greedy::GreedyPerLink;
 
-    fn setup(lambda: f64) -> (
+    fn setup(
+        lambda: f64,
+    ) -> (
         DynamicProtocol<GreedyPerLink>,
         dps_core::injection::stochastic::StochasticInjector,
         PerLinkFeasibility,
@@ -326,13 +331,8 @@ mod tests {
         let (mut protocol, mut injector, phy) = setup(0.4);
         let mut trace = crate::trace::TraceRecorder::new(256);
         let cfg = SimulationConfig::new(1000, 11);
-        let traced = super::run_simulation_traced(
-            &mut protocol,
-            &mut injector,
-            &phy,
-            cfg,
-            &mut trace,
-        );
+        let traced =
+            super::run_simulation_traced(&mut protocol, &mut injector, &phy, cfg, &mut trace);
         let (mut protocol2, mut injector2, phy2) = setup(0.4);
         let untraced = run_simulation(&mut protocol2, &mut injector2, &phy2, cfg);
         assert_eq!(traced.injected, untraced.injected);

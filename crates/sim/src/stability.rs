@@ -81,7 +81,11 @@ mod tests {
     use super::*;
     use dps_core::potential::PotentialSeries;
 
-    fn report_with_series(series: Vec<(u64, usize)>, injected: u64, slots: u64) -> SimulationReport {
+    fn report_with_series(
+        series: Vec<(u64, usize)>,
+        injected: u64,
+        slots: u64,
+    ) -> SimulationReport {
         SimulationReport {
             injected,
             delivered: 0,

@@ -73,6 +73,49 @@ impl Table {
         out
     }
 
+    /// The column headers.
+    pub fn headers(&self) -> &[String] {
+        &self.headers
+    }
+
+    /// The data rows.
+    pub fn rows(&self) -> &[Vec<String>] {
+        &self.rows
+    }
+
+    /// Renders the table as a JSON object
+    /// `{"title": …, "headers": […], "rows": [{header: cell, …}, …]}` —
+    /// the machine-readable mirror of [`Table::to_csv`].
+    pub fn to_json(&self) -> String {
+        let rows: Vec<serde::Value> = self
+            .rows
+            .iter()
+            .map(|row| {
+                serde::Value::Map(
+                    self.headers
+                        .iter()
+                        .zip(row)
+                        .map(|(h, cell)| (h.clone(), serde::Value::Str(cell.clone())))
+                        .collect(),
+                )
+            })
+            .collect();
+        let value = serde::Value::Map(vec![
+            ("title".to_string(), serde::Value::Str(self.title.clone())),
+            (
+                "headers".to_string(),
+                serde::Value::Seq(
+                    self.headers
+                        .iter()
+                        .map(|h| serde::Value::Str(h.clone()))
+                        .collect(),
+                ),
+            ),
+            ("rows".to_string(), serde::Value::Seq(rows)),
+        ]);
+        serde::json::to_string_pretty(&value)
+    }
+
     /// Renders the table as CSV (headers first, comma-separated, cells
     /// containing commas or quotes are quoted).
     pub fn to_csv(&self) -> String {
@@ -87,7 +130,11 @@ impl Table {
         let _ = writeln!(
             out,
             "{}",
-            self.headers.iter().map(|h| escape(h)).collect::<Vec<_>>().join(",")
+            self.headers
+                .iter()
+                .map(|h| escape(h))
+                .collect::<Vec<_>>()
+                .join(",")
         );
         for row in &self.rows {
             let _ = writeln!(
@@ -147,5 +194,17 @@ mod tests {
     fn formatting_helpers() {
         assert_eq!(fmt3(1.23456), "1.235");
         assert_eq!(fmt1(1.26), "1.3");
+    }
+
+    #[test]
+    fn json_mirrors_rows() {
+        let mut t = Table::new("demo \"x\"", &["a", "b"]);
+        t.push_row(vec!["1".into(), "two".into()]);
+        let parsed = serde::json::parse(&t.to_json()).unwrap();
+        assert_eq!(parsed.get("title").unwrap().as_str().unwrap(), "demo \"x\"");
+        let rows = parsed.get("rows").unwrap().as_seq().unwrap();
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].get("a").unwrap().as_str().unwrap(), "1");
+        assert_eq!(rows[0].get("b").unwrap().as_str().unwrap(), "two");
     }
 }

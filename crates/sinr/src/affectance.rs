@@ -168,7 +168,10 @@ mod tests {
         // signal is 9^α times weaker).
         let a_uni = affectance(&net, &uni, short, long);
         let a_lin = affectance(&net, &lin, short, long);
-        assert!(a_uni > a_lin, "uniform {a_uni} should exceed linear {a_lin}");
+        assert!(
+            a_uni > a_lin,
+            "uniform {a_uni} should exceed linear {a_lin}"
+        );
     }
 
     #[test]

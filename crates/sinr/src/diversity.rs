@@ -61,7 +61,7 @@ impl<S: StaticScheduler> DiversityScheduler<S> {
     }
 }
 
-impl<S: StaticScheduler + Clone + 'static> StaticScheduler for DiversityScheduler<S> {
+impl<S: StaticScheduler + Clone + Send + 'static> StaticScheduler for DiversityScheduler<S> {
     fn instantiate(
         &self,
         requests: &[Request],
@@ -185,7 +185,7 @@ impl<S: StaticScheduler> DiversityRun<S> {
     }
 }
 
-impl<S: StaticScheduler> StaticAlgorithm for DiversityRun<S> {
+impl<S: StaticScheduler + Send> StaticAlgorithm for DiversityRun<S> {
     fn attempts(&mut self, rng: &mut dyn RngCore) -> Vec<usize> {
         self.advance(rng);
         let Some(inner) = &mut self.inner else {
@@ -225,8 +225,8 @@ mod tests {
     use crate::params::SinrParams;
     use crate::power::UniformPower;
     use dps_core::ids::{LinkId, PacketId};
-    use dps_core::staticsched::uniform_rate::UniformRateScheduler;
     use dps_core::staticsched::run_static;
+    use dps_core::staticsched::uniform_rate::UniformRateScheduler;
     use rand::SeedableRng;
     use rand_chacha::ChaCha12Rng;
 

@@ -156,7 +156,10 @@ mod tests {
         // blocks it.
         let all: Vec<Attempt> = (0..5).map(|i| attempt(i, i as u64)).collect();
         let res = oracle.successes(&all, &mut rng());
-        assert!(!res[2], "centre link must drown in accumulated interference");
+        assert!(
+            !res[2],
+            "centre link must drown in accumulated interference"
+        );
     }
 
     #[test]
@@ -186,7 +189,10 @@ mod tests {
         let res_lin = lin.successes(&atts, &mut rng());
         assert!(res_uni[0], "short link passes under uniform power");
         assert!(!res_uni[1], "long link should fail under uniform power");
-        assert!(res_lin[0] && res_lin[1], "both should pass under linear power");
+        assert!(
+            res_lin[0] && res_lin[1],
+            "both should pass under linear power"
+        );
     }
 
     #[test]

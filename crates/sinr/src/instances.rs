@@ -175,7 +175,10 @@ mod tests {
         for (i, &l) in star.short_links.iter().enumerate() {
             assert!(res[i], "short link {l} must succeed even under full load");
         }
-        assert!(!res[star.short_links.len()], "long link must fail under load");
+        assert!(
+            !res[star.short_links.len()],
+            "long link must fail under load"
+        );
     }
 
     #[test]

@@ -86,8 +86,8 @@ impl SinrInterference {
             if to_their_receiver <= 0.0 || from_their_sender <= 0.0 {
                 return 1.0;
             }
-            let ratio = (d_on / to_their_receiver).powf(alpha)
-                + (d_on / from_their_sender).powf(alpha);
+            let ratio =
+                (d_on / to_their_receiver).powf(alpha) + (d_on / from_their_sender).powf(alpha);
             ratio.min(1.0)
         })
     }

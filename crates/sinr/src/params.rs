@@ -25,7 +25,10 @@ impl SinrParams {
     pub fn new(alpha: f64, beta: f64, noise: f64) -> Self {
         assert!(alpha > 0.0 && alpha.is_finite(), "alpha must be positive");
         assert!(beta > 0.0 && beta.is_finite(), "beta must be positive");
-        assert!(noise >= 0.0 && noise.is_finite(), "noise must be non-negative");
+        assert!(
+            noise >= 0.0 && noise.is_finite(),
+            "noise must be non-negative"
+        );
         SinrParams { alpha, beta, noise }
     }
 

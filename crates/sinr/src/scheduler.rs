@@ -212,7 +212,14 @@ mod tests {
     #[test]
     fn plan_respects_budget() {
         let mut rng = ChaCha12Rng::seed_from_u64(3);
-        let net = random_instance(24, 60.0, 1.0, 6.0, SinrParams::default_noiseless(), &mut rng);
+        let net = random_instance(
+            24,
+            60.0,
+            1.0,
+            6.0,
+            SinrParams::default_noiseless(),
+            &mut rng,
+        );
         let scheduler = PowerControlScheduler::new(&net);
         let requests: Vec<Request> = net
             .network()
@@ -229,11 +236,7 @@ mod tests {
                 let row: f64 = slot
                     .iter()
                     .filter(|&&j| j != i)
-                    .map(|&j| {
-                        scheduler
-                            .matrix
-                            .weight(requests[i].link, requests[j].link)
-                    })
+                    .map(|&j| scheduler.matrix.weight(requests[i].link, requests[j].link))
                     .sum();
                 assert!(row <= scheduler.budget + 1e-9, "row sum {row} over budget");
             }

@@ -97,7 +97,7 @@ impl Protocol for GlobalClockStarProtocol {
         for packet in arrivals {
             self.queues.push(packet);
         }
-        let transmitters: Vec<LinkId> = if slot % 2 == 0 {
+        let transmitters: Vec<LinkId> = if slot.is_multiple_of(2) {
             self.short_links
                 .iter()
                 .copied()
@@ -134,7 +134,10 @@ impl LocalClockAlohaProtocol {
     ///
     /// Panics unless `0 < q <= 1`.
     pub fn new(star: &StarInstance, q: f64) -> Self {
-        assert!(q > 0.0 && q <= 1.0, "transmission probability must be in (0, 1]");
+        assert!(
+            q > 0.0 && q <= 1.0,
+            "transmission probability must be in (0, 1]"
+        );
         let mut links = star.short_links.clone();
         links.push(star.long_link);
         LocalClockAlohaProtocol {

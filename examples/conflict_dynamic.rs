@@ -3,62 +3,46 @@
 //! uniform-rate algorithm.
 //!
 //! Prints the conflict structure (degree, inductive independence `ρ` under
-//! the shortest-first ordering), then runs the dynamic protocol at half
-//! its rate and at overload.
+//! the shortest-first ordering) from the built substrate, then sweeps the
+//! `conflict-transformed` preset at half its rate and at overload.
 //!
 //! Run with `cargo run --release --example conflict_dynamic`.
 
 use dps::prelude::*;
-use dps_conflict::models::{protocol_model, random_geo_links};
-use dps_core::injection::stochastic::uniform_generators;
-use dps_core::rng::split_stream;
-use dps_core::staticsched::StaticScheduler;
-use dps_core::transform::DenseTransform;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let m = 40;
-    let mut geo_rng = split_stream(21, 0);
-    let links = random_geo_links(m, (m as f64).sqrt() * 2.0, 1.0, &mut geo_rng);
-    let graph = protocol_model(&links, 0.5);
-    let pi = dps_conflict::inductive::ordering_by_key(m, |l| links[l.index()].length());
-    let rho = dps_conflict::inductive::rho_for_ordering(&graph, &pi);
+    let mut spec = registry::spec_for("conflict-transformed")?;
+    spec = spec.with_size(40).with_seed(8);
+    spec.run.frames = 15;
+
+    // The substrate factory exposes the conflict graph it built.
+    let substrate = spec.substrate.build()?;
+    let parts = substrate.conflict.as_ref().expect("conflict substrate");
+    let m = substrate.num_links;
+    let rho = dps_conflict::inductive::rho_for_ordering(&parts.graph, &parts.pi);
     let max_degree = (0..m as u32)
-        .map(|l| graph.degree(dps_core::ids::LinkId(l)))
+        .map(|l| parts.graph.degree(dps_core::ids::LinkId(l)))
         .max()
         .unwrap_or(0);
     println!(
         "protocol-model conflict graph: m = {m} links, {} conflicts, max degree {max_degree}, rho = {rho}",
-        graph.num_conflicts()
+        parts.graph.num_conflicts()
     );
 
-    let model = ConflictInterference::new(graph.clone(), &pi);
-    let phy = IndependentSetFeasibility::new(graph);
-    let scheduler = DenseTransform::new(UniformRateScheduler::new(), m).with_chi(8.0);
-    let lambda_max = 1.0 / scheduler.f_of(m);
-    println!("transformed uniform-rate scheduler: f(m) = {:.1}, max rate {lambda_max:.4}", scheduler.f_of(m));
-
-    let routes: Vec<_> = (0..m as u32)
-        .map(|l| dps_core::path::RoutePath::single_hop(dps_core::ids::LinkId(l)).shared())
-        .collect();
-    for (label, rate) in [("half load", 0.5 * lambda_max), ("overload", 3.0 * lambda_max)] {
-        // Cap the provisioning rate: near-threshold frame lengths grow as
-        // Θ(overhead/ε²) (the overload verdict does not depend on it).
-        let lambda_cfg = rate.min(0.7 * lambda_max);
-        let config = FrameConfig::tuned(&scheduler, m, lambda_cfg)?;
-        let mut protocol = DynamicProtocol::new(scheduler.clone(), config.clone(), m);
-        let mut injector =
-            uniform_generators(routes.clone(), 0.001)?.scaled_to_rate(&model, rate)?;
-        let slots = 15 * config.frame_len as u64;
-        let report = run_simulation(
-            &mut protocol,
-            &mut injector,
-            &phy,
-            SimulationConfig::new(slots, 8),
-        );
-        let verdict = classify_stability(&report, 0.05);
+    // λ is capacity-relative in this preset (capacity = 1/f(m) of the
+    // transformed uniform-rate scheduler).
+    let report = Sweep::new(spec).over_lambdas(&[0.5, 3.0]).run()?;
+    for cell in &report.cells {
+        let o = &cell.outcome;
+        let label = if cell.point.lambda < 1.0 {
+            "half load"
+        } else {
+            "overload"
+        };
         println!(
-            "{label:>9}: rate {rate:.4} | T = {} | injected {:>6} delivered {:>6} backlog {:>5} | {:?}",
-            config.frame_len, report.injected, report.delivered, report.final_backlog, verdict
+            "{label:>9}: rate {:.4} (capacity {:.4}) | T = {} | injected {:>6} delivered {:>6} backlog {:>5} | {:?}",
+            o.lambda, o.lambda_max, o.frame_len,
+            o.report.injected, o.report.delivered, o.report.final_backlog, o.verdict
         );
     }
     Ok(())

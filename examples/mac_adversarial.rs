@@ -3,59 +3,45 @@
 //! Section 5 random delays, absorbs bursty `(w, λ)`-bounded injection for
 //! `λ` below its threshold `1/(1+δ)e`.
 //!
+//! The whole assembly — MAC substrate, Algorithm 2 frame protocol,
+//! bursty adversary, smoothing wrapper, window validation — is one
+//! declarative spec: the `mac-symmetric` preset with the injection kind
+//! switched to `bursty`.
+//!
 //! Run with `cargo run --release --example mac_adversarial`.
 
 use dps::prelude::*;
-use dps_core::dynamic::AdversarialWrapper;
-use dps_core::staticsched::StaticScheduler;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let m = 8; // stations
-    let delta = 0.5;
-    let scheduler = SymmetricMacScheduler::new(delta, 1.0);
-    let lambda_max = 1.0 / scheduler.f_of(m);
+    let mut spec = registry::spec_for("mac-symmetric")?;
+    spec.injection.kind = InjectionKind::Bursty;
+    spec.injection.window = 64;
+    spec.injection.delay_max = 8;
+    spec.run.frames = 40;
+    spec.run.seed = 5;
+    // λ stays capacity-relative: half load vs double load around
+    // 1/(1+δ)e. Provision at most at 70% of capacity: frame length scales
+    // as Θ(overhead/ε²) and Algorithm 2's tail makes near-threshold
+    // configurations slow to simulate.
+    spec.run.provision_cap = 0.7;
+
     println!(
-        "symmetric MAC protocol (Algorithm 2, delta = {delta}): threshold 1/(1+δ)e = {lambda_max:.3}"
+        "symmetric MAC protocol (Algorithm 2) under a bursty (w = {}, λ)-bounded adversary",
+        spec.injection.window
     );
-
-    let w = 64;
-    let routes: Vec<_> = (0..m as u32)
-        .map(|l| dps_core::path::RoutePath::single_hop(dps_core::ids::LinkId(l)).shared())
-        .collect();
-
-    for (label, lambda) in [
-        ("half load", 0.5 * lambda_max),
-        ("overload", 2.0 * lambda_max),
-    ] {
-        // Provision at most at 70% of capacity: frame length scales as
-        // Θ(overhead/ε²) and Algorithm 2's tail makes near-threshold
-        // configurations slow to simulate.
-        let lambda_cfg = lambda.min(0.7 * lambda_max);
-        let config = FrameConfig::tuned(&scheduler, m, lambda_cfg)?;
-        let protocol = DynamicProtocol::new(scheduler, config.clone(), m);
-        // Section 5: random initial delays smooth the adversary.
-        let mut wrapped = AdversarialWrapper::new(protocol, config.frame_len, 8);
-
-        // A bursty adversary dumping λ·w packets at every window start.
-        let mut adversary = BurstyAdversary::new(
-            CompleteInterference::new(m),
-            routes.clone(),
-            w,
-            lambda,
-        );
-
-        let phy = SingleChannelFeasibility::new();
-        let slots = 40 * config.frame_len as u64;
-        let report = run_simulation(
-            &mut wrapped,
-            &mut adversary,
-            &phy,
-            SimulationConfig::new(slots, 5),
-        );
-        let verdict = classify_stability(&report, 0.05);
+    for (label, relative_load) in [("half load", 0.5), ("overload", 2.0)] {
+        let outcome = Scenario::from_spec(&spec.clone().with_lambda(relative_load))?.run()?;
         println!(
-            "{label:>9}: λ = {lambda:.3} (w = {w}) | T = {} | injected {:>5} delivered {:>5} backlog {:>5} | {:?}",
-            config.frame_len, report.injected, report.delivered, report.final_backlog, verdict
+            "{label:>9}: λ = {:.3} (threshold {:.3}, effective {:.3}) | T = {} | \
+             injected {:>5} delivered {:>5} backlog {:>5} | {:?}",
+            outcome.lambda,
+            outcome.lambda_max,
+            outcome.effective_rate.expect("adversarial runs validate"),
+            outcome.frame_len,
+            outcome.report.injected,
+            outcome.report.delivered,
+            outcome.report.final_backlog,
+            outcome.verdict
         );
     }
     Ok(())

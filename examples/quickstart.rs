@@ -1,61 +1,50 @@
-//! Quickstart: the paper's pipeline end to end on the simplest substrate.
+//! Quickstart: the paper's pipeline end to end on the simplest substrate,
+//! through the declarative scenario API.
 //!
-//! 1. Pick a network and an interference model (here: packet routing,
-//!    `W = identity`).
-//! 2. Pick a static scheduling algorithm (here: greedy per-link, `f = 1`).
-//! 3. Let the paper's transformation build a dynamic protocol
-//!    (`FrameConfig` + `DynamicProtocol`).
-//! 4. Inject packets stochastically below the threshold `1/f(m)` and watch
-//!    queues stay bounded.
+//! 1. Pick a scenario — from the registry (`scenario list`) or from a
+//!    TOML/JSON spec.
+//! 2. Adjust it (here: injection rate λ = 0.6 < 1/f(m) = 1).
+//! 3. Run it and observe stability.
 //!
 //! Run with `cargo run --example quickstart`.
 
 use dps::prelude::*;
-use dps_routing::workloads::RoutingSetup;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    // A ring of 8 links; every route crosses 2 consecutive links.
-    let setup = RoutingSetup::ring(8, 2)?;
-    let m = setup.network.significant_size();
+    // The same spec can come from the registry…
+    let mut spec = registry::spec_for("ring-routing")?;
+    spec = spec.with_lambda(0.6).with_seed(42);
+    spec.run.frames = 100;
 
-    // The dynamic protocol for target rate λ = 0.8 (< 1/f(m) = 1).
-    let scheduler = GreedyPerLink::new();
-    let config = FrameConfig::tuned(&scheduler, m, 0.8)?;
+    // …or from a declarative TOML document (they are interchangeable):
+    let same_spec = ScenarioSpec::from_toml(&spec.to_toml())?;
+    assert_eq!(same_spec, spec);
+    println!("spec:\n{}", spec.to_toml());
+
+    let scenario = Scenario::from_spec(&spec)?;
+    let outcome = scenario.run()?;
+
     println!(
-        "frame length T = {} slots (main {}, clean-up {}), J = {:.1}",
-        config.frame_len, config.main_budget, config.cleanup_budget, config.j_bound
+        "substrate {} | protocol {} | injector {}",
+        outcome.substrate, outcome.protocol, outcome.injector
     );
-    let mut protocol = DynamicProtocol::new(scheduler, config.clone(), setup.network.num_links());
-
-    // Stochastic injection at rate 0.6.
-    let mut injector = dps_core::injection::stochastic::uniform_generators(
-        setup.routes.clone(),
-        0.05,
-    )?
-    .scaled_to_rate(&setup.model, 0.6)?;
-
-    let slots = 100 * config.frame_len as u64;
-    let report = run_simulation(
-        &mut protocol,
-        &mut injector,
-        &setup.feasibility,
-        SimulationConfig::new(slots, 42),
+    println!(
+        "frame length T = {} slots, capacity 1/f(m) = {:.3}, provisioned for {:.3}",
+        outcome.frame_len, outcome.lambda_max, outcome.provisioned
     );
-
-    let verdict = classify_stability(&report, 0.05);
-    let latency = report.latency_summary();
-    println!("simulated {slots} slots");
+    println!("simulated {} slots", outcome.slots);
     println!(
         "injected {} / delivered {} / backlog {}",
-        report.injected, report.delivered, report.final_backlog
+        outcome.report.injected, outcome.report.delivered, outcome.report.final_backlog
     );
+    let latency = outcome.report.latency_summary();
     println!(
         "latency: mean {:.1} slots, max {:.0} (≈ {:.2} frames per hop)",
         latency.mean,
         latency.max,
-        latency.mean / (2.0 * config.frame_len as f64)
+        latency.mean / (2.0 * outcome.frame_len as f64)
     );
-    println!("stability verdict: {verdict:?}");
-    assert!(verdict.is_stable(), "rate 0.6 < 1 must be stable");
+    println!("stability verdict: {:?}", outcome.verdict);
+    assert!(outcome.verdict.is_stable(), "rate 0.6 < 1 must be stable");
     Ok(())
 }

@@ -3,78 +3,45 @@
 //! two-stage decay scheduler — constant-competitive, independent of the
 //! network size.
 //!
-//! The example prints the interference landscape (measure of the full
-//! demand, affectance samples), builds the protocol, and compares a stable
-//! run against an overloaded one.
+//! The example builds the `sinr-linear` registry preset's substrate to
+//! print the interference landscape, then sweeps a stable and an
+//! overloaded rate through the scenario API.
 //!
 //! Run with `cargo run --release --example sinr_dynamic`.
 
 use dps::prelude::*;
-use dps_core::injection::stochastic::uniform_generators;
 use dps_core::interference::InterferenceModel;
 use dps_core::load::LinkLoad;
-use dps_core::rng::split_stream;
-use dps_core::staticsched::StaticScheduler;
-use dps_sinr::instances::random_instance;
-use dps_sinr::matrix::SinrInterference;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let m = 24;
-    let params = SinrParams::default_noiseless();
-    let mut geo_rng = split_stream(7, 0);
-    let net = random_instance(m, 110.0, 1.0, 3.0, params, &mut geo_rng);
-    println!(
-        "random SINR instance: m = {m} links, side 110, lengths 1–3, Δ = {:.2}",
-        net.length_diversity()
-    );
+    let mut spec = registry::spec_for("sinr-linear")?;
+    spec = spec.with_size(24).with_seed(99);
+    spec.run.frames = 25;
 
-    // Linear powers: every link's signal arrives at equal strength.
-    let power = LinearPower::new(params.alpha);
-    let model = SinrInterference::fixed_power(&net, &power);
-    let one_each = LinkLoad::from_links(m, net.network().link_ids());
+    // Peek under the declarative surface: the substrate factory exposes
+    // the built interference model.
+    let substrate = spec.substrate.build()?;
+    let m = substrate.num_links;
+    println!("substrate: {}", substrate.label);
+    let one_each = LinkLoad::from_links(m, (0..m as u32).map(dps_core::ids::LinkId));
     println!(
         "interference measure of one-packet-per-link: I = {:.2} (≪ m = {m} thanks to spatial reuse)",
-        model.measure(&one_each)
+        substrate.model.measure(&one_each)
     );
 
-    // The protocol: two-stage decay scheduler inside the frame structure.
-    let scheduler = TwoStageDecayScheduler::new(m);
-    let lambda_max = 1.0 / scheduler.f_of(m);
-    let lambda = 0.6 * lambda_max;
-    println!(
-        "scheduler '{}': f(m) = {:.1}, max rate 1/f = {lambda_max:.4}, injecting at {lambda:.4}",
-        scheduler.name(),
-        scheduler.f_of(m)
-    );
-    let config = FrameConfig::tuned(&scheduler, m, lambda)?;
-    println!(
-        "frame: T = {} slots (main {}, clean-up {})",
-        config.frame_len, config.main_budget, config.cleanup_budget
-    );
-
-    let phy = SinrFeasibility::new(net.clone(), power);
-    let routes: Vec<_> = net
-        .network()
-        .link_ids()
-        .map(|l| dps_core::path::RoutePath::single_hop(l).shared())
-        .collect();
-
-    for (label, rate) in [("stable", lambda), ("overload", 3.0 * lambda_max)] {
-        let mut protocol =
-            DynamicProtocol::new(scheduler, config.clone(), net.num_links());
-        let mut injector =
-            uniform_generators(routes.clone(), 0.01)?.scaled_to_rate(&model, rate)?;
-        let slots = 25 * config.frame_len as u64;
-        let report = run_simulation(
-            &mut protocol,
-            &mut injector,
-            &phy,
-            SimulationConfig::new(slots, 99),
-        );
-        let verdict = classify_stability(&report, 0.05);
+    // λ is capacity-relative in this preset: 0.6·λ_max vs 3·λ_max.
+    let report = Sweep::new(spec).over_lambdas(&[0.6, 3.0]).run()?;
+    for cell in &report.cells {
+        let o = &cell.outcome;
+        let label = if cell.point.lambda < 1.0 {
+            "stable"
+        } else {
+            "overload"
+        };
         println!(
-            "{label:>9}: rate {rate:.4} | injected {:>6} delivered {:>6} backlog {:>5} | {:?}",
-            report.injected, report.delivered, report.final_backlog, verdict
+            "{label:>9}: rate {:.4} (capacity {:.4}, T = {}) | injected {:>6} delivered {:>6} backlog {:>5} | {:?}",
+            o.lambda, o.lambda_max, o.frame_len,
+            o.report.injected, o.report.delivered, o.report.final_backlog, o.verdict
         );
     }
     Ok(())

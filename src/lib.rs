@@ -15,7 +15,49 @@
 //!   Round-Robin-Withholding);
 //! * [`dps_routing`] — packet-routing workloads (`W = identity`);
 //! * [`dps_sim`] — the slotted simulation engine, metrics and stability
-//!   classification.
+//!   classification;
+//! * [`dps_scenario`] — the unified scenario API: declarative specs
+//!   (TOML/JSON), the named-preset registry, and the parallel sweep
+//!   driver.
+//!
+//! # Defining scenarios
+//!
+//! The scenario layer is the front door: describe a run declaratively and
+//! execute it, instead of hand-wiring injector + protocol + feasibility:
+//!
+//! ```
+//! use dps::prelude::*;
+//!
+//! // From the registry (see `scenario list` for all presets)…
+//! let spec = registry::spec_for("ring-routing")?;
+//! // …or from TOML/JSON via ScenarioSpec::from_toml / from_json.
+//! let outcome = Scenario::from_spec(&spec.with_lambda(0.6))?.run()?;
+//! assert!(outcome.verdict.is_stable());
+//!
+//! // Sweeps spread one spec over a (λ, m, seed, repetition) grid in
+//! // parallel; same spec + seed ⇒ identical results on any thread count.
+//! let report = Sweep::new(registry::spec_for("ring-routing")?.with_seed(7))
+//!     .over_lambdas(&[0.5, 1.3])
+//!     .threads(2)
+//!     .run()?;
+//! assert_eq!(report.cells.len(), 2);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+//!
+//! Each registry preset exercises one paper claim:
+//!
+//! | Preset | Paper | Substrate family |
+//! |--------|-------|------------------|
+//! | `ring-routing` | Theorem 3 (§4) | packet routing |
+//! | `line-routing`, `grid-routing` | §7 | packet routing |
+//! | `routing-sis` | §7 (baseline) | packet routing |
+//! | `sinr-linear` | Corollary 12 (§6) | SINR |
+//! | `sinr-uniform` | Corollary 13 (§6) | SINR |
+//! | `mac-symmetric` | Corollary 16 (§7.1) | multiple-access channel |
+//! | `mac-roundrobin` | Corollary 18 (§7.1) | multiple-access channel |
+//! | `conflict-coloring` | Theorem 19 (§7.2) | conflict graph |
+//! | `conflict-transformed` | §3 + §7.2 | conflict graph |
+//! | `adversarial-ring` | Theorem 11 (§5) | packet routing + adversary |
 //!
 //! # Quickstart
 //!
@@ -54,6 +96,7 @@ pub use dps_conflict;
 pub use dps_core;
 pub use dps_mac;
 pub use dps_routing;
+pub use dps_scenario;
 pub use dps_sim;
 pub use dps_sinr;
 
@@ -63,6 +106,7 @@ pub mod prelude {
     pub use dps_core::prelude::*;
     pub use dps_mac::prelude::*;
     pub use dps_routing::prelude::*;
+    pub use dps_scenario::prelude::*;
     pub use dps_sim::prelude::*;
     pub use dps_sinr::prelude::*;
 }

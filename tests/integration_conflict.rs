@@ -16,7 +16,10 @@ fn node_constrained_ring_has_small_inductive_independence() {
     let graph = node_constrained(&net);
     let pi = degeneracy_ordering(&graph);
     let rho = rho_for_ordering(&graph, &pi);
-    assert!(rho <= 2, "line graphs have inductive independence <= 2, got {rho}");
+    assert!(
+        rho <= 2,
+        "line graphs have inductive independence <= 2, got {rho}"
+    );
 }
 
 #[test]

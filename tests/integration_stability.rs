@@ -13,6 +13,7 @@ use dps_sinr::instances::random_instance;
 use dps_sinr::matrix::SinrInterference;
 
 /// Helper: run a dynamic protocol against an injector/oracle and classify.
+#[allow(clippy::too_many_arguments)]
 fn classify<S: StaticScheduler + Clone + 'static>(
     scheduler: S,
     m: usize,
@@ -116,16 +117,7 @@ fn mac_symmetric_threshold_is_between_quarter_and_one() {
         .unwrap()
         .scaled_to_rate(&model, 0.6 * lambda_max)
         .unwrap();
-    let (_, verdict) = classify(
-        scheduler,
-        m,
-        m,
-        0.6 * lambda_max,
-        &mut below,
-        &phy,
-        40,
-        4,
-    );
+    let (_, verdict) = classify(scheduler, m, m, 0.6 * lambda_max, &mut below, &phy, 40, 4);
     assert!(verdict.is_stable(), "below threshold: {verdict:?}");
 
     // Provision at 70% of capacity: the frame length scales as
@@ -135,16 +127,7 @@ fn mac_symmetric_threshold_is_between_quarter_and_one() {
         .unwrap()
         .scaled_to_rate(&model, 0.8) // far above 1/e
         .unwrap();
-    let (_, verdict) = classify(
-        scheduler,
-        m,
-        m,
-        0.7 * lambda_max,
-        &mut above,
-        &phy,
-        40,
-        5,
-    );
+    let (_, verdict) = classify(scheduler, m, m, 0.7 * lambda_max, &mut above, &phy, 40, 5);
     assert!(!verdict.is_stable(), "above 1/e must diverge: {verdict:?}");
 }
 
