@@ -1,7 +1,10 @@
 //! Scenario-API overhead benchmark: the boxed-trait scenario path
 //! (substrate/protocol/injector behind `dyn` factories, `Arc`'d
 //! feasibility, `Box<dyn Protocol>`) vs direct monomorphic wiring, on the
-//! E2 ring-routing workload.
+//! E2 ring-routing workload — plus end-to-end slot throughput of full
+//! SINR scenarios at `m ∈ {64, 256, 1024}` (the fast-path engine driven
+//! through the whole stack: frame protocol, two-stage scheduler, exact
+//! oracle, injection).
 //!
 //! The dynamic dispatch sits outside the hot per-slot arithmetic (one
 //! virtual call per slot per component against hundreds of queue/array
@@ -12,6 +15,7 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Through
 use dps_bench::setup::{dynamic_run, injector_at_rate};
 use dps_core::staticsched::greedy::GreedyPerLink;
 use dps_routing::workloads::RoutingSetup;
+use dps_scenario::spec::{PowerConfig, SubstrateConfig};
 use dps_scenario::{registry, Scenario};
 use dps_sim::runner::{run_simulation, SimulationConfig};
 use std::time::Instant;
@@ -90,5 +94,41 @@ fn bench_scenario_overhead(c: &mut Criterion) {
     );
 }
 
-criterion_group!(benches, bench_scenario_overhead);
+/// End-to-end slot throughput of the `sinr-dense` scenario family: one
+/// timed run per network size, reported as slots/second. A single pass
+/// keeps the large-`m` cells bounded (the m = 1024 run alone is ~60k
+/// slots); relative movement between PRs is what matters here, the
+/// micro-level cached-vs-naive baseline lives in `bench_sinr` /
+/// `BENCH_sinr.json`.
+fn bench_sinr_scenario_throughput(_c: &mut Criterion) {
+    for &(m, frames) in &[(64usize, 6u64), (256, 3), (1024, 3)] {
+        let mut spec = registry::spec_for("sinr-dense").expect("preset");
+        spec.substrate = SubstrateConfig::SinrRandom {
+            links: m,
+            side: 20.0 * (m as f64).sqrt(),
+            min_len: 1.0,
+            max_len: 3.0,
+            power: PowerConfig::Linear,
+            seed: 999,
+        };
+        spec = spec.with_seed(7);
+        spec.run.frames = frames;
+        let scenario = Scenario::from_spec(&spec).expect("valid spec");
+        let start = Instant::now();
+        let outcome = scenario.run().expect("runs");
+        let elapsed = start.elapsed();
+        let slots_per_sec = outcome.slots as f64 / elapsed.as_secs_f64();
+        println!(
+            "scenario_sinr_throughput/m={m}: {:.3e} slots/s  \
+             ({} slots in {:.2?}, {} delivered)",
+            slots_per_sec, outcome.slots, elapsed, outcome.report.delivered
+        );
+    }
+}
+
+criterion_group!(
+    benches,
+    bench_scenario_overhead,
+    bench_sinr_scenario_throughput
+);
 criterion_main!(benches);

@@ -180,7 +180,29 @@ impl_sample_uniform_signed!(i8, i16, i32, i64, isize);
 impl SampleUniform for f64 {
     fn sample_range<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self {
         assert!(low < high, "gen_range: empty range");
-        low + f64::sample(rng) * (high - low)
+        let value = low + f64::sample(rng) * (high - low);
+        // `low + s·(high − low)` can round up to exactly `high` even
+        // though `s < 1` (e.g. `low = 1.0, high = 1.0 + ε`), violating
+        // the half-open `[low, high)` contract; clamp back inside.
+        if value < high {
+            value
+        } else {
+            next_down(high)
+        }
+    }
+}
+
+/// The largest `f64` strictly below finite `x` (used to clamp float
+/// `gen_range` back into its half-open interval).
+fn next_down(x: f64) -> f64 {
+    debug_assert!(x.is_finite());
+    if x > 0.0 {
+        f64::from_bits(x.to_bits() - 1)
+    } else if x < 0.0 {
+        f64::from_bits(x.to_bits() + 1)
+    } else {
+        // Below both +0.0 and -0.0 sits the largest negative subnormal.
+        -f64::from_bits(1)
     }
 }
 
@@ -278,6 +300,42 @@ mod tests {
             let z = rng.gen_range(1.0f64..2.0);
             assert!((1.0..2.0).contains(&z));
         }
+    }
+
+    /// An "RNG" that always returns the largest possible sample, driving
+    /// `f64::sample` to its maximum `1 − 2⁻⁵³` — the adversarial input
+    /// for the half-open-range contract.
+    struct MaxRng;
+    impl RngCore for MaxRng {
+        fn next_u32(&mut self) -> u32 {
+            u32::MAX
+        }
+        fn next_u64(&mut self) -> u64 {
+            u64::MAX
+        }
+    }
+
+    #[test]
+    fn float_gen_range_never_returns_the_upper_bound() {
+        let mut rng = MaxRng;
+        // Adjacent floats: `low + s·(high − low)` rounds up to `high`.
+        let low = 1.0f64;
+        let high = f64::from_bits(low.to_bits() + 1);
+        let v = rng.gen_range(low..high);
+        assert!((low..high).contains(&v), "{v} outside [{low}, {high})");
+        // Subnormal-width range: the product rounds up to the width.
+        let v = rng.gen_range(0.0f64..f64::from_bits(1));
+        assert!(v < f64::from_bits(1), "subnormal upper bound returned");
+        // Negative upper bound takes the `bits + 1` clamp branch.
+        let v = rng.gen_range(-2.0f64..-1.0);
+        assert!((-2.0..-1.0).contains(&v), "{v} outside [-2, -1)");
+        // Zero upper bound takes the negative-subnormal clamp branch.
+        let low = -f64::from_bits(1);
+        let v = rng.gen_range(low..0.0);
+        assert!((low..0.0).contains(&v), "{v} outside [{low}, 0)");
+        // Wide ranges keep their ordinary behaviour.
+        let v = rng.gen_range(3.0f64..7.0);
+        assert!((3.0..7.0).contains(&v), "{v} outside [3, 7)");
     }
 
     #[test]

@@ -94,6 +94,20 @@ pub struct DynamicProtocol<S> {
     /// clean-up algorithm's request slice.
     cleanup_selected: Vec<(LinkId, PacketId)>,
 
+    // Reusable buffers: the slot loop is the protocol's hot path, and
+    // these keep it allocation-free in steady state (each buffer grows to
+    // its high-water mark once and is then recycled every slot/frame).
+    /// Rebuild target for `active` at the main→clean-up transition.
+    active_scratch: Vec<ActivePacket>,
+    /// Request slice handed to `StaticScheduler::instantiate`.
+    request_scratch: Vec<Request>,
+    /// Indices proposed by the running algorithm this slot.
+    idx_scratch: Vec<usize>,
+    /// Physical attempts of this slot.
+    attempt_scratch: Vec<Attempt>,
+    /// Per-attempt success flags of this slot.
+    success_scratch: Vec<bool>,
+
     frame_events: Vec<FrameEvent>,
     current_event: FrameEvent,
     delivered_total: u64,
@@ -126,6 +140,11 @@ impl<S: StaticScheduler> DynamicProtocol<S> {
             main_acked: Vec::new(),
             cleanup_alg: None,
             cleanup_selected: Vec::new(),
+            active_scratch: Vec::new(),
+            request_scratch: Vec::new(),
+            idx_scratch: Vec::new(),
+            attempt_scratch: Vec::new(),
+            success_scratch: Vec::new(),
             frame_events: Vec::new(),
             current_event: FrameEvent {
                 frame: 0,
@@ -179,24 +198,24 @@ impl<S: StaticScheduler> DynamicProtocol<S> {
             cleanup_served: 0,
             potential_after: 0,
         };
-        self.main_acked = vec![false; self.active.len()];
+        self.main_acked.clear();
+        self.main_acked.resize(self.active.len(), false);
         self.main_alg = if self.active.is_empty() {
             None
         } else {
-            let requests: Vec<Request> = self
-                .active
-                .iter()
-                .map(|ap| Request {
+            self.request_scratch.clear();
+            self.request_scratch.extend(self.active.iter().map(|ap| {
+                Request {
                     packet: ap.packet.id(),
                     link: ap
                         .packet
                         .hop_link(ap.hop)
                         .expect("active packet always has a next hop"),
-                })
-                .collect();
+                }
+            }));
             Some(
                 self.scheduler
-                    .instantiate(&requests, self.config.j_bound, rng),
+                    .instantiate(&self.request_scratch, self.config.j_bound, rng),
             )
         };
     }
@@ -214,23 +233,22 @@ impl<S: StaticScheduler> DynamicProtocol<S> {
         if alg.is_done() {
             return;
         }
-        let idxs = alg.attempts(rng);
-        if idxs.is_empty() {
+        alg.attempts_into(rng, &mut self.idx_scratch);
+        if self.idx_scratch.is_empty() {
             return;
         }
-        let attempts: Vec<Attempt> = idxs
-            .iter()
-            .map(|&i| {
+        self.attempt_scratch.clear();
+        self.attempt_scratch
+            .extend(self.idx_scratch.iter().map(|&i| {
                 let ap = &self.active[i];
                 Attempt {
                     link: ap.packet.hop_link(ap.hop).expect("hop in range"),
                     packet: ap.packet.id(),
                 }
-            })
-            .collect();
-        outcome.attempts += attempts.len();
-        let successes = phy.successes(&attempts, rng);
-        for (&idx, &ok) in idxs.iter().zip(&successes) {
+            }));
+        outcome.attempts += self.attempt_scratch.len();
+        phy.successes_into(&self.attempt_scratch, &mut self.success_scratch, rng);
+        for (&idx, &ok) in self.idx_scratch.iter().zip(&self.success_scratch) {
             if !ok {
                 continue;
             }
@@ -257,12 +275,11 @@ impl<S: StaticScheduler> DynamicProtocol<S> {
     fn begin_cleanup(&mut self, rng: &mut dyn RngCore) {
         self.main_alg = None;
         self.delivered_in_active = 0;
-        let acked = std::mem::take(&mut self.main_acked);
-        let packets = std::mem::take(&mut self.active);
-        for (idx, ap) in packets.into_iter().enumerate() {
-            if acked.get(idx).copied().unwrap_or(false) {
+        self.active_scratch.clear();
+        for (idx, ap) in self.active.drain(..).enumerate() {
+            if self.main_acked.get(idx).copied().unwrap_or(false) {
                 if ap.hop < ap.packet.path_len() {
-                    self.active.push(ap);
+                    self.active_scratch.push(ap);
                 }
                 // Delivered packets were already reported; drop them.
             } else {
@@ -278,11 +295,12 @@ impl<S: StaticScheduler> DynamicProtocol<S> {
                 });
             }
         }
+        std::mem::swap(&mut self.active, &mut self.active_scratch);
 
         // Random clean-up selection: each non-empty buffer contributes its
         // longest-failed packet with probability `cleanup_select_prob`.
         self.cleanup_selected.clear();
-        let mut requests = Vec::new();
+        self.request_scratch.clear();
         for link_idx in 0..self.num_links {
             if self.failed[link_idx].is_empty() {
                 continue;
@@ -295,19 +313,19 @@ impl<S: StaticScheduler> DynamicProtocol<S> {
                 .min_by_key(|fp| (fp.failed_at, fp.packet.id()))
                 .expect("buffer non-empty");
             let link = LinkId(link_idx as u32);
-            requests.push(Request {
+            self.request_scratch.push(Request {
                 packet: oldest.packet.id(),
                 link,
             });
             self.cleanup_selected.push((link, oldest.packet.id()));
         }
         self.current_event.cleanup_selected = self.cleanup_selected.len();
-        self.cleanup_alg = if requests.is_empty() {
+        self.cleanup_alg = if self.request_scratch.is_empty() {
             None
         } else {
             Some(
                 self.scheduler
-                    .instantiate(&requests, self.config.cleanup_bound, rng),
+                    .instantiate(&self.request_scratch, self.config.cleanup_bound, rng),
             )
         };
     }
@@ -325,20 +343,19 @@ impl<S: StaticScheduler> DynamicProtocol<S> {
         if alg.is_done() {
             return;
         }
-        let idxs = alg.attempts(rng);
-        if idxs.is_empty() {
+        alg.attempts_into(rng, &mut self.idx_scratch);
+        if self.idx_scratch.is_empty() {
             return;
         }
-        let attempts: Vec<Attempt> = idxs
-            .iter()
-            .map(|&i| {
+        self.attempt_scratch.clear();
+        self.attempt_scratch
+            .extend(self.idx_scratch.iter().map(|&i| {
                 let (link, packet) = self.cleanup_selected[i];
                 Attempt { link, packet }
-            })
-            .collect();
-        outcome.attempts += attempts.len();
-        let successes = phy.successes(&attempts, rng);
-        for (&idx, &ok) in idxs.iter().zip(&successes) {
+            }));
+        outcome.attempts += self.attempt_scratch.len();
+        phy.successes_into(&self.attempt_scratch, &mut self.success_scratch, rng);
+        for (&idx, &ok) in self.idx_scratch.iter().zip(&self.success_scratch) {
             if !ok {
                 continue;
             }
@@ -680,5 +697,118 @@ mod tests {
         let mut config = FrameConfig::tuned(&GreedyPerLink::new(), 2, 0.5).unwrap();
         config.frame_len = 1;
         let _ = DynamicProtocol::new(GreedyPerLink::new(), config, 2);
+    }
+}
+
+#[cfg(test)]
+mod golden_trace {
+    use super::tests_support_golden::golden_fingerprint;
+    use super::FrameEvent;
+
+    /// Fingerprint captured on the pre-buffer-reuse frame loop (the
+    /// per-slot/per-frame `Vec`-allocating version). The refactor must
+    /// not change a single decision: same seed → same `FrameEvent`
+    /// stream and same delivered/failed trace, bit for bit.
+    #[test]
+    fn frame_event_stream_survives_buffer_reuse_refactor() {
+        let (hash, events_head, delivered, injected) = golden_fingerprint();
+        assert_eq!(injected, 1788, "injection trace diverged");
+        assert_eq!(delivered, 1397, "delivered trace diverged");
+        assert_eq!(
+            events_head[2],
+            FrameEvent {
+                frame: 2,
+                active_at_start: 55,
+                newly_failed: 2,
+                cleanup_selected: 1,
+                cleanup_served: 1,
+                potential_after: 5,
+            }
+        );
+        assert_eq!(
+            events_head[5],
+            FrameEvent {
+                frame: 5,
+                active_at_start: 79,
+                newly_failed: 4,
+                cleanup_selected: 3,
+                cleanup_served: 3,
+                potential_after: 28,
+            }
+        );
+        assert_eq!(hash, 0x5a08_62e8_be39_c7fb, "frame/delivery trace diverged");
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod tests_support_golden {
+    use super::*;
+    use crate::feasibility::{LossyFeasibility, PerLinkFeasibility};
+    use crate::graph::line_network;
+    use crate::injection::stochastic::uniform_generators;
+    use crate::injection::Injector;
+    use crate::path::RoutePath;
+    use crate::rng::root_rng;
+    use crate::staticsched::greedy::GreedyPerLink;
+
+    /// Drives a lossy multi-hop workload with a fixed seed and folds the
+    /// full FrameEvent stream plus the delivered-packet trace into an FNV
+    /// fingerprint. Captured once before the buffer-reuse refactor; the
+    /// regression test asserts the exact same value after it.
+    pub fn golden_fingerprint() -> (u64, Vec<FrameEvent>, usize, u64) {
+        let num_links = 3;
+        let network = line_network(num_links);
+        let config =
+            FrameConfig::tuned(&GreedyPerLink::new(), network.significant_size(), 0.7).unwrap();
+        let mut protocol = DynamicProtocol::new(GreedyPerLink::new(), config, num_links);
+        let phy = LossyFeasibility::new(PerLinkFeasibility::new(num_links), 0.5);
+        let full_path = RoutePath::new(&network, (0..num_links as u32).map(LinkId).collect())
+            .unwrap()
+            .shared();
+        let mut injector = uniform_generators([full_path], 0.5).unwrap();
+        let slots = 60 * protocol.config().frame_len as u64;
+        let mut rng = root_rng(20120616);
+        let mut delivered = Vec::new();
+        let mut next_id = 0u64;
+        let mut injected = 0u64;
+        for slot in 0..slots {
+            let arrivals: Vec<Packet> = injector
+                .inject(slot, &mut rng)
+                .into_iter()
+                .map(|path| {
+                    let p = Packet::new(PacketId(next_id), path, slot);
+                    next_id += 1;
+                    p
+                })
+                .collect();
+            injected += arrivals.len() as u64;
+            let outcome = protocol.on_slot(slot, arrivals, &phy, &mut rng);
+            delivered.extend(outcome.delivered);
+        }
+        let events = protocol.take_frame_events();
+        let mut hash = 0xcbf2_9ce4_8422_2325u64;
+        let mut fold = |v: u64| {
+            hash = (hash ^ v).wrapping_mul(0x1000_0000_01b3);
+        };
+        for e in &events {
+            fold(e.frame);
+            fold(e.active_at_start as u64);
+            fold(e.newly_failed as u64);
+            fold(e.cleanup_selected as u64);
+            fold(e.cleanup_served as u64);
+            fold(e.potential_after);
+        }
+        for d in &delivered {
+            fold(d.id.0);
+            fold(d.injected_at);
+            fold(d.delivered_at);
+            fold(d.path_len as u64);
+        }
+        (
+            hash,
+            events.into_iter().take(6).collect(),
+            delivered.len(),
+            injected,
+        )
     }
 }

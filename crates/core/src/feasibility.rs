@@ -41,11 +41,26 @@ pub struct Attempt {
 pub trait Feasibility {
     /// Returns, for each attempt, whether it succeeded.
     fn successes(&self, attempts: &[Attempt], rng: &mut dyn RngCore) -> Vec<bool>;
+
+    /// Writes the per-attempt success flags into `out` (cleared first).
+    ///
+    /// Semantically identical to [`Feasibility::successes`] — same flags,
+    /// same RNG consumption — but lets hot loops (the frame protocol's
+    /// slot loop) reuse one buffer instead of allocating a `Vec` per
+    /// slot. The default delegates to `successes`; allocation-sensitive
+    /// oracles override it.
+    fn successes_into(&self, attempts: &[Attempt], out: &mut Vec<bool>, rng: &mut dyn RngCore) {
+        *out = self.successes(attempts, rng);
+    }
 }
 
 impl<F: Feasibility + ?Sized> Feasibility for &F {
     fn successes(&self, attempts: &[Attempt], rng: &mut dyn RngCore) -> Vec<bool> {
         (**self).successes(attempts, rng)
+    }
+
+    fn successes_into(&self, attempts: &[Attempt], out: &mut Vec<bool>, rng: &mut dyn RngCore) {
+        (**self).successes_into(attempts, out, rng)
     }
 }
 
@@ -53,11 +68,19 @@ impl<F: Feasibility + ?Sized> Feasibility for Box<F> {
     fn successes(&self, attempts: &[Attempt], rng: &mut dyn RngCore) -> Vec<bool> {
         (**self).successes(attempts, rng)
     }
+
+    fn successes_into(&self, attempts: &[Attempt], out: &mut Vec<bool>, rng: &mut dyn RngCore) {
+        (**self).successes_into(attempts, out, rng)
+    }
 }
 
 impl<F: Feasibility + ?Sized> Feasibility for std::sync::Arc<F> {
     fn successes(&self, attempts: &[Attempt], rng: &mut dyn RngCore) -> Vec<bool> {
         (**self).successes(attempts, rng)
+    }
+
+    fn successes_into(&self, attempts: &[Attempt], out: &mut Vec<bool>, rng: &mut dyn RngCore) {
+        (**self).successes_into(attempts, out, rng)
     }
 }
 
@@ -87,10 +110,36 @@ impl PerLinkFeasibility {
     }
 }
 
+thread_local! {
+    /// Per-thread scratch of attempted-link ids for
+    /// [`PerLinkFeasibility::successes_into`]: keeps the slot check
+    /// allocation-free in steady state without an `O(m)` array.
+    static LINK_SCRATCH: std::cell::RefCell<Vec<u32>> = const { std::cell::RefCell::new(Vec::new()) };
+}
+
 impl Feasibility for PerLinkFeasibility {
     fn successes(&self, attempts: &[Attempt], _rng: &mut dyn RngCore) -> Vec<bool> {
         let mult = link_multiplicities(attempts, self.num_links);
         attempts.iter().map(|a| mult[a.link.index()] == 1).collect()
+    }
+
+    // Allocation-free variant: sort the k attempted link ids and check
+    // each attempt's neighbourhood — O(k log k) per slot, independent of
+    // the network size m and without the O(m) zeroed multiplicity array.
+    fn successes_into(&self, attempts: &[Attempt], out: &mut Vec<bool>, _rng: &mut dyn RngCore) {
+        out.clear();
+        LINK_SCRATCH.with(|scratch| {
+            let links = &mut *scratch.borrow_mut();
+            links.clear();
+            links.extend(attempts.iter().map(|a| a.link.0));
+            links.sort_unstable();
+            out.extend(attempts.iter().map(|a| {
+                // First sorted slot holding this link; it is alone iff the
+                // next slot holds a different link.
+                let first = links.partition_point(|&l| l < a.link.0);
+                links.get(first + 1) != Some(&a.link.0)
+            }));
+        });
     }
 }
 
@@ -110,6 +159,11 @@ impl Feasibility for SingleChannelFeasibility {
     fn successes(&self, attempts: &[Attempt], _rng: &mut dyn RngCore) -> Vec<bool> {
         let alone = attempts.len() == 1;
         attempts.iter().map(|_| alone).collect()
+    }
+
+    fn successes_into(&self, attempts: &[Attempt], out: &mut Vec<bool>, _rng: &mut dyn RngCore) {
+        out.clear();
+        out.resize(attempts.len(), attempts.len() == 1);
     }
 }
 
@@ -213,14 +267,19 @@ impl<F: Feasibility> LossyFeasibility<F> {
 
 impl<F: Feasibility> Feasibility for LossyFeasibility<F> {
     fn successes(&self, attempts: &[Attempt], rng: &mut dyn RngCore) -> Vec<bool> {
+        let mut successes = Vec::new();
+        self.successes_into(attempts, &mut successes, rng);
+        successes
+    }
+
+    fn successes_into(&self, attempts: &[Attempt], out: &mut Vec<bool>, rng: &mut dyn RngCore) {
         use rand::Rng;
-        let mut successes = self.inner.successes(attempts, rng);
-        for s in &mut successes {
+        self.inner.successes_into(attempts, out, rng);
+        for s in out.iter_mut() {
             if *s && rng.gen::<f64>() < self.loss {
                 *s = false;
             }
         }
-        successes
     }
 }
 
@@ -289,14 +348,19 @@ impl<F: Feasibility> JammedFeasibility<F> {
 
 impl<F: Feasibility> Feasibility for JammedFeasibility<F> {
     fn successes(&self, attempts: &[Attempt], rng: &mut dyn RngCore) -> Vec<bool> {
+        let mut successes = Vec::new();
+        self.successes_into(attempts, &mut successes, rng);
+        successes
+    }
+
+    fn successes_into(&self, attempts: &[Attempt], out: &mut Vec<bool>, rng: &mut dyn RngCore) {
         let slot = self.slot.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-        let mut successes = self.inner.successes(attempts, rng);
-        for (s, a) in successes.iter_mut().zip(attempts) {
+        self.inner.successes_into(attempts, out, rng);
+        for (s, a) in out.iter_mut().zip(attempts) {
             if *s && self.is_jammed(slot, a.link) {
                 *s = false;
             }
         }
-        successes
     }
 }
 
@@ -330,6 +394,24 @@ mod tests {
         let oracle = PerLinkFeasibility::new(3);
         let out = oracle.successes(&[attempt(0, 1), attempt(0, 2), attempt(1, 3)], &mut rng());
         assert_eq!(out, vec![false, false, true]);
+    }
+
+    #[test]
+    fn per_link_successes_into_matches_successes() {
+        let oracle = PerLinkFeasibility::new(5);
+        let cases: Vec<Vec<Attempt>> = vec![
+            vec![],
+            vec![attempt(0, 1)],
+            vec![attempt(0, 1), attempt(1, 2)],
+            vec![attempt(0, 1), attempt(0, 2), attempt(1, 3)],
+            vec![attempt(4, 1), attempt(4, 2), attempt(4, 3)],
+            vec![attempt(3, 1), attempt(1, 2), attempt(3, 3), attempt(0, 4)],
+        ];
+        let mut out = Vec::new();
+        for attempts in cases {
+            oracle.successes_into(&attempts, &mut out, &mut rng());
+            assert_eq!(out, oracle.successes(&attempts, &mut rng()), "{attempts:?}");
+        }
     }
 
     #[test]

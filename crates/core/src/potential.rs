@@ -65,8 +65,12 @@ impl PotentialSeries {
     /// Empirical tail curve at thresholds `1..=max`, as `(k, Pr[Φ ≥ k])`
     /// pairs; the stability theory predicts a straight line in
     /// `log Pr` vs `k`.
+    ///
+    /// A series with no samples — or whose samples are all zero, so no
+    /// threshold has positive tail mass — has an empty curve. (It used to
+    /// be `[(1, 0.0)]`, a phantom point in the E4 tail plots.)
     pub fn tail_curve(&self) -> Vec<(u64, f64)> {
-        (1..=self.max().max(1))
+        (1..=self.max())
             .map(|k| (k, self.tail_probability(k)))
             .collect()
     }
@@ -139,6 +143,36 @@ mod tests {
         assert_eq!(s.mean(), 0.0);
         assert_eq!(s.tail_probability(1), 0.0);
         assert!(s.log_tail_slope().is_none());
+    }
+
+    #[test]
+    fn empty_series_has_empty_tail_curve() {
+        let s = PotentialSeries::new();
+        assert!(
+            s.tail_curve().is_empty(),
+            "empty series must not emit a phantom (1, 0.0) point"
+        );
+    }
+
+    #[test]
+    fn all_zero_series_has_empty_tail_curve() {
+        let mut s = PotentialSeries::new();
+        s.record(0);
+        s.record(0);
+        assert!(s.tail_curve().is_empty());
+        assert_eq!(s.tail_probability(1), 0.0);
+    }
+
+    #[test]
+    fn tail_curve_spans_one_to_max() {
+        let mut s = PotentialSeries::new();
+        for phi in [0, 2, 3] {
+            s.record(phi);
+        }
+        let curve = s.tail_curve();
+        assert_eq!(curve.len(), 3);
+        assert_eq!(curve[0], (1, 2.0 / 3.0));
+        assert_eq!(curve[2], (3, 1.0 / 3.0));
     }
 
     #[test]

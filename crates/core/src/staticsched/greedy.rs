@@ -67,6 +67,11 @@ impl StaticAlgorithm for GreedyRun {
             .collect()
     }
 
+    fn attempts_into(&mut self, _rng: &mut dyn RngCore, out: &mut Vec<usize>) {
+        out.clear();
+        out.extend(self.queues.values().filter_map(|q| q.front().copied()));
+    }
+
     fn ack(&mut self, idx: usize) {
         // The acked request is at the front of its link's queue.
         for queue in self.queues.values_mut() {

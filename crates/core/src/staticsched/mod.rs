@@ -53,6 +53,17 @@ pub trait StaticAlgorithm: Send {
     /// clock on each call.
     fn attempts(&mut self, rng: &mut dyn RngCore) -> Vec<usize>;
 
+    /// Writes the next slot's request indices into `out` (cleared first).
+    ///
+    /// Semantically identical to [`StaticAlgorithm::attempts`] — same
+    /// indices, same RNG consumption, same once-per-slot contract — but
+    /// lets the frame protocol reuse one buffer across slots. The default
+    /// delegates to `attempts`; allocation-sensitive algorithms override
+    /// it. Callers must invoke exactly one of the two per slot.
+    fn attempts_into(&mut self, rng: &mut dyn RngCore, out: &mut Vec<usize>) {
+        *out = self.attempts(rng);
+    }
+
     /// Acknowledges that request `idx` succeeded in the slot of the most
     /// recent [`StaticAlgorithm::attempts`] call.
     fn ack(&mut self, idx: usize);

@@ -9,6 +9,7 @@
 //! | `routing-sis` | §7 / E11b | ring + Shortest-In-System baseline |
 //! | `sinr-linear` | Cor 12 (§6) / E2b | SINR, linear powers |
 //! | `sinr-uniform` | Cor 13 (§6) / E6 | SINR, uniform powers |
+//! | `sinr-dense` | Cor 12 (§6), large `m` | SINR, cached-geometry fast path |
 //! | `mac-symmetric` | Cor 16 (§7.1) / E8 | MAC, Algorithm 2 |
 //! | `mac-roundrobin` | Cor 18 (§7.1) / E8 | MAC, Round-Robin-Withholding |
 //! | `conflict-coloring` | Thm 19 (§7.2) / E9 | conflict graph, greedy coloring |
@@ -160,6 +161,27 @@ pub fn presets() -> &'static [Preset] {
                         min_len: 1.0,
                         max_len: 3.0,
                         power: PowerConfig::Uniform,
+                        seed: 999,
+                    },
+                    ProtocolConfig::FrameTwoStage,
+                    stochastic(0.5, true),
+                    0.8,
+                )
+            },
+        },
+        Preset {
+            name: "sinr-dense",
+            paper: "Corollary 12 (Section 6), production scale",
+            summary: "large random SINR instance (m=256) exercising the cached-geometry fast path",
+            make: || {
+                spec(
+                    "sinr-dense",
+                    SubstrateConfig::SinrRandom {
+                        links: 256,
+                        side: 320.0,
+                        min_len: 1.0,
+                        max_len: 3.0,
+                        power: PowerConfig::Linear,
                         seed: 999,
                     },
                     ProtocolConfig::FrameTwoStage,

@@ -14,11 +14,19 @@ use dps_core::feasibility::Feasibility;
 use dps_core::injection::Injector;
 use dps_core::protocol::Protocol;
 
+/// The backlog-slope threshold (as a fraction of the injection rate) the
+/// aggregate's per-repetition stability classifications use.
+const STABILITY_THRESHOLD: f64 = 0.05;
+
 /// Aggregate statistics over repetitions of the same configuration.
 #[derive(Clone, Debug)]
 pub struct AggregateReport {
     /// Per-repetition reports, in stream order.
     pub reports: Vec<SimulationReport>,
+    /// Per-repetition stability verdicts, index-aligned with `reports`
+    /// (classified once at aggregation, threshold
+    /// [`STABILITY_THRESHOLD`]).
+    pub verdicts: Vec<StabilityVerdict>,
     /// Summary of mean backlogs.
     pub mean_backlog: Summary,
     /// Summary of mean latencies (over repetitions with deliveries).
@@ -51,12 +59,14 @@ impl AggregateReport {
                 .map(SimulationReport::delivery_ratio)
                 .collect::<Vec<_>>(),
         );
-        let stable_count = reports
+        let verdicts: Vec<StabilityVerdict> = reports
             .iter()
-            .filter(|r| classify_stability(r, 0.05).is_stable())
-            .count();
+            .map(|r| classify_stability(r, STABILITY_THRESHOLD))
+            .collect();
+        let stable_count = verdicts.iter().filter(|v| v.is_stable()).count();
         AggregateReport {
             reports,
+            verdicts,
             mean_backlog,
             mean_latency,
             delivery_ratio,
@@ -64,12 +74,32 @@ impl AggregateReport {
         }
     }
 
-    /// The majority stability verdict across repetitions.
+    /// The majority stability verdict across repetitions: Stable only if
+    /// a *strict* majority of the (non-empty) repetition set is stable,
+    /// with the median per-repetition backlog slope attached.
+    ///
+    /// An empty report set and a set whose repetitions are all
+    /// inconclusive yield [`StabilityVerdict::Inconclusive`] — previously
+    /// zero reports counted as Stable (`0·2 ≥ 0`), a 50/50 tie counted as
+    /// stable, and the reported slopes were `0.0`/`NaN` placeholders.
     pub fn majority_verdict(&self) -> StabilityVerdict {
-        if self.stable_count * 2 >= self.reports.len() {
-            StabilityVerdict::Stable { slope: 0.0 }
+        if self.reports.is_empty() {
+            return StabilityVerdict::Inconclusive;
+        }
+        let mut slopes: Vec<f64> = self.verdicts.iter().filter_map(|v| v.slope()).collect();
+        if slopes.is_empty() {
+            return StabilityVerdict::Inconclusive;
+        }
+        slopes.sort_by(|a, b| a.partial_cmp(b).expect("finite slopes"));
+        let median = if slopes.len() % 2 == 1 {
+            slopes[slopes.len() / 2]
         } else {
-            StabilityVerdict::Unstable { slope: f64::NAN }
+            0.5 * (slopes[slopes.len() / 2 - 1] + slopes[slopes.len() / 2])
+        };
+        if self.stable_count * 2 > self.reports.len() {
+            StabilityVerdict::Stable { slope: median }
+        } else {
+            StabilityVerdict::Unstable { slope: median }
         }
     }
 }
@@ -212,6 +242,73 @@ mod tests {
         );
         assert!(aggregate.majority_verdict().is_stable());
         assert!(aggregate.delivery_ratio.mean > 0.5);
+    }
+
+    fn synthetic_report(series: Vec<(u64, usize)>, injected: u64, slots: u64) -> SimulationReport {
+        SimulationReport {
+            injected,
+            delivered: 0,
+            backlog_series: series,
+            final_backlog: 0,
+            latencies: Vec::new(),
+            path_lens: Vec::new(),
+            potential: dps_core::potential::PotentialSeries::new(),
+            attempts: 0,
+            successes: 0,
+            slots,
+        }
+    }
+
+    fn stable_report() -> SimulationReport {
+        synthetic_report((0..32).map(|i| (i * 100, 10)).collect(), 3200, 3200)
+    }
+
+    fn unstable_report() -> SimulationReport {
+        synthetic_report(
+            (0..32).map(|i| (i * 100, (i * 50) as usize)).collect(),
+            3200,
+            3200,
+        )
+    }
+
+    #[test]
+    fn empty_report_set_is_inconclusive_not_stable() {
+        let aggregate = AggregateReport::from_reports(Vec::new());
+        assert_eq!(aggregate.majority_verdict(), StabilityVerdict::Inconclusive);
+    }
+
+    #[test]
+    fn tie_is_not_a_majority() {
+        let aggregate = AggregateReport::from_reports(vec![stable_report(), unstable_report()]);
+        assert_eq!(aggregate.stable_count, 1);
+        let verdict = aggregate.majority_verdict();
+        assert!(!verdict.is_stable(), "50/50 tie must not count as stable");
+        assert!(
+            verdict.slope().unwrap().is_finite(),
+            "median slope must be a real number, not a placeholder"
+        );
+    }
+
+    #[test]
+    fn majority_verdict_reports_median_slope() {
+        let aggregate = AggregateReport::from_reports(vec![
+            stable_report(),
+            stable_report(),
+            unstable_report(),
+        ]);
+        let verdict = aggregate.majority_verdict();
+        assert!(verdict.is_stable());
+        // Median of {~0, ~0, 0.5} is the flat repetitions' slope.
+        let slope = verdict.slope().unwrap();
+        assert!(slope.abs() < 1e-9, "median slope {slope} should be ~0");
+    }
+
+    #[test]
+    fn all_inconclusive_repetitions_yield_inconclusive() {
+        // Too few backlog samples for the classifier to fit a line.
+        let short = synthetic_report(vec![(0, 1), (1, 2)], 10, 10);
+        let aggregate = AggregateReport::from_reports(vec![short]);
+        assert_eq!(aggregate.majority_verdict(), StabilityVerdict::Inconclusive);
     }
 
     #[test]

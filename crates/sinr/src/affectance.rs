@@ -23,6 +23,11 @@ use dps_core::ids::LinkId;
 /// Returns 1 (total blockage) if `on`'s signal does not even clear the
 /// noise floor (`p(on)/d(on)^α ≤ β·ν`), and 0 for `from == on` — the
 /// self-term is excluded from the SINR sum.
+///
+/// This is the one-shot form; batch consumers (matrix builds, the exact
+/// oracle) go through [`crate::cache::SinrCache::affectance`], which
+/// returns bit-for-bit the same values from precomputed signals and
+/// margins.
 pub fn affectance<P: PowerAssignment + ?Sized>(
     net: &SinrNetwork,
     power: &P,

@@ -2,30 +2,56 @@
 //! protocol in this workspace is validated.
 //!
 //! Unlike the pairwise matrix abstraction used to *design* schedules, this
-//! oracle recomputes the full accumulated interference of the attempts
-//! actually made in a slot and applies the SINR inequality per receiver.
+//! oracle applies the full accumulated-interference SINR inequality to the
+//! attempts actually made in a slot. Since this runs once per slot for the
+//! whole simulation, it is the hottest kernel in the workspace; the
+//! implementation therefore judges a slot from a [`SinrCache`] — cached
+//! signals, margins and pairwise gains, no `sqrt`/`powf` — and iterates
+//! only the `k` *attempted* links (`O(k²)` per slot) instead of scanning
+//! all `m` links per attempt (`O(k·m)` with transcendentals, as the
+//! reference implementation [`SinrFeasibility::successes_naive`] still
+//! does). The two paths make bit-for-bit identical decisions; the
+//! equivalence is property-tested in `tests/prop_sinr.rs`.
 
+use crate::cache::SinrCache;
 use crate::network::SinrNetwork;
 use crate::power::PowerAssignment;
 use dps_core::feasibility::{Attempt, Feasibility};
+use dps_core::ids::LinkId;
 use rand::RngCore;
+use std::cell::RefCell;
 
 /// The accumulative SINR oracle under a fixed power assignment.
 #[derive(Clone, Debug)]
 pub struct SinrFeasibility<P> {
     net: SinrNetwork,
     power: P,
+    cache: SinrCache,
 }
 
 impl<P: PowerAssignment> SinrFeasibility<P> {
-    /// Creates the oracle.
+    /// Creates the oracle, precomputing the geometry cache (dense gain
+    /// table up to [`crate::cache::DEFAULT_DENSE_GAIN_LIMIT`] links).
     pub fn new(net: SinrNetwork, power: P) -> Self {
-        SinrFeasibility { net, power }
+        let cache = SinrCache::new(&net, &power);
+        SinrFeasibility { net, power, cache }
+    }
+
+    /// Creates the oracle with an explicit dense-gain-table limit
+    /// (`0` forces the `O(m)`-memory on-the-fly gain fallback).
+    pub fn with_dense_limit(net: SinrNetwork, power: P, dense_limit: usize) -> Self {
+        let cache = SinrCache::with_dense_limit(&net, &power, dense_limit);
+        SinrFeasibility { net, power, cache }
     }
 
     /// The network the oracle judges.
     pub fn network(&self) -> &SinrNetwork {
         &self.net
+    }
+
+    /// The precomputed geometry cache the fast path judges from.
+    pub fn cache(&self) -> &SinrCache {
+        &self.cache
     }
 
     /// Whether the given set of links (one transmission each) is
@@ -43,10 +69,18 @@ impl<P: PowerAssignment> SinrFeasibility<P> {
         let mut rng = rand::rngs::mock::StepRng::new(0, 1);
         self.successes(&attempts, &mut rng).into_iter().all(|ok| ok)
     }
-}
 
-impl<P: PowerAssignment> Feasibility for SinrFeasibility<P> {
-    fn successes(&self, attempts: &[Attempt], _rng: &mut dyn RngCore) -> Vec<bool> {
+    /// The reference implementation: recomputes every distance and
+    /// path-loss term from scratch and scans all `m` links per attempt.
+    ///
+    /// Kept as the ground truth for the cached-vs-naive equivalence
+    /// proptest and as the pre-optimization baseline in `bench_sinr`.
+    /// Interference contributions accumulate as `count · (p/d^α)` — the
+    /// same association as the cached path — in link-index order. (The
+    /// pre-cache oracle associated this as `(count · p)/d^α`, which can
+    /// differ by an ulp for `count ≥ 3`; the equivalence guarantee is
+    /// between the two current paths, whose expressions are identical.)
+    pub fn successes_naive(&self, attempts: &[Attempt], _rng: &mut dyn RngCore) -> Vec<bool> {
         let params = *self.net.params();
         // Count transmissions per link: two packets on one link collide at
         // the shared transmitter regardless of SINR.
@@ -60,7 +94,8 @@ impl<P: PowerAssignment> Feasibility for SinrFeasibility<P> {
                 if mult[a.link.index()] != 1 {
                     return false;
                 }
-                let len = self.net.link_length(a.link);
+                let own = self.net.sender_pos(a.link);
+                let len = own.distance(&self.net.receiver_pos(a.link));
                 let signal = self.power.power(len) / len.powf(params.alpha);
                 let mut interference = 0.0;
                 for (other_idx, &count) in mult.iter().enumerate() {
@@ -68,16 +103,90 @@ impl<P: PowerAssignment> Feasibility for SinrFeasibility<P> {
                         continue;
                     }
                     let other = dps_core::ids::LinkId(other_idx as u32);
-                    let d = self.net.cross_distance(other, a.link);
+                    let other_sender = self.net.sender_pos(other);
+                    let other_len = other_sender.distance(&self.net.receiver_pos(other));
+                    let d = other_sender.distance(&self.net.receiver_pos(a.link));
                     if d <= 0.0 {
                         return false;
                     }
-                    interference += count as f64 * self.power.power(self.net.link_length(other))
-                        / d.powf(params.alpha);
+                    interference +=
+                        count as f64 * (self.power.power(other_len) / d.powf(params.alpha));
                 }
                 signal >= params.beta * (interference + params.noise)
             })
             .collect()
+    }
+}
+
+/// Per-thread slot scratch: distinct links with multiplicity, plus the
+/// per-distinct-link verdicts.
+type SlotScratch = (Vec<(u32, u32)>, Vec<bool>);
+
+thread_local! {
+    /// Keeps [`SinrFeasibility`] callable through `&self`/`Arc` across
+    /// threads while the slot loop stays allocation-free in steady state.
+    static SLOT_SCRATCH: RefCell<SlotScratch> =
+        const { RefCell::new((Vec::new(), Vec::new())) };
+}
+
+impl<P: PowerAssignment> Feasibility for SinrFeasibility<P> {
+    fn successes(&self, attempts: &[Attempt], rng: &mut dyn RngCore) -> Vec<bool> {
+        let mut out = Vec::new();
+        self.successes_into(attempts, &mut out, rng);
+        out
+    }
+
+    fn successes_into(&self, attempts: &[Attempt], out: &mut Vec<bool>, _rng: &mut dyn RngCore) {
+        out.clear();
+        if attempts.is_empty() {
+            return;
+        }
+        let beta = self.cache.beta();
+        let noise = self.cache.noise();
+        SLOT_SCRATCH.with(|scratch| {
+            let (active, verdicts) = &mut *scratch.borrow_mut();
+            // Distinct attempted links with multiplicities, in link-index
+            // order — the same accumulation order as the naive scan.
+            active.clear();
+            active.extend(attempts.iter().map(|a| (a.link.0, 1u32)));
+            active.sort_unstable_by_key(|&(link, _)| link);
+            let mut write = 0;
+            for read in 1..active.len() {
+                if active[read].0 == active[write].0 {
+                    active[write].1 += active[read].1;
+                } else {
+                    write += 1;
+                    active[write] = active[read];
+                }
+            }
+            active.truncate(write + 1);
+            // One SINR evaluation per distinct receiver: O(k²) overall.
+            verdicts.clear();
+            verdicts.extend(active.iter().map(|&(on_raw, count)| {
+                if count != 1 {
+                    // A shared transmitter collides regardless of SINR.
+                    return false;
+                }
+                let on = LinkId(on_raw);
+                let mut interference = 0.0;
+                for &(from_raw, from_count) in active.iter() {
+                    if from_raw == on_raw {
+                        continue;
+                    }
+                    // A NaN gain (coincident endpoints) poisons the sum,
+                    // failing the comparison — the naive "zero cross
+                    // distance blocks the receiver" rule.
+                    interference += from_count as f64 * self.cache.gain(LinkId(from_raw), on);
+                }
+                self.cache.signal(on) >= beta * (interference + noise)
+            }));
+            out.extend(attempts.iter().map(|a| {
+                let slot = active
+                    .binary_search_by_key(&a.link.0, |&(link, _)| link)
+                    .expect("every attempted link is in the active list");
+                verdicts[slot]
+            }));
+        });
     }
 }
 

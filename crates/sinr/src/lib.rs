@@ -18,6 +18,9 @@
 //! * [`power::PowerAssignment`]s — uniform, linear (`p ∝ d^α`), square-root
 //!   (`p ∝ d^{α/2}`), all monotone and (sub-)linear in the paper's sense;
 //! * [`affectance`] — the relative interference `a_p(ℓ, ℓ')` of [28, 33];
+//! * [`cache::SinrCache`] — precomputed signals, margins and pairwise
+//!   gains: the fast path every hot loop (matrix builds, the exact
+//!   oracle) judges from, bit-for-bit equivalent to naive recomputation;
 //! * [`matrix::SinrInterference`] — the three matrix constructions of
 //!   Section 6 (fixed powers, monotone powers, power control), each a
 //!   [`dps_core::interference::InterferenceModel`];
@@ -35,6 +38,7 @@
 #![forbid(unsafe_code)]
 
 pub mod affectance;
+pub mod cache;
 pub mod diversity;
 pub mod feasibility;
 pub mod geom;
@@ -49,6 +53,7 @@ pub mod star;
 /// Convenience re-exports of the most commonly used types.
 pub mod prelude {
     pub use crate::affectance::affectance;
+    pub use crate::cache::SinrCache;
     pub use crate::diversity::DiversityScheduler;
     pub use crate::feasibility::SinrFeasibility;
     pub use crate::geom::Point;

@@ -18,7 +18,7 @@
 //! simulation scales of this repository; the diagonal is forced to 1 as
 //! the abstract model requires.
 
-use crate::affectance::affectance;
+use crate::cache::SinrCache;
 use crate::network::SinrNetwork;
 use crate::power::PowerAssignment;
 use dps_core::ids::LinkId;
@@ -49,9 +49,17 @@ pub struct SinrInterference {
 
 impl SinrInterference {
     /// §6.1 fixed-power construction: `W[on][from] = a_p(from, on)`.
+    ///
+    /// Built from a [`SinrCache`], so the per-link signal/margin terms are
+    /// computed `O(m)` times instead of `O(m²)`; entries are bit-for-bit
+    /// the values [`crate::affectance::affectance`] returns.
     pub fn fixed_power<P: PowerAssignment + ?Sized>(net: &SinrNetwork, power: &P) -> Self {
+        // Each pairwise gain is read exactly once here, so skip the dense
+        // gain table (it would be filled and traversed for nothing) and
+        // let the cache evaluate gains on the fly.
+        let cache = SinrCache::with_dense_limit(net, power, 0);
         Self::build(net, MatrixKind::FixedPower, |on, from| {
-            affectance(net, power, from, on)
+            cache.affectance(from, on)
         })
     }
 
@@ -59,9 +67,10 @@ impl SinrInterference {
     /// only, with the symmetrized affectance
     /// `max{a_p(ℓ, ℓ'), a_p(ℓ', ℓ)}`.
     pub fn monotone_power<P: PowerAssignment + ?Sized>(net: &SinrNetwork, power: &P) -> Self {
+        let cache = SinrCache::new(net, power);
         Self::build(net, MatrixKind::MonotonePower, |on, from| {
             if net.link_length(on) <= net.link_length(from) {
-                affectance(net, power, from, on).max(affectance(net, power, on, from))
+                cache.affectance(from, on).max(cache.affectance(on, from))
             } else {
                 0.0
             }
@@ -138,6 +147,7 @@ impl InterferenceModel for SinrInterference {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::affectance::affectance;
     use crate::network::SinrNetworkBuilder;
     use crate::params::SinrParams;
     use crate::power::{LinearPower, UniformPower};

@@ -10,11 +10,23 @@ use dps_core::ids::{LinkId, NodeId};
 ///
 /// Built with [`SinrNetworkBuilder`] or one of the generators in
 /// [`crate::instances`].
+///
+/// Construction caches per-link geometry — endpoint positions and link
+/// lengths — so [`SinrNetwork::link_length`] is a table lookup and
+/// [`SinrNetwork::cross_distance`] needs no node indirection. Everything
+/// downstream (affectance, matrices, the exact oracle) leans on these
+/// caches; see [`crate::cache::SinrCache`] for the power-dependent layer.
 #[derive(Clone, Debug)]
 pub struct SinrNetwork {
     network: Network,
     positions: Vec<Point>,
     params: SinrParams,
+    /// Per-link sender position (`positions` of the link's `src` node).
+    link_sender: Vec<Point>,
+    /// Per-link receiver position (`positions` of the link's `dst` node).
+    link_receiver: Vec<Point>,
+    /// Per-link geometric length `d(ℓ)`.
+    lengths: Vec<f64>,
 }
 
 impl SinrNetwork {
@@ -45,31 +57,35 @@ impl SinrNetwork {
 
     /// Position of the sender of `link`.
     pub fn sender_pos(&self, link: LinkId) -> Point {
-        self.position(self.network.link(link).src)
+        self.link_sender[link.index()]
     }
 
     /// Position of the receiver of `link`.
     pub fn receiver_pos(&self, link: LinkId) -> Point {
-        self.position(self.network.link(link).dst)
+        self.link_receiver[link.index()]
     }
 
-    /// Geometric length `d(ℓ)` of `link`.
+    /// Geometric length `d(ℓ)` of `link` (cached at construction).
     pub fn link_length(&self, link: LinkId) -> f64 {
-        self.sender_pos(link).distance(&self.receiver_pos(link))
+        self.lengths[link.index()]
+    }
+
+    /// All link lengths, indexed by [`LinkId::index`].
+    pub fn lengths(&self) -> &[f64] {
+        &self.lengths
     }
 
     /// Distance from the sender of `from` to the receiver of `to` — the
     /// `d(s', r)` term of the SINR condition.
     pub fn cross_distance(&self, from: LinkId, to: LinkId) -> f64 {
-        self.sender_pos(from).distance(&self.receiver_pos(to))
+        self.link_sender[from.index()].distance(&self.link_receiver[to.index()])
     }
 
     /// Ratio `Δ` between the longest and shortest link lengths.
     pub fn length_diversity(&self) -> f64 {
         let mut min = f64::INFINITY;
         let mut max = 0.0f64;
-        for link in self.network.link_ids() {
-            let len = self.link_length(link);
+        for &len in &self.lengths {
             min = min.min(len);
             max = max.max(len);
         }
@@ -148,12 +164,28 @@ impl SinrNetworkBuilder {
         self
     }
 
-    /// Finalizes the network.
+    /// Finalizes the network, caching per-link endpoint positions and
+    /// lengths.
     pub fn build(&self) -> SinrNetwork {
+        let network = self.builder.build();
+        let mut link_sender = Vec::with_capacity(network.num_links());
+        let mut link_receiver = Vec::with_capacity(network.num_links());
+        let mut lengths = Vec::with_capacity(network.num_links());
+        for link in network.link_ids() {
+            let spec = network.link(link);
+            let s = self.positions[spec.src.index()];
+            let r = self.positions[spec.dst.index()];
+            link_sender.push(s);
+            link_receiver.push(r);
+            lengths.push(s.distance(&r));
+        }
         SinrNetwork {
-            network: self.builder.build(),
+            network,
             positions: self.positions.clone(),
             params: self.params,
+            link_sender,
+            link_receiver,
+            lengths,
         }
     }
 }

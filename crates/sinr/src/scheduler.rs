@@ -42,11 +42,7 @@ impl std::fmt::Debug for PowerControlScheduler {
 impl PowerControlScheduler {
     /// Creates the scheduler for a network, precomputing the §6.2 matrix.
     pub fn new(net: &crate::network::SinrNetwork) -> Self {
-        let lengths: Vec<f64> = net
-            .network()
-            .link_ids()
-            .map(|l| net.link_length(l))
-            .collect();
+        let lengths = net.lengths().to_vec();
         PowerControlScheduler {
             matrix: Arc::new(SinrInterference::power_control(net)),
             lengths: Arc::new(lengths),

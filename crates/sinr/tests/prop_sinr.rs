@@ -125,6 +125,83 @@ proptest! {
         prop_assert!(is_monotone_sublinear(&SquareRootPower::new(alpha), alpha, &lengths));
     }
 
+    /// The cached fast-path oracle (precomputed signals/margins + dense
+    /// gain table, O(k²) over attempted links) makes bit-for-bit the same
+    /// decisions as the naive recomputation (O(k·m), sqrt/powf from
+    /// scratch) — on random geometry, with duplicate attempts on one link
+    /// mixed in, under both uniform and linear powers and with noise.
+    #[test]
+    fn cached_oracle_matches_naive_bit_for_bit(
+        seed in 0u64..500,
+        subset_bits in 1u32..255,
+        dup_link in 0u32..8,
+        noise_sel in 0u32..3,
+    ) {
+        let mut rng = ChaCha12Rng::seed_from_u64(seed);
+        let params = match noise_sel {
+            0 => SinrParams::default_noiseless(),
+            1 => SinrParams::with_noise(1e-4),
+            _ => SinrParams::with_noise(0.05),
+        };
+        let net = random_instance(8, 35.0, 0.8, 3.5, params, &mut rng);
+        let mut attempts: Vec<Attempt> = (0..8u32)
+            .filter(|i| subset_bits & (1 << i) != 0)
+            .enumerate()
+            .map(|(i, l)| attempt(LinkId(l), i as u64))
+            .collect();
+        // A same-link collision with probability ~1/2, to exercise the
+        // multiplicity rule and count-weighted interference.
+        if subset_bits & (1 << (dup_link % 8)) != 0 {
+            attempts.push(attempt(LinkId(dup_link % 8), 99));
+        }
+        let srng = ChaCha12Rng::seed_from_u64(1);
+        for power_sel in 0..2 {
+            let run = |dense_limit: Option<usize>| -> (Vec<bool>, Vec<bool>) {
+                macro_rules! with_power {
+                    ($p:expr) => {{
+                        let oracle = match dense_limit {
+                            Some(limit) => SinrFeasibility::with_dense_limit(
+                                net.clone(), $p, limit),
+                            None => SinrFeasibility::new(net.clone(), $p),
+                        };
+                        (
+                            oracle.successes(&attempts, &mut srng.clone()),
+                            oracle.successes_naive(&attempts, &mut srng.clone()),
+                        )
+                    }};
+                }
+                if power_sel == 0 {
+                    with_power!(UniformPower::unit())
+                } else {
+                    with_power!(LinearPower::new(params.alpha))
+                }
+            };
+            // Dense gain table…
+            let (fast, naive) = run(None);
+            prop_assert_eq!(&fast, &naive, "dense path diverged (power {})", power_sel);
+            // …and the on-the-fly fallback.
+            let (fast, naive) = run(Some(0));
+            prop_assert_eq!(&fast, &naive, "fallback path diverged (power {})", power_sel);
+        }
+    }
+
+    /// The line-network edge case: consecutive links share a node, so a
+    /// cross distance of exactly zero occurs — the cached NaN encoding
+    /// must reproduce the naive "blocked receiver" verdicts.
+    #[test]
+    fn cached_oracle_matches_naive_on_shared_nodes(hops in 2usize..7, spacing in 0.5f64..3.0) {
+        let net = dps_sinr::instances::line_instance(
+            hops, spacing, SinrParams::default_noiseless());
+        let oracle = SinrFeasibility::new(net, UniformPower::unit());
+        let attempts: Vec<Attempt> = (0..hops as u32)
+            .map(|l| attempt(LinkId(l), l as u64))
+            .collect();
+        let mut srng = ChaCha12Rng::seed_from_u64(3);
+        let fast = oracle.successes(&attempts, &mut srng);
+        let naive = oracle.successes_naive(&attempts, &mut srng);
+        prop_assert_eq!(fast, naive);
+    }
+
     /// Feasibility is monotone under removal: if a set of transmissions
     /// lets link x succeed, removing other transmitters keeps x succeeding
     /// (noise-free SINR has no capture inversions).
