@@ -1,0 +1,174 @@
+//! The substrate-sharing layer: build each topology once, hand it to
+//! every consumer.
+//!
+//! Sweeps spread one spec over a `(λ, size, seed, repetition)` grid, and
+//! most of that grid shares a topology: the injection rate and the
+//! repetition stream do not touch geometry at all, so rebuilding the
+//! substrate — including the `O(m²)`-`powf` SINR matrix and gain-table
+//! construction — per cell is pure waste. A [`SubstrateCache`] keys built
+//! [`Substrate`]s by the spec's [`SubstrateSpec::cache_key`] (which
+//! embeds the substrate kind, its size parameters and its geometry seed)
+//! and returns `Arc` handles, so all cells of a sweep — and all worker
+//! threads — drive the same instance.
+//!
+//! Sharing is safe because substrate builds are deterministic (the trait
+//! contract) and runs never mutate the substrate: protocols and
+//! injectors are rebuilt per cell from their own specs, reading the
+//! substrate through `&`/`Arc`. The golden-fingerprint test in the
+//! integration suite pins shared-substrate sweeps to per-cell
+//! construction bit-for-bit.
+
+use crate::error::ScenarioError;
+use crate::substrate::{Substrate, SubstrateSpec};
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+/// A keyed store of built substrates, shared via [`Arc`].
+///
+/// Thread-safe; a cache can be consulted concurrently from sweep worker
+/// threads. Specs whose [`SubstrateSpec::cache_key`] is `None` (custom
+/// specs that did not opt in) are built fresh on every call.
+///
+/// The cache holds every distinct topology alive until it is dropped:
+/// a grid sweeping many large substrates (sizes or geometry seeds)
+/// peaks at the sum of all of their interference matrices, where the
+/// per-cell rebuild it replaces peaked at one topology per worker
+/// thread. Trade memory back by splitting such a sweep into chunks
+/// (one `Sweep::run` per topology group) — each run drops its cache.
+#[derive(Debug, Default)]
+pub struct SubstrateCache {
+    entries: Mutex<HashMap<String, Arc<Substrate>>>,
+}
+
+impl SubstrateCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of distinct topologies currently cached.
+    pub fn len(&self) -> usize {
+        self.entries.lock().expect("no panics while cached").len()
+    }
+
+    /// Whether the cache holds no topologies yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Returns the substrate `spec` builds, building it only if no
+    /// equivalent topology (same [`SubstrateSpec::cache_key`]) is cached
+    /// yet.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the spec's build error; failed builds are not cached.
+    pub fn get_or_build(&self, spec: &dyn SubstrateSpec) -> Result<Arc<Substrate>, ScenarioError> {
+        self.get_or_build_keyed(spec.cache_key().as_deref(), spec)
+    }
+
+    /// [`get_or_build`](Self::get_or_build) with the spec's cache key
+    /// already computed — callers that derived the key for their own
+    /// bookkeeping (the sweep's dedup pass) hand it in instead of
+    /// paying a second serialization. `key` must be exactly
+    /// `spec.cache_key()` (`None` opts out of sharing).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the spec's build error; failed builds are not cached.
+    pub fn get_or_build_keyed(
+        &self,
+        key: Option<&str>,
+        spec: &dyn SubstrateSpec,
+    ) -> Result<Arc<Substrate>, ScenarioError> {
+        let Some(key) = key else {
+            // No key: the spec opted out of sharing.
+            return spec.build().map(Arc::new);
+        };
+        if let Some(hit) = self
+            .entries
+            .lock()
+            .expect("no panics while cached")
+            .get(key)
+        {
+            return Ok(hit.clone());
+        }
+        // Build outside the lock: concurrent misses on the same key may
+        // race to build, but builds are deterministic, so whichever
+        // insert wins, every caller holds an interchangeable substrate —
+        // and slow builds never serialize unrelated keys.
+        let built = Arc::new(spec.build()?);
+        Ok(self
+            .entries
+            .lock()
+            .expect("no panics while cached")
+            .entry(key.to_string())
+            .or_insert(built)
+            .clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{PowerConfig, SubstrateConfig};
+
+    fn sinr_config(seed: u64) -> SubstrateConfig {
+        SubstrateConfig::SinrRandom {
+            links: 6,
+            side: 40.0,
+            min_len: 1.0,
+            max_len: 3.0,
+            power: PowerConfig::Linear,
+            seed,
+        }
+    }
+
+    #[test]
+    fn same_spec_shares_one_substrate() {
+        let cache = SubstrateCache::new();
+        let a = cache.get_or_build(&sinr_config(7)).unwrap();
+        let b = cache.get_or_build(&sinr_config(7)).unwrap();
+        assert!(Arc::ptr_eq(&a, &b), "same key must share the build");
+        assert_eq!(cache.len(), 1);
+        // The SINR pieces share one geometry cache in turn.
+        let sinr = a.sinr_cache.as_ref().expect("SINR substrate has a cache");
+        assert!(sinr.is_dense());
+    }
+
+    #[test]
+    fn different_seeds_build_different_substrates() {
+        let cache = SubstrateCache::new();
+        let a = cache.get_or_build(&sinr_config(7)).unwrap();
+        let b = cache.get_or_build(&sinr_config(8)).unwrap();
+        assert!(!Arc::ptr_eq(&a, &b));
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn keyless_specs_rebuild_every_time() {
+        #[derive(Debug)]
+        struct Opaque;
+        impl SubstrateSpec for Opaque {
+            fn label(&self) -> String {
+                "opaque".into()
+            }
+            fn build(&self) -> Result<Substrate, ScenarioError> {
+                SubstrateConfig::Mac { stations: 3 }.build()
+            }
+        }
+        let cache = SubstrateCache::new();
+        let a = cache.get_or_build(&Opaque).unwrap();
+        let b = cache.get_or_build(&Opaque).unwrap();
+        assert!(!Arc::ptr_eq(&a, &b), "keyless specs must not be shared");
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn build_errors_propagate_and_are_not_cached() {
+        let cache = SubstrateCache::new();
+        let bad = SubstrateConfig::RingRouting { nodes: 2, hops: 5 };
+        assert!(cache.get_or_build(&bad).is_err());
+        assert!(cache.is_empty());
+    }
+}

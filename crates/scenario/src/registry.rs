@@ -10,6 +10,7 @@
 //! | `sinr-linear` | Cor 12 (§6) / E2b | SINR, linear powers |
 //! | `sinr-uniform` | Cor 13 (§6) / E6 | SINR, uniform powers |
 //! | `sinr-dense` | Cor 12 (§6), large `m` | SINR, cached-geometry fast path |
+//! | `sinr-huge` | Cor 12 (§6), beyond the dense cap | SINR, on-the-fly gain fallback |
 //! | `mac-symmetric` | Cor 16 (§7.1) / E8 | MAC, Algorithm 2 |
 //! | `mac-roundrobin` | Cor 18 (§7.1) / E8 | MAC, Round-Robin-Withholding |
 //! | `conflict-coloring` | Thm 19 (§7.2) / E9 | conflict graph, greedy coloring |
@@ -188,6 +189,33 @@ pub fn presets() -> &'static [Preset] {
                     stochastic(0.5, true),
                     0.8,
                 )
+            },
+        },
+        Preset {
+            name: "sinr-huge",
+            paper: "Corollary 12 (Section 6), beyond the dense-table cap",
+            summary: "huge random SINR instance (m=4096) exercising the on-the-fly gain fallback",
+            make: || {
+                let mut spec = spec(
+                    "sinr-huge",
+                    SubstrateConfig::SinrRandom {
+                        links: 4096,
+                        side: 1280.0,
+                        min_len: 1.0,
+                        max_len: 3.0,
+                        power: PowerConfig::Linear,
+                        seed: 999,
+                    },
+                    ProtocolConfig::FrameTwoStage,
+                    stochastic(0.5, true),
+                    0.8,
+                );
+                // 4096 links exceed the default dense-gain budget
+                // (`dps_sinr::cache::DEFAULT_DENSE_GAIN_LIMIT` = 1024),
+                // so the oracle runs on the O(m)-memory fallback path;
+                // keep the default horizon short — each frame is big.
+                spec.run.frames = 10;
+                spec
             },
         },
         Preset {

@@ -4,10 +4,11 @@ use crate::error::ScenarioError;
 use crate::injector::{InjectorSpec, ValidatingInjector};
 use crate::protocol::ProtocolSpec;
 use crate::spec::{RunConfig, ScenarioSpec};
-use crate::substrate::SubstrateSpec;
+use crate::substrate::{Substrate, SubstrateSpec};
 use dps_core::dynamic::AdversarialWrapper;
 use dps_sim::runner::{run_simulation, SimulationConfig, SimulationReport};
 use dps_sim::stability::{classify_stability, StabilityVerdict};
+use std::sync::Arc;
 
 /// A runnable scenario: boxed substrate/protocol/injector factories plus
 /// the run parameters.
@@ -120,6 +121,20 @@ impl Scenario {
         self.run_stream(0)
     }
 
+    /// Builds this scenario's substrate, shared-ready.
+    ///
+    /// Substrate builds are deterministic and runs never mutate them, so
+    /// the returned handle can serve any number of
+    /// [`run_stream_on`](Self::run_stream_on) calls — across repetitions,
+    /// sweep cells and worker threads — without changing any result.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the substrate factory's build error.
+    pub fn build_substrate(&self) -> Result<Arc<Substrate>, ScenarioError> {
+        self.substrate.build().map(Arc::new)
+    }
+
     /// Runs one repetition on RNG stream `stream`.
     ///
     /// Substrate, protocol and injector are rebuilt from their specs, so
@@ -130,8 +145,27 @@ impl Scenario {
     ///
     /// Propagates assembly errors from the component factories.
     pub fn run_stream(&self, stream: u64) -> Result<ScenarioOutcome, ScenarioError> {
-        let substrate = self.substrate.build()?;
-        let lambda_max = self.protocol.lambda_max(&substrate)?;
+        let substrate = self.build_substrate()?;
+        self.run_stream_on(&substrate, stream)
+    }
+
+    /// Runs one repetition on RNG stream `stream` against an
+    /// already-built substrate (see [`build_substrate`](Self::build_substrate)
+    /// and [`crate::cache::SubstrateCache`]).
+    ///
+    /// Only protocol and injector are built here; the result is
+    /// bit-for-bit the [`run_stream`](Self::run_stream) result, because
+    /// substrate construction is deterministic and read-only during runs.
+    ///
+    /// # Errors
+    ///
+    /// Propagates assembly errors from the component factories.
+    pub fn run_stream_on(
+        &self,
+        substrate: &Substrate,
+        stream: u64,
+    ) -> Result<ScenarioOutcome, ScenarioError> {
+        let lambda_max = self.protocol.lambda_max(substrate)?;
         let lambda = if self.relative_lambda {
             self.lambda * lambda_max
         } else {
@@ -139,8 +173,8 @@ impl Scenario {
         };
         let built = self
             .protocol
-            .build(&substrate, lambda, self.run.provision_cap)?;
-        let injector = self.injector.build(&substrate, lambda)?;
+            .build(substrate, lambda, self.run.provision_cap)?;
+        let injector = self.injector.build(substrate, lambda)?;
         let slots = self.run.frames.max(1) * built.frame_len.max(1) as u64;
         let config = SimulationConfig::new(slots, self.run.seed).with_stream(stream);
 
@@ -193,6 +227,13 @@ impl Scenario {
     /// Runs `reps` independent repetitions (streams `0..reps`) on up to
     /// `threads` OS threads, in stream order.
     ///
+    /// For substrate specs that opted into sharing (a `Some`
+    /// [`SubstrateSpec::cache_key`](crate::substrate::SubstrateSpec::cache_key)
+    /// — every built-in config) the substrate is built once and shared
+    /// by every repetition and worker thread; keyless custom specs keep
+    /// the rebuild-per-repetition behaviour their opt-out asks for.
+    /// Protocol and injector are rebuilt per stream as always.
+    ///
     /// # Errors
     ///
     /// Returns the first per-stream error, if any.
@@ -201,9 +242,17 @@ impl Scenario {
         reps: u64,
         threads: usize,
     ) -> Result<Vec<ScenarioOutcome>, ScenarioError> {
-        let results = dps_sim::parallel::parallel_map(reps as usize, threads, |rep| {
-            self.run_stream(rep as u64)
-        });
+        let shared = self
+            .substrate
+            .cache_key()
+            .is_some()
+            .then(|| self.build_substrate())
+            .transpose()?;
+        let results =
+            dps_sim::parallel::parallel_map(reps as usize, threads, |rep| match &shared {
+                Some(substrate) => self.run_stream_on(substrate, rep as u64),
+                None => self.run_stream(rep as u64),
+            });
         results.into_iter().collect()
     }
 }

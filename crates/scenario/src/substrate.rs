@@ -17,10 +17,13 @@ use dps_core::interference::{CompleteInterference, IdentityInterference, Interfe
 use dps_core::path::RoutePath;
 use dps_core::rng::split_stream;
 use dps_routing::workloads::RoutingSetup;
+use dps_sinr::cache::SinrCache;
+use dps_sinr::feasibility::SinrFeasibility;
 use dps_sinr::instances::random_instance;
 use dps_sinr::matrix::SinrInterference;
+use dps_sinr::network::SinrNetwork;
 use dps_sinr::params::SinrParams;
-use dps_sinr::power::{LinearPower, SquareRootPower, UniformPower};
+use dps_sinr::power::{LinearPower, PowerAssignment, SquareRootPower, UniformPower};
 use std::fmt;
 use std::sync::Arc;
 
@@ -52,6 +55,11 @@ pub struct Substrate {
     pub routes: Vec<Arc<RoutePath>>,
     /// Conflict-graph pieces, for conflict substrates.
     pub conflict: Option<ConflictParts>,
+    /// The shared SINR geometry cache, for SINR substrates: the one
+    /// [`SinrCache`] both the interference matrix and the feasibility
+    /// oracle of this substrate were built from (and that sweep cells
+    /// sharing this substrate reuse).
+    pub sinr_cache: Option<Arc<SinrCache>>,
 }
 
 impl fmt::Debug for Substrate {
@@ -85,6 +93,21 @@ pub trait SubstrateSpec: fmt::Debug + Send + Sync {
     ///
     /// Returns [`ScenarioError`] if the configuration is not realizable.
     fn build(&self) -> Result<Substrate, ScenarioError>;
+
+    /// A key identifying the topology this spec builds, for the
+    /// substrate-sharing layer ([`crate::cache::SubstrateCache`]): two
+    /// specs with the same key must build interchangeable substrates.
+    ///
+    /// Because building is deterministic, any injective serialization of
+    /// the spec's parameters (including its geometry seed) qualifies —
+    /// the built-in [`SubstrateConfig`] uses its JSON form. The default
+    /// `None` opts out: every consumer then rebuilds from scratch, which
+    /// is always correct, just slower. Custom specs should return a key
+    /// embedding every build-affecting parameter (prefixed with a unique
+    /// type name to avoid colliding with other spec types).
+    fn cache_key(&self) -> Option<String> {
+        None
+    }
 }
 
 /// One single-hop route per link — the demand family of the MAC, SINR and
@@ -96,6 +119,12 @@ pub fn single_hop_routes(num_links: usize) -> Vec<Arc<RoutePath>> {
 }
 
 impl SubstrateSpec for SubstrateConfig {
+    fn cache_key(&self) -> Option<String> {
+        // The JSON form names every build-affecting parameter (kind,
+        // sizes, geometry seed); builds are a pure function of it.
+        Some(serde::json::to_string(self))
+    }
+
     fn label(&self) -> String {
         match self {
             SubstrateConfig::RingRouting { nodes, hops } => {
@@ -144,36 +173,29 @@ impl SubstrateSpec for SubstrateConfig {
                 // Geometry stream 0 of the substrate's own seed space.
                 let mut geo_rng = split_stream(seed, 0);
                 let net = random_instance(links, side, min_len, max_len, params, &mut geo_rng);
-                let (model, feasibility): (
+                // One shared geometry cache per topology: the matrix
+                // build and the exact oracle read the same precomputed
+                // signals, margins and gains — the `O(m²)` `powf` work
+                // happens exactly once per substrate.
+                let (model, feasibility, cache): (
                     Arc<dyn InterferenceModel + Send + Sync>,
                     Arc<dyn Feasibility + Send + Sync>,
+                    Arc<SinrCache>,
                 ) = match power {
-                    PowerConfig::Uniform => (
-                        Arc::new(SinrInterference::fixed_power(&net, &UniformPower::unit())),
-                        Arc::new(dps_sinr::feasibility::SinrFeasibility::new(
-                            net.clone(),
-                            UniformPower::unit(),
-                        )),
+                    PowerConfig::Uniform => sinr_parts(
+                        &net,
+                        UniformPower::unit(),
+                        SinrInterference::fixed_power_with_cache,
                     ),
-                    PowerConfig::Linear => (
-                        Arc::new(SinrInterference::fixed_power(
-                            &net,
-                            &LinearPower::new(params.alpha),
-                        )),
-                        Arc::new(dps_sinr::feasibility::SinrFeasibility::new(
-                            net.clone(),
-                            LinearPower::new(params.alpha),
-                        )),
+                    PowerConfig::Linear => sinr_parts(
+                        &net,
+                        LinearPower::new(params.alpha),
+                        SinrInterference::fixed_power_with_cache,
                     ),
-                    PowerConfig::SquareRoot => (
-                        Arc::new(SinrInterference::monotone_power(
-                            &net,
-                            &SquareRootPower::new(params.alpha),
-                        )),
-                        Arc::new(dps_sinr::feasibility::SinrFeasibility::new(
-                            net.clone(),
-                            SquareRootPower::new(params.alpha),
-                        )),
+                    PowerConfig::SquareRoot => sinr_parts(
+                        &net,
+                        SquareRootPower::new(params.alpha),
+                        SinrInterference::monotone_power_with_cache,
                     ),
                 };
                 Ok(Substrate {
@@ -184,6 +206,7 @@ impl SubstrateSpec for SubstrateConfig {
                     feasibility,
                     routes: single_hop_routes(links),
                     conflict: None,
+                    sinr_cache: Some(cache),
                 })
             }
             SubstrateConfig::Mac { stations } => Ok(Substrate {
@@ -194,6 +217,7 @@ impl SubstrateSpec for SubstrateConfig {
                 feasibility: Arc::new(SingleChannelFeasibility::new()),
                 routes: single_hop_routes(stations),
                 conflict: None,
+                sinr_cache: None,
             }),
             SubstrateConfig::ConflictGeometric {
                 links,
@@ -218,10 +242,33 @@ impl SubstrateSpec for SubstrateConfig {
                     feasibility: Arc::new(feasibility),
                     routes: single_hop_routes(links),
                     conflict: Some(ConflictParts { graph, pi }),
+                    sinr_cache: None,
                 })
             }
         }
     }
+}
+
+/// Builds the matrix + oracle pair of a SINR substrate from one shared
+/// [`SinrCache`]; `matrix` picks the §6 construction matching the power
+/// assignment family.
+fn sinr_parts<P: PowerAssignment + Clone + Send + Sync + 'static>(
+    net: &SinrNetwork,
+    power: P,
+    matrix: fn(&SinrNetwork, &SinrCache) -> SinrInterference,
+) -> (
+    Arc<dyn InterferenceModel + Send + Sync>,
+    Arc<dyn Feasibility + Send + Sync>,
+    Arc<SinrCache>,
+) {
+    let cache = Arc::new(SinrCache::new(net, &power));
+    let model = Arc::new(matrix(net, &cache));
+    let feasibility = Arc::new(SinrFeasibility::with_cache(
+        net.clone(),
+        power,
+        cache.clone(),
+    ));
+    (model, feasibility, cache)
 }
 
 fn routing_substrate(label: String, setup: RoutingSetup) -> Result<Substrate, ScenarioError> {
@@ -234,6 +281,7 @@ fn routing_substrate(label: String, setup: RoutingSetup) -> Result<Substrate, Sc
         feasibility: Arc::new(PerLinkFeasibility::new(num_links)),
         routes: setup.routes,
         conflict: None,
+        sinr_cache: None,
     })
 }
 

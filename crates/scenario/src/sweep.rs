@@ -1,12 +1,24 @@
 //! Parameter sweeps: one spec spread over a `(λ, m, seed, repetition)`
 //! grid, executed on the workspace's `std::thread::scope` parallel runner
 //! ([`dps_sim::parallel::parallel_map`]).
+//!
+//! Sweeps run on a shared substrate layer: every distinct topology of
+//! the grid — keyed by `(substrate spec, size, geometry seed)` through a
+//! [`SubstrateCache`] — is built exactly once and handed to all of its
+//! λ/repetition cells (and worker threads) behind an `Arc`. For SINR
+//! substrates that means one `O(m²)` matrix + gain-table construction
+//! per topology instead of one per cell, with bit-for-bit identical
+//! results (substrate builds are deterministic and runs never mutate
+//! them; the integration suite pins this with a golden fingerprint).
 
+use crate::cache::SubstrateCache;
 use crate::error::ScenarioError;
 use crate::scenario::{Scenario, ScenarioOutcome};
 use crate::spec::ScenarioSpec;
+use crate::substrate::Substrate;
 use dps_sim::table::{fmt3, Table};
 use serde::Value;
+use std::sync::Arc;
 
 /// A sweep builder over injection rates, substrate sizes, seeds and
 /// repetitions.
@@ -33,6 +45,7 @@ pub struct Sweep {
     seeds: Vec<u64>,
     repetitions: u64,
     threads: usize,
+    share_substrates: bool,
 }
 
 /// One grid point of a sweep.
@@ -81,6 +94,7 @@ impl Sweep {
             seeds: vec![base.run.seed],
             repetitions: 1,
             threads,
+            share_substrates: true,
             base,
         }
     }
@@ -122,6 +136,17 @@ impl Sweep {
         self
     }
 
+    /// Toggles the shared-substrate layer (on by default).
+    ///
+    /// With sharing off every cell rebuilds its topology from scratch —
+    /// the pre-sharing behaviour, kept for A/B comparison (`bench_sweep`
+    /// measures exactly this) and as a bisection aid. Results are
+    /// bit-for-bit identical either way.
+    pub fn share_substrates(mut self, share: bool) -> Self {
+        self.share_substrates = share;
+        self
+    }
+
     /// The grid points this sweep will execute, in execution order.
     pub fn points(&self) -> Vec<SweepPoint> {
         let mut points = Vec::new();
@@ -144,8 +169,11 @@ impl Sweep {
 
     /// Executes the grid in parallel.
     ///
-    /// Each cell rebuilds its scenario from the (validated) spec, so
-    /// results are identical no matter how many threads execute the grid.
+    /// Each cell rebuilds protocol and injector from the (validated)
+    /// spec, so results are identical no matter how many threads execute
+    /// the grid; topologies are built once per distinct `(substrate,
+    /// size, seed)` and shared across their cells (see
+    /// [`share_substrates`](Self::share_substrates)).
     ///
     /// # Errors
     ///
@@ -167,9 +195,56 @@ impl Sweep {
                 Scenario::from_spec(&spec).map(|s| (point, s))
             })
             .collect::<Result<_, _>>()?;
+        // Prebuild each distinct topology once, spreading the builds of
+        // multi-topology grids (size/substrate-seed sweeps) over the
+        // worker threads; afterwards every cell's lookup is a cache hit.
+        // Keyless specs (custom substrates that opted out of sharing)
+        // get no prebuilt handle and rebuild inside their cells — as
+        // does everything when sharing is off (the pre-sharing
+        // behaviour, kept for A/B measurement).
+        let substrates = SubstrateCache::new();
+        let shared: Vec<Option<Arc<Substrate>>> = if self.share_substrates {
+            // One cache_key computation per cell, reused for the dedup
+            // pass and the keyed/keyless split below.
+            let keys: Vec<Option<String>> = scenarios
+                .iter()
+                .map(|(_, scenario)| scenario.substrate.cache_key())
+                .collect();
+            let mut seen = std::collections::HashSet::new();
+            let first_of_key: Vec<usize> = keys
+                .iter()
+                .enumerate()
+                .filter(|(_, key)| key.as_ref().is_some_and(|k| seen.insert(k.clone())))
+                .map(|(index, _)| index)
+                .collect();
+            dps_sim::parallel::parallel_map(first_of_key.len(), self.threads, |i| {
+                let index = first_of_key[i];
+                substrates
+                    .get_or_build_keyed(keys[index].as_deref(), &*scenarios[index].1.substrate)
+                    .map(|_| ())
+            })
+            .into_iter()
+            .collect::<Result<Vec<()>, _>>()?;
+            scenarios
+                .iter()
+                .zip(&keys)
+                .map(|((_, scenario), key)| {
+                    key.as_ref()
+                        .map(|_| {
+                            substrates.get_or_build_keyed(key.as_deref(), &*scenario.substrate)
+                        })
+                        .transpose()
+                })
+                .collect::<Result<_, ScenarioError>>()?
+        } else {
+            vec![None; scenarios.len()]
+        };
         let outcomes = dps_sim::parallel::parallel_map(scenarios.len(), self.threads, |i| {
             let (point, scenario) = &scenarios[i];
-            scenario.run_stream(point.rep)
+            match &shared[i] {
+                Some(substrate) => scenario.run_stream_on(substrate, point.rep),
+                None => scenario.run_stream(point.rep),
+            }
         });
         let cells = scenarios
             .iter()

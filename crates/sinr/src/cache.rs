@@ -32,10 +32,29 @@ use crate::network::SinrNetwork;
 use crate::power::PowerAssignment;
 use dps_core::ids::LinkId;
 
-/// Links up to which the dense pairwise gain table is materialized
-/// (`8 MiB` of `f64` at the limit). Beyond it gains fall back to
-/// on-the-fly evaluation of the same expression.
-pub const DEFAULT_DENSE_GAIN_LIMIT: usize = 1024;
+/// Default memory budget for the dense pairwise gain table: `8 MiB`.
+/// A network is stored densely only while its full `m × m` `f64` table
+/// fits the budget; beyond it gains fall back to on-the-fly evaluation
+/// of the same expression.
+pub const DEFAULT_DENSE_GAIN_BUDGET_BYTES: usize = 8 << 20;
+
+/// Links up to which the dense pairwise gain table is materialized under
+/// the default budget (`1024` — the `8 MiB` table is exactly full at the
+/// limit). Beyond it gains fall back to on-the-fly evaluation.
+pub const DEFAULT_DENSE_GAIN_LIMIT: usize = dense_limit_for_budget(DEFAULT_DENSE_GAIN_BUDGET_BYTES);
+
+/// The largest link count whose dense `m × m` gain table of `f64`s fits
+/// in `budget_bytes`: `⌊√(budget/8)⌋`.
+pub const fn dense_limit_for_budget(budget_bytes: usize) -> usize {
+    (budget_bytes / std::mem::size_of::<f64>()).isqrt()
+}
+
+/// Number of sender rows the blocked slot kernel packs and accumulates
+/// per pass (see [`SinrCache::active_interference_into`]). Lanes are
+/// applied across *receivers*, so each receiver's floating-point
+/// accumulation order stays strictly ascending in sender index —
+/// bit-for-bit the scalar order.
+const KERNEL_LANES: usize = 4;
 
 /// Precomputed per-link and pairwise SINR quantities for one
 /// `(network, power assignment)` pair.
@@ -63,9 +82,22 @@ pub struct SinrCache {
 }
 
 impl SinrCache {
-    /// Builds the cache with the default dense-table limit.
+    /// Builds the cache with the default dense-table memory budget
+    /// ([`DEFAULT_DENSE_GAIN_BUDGET_BYTES`]).
     pub fn new<P: PowerAssignment + ?Sized>(net: &SinrNetwork, power: &P) -> Self {
         Self::with_dense_limit(net, power, DEFAULT_DENSE_GAIN_LIMIT)
+    }
+
+    /// Builds the cache under an explicit memory budget for the dense
+    /// gain table: the table is materialized only while its full `m × m`
+    /// `f64` storage fits in `budget_bytes` (`0` forces the `O(m)`-memory
+    /// on-the-fly fallback).
+    pub fn with_memory_budget<P: PowerAssignment + ?Sized>(
+        net: &SinrNetwork,
+        power: &P,
+        budget_bytes: usize,
+    ) -> Self {
+        Self::with_dense_limit(net, power, dense_limit_for_budget(budget_bytes))
     }
 
     /// Builds the cache, materializing the dense gain table only when the
@@ -81,24 +113,15 @@ impl SinrCache {
         let mut tx_power = Vec::with_capacity(m);
         let mut signal = Vec::with_capacity(m);
         let mut margin = Vec::with_capacity(m);
-        for link in net.network().link_ids() {
-            let len = net.link_length(link);
+        for &len in net.lengths() {
             let p = power.power(len);
             let s = p / len.powf(params.alpha);
             tx_power.push(p);
             signal.push(s);
             margin.push(s - params.beta * params.noise);
         }
-        let sender: Vec<_> = net
-            .network()
-            .link_ids()
-            .map(|l| net.sender_pos(l))
-            .collect();
-        let receiver: Vec<_> = net
-            .network()
-            .link_ids()
-            .map(|l| net.receiver_pos(l))
-            .collect();
+        let sender = net.link_senders().to_vec();
+        let receiver = net.link_receivers().to_vec();
         let gains = (m <= dense_limit).then(|| {
             let mut table = vec![0.0f64; m * m];
             for from in 0..m {
@@ -198,6 +221,93 @@ impl SinrCache {
         // A NaN gain (non-positive cross distance) clamps to 1 here:
         // `f64::min` ignores the NaN operand.
         (self.beta * self.gain(from, on) / margin).min(1.0)
+    }
+
+    /// The blocked slot kernel: accumulates, for every distinct attempted
+    /// link, the interference the whole attempt set contributes at its
+    /// receiver.
+    ///
+    /// `active` lists the distinct attempted links as
+    /// `(link index, multiplicity)` in ascending link order; on return
+    /// `acc[i]` holds `Σ_j count_j · gain(active[j], active[i])` with the
+    /// sum taken in ascending `j` — exactly the naive oracle's
+    /// accumulation order, so verdicts derived from `acc` are bit-for-bit
+    /// the scalar path's. `scratch` is caller-owned storage reused across
+    /// slots.
+    ///
+    /// Dense path only: returns `false` (leaving `acc` untouched) when no
+    /// dense gain table is materialized, and the caller falls back to the
+    /// scalar per-pair loop.
+    ///
+    /// Structure: sender gain rows are contiguous (`gains[from·m ..]`),
+    /// so the kernel packs [`KERNEL_LANES`] rows at a time — gathering
+    /// the `k` active receiver columns of each into a contiguous lane —
+    /// and then sweeps all `k` accumulators once per block with a
+    /// branchless fused update. The per-pair `from == on` test of the
+    /// scalar path disappears entirely: the dense table's diagonal is
+    /// `0.0`, and adding `count · 0.0 = +0.0` into a non-negative (or
+    /// NaN) partial sum is a bitwise no-op.
+    pub fn active_interference_into(
+        &self,
+        active: &[(u32, u32)],
+        acc: &mut Vec<f64>,
+        scratch: &mut Vec<f64>,
+    ) -> bool {
+        let Some(gains) = &self.gains else {
+            return false;
+        };
+        let m = self.m;
+        let k = active.len();
+        acc.clear();
+        if k == 0 {
+            return true;
+        }
+        acc.resize(k, 0.0);
+        scratch.clear();
+        scratch.resize(KERNEL_LANES * k, 0.0);
+        let mut block = 0;
+        while block + KERNEL_LANES <= k {
+            let mut weights = [0.0f64; KERNEL_LANES];
+            for (lane, dst) in scratch.chunks_exact_mut(k).enumerate() {
+                let (from, count) = active[block + lane];
+                weights[lane] = count as f64;
+                let row = &gains[from as usize * m..][..m];
+                for (d, &(on, _)) in dst.iter_mut().zip(active) {
+                    *d = row[on as usize];
+                }
+            }
+            // The fused update below spells out exactly four lanes; a
+            // retuned lane count must be reflected there or senders
+            // would be packed and then silently dropped.
+            const { assert!(KERNEL_LANES == 4) };
+            let (lane0, rest) = scratch.split_at(k);
+            let (lane1, rest) = rest.split_at(k);
+            let (lane2, lane3) = rest.split_at(k);
+            let out = &mut acc[..k];
+            for i in 0..k {
+                // Sequential adds, ascending sender order: the rounding
+                // sequence of the scalar loop, vectorized across `i`.
+                let mut sum = out[i];
+                sum += weights[0] * lane0[i];
+                sum += weights[1] * lane1[i];
+                sum += weights[2] * lane2[i];
+                sum += weights[3] * lane3[i];
+                out[i] = sum;
+            }
+            block += KERNEL_LANES;
+        }
+        for &(from, count) in &active[block..] {
+            let weight = count as f64;
+            let row = &gains[from as usize * m..][..m];
+            let lane = &mut scratch[..k];
+            for (d, &(on, _)) in lane.iter_mut().zip(active) {
+                *d = row[on as usize];
+            }
+            for (sum, &g) in acc.iter_mut().zip(lane.iter()) {
+                *sum += weight * g;
+            }
+        }
+        true
     }
 }
 
@@ -301,6 +411,84 @@ mod tests {
         assert!(cache.gain(LinkId(1), LinkId(0)).is_nan());
         assert_eq!(cache.affectance(LinkId(1), LinkId(0)), 1.0);
         assert_eq!(cache.affectance(LinkId(0), LinkId(0)), 0.0);
+    }
+
+    #[test]
+    fn budget_limits_are_isqrt_of_table_cells() {
+        assert_eq!(dense_limit_for_budget(0), 0);
+        assert_eq!(dense_limit_for_budget(7), 0);
+        assert_eq!(dense_limit_for_budget(8), 1);
+        assert_eq!(dense_limit_for_budget(4 * 4 * 8), 4);
+        assert_eq!(dense_limit_for_budget(4 * 4 * 8 + 7), 4);
+        assert_eq!(dense_limit_for_budget(5 * 5 * 8 - 1), 4);
+        assert_eq!(dense_limit_for_budget(5 * 5 * 8), 5);
+        // The default budget reproduces the historical 1024-link cap.
+        assert_eq!(DEFAULT_DENSE_GAIN_LIMIT, 1024);
+        assert_eq!(
+            dense_limit_for_budget(DEFAULT_DENSE_GAIN_BUDGET_BYTES),
+            1024
+        );
+    }
+
+    #[test]
+    fn memory_budget_controls_the_dense_fallback_boundary() {
+        let mut rng = ChaCha12Rng::seed_from_u64(17);
+        let params = SinrParams::default_noiseless();
+        let m = 6;
+        let net = random_instance(m, 30.0, 1.0, 2.0, params, &mut rng);
+        let power = UniformPower::unit();
+        let table_bytes = m * m * std::mem::size_of::<f64>();
+        // Exactly enough for the m×m table: dense.
+        let dense = SinrCache::with_memory_budget(&net, &power, table_bytes);
+        assert!(dense.is_dense());
+        assert_eq!(dense.dense_limit(), m);
+        // One byte short: the fallback path, same verdicts bitwise.
+        let lazy = SinrCache::with_memory_budget(&net, &power, table_bytes - 1);
+        assert!(!lazy.is_dense());
+        assert!(lazy.dense_limit() < m);
+        for from in net.network().link_ids() {
+            for on in net.network().link_ids() {
+                assert_eq!(
+                    dense.affectance(from, on).to_bits(),
+                    lazy.affectance(from, on).to_bits(),
+                    "affectance({from}, {on}) across the budget boundary"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn blocked_kernel_matches_scalar_accumulation_bitwise() {
+        let mut rng = ChaCha12Rng::seed_from_u64(23);
+        let params = SinrParams::with_noise(0.01);
+        // 13 active links: three full lanes plus a remainder.
+        let net = random_instance(13, 40.0, 1.0, 3.0, params, &mut rng);
+        let power = LinearPower::new(params.alpha);
+        let cache = SinrCache::new(&net, &power);
+        // Multiplicities > 1 mixed in: weights enter the kernel as-is.
+        let active: Vec<(u32, u32)> = (0..13u32)
+            .map(|l| (l, if l % 5 == 0 { 2 } else { 1 }))
+            .collect();
+        let mut acc = Vec::new();
+        let mut scratch = Vec::new();
+        assert!(cache.active_interference_into(&active, &mut acc, &mut scratch));
+        for (i, &(on, _)) in active.iter().enumerate() {
+            let mut scalar = 0.0f64;
+            for &(from, count) in &active {
+                if from == on {
+                    continue;
+                }
+                scalar += count as f64 * cache.gain(LinkId(from), LinkId(on));
+            }
+            assert_eq!(
+                acc[i].to_bits(),
+                scalar.to_bits(),
+                "interference at active[{i}] (link {on})"
+            );
+        }
+        // The fallback cache declines, leaving the caller to go scalar.
+        let lazy = SinrCache::with_dense_limit(&net, &power, 0);
+        assert!(!lazy.active_interference_into(&active, &mut acc, &mut scratch));
     }
 
     #[test]

@@ -20,27 +20,79 @@ use dps_core::feasibility::{Attempt, Feasibility};
 use dps_core::ids::LinkId;
 use rand::RngCore;
 use std::cell::RefCell;
+use std::sync::Arc;
 
 /// The accumulative SINR oracle under a fixed power assignment.
+///
+/// The geometry cache is held behind an [`Arc`], so one
+/// [`SinrCache`] built for a network can be shared between the oracle,
+/// the matrix constructions of [`crate::matrix`] and any other consumer
+/// without re-deriving the `O(m²)` gain table — see
+/// [`SinrFeasibility::with_cache`].
 #[derive(Clone, Debug)]
 pub struct SinrFeasibility<P> {
     net: SinrNetwork,
     power: P,
-    cache: SinrCache,
+    cache: Arc<SinrCache>,
 }
 
 impl<P: PowerAssignment> SinrFeasibility<P> {
     /// Creates the oracle, precomputing the geometry cache (dense gain
-    /// table up to [`crate::cache::DEFAULT_DENSE_GAIN_LIMIT`] links).
+    /// table within [`crate::cache::DEFAULT_DENSE_GAIN_BUDGET_BYTES`]).
     pub fn new(net: SinrNetwork, power: P) -> Self {
-        let cache = SinrCache::new(&net, &power);
+        let cache = Arc::new(SinrCache::new(&net, &power));
         SinrFeasibility { net, power, cache }
     }
 
     /// Creates the oracle with an explicit dense-gain-table limit
     /// (`0` forces the `O(m)`-memory on-the-fly gain fallback).
     pub fn with_dense_limit(net: SinrNetwork, power: P, dense_limit: usize) -> Self {
-        let cache = SinrCache::with_dense_limit(&net, &power, dense_limit);
+        let cache = Arc::new(SinrCache::with_dense_limit(&net, &power, dense_limit));
+        SinrFeasibility { net, power, cache }
+    }
+
+    /// Creates the oracle with an explicit memory budget for the dense
+    /// gain table (see [`SinrCache::with_memory_budget`]).
+    pub fn with_memory_budget(net: SinrNetwork, power: P, budget_bytes: usize) -> Self {
+        let cache = Arc::new(SinrCache::with_memory_budget(&net, &power, budget_bytes));
+        SinrFeasibility { net, power, cache }
+    }
+
+    /// Creates the oracle around an already-built shared cache, instead
+    /// of deriving its own — the substrate-sharing path: one
+    /// [`SinrCache`] per topology serves this oracle and the
+    /// interference-matrix builds alike.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cache was not built for this `(network, power)`
+    /// pair: the link count must match and every link's cached
+    /// transmission power and signal strength must be bit-for-bit what
+    /// `power` produces on `net` (an `O(m)` check — cheap next to the
+    /// `O(m²)` construction it replaces, and exact because a matching
+    /// cache stores these very expressions).
+    pub fn with_cache(net: SinrNetwork, power: P, cache: Arc<SinrCache>) -> Self {
+        assert_eq!(
+            cache.num_links(),
+            net.num_links(),
+            "shared SinrCache must cover the oracle's network"
+        );
+        assert!(
+            cache.beta().to_bits() == net.params().beta.to_bits()
+                && cache.noise().to_bits() == net.params().noise.to_bits(),
+            "shared SinrCache was built under different SINR parameters"
+        );
+        let alpha = net.params().alpha;
+        for (index, &len) in net.lengths().iter().enumerate() {
+            let link = LinkId(index as u32);
+            let p = power.power(len);
+            assert!(
+                cache.tx_power(link).to_bits() == p.to_bits()
+                    && cache.signal(link).to_bits() == (p / len.powf(alpha)).to_bits(),
+                "shared SinrCache was built for a different (network, power) pair \
+                 (mismatch at link {index})"
+            );
+        }
         SinrFeasibility { net, power, cache }
     }
 
@@ -51,6 +103,12 @@ impl<P: PowerAssignment> SinrFeasibility<P> {
 
     /// The precomputed geometry cache the fast path judges from.
     pub fn cache(&self) -> &SinrCache {
+        &self.cache
+    }
+
+    /// The shared handle to the geometry cache (clone to share it with
+    /// matrix builds or other oracles over the same topology).
+    pub fn shared_cache(&self) -> &Arc<SinrCache> {
         &self.cache
     }
 
@@ -118,15 +176,27 @@ impl<P: PowerAssignment> SinrFeasibility<P> {
     }
 }
 
-/// Per-thread slot scratch: distinct links with multiplicity, plus the
-/// per-distinct-link verdicts.
-type SlotScratch = (Vec<(u32, u32)>, Vec<bool>);
+/// Per-thread slot scratch: distinct links with multiplicity, the
+/// per-distinct-link verdicts, and the blocked kernel's accumulator and
+/// lane-pack buffers.
+struct SlotScratch {
+    active: Vec<(u32, u32)>,
+    verdicts: Vec<bool>,
+    interference: Vec<f64>,
+    lanes: Vec<f64>,
+}
 
 thread_local! {
     /// Keeps [`SinrFeasibility`] callable through `&self`/`Arc` across
     /// threads while the slot loop stays allocation-free in steady state.
-    static SLOT_SCRATCH: RefCell<SlotScratch> =
-        const { RefCell::new((Vec::new(), Vec::new())) };
+    static SLOT_SCRATCH: RefCell<SlotScratch> = const {
+        RefCell::new(SlotScratch {
+            active: Vec::new(),
+            verdicts: Vec::new(),
+            interference: Vec::new(),
+            lanes: Vec::new(),
+        })
+    };
 }
 
 impl<P: PowerAssignment> Feasibility for SinrFeasibility<P> {
@@ -144,7 +214,12 @@ impl<P: PowerAssignment> Feasibility for SinrFeasibility<P> {
         let beta = self.cache.beta();
         let noise = self.cache.noise();
         SLOT_SCRATCH.with(|scratch| {
-            let (active, verdicts) = &mut *scratch.borrow_mut();
+            let SlotScratch {
+                active,
+                verdicts,
+                interference,
+                lanes,
+            } = &mut *scratch.borrow_mut();
             // Distinct attempted links with multiplicities, in link-index
             // order — the same accumulation order as the naive scan.
             active.clear();
@@ -162,24 +237,42 @@ impl<P: PowerAssignment> Feasibility for SinrFeasibility<P> {
             active.truncate(write + 1);
             // One SINR evaluation per distinct receiver: O(k²) overall.
             verdicts.clear();
-            verdicts.extend(active.iter().map(|&(on_raw, count)| {
-                if count != 1 {
-                    // A shared transmitter collides regardless of SINR.
-                    return false;
-                }
-                let on = LinkId(on_raw);
-                let mut interference = 0.0;
-                for &(from_raw, from_count) in active.iter() {
-                    if from_raw == on_raw {
-                        continue;
+            if self
+                .cache
+                .active_interference_into(active, interference, lanes)
+            {
+                // Dense path: the blocked kernel produced every
+                // receiver's accumulated interference, bit-for-bit in the
+                // scalar order; only the comparisons remain.
+                verdicts.extend(active.iter().zip(interference.iter()).map(
+                    |(&(on_raw, count), &interference)| {
+                        // A shared transmitter collides regardless of SINR.
+                        count == 1
+                            && self.cache.signal(LinkId(on_raw)) >= beta * (interference + noise)
+                    },
+                ));
+            } else {
+                // Fallback (no dense gain table): per-pair scalar loop
+                // over on-the-fly gains.
+                verdicts.extend(active.iter().map(|&(on_raw, count)| {
+                    if count != 1 {
+                        // A shared transmitter collides regardless of SINR.
+                        return false;
                     }
-                    // A NaN gain (coincident endpoints) poisons the sum,
-                    // failing the comparison — the naive "zero cross
-                    // distance blocks the receiver" rule.
-                    interference += from_count as f64 * self.cache.gain(LinkId(from_raw), on);
-                }
-                self.cache.signal(on) >= beta * (interference + noise)
-            }));
+                    let on = LinkId(on_raw);
+                    let mut interference = 0.0;
+                    for &(from_raw, from_count) in active.iter() {
+                        if from_raw == on_raw {
+                            continue;
+                        }
+                        // A NaN gain (coincident endpoints) poisons the
+                        // sum, failing the comparison — the naive "zero
+                        // cross distance blocks the receiver" rule.
+                        interference += from_count as f64 * self.cache.gain(LinkId(from_raw), on);
+                    }
+                    self.cache.signal(on) >= beta * (interference + noise)
+                }));
+            }
             out.extend(attempts.iter().map(|a| {
                 let slot = active
                     .binary_search_by_key(&a.link.0, |&(link, _)| link)

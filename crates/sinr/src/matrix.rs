@@ -58,6 +58,29 @@ impl SinrInterference {
         // gain table (it would be filled and traversed for nothing) and
         // let the cache evaluate gains on the fly.
         let cache = SinrCache::with_dense_limit(net, power, 0);
+        Self::fixed_power_with_cache(net, &cache)
+    }
+
+    /// The fixed-power construction over an already-built (possibly
+    /// shared) cache — the substrate-sharing path: one [`SinrCache`] per
+    /// topology serves matrix builds and the exact oracle alike. Dense
+    /// and on-the-fly caches yield bit-for-bit identical matrices.
+    ///
+    /// The cache must have been built for `net` and the intended power
+    /// assignment; with no power value to compare against, only the
+    /// link count is checked here (construct through
+    /// [`crate::feasibility::SinrFeasibility::with_cache`] first for
+    /// the full pairing check).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cache does not cover exactly the links of `net`.
+    pub fn fixed_power_with_cache(net: &SinrNetwork, cache: &SinrCache) -> Self {
+        assert_eq!(
+            cache.num_links(),
+            net.num_links(),
+            "shared SinrCache must cover the matrix's network"
+        );
         Self::build(net, MatrixKind::FixedPower, |on, from| {
             cache.affectance(from, on)
         })
@@ -68,6 +91,24 @@ impl SinrInterference {
     /// `max{a_p(ℓ, ℓ'), a_p(ℓ', ℓ)}`.
     pub fn monotone_power<P: PowerAssignment + ?Sized>(net: &SinrNetwork, power: &P) -> Self {
         let cache = SinrCache::new(net, power);
+        Self::monotone_power_with_cache(net, &cache)
+    }
+
+    /// The monotone-power construction over an already-built (possibly
+    /// shared) cache. As with
+    /// [`fixed_power_with_cache`](Self::fixed_power_with_cache), the
+    /// `(network, power)` pairing beyond the link count is the caller's
+    /// contract.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cache does not cover exactly the links of `net`.
+    pub fn monotone_power_with_cache(net: &SinrNetwork, cache: &SinrCache) -> Self {
+        assert_eq!(
+            cache.num_links(),
+            net.num_links(),
+            "shared SinrCache must cover the matrix's network"
+        );
         Self::build(net, MatrixKind::MonotonePower, |on, from| {
             if net.link_length(on) <= net.link_length(from) {
                 cache.affectance(from, on).max(cache.affectance(on, from))

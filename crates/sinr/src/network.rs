@@ -65,6 +65,18 @@ impl SinrNetwork {
         self.link_receiver[link.index()]
     }
 
+    /// All sender positions, indexed by [`LinkId::index`] — the
+    /// contiguous view bulk consumers ([`crate::cache::SinrCache`]
+    /// construction) iterate instead of per-link lookups.
+    pub fn link_senders(&self) -> &[Point] {
+        &self.link_sender
+    }
+
+    /// All receiver positions, indexed by [`LinkId::index`].
+    pub fn link_receivers(&self) -> &[Point] {
+        &self.link_receiver
+    }
+
     /// Geometric length `d(ℓ)` of `link` (cached at construction).
     pub fn link_length(&self, link: LinkId) -> f64 {
         self.lengths[link.index()]

@@ -202,6 +202,76 @@ proptest! {
         prop_assert_eq!(fast, naive);
     }
 
+    /// The blocked kernel at slot sizes spanning several lane blocks plus
+    /// a remainder: on 24-link geometry, every subset of up to 24
+    /// attempted links — with duplicate attempts sprinkled in — must
+    /// produce bit-for-bit the naive verdicts, through the dense table
+    /// (the blocked kernel), through the on-the-fly fallback (the scalar
+    /// path), and through an exactly-fitting memory budget.
+    #[test]
+    fn blocked_kernel_matches_naive_at_multi_lane_widths(
+        seed in 0u64..300,
+        subset_bits in 1u32..0xff_ffff,
+        dup_a in 0u32..24,
+        dup_b in 0u32..24,
+        noisy in 0u32..2,
+    ) {
+        let mut rng = ChaCha12Rng::seed_from_u64(seed);
+        let params = if noisy == 1 {
+            SinrParams::with_noise(1e-3)
+        } else {
+            SinrParams::default_noiseless()
+        };
+        let net = random_instance(24, 60.0, 0.8, 3.0, params, &mut rng);
+        let mut attempts: Vec<Attempt> = (0..24u32)
+            .filter(|i| subset_bits & (1 << i) != 0)
+            .enumerate()
+            .map(|(i, l)| attempt(LinkId(l), i as u64))
+            .collect();
+        // Two duplicate attempts: multiplicity 2 (and possibly 3) links
+        // exercise the count-weighted lanes and the collision rule.
+        attempts.push(attempt(LinkId(dup_a), 100));
+        attempts.push(attempt(LinkId(dup_b), 101));
+        let power = LinearPower::new(params.alpha);
+        let budget = 24 * 24 * std::mem::size_of::<f64>();
+        let oracles = [
+            SinrFeasibility::new(net.clone(), power),
+            SinrFeasibility::with_dense_limit(net.clone(), power, 0),
+            SinrFeasibility::with_memory_budget(net.clone(), power, budget),
+        ];
+        prop_assert!(oracles[0].cache().is_dense());
+        prop_assert!(!oracles[1].cache().is_dense());
+        prop_assert!(oracles[2].cache().is_dense());
+        let mut srng = ChaCha12Rng::seed_from_u64(5);
+        let naive = oracles[0].successes_naive(&attempts, &mut srng.clone());
+        for (which, oracle) in oracles.iter().enumerate() {
+            let fast = oracle.successes(&attempts, &mut srng);
+            prop_assert_eq!(&fast, &naive, "oracle {} diverged", which);
+        }
+    }
+
+    /// Shared-node (zero cross distance) links mixed with duplicates at
+    /// multi-lane widths: the dense kernel's NaN rows must poison exactly
+    /// the receivers the naive rule blocks.
+    #[test]
+    fn blocked_kernel_matches_naive_on_long_shared_node_lines(
+        hops in 5usize..20,
+        spacing in 0.5f64..3.0,
+        dup in 0u32..5,
+    ) {
+        let net = dps_sinr::instances::line_instance(
+            hops, spacing, SinrParams::default_noiseless());
+        let oracle = SinrFeasibility::new(net, UniformPower::unit());
+        let mut attempts: Vec<Attempt> = (0..hops as u32)
+            .map(|l| attempt(LinkId(l), l as u64))
+            .collect();
+        attempts.push(attempt(LinkId(dup % hops as u32), 99));
+        let mut srng = ChaCha12Rng::seed_from_u64(3);
+        let fast = oracle.successes(&attempts, &mut srng);
+        let naive = oracle.successes_naive(&attempts, &mut srng);
+        prop_assert_eq!(fast, naive);
+    }
+
     /// Feasibility is monotone under removal: if a set of transmissions
     /// lets link x succeed, removing other transmitters keeps x succeeding
     /// (noise-free SINR has no capture inversions).

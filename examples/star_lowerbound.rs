@@ -49,6 +49,7 @@ impl SubstrateSpec for StarSubstrate {
             feasibility: Arc::new(SinrFeasibility::new(star.net.clone(), UniformPower::unit())),
             routes,
             conflict: None,
+            sinr_cache: None,
         })
     }
 }
