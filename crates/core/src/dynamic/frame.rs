@@ -466,10 +466,11 @@ mod tests {
         let mut delivered = Vec::new();
         let mut next_id = 0u64;
         let mut injected = 0u64;
+        let mut route_buf = Vec::new();
         for slot in 0..slots {
-            let arrivals: Vec<Packet> = injector
-                .inject(slot, &mut rng)
-                .into_iter()
+            injector.inject_into(slot, &mut rng, &mut route_buf);
+            let arrivals: Vec<Packet> = route_buf
+                .drain(..)
                 .map(|path| {
                     let p = Packet::new(PacketId(next_id), path, slot);
                     next_id += 1;
@@ -709,34 +710,43 @@ mod golden_trace {
     /// per-slot/per-frame `Vec`-allocating version). The refactor must
     /// not change a single decision: same seed → same `FrameEvent`
     /// stream and same delivered/failed trace, bit for bit.
+    ///
+    /// Re-pinned when the golden driver switched from the naive
+    /// per-generator sampler to the batch injection engine
+    /// (`BatchStochasticInjector`): skip-ahead sampling consumes one RNG
+    /// draw per *injection* instead of one per generator per slot, so
+    /// the same seed produces a different — equally valid — injection
+    /// trace, and every downstream decision moves with it. The previous
+    /// pin was `hash = 0x5a08_62e8_be39_c7fb`, `injected = 1788`,
+    /// `delivered = 1397`.
     #[test]
     fn frame_event_stream_survives_buffer_reuse_refactor() {
         let (hash, events_head, delivered, injected) = golden_fingerprint();
-        assert_eq!(injected, 1788, "injection trace diverged");
-        assert_eq!(delivered, 1397, "delivered trace diverged");
+        assert_eq!(injected, 1742, "injection trace diverged");
+        assert_eq!(delivered, 1381, "delivered trace diverged");
         assert_eq!(
             events_head[2],
             FrameEvent {
                 frame: 2,
-                active_at_start: 55,
-                newly_failed: 2,
-                cleanup_selected: 1,
-                cleanup_served: 1,
-                potential_after: 5,
+                active_at_start: 54,
+                newly_failed: 0,
+                cleanup_selected: 0,
+                cleanup_served: 0,
+                potential_after: 0,
             }
         );
         assert_eq!(
             events_head[5],
             FrameEvent {
                 frame: 5,
-                active_at_start: 79,
-                newly_failed: 4,
+                active_at_start: 76,
+                newly_failed: 11,
                 cleanup_selected: 3,
                 cleanup_served: 3,
-                potential_after: 28,
+                potential_after: 54,
             }
         );
-        assert_eq!(hash, 0x5a08_62e8_be39_c7fb, "frame/delivery trace diverged");
+        assert_eq!(hash, 0xf543_e521_3371_1729, "frame/delivery trace diverged");
     }
 }
 
@@ -745,6 +755,7 @@ pub(crate) mod tests_support_golden {
     use super::*;
     use crate::feasibility::{LossyFeasibility, PerLinkFeasibility};
     use crate::graph::line_network;
+    use crate::injection::batch::BatchStochasticInjector;
     use crate::injection::stochastic::uniform_generators;
     use crate::injection::Injector;
     use crate::path::RoutePath;
@@ -753,8 +764,10 @@ pub(crate) mod tests_support_golden {
 
     /// Drives a lossy multi-hop workload with a fixed seed and folds the
     /// full FrameEvent stream plus the delivered-packet trace into an FNV
-    /// fingerprint. Captured once before the buffer-reuse refactor; the
-    /// regression test asserts the exact same value after it.
+    /// fingerprint. Captured once before the buffer-reuse refactor and
+    /// re-captured when the batch injection engine replaced the naive
+    /// per-generator sampler on this path; the regression test asserts
+    /// the exact same value after any further refactor.
     pub fn golden_fingerprint() -> (u64, Vec<FrameEvent>, usize, u64) {
         let num_links = 3;
         let network = line_network(num_links);
@@ -765,16 +778,18 @@ pub(crate) mod tests_support_golden {
         let full_path = RoutePath::new(&network, (0..num_links as u32).map(LinkId).collect())
             .unwrap()
             .shared();
-        let mut injector = uniform_generators([full_path], 0.5).unwrap();
+        let mut injector =
+            BatchStochasticInjector::from(uniform_generators([full_path], 0.5).unwrap());
         let slots = 60 * protocol.config().frame_len as u64;
         let mut rng = root_rng(20120616);
         let mut delivered = Vec::new();
         let mut next_id = 0u64;
         let mut injected = 0u64;
+        let mut route_buf = Vec::new();
         for slot in 0..slots {
-            let arrivals: Vec<Packet> = injector
-                .inject(slot, &mut rng)
-                .into_iter()
+            injector.inject_into(slot, &mut rng, &mut route_buf);
+            let arrivals: Vec<Packet> = route_buf
+                .drain(..)
                 .map(|path| {
                     let p = Packet::new(PacketId(next_id), path, slot);
                     next_id += 1;

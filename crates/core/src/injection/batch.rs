@@ -1,0 +1,620 @@
+//! O(1)-amortized batch sampling for the stochastic injection model.
+//!
+//! [`StochasticInjector`] walks all `m` generators every slot — one
+//! uniform draw each — so at `m = 1024` an *idle* slot (no injection at
+//! all) still costs `m` RNG draws and CDF walks, and sweeps over large
+//! SINR substrates are floor-limited by the injector rather than by the
+//! SINR kernel it feeds. The paper's model (Section 2.1) only requires
+//! injections to be i.i.d. per slot and independent across generators —
+//! exactly the structure that admits standard discrete-event skip-ahead
+//! sampling:
+//!
+//! * **Skip-ahead calendar** (sparse regimes): for a Bernoulli(p)
+//!   generator the gap to its next injecting slot is geometric, sampled
+//!   in O(1) as `⌊ln u / ln(1−p)⌋` with `u` uniform in `(0, 1]`. Each
+//!   generator keeps exactly one pending entry in a min-heap keyed by
+//!   slot; a slot's cost is a heap peek when idle and `O(log m)` per
+//!   actual injection otherwise.
+//! * **Dense per-slot batch** (the symmetric `uniform_generators`
+//!   workload): when every generator shares one probability `p`, the
+//!   set of injecting generators in a slot is a Binomial(m, p) batch,
+//!   sampled directly by geometric index skipping *within* the slot —
+//!   `O(1 + k)` where `k` is the number of packets actually injected,
+//!   with no per-slot heap churn.
+//!
+//! The mode is selected automatically from the generators' total
+//! probabilities ([`BatchStochasticInjector::new`]). Both paths draw the
+//! packet's route *conditionally on injection*
+//! ([`GeneratorSpec::sample_conditional`]), so the per-slot distribution
+//! is exactly the naive sampler's: each generator injects independently
+//! with its total probability and picks route `i` with probability
+//! `p_i / total`. The RNG *stream* differs from the naive sampler's
+//! (skip-ahead consumes one draw per injection instead of one per
+//! generator per slot), so traces are not bit-identical — equivalence is
+//! distributional, pinned by the chi-square tests below.
+
+use crate::injection::stochastic::StochasticInjector;
+use crate::injection::Injector;
+use crate::interference::InterferenceModel;
+use crate::load::LinkLoad;
+use crate::path::RoutePath;
+use rand::{Rng, RngCore};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::sync::Arc;
+
+/// Expected injections per slot above which the symmetric workload uses
+/// the dense per-slot batch path instead of the calendar.
+///
+/// The dense path pays one geometric draw per slot plus one per packet;
+/// the calendar pays a heap peek on idle slots and `O(log m)` per
+/// packet. Below ~½ expected packet per slot most slots are idle and
+/// the peek-only calendar wins; above it the draw-per-slot overhead is
+/// amortized by the packets themselves.
+pub const DENSE_MIN_EXPECTED_PER_SLOT: f64 = 0.5;
+
+/// The sampling strategy selected for a generator set.
+#[derive(Clone, Debug, PartialEq, Eq)]
+enum Mode {
+    /// No generator has positive probability: never injects.
+    Idle,
+    /// Symmetric dense workload: one shared `p`, per-slot binomial batch
+    /// via within-slot geometric index skipping over `active`.
+    Dense,
+    /// General case: per-generator geometric skip-ahead keyed in a
+    /// min-heap slot calendar. Seeded lazily at the first queried slot.
+    Calendar,
+}
+
+/// Batch sampling engine over a [`StochasticInjector`]'s generators.
+///
+/// Drop-in [`Injector`] with identical per-slot distribution and
+/// O(1)-amortized idle-slot cost. Construct with
+/// [`new`](BatchStochasticInjector::new) or via `From<StochasticInjector>`.
+///
+/// ```
+/// use dps_core::injection::batch::BatchStochasticInjector;
+/// use dps_core::injection::stochastic::uniform_generators;
+/// use dps_core::injection::Injector;
+/// use dps_core::prelude::*;
+/// use dps_core::rng::root_rng;
+///
+/// let routes: Vec<_> = (0..4)
+///     .map(|l| RoutePath::single_hop(LinkId(l)).shared())
+///     .collect();
+/// let mut injector = BatchStochasticInjector::from(uniform_generators(routes, 0.25)?);
+/// let mut rng = root_rng(7);
+/// let mut buf = Vec::new();
+/// injector.inject_into(0, &mut rng, &mut buf);
+/// assert!(buf.len() <= 4);
+/// # Ok::<(), dps_core::error::ModelError>(())
+/// ```
+#[derive(Clone, Debug)]
+pub struct BatchStochasticInjector {
+    inner: StochasticInjector,
+    mode: Mode,
+    /// Indices of generators with positive total probability — the only
+    /// ones either path ever schedules.
+    active: Vec<u32>,
+    /// The shared per-generator probability of the dense path.
+    dense_p: f64,
+    /// Pending `(next injecting slot, generator)` entries; min-heap via
+    /// `Reverse`, so ties pop in generator order (matching the naive
+    /// sampler's iteration order within a slot).
+    calendar: BinaryHeap<Reverse<(u64, u32)>>,
+    /// Slot the calendar was seeded at; `None` until the first query.
+    seeded_at: Option<u64>,
+}
+
+impl BatchStochasticInjector {
+    /// Wraps `inner`, selecting the batch path from its generators'
+    /// total probabilities: the dense binomial batch when every positive
+    /// generator shares one probability and the workload expects at
+    /// least [`DENSE_MIN_EXPECTED_PER_SLOT`] packets per slot, the
+    /// skip-ahead calendar otherwise.
+    pub fn new(inner: StochasticInjector) -> Self {
+        let totals: Vec<f64> = inner
+            .generators()
+            .iter()
+            .map(|g| g.total_probability())
+            .collect();
+        let active: Vec<u32> = totals
+            .iter()
+            .enumerate()
+            .filter(|(_, &t)| t > 0.0)
+            .map(|(i, _)| i as u32)
+            .collect();
+        let mut dense_p = 0.0;
+        let mode = if active.is_empty() {
+            Mode::Idle
+        } else {
+            let p0 = totals[active[0] as usize];
+            let symmetric = active.iter().all(|&i| totals[i as usize] == p0);
+            if symmetric && p0 * active.len() as f64 >= DENSE_MIN_EXPECTED_PER_SLOT {
+                dense_p = p0;
+                Mode::Dense
+            } else {
+                Mode::Calendar
+            }
+        };
+        BatchStochasticInjector {
+            inner,
+            mode,
+            active,
+            dense_p,
+            calendar: BinaryHeap::new(),
+            seeded_at: None,
+        }
+    }
+
+    /// The wrapped per-generator injector (specs, rates, loads).
+    pub fn inner(&self) -> &StochasticInjector {
+        &self.inner
+    }
+
+    /// Unwraps back into the naive per-generator sampler.
+    pub fn into_inner(self) -> StochasticInjector {
+        self.inner
+    }
+
+    /// Whether the dense per-slot binomial batch path was selected.
+    pub fn is_dense(&self) -> bool {
+        self.mode == Mode::Dense
+    }
+
+    /// Expected per-slot load vector `F` (delegates to the wrapped
+    /// injector; batching does not change the distribution).
+    pub fn expected_load(&self, num_links: usize) -> LinkLoad {
+        self.inner.expected_load(num_links)
+    }
+
+    /// The injection rate `λ = ‖W·F‖∞` under `model`.
+    pub fn rate<M: InterferenceModel + ?Sized>(&self, model: &M) -> f64 {
+        self.inner.rate(model)
+    }
+
+    /// Seeds every active generator's first pending slot from `slot`.
+    fn seed_calendar(&mut self, slot: u64, rng: &mut dyn RngCore) {
+        let generators = self.inner.generators();
+        for &i in &self.active {
+            let p = generators[i as usize].total_probability();
+            if let Some(next) = slot.checked_add(geometric_gap(p, rng)) {
+                self.calendar.push(Reverse((next, i)));
+            }
+        }
+        self.seeded_at = Some(slot);
+    }
+
+    fn inject_calendar(&mut self, slot: u64, rng: &mut dyn RngCore, out: &mut Vec<Arc<RoutePath>>) {
+        if self.seeded_at.is_none() {
+            self.seed_calendar(slot, rng);
+        }
+        while let Some(&Reverse((due, i))) = self.calendar.peek() {
+            if due > slot {
+                break;
+            }
+            self.calendar.pop();
+            let generator = &self.inner.generators()[i as usize];
+            let p = generator.total_probability();
+            if due < slot {
+                // The entry came due in a slot that was never queried
+                // (the caller skipped ahead). The geometric law is
+                // memoryless, so rescheduling with a fresh gap from the
+                // current slot reproduces exactly the conditional
+                // distribution of "next injection at or after `slot`".
+                if let Some(next) = slot.checked_add(geometric_gap(p, rng)) {
+                    self.calendar.push(Reverse((next, i)));
+                }
+                continue;
+            }
+            if let Some(route) = generator.sample_conditional(rng) {
+                out.push(route);
+            }
+            if let Some(next) = slot
+                .checked_add(1)
+                .and_then(|s| s.checked_add(geometric_gap(p, rng)))
+            {
+                self.calendar.push(Reverse((next, i)));
+            }
+        }
+    }
+
+    fn inject_dense(&mut self, rng: &mut dyn RngCore, out: &mut Vec<Arc<RoutePath>>) {
+        let generators = self.inner.generators();
+        let len = self.active.len() as u64;
+        // Geometric index skipping over the active generators: each is
+        // included independently with probability `p`, so the emitted
+        // batch size is Binomial(|active|, p) — without ever touching
+        // the generators that stay silent this slot.
+        let mut j = geometric_gap(self.dense_p, rng);
+        while j < len {
+            let i = self.active[j as usize];
+            if let Some(route) = generators[i as usize].sample_conditional(rng) {
+                out.push(route);
+            }
+            j = match j
+                .checked_add(1)
+                .and_then(|j| j.checked_add(geometric_gap(self.dense_p, rng)))
+            {
+                Some(next) => next,
+                None => break,
+            };
+        }
+    }
+}
+
+impl From<StochasticInjector> for BatchStochasticInjector {
+    fn from(inner: StochasticInjector) -> Self {
+        BatchStochasticInjector::new(inner)
+    }
+}
+
+impl Injector for BatchStochasticInjector {
+    fn inject(&mut self, slot: u64, rng: &mut dyn RngCore) -> Vec<Arc<RoutePath>> {
+        let mut out = Vec::new();
+        self.inject_into(slot, rng, &mut out);
+        out
+    }
+
+    fn inject_into(&mut self, slot: u64, rng: &mut dyn RngCore, out: &mut Vec<Arc<RoutePath>>) {
+        out.clear();
+        match self.mode {
+            Mode::Idle => {}
+            Mode::Dense => self.inject_dense(rng, out),
+            Mode::Calendar => self.inject_calendar(slot, rng, out),
+        }
+    }
+}
+
+/// Samples the geometric skip-ahead gap: the number of non-injecting
+/// slots a Bernoulli(`p`) generator waits before its next injection,
+/// `P(gap = k) = (1−p)ᵏ·p`, in O(1) via inversion:
+/// `⌊ln u / ln(1−p)⌋` with `u` uniform in `(0, 1]`.
+///
+/// `p ≥ 1` injects every slot (gap 0); `p ≤ 0` never injects
+/// (`u64::MAX`, clamped — callers drop entries that overflow the slot
+/// horizon).
+pub fn geometric_gap(p: f64, rng: &mut dyn RngCore) -> u64 {
+    if p >= 1.0 {
+        return 0;
+    }
+    if p <= 0.0 {
+        return u64::MAX;
+    }
+    // `gen::<f64>()` is uniform in [0, 1); reflect to (0, 1] so `ln`
+    // never sees zero. The denominator is `ln(1−p)` via `ln_1p`, which
+    // stays exact (≈ −p) for tiny p where `(1.0 - p).ln()` would round
+    // to zero and the division would collapse every gap to 0.
+    let u = 1.0 - rng.gen::<f64>();
+    let gap = u.ln() / (-p).ln_1p();
+    if gap >= u64::MAX as f64 {
+        u64::MAX
+    } else {
+        // Truncation of a non-negative finite float is the floor.
+        gap as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::LinkId;
+    use crate::injection::stochastic::{uniform_generators, GeneratorSpec};
+    use crate::rng::root_rng;
+
+    fn path(link: u32) -> Arc<RoutePath> {
+        RoutePath::single_hop(LinkId(link)).shared()
+    }
+
+    /// χ² statistic of observed counts against expected counts.
+    fn chi_square(observed: &[f64], expected: &[f64]) -> f64 {
+        observed
+            .iter()
+            .zip(expected)
+            .map(|(o, e)| {
+                assert!(*e > 0.0, "expected count must be positive");
+                (o - e).powi(2) / e
+            })
+            .sum()
+    }
+
+    #[test]
+    fn mode_selection_follows_totals() {
+        let dense =
+            BatchStochasticInjector::from(uniform_generators((0..8).map(path), 0.25).unwrap());
+        assert!(dense.is_dense(), "8 × 0.25 = 2 expected/slot is dense");
+
+        let sparse =
+            BatchStochasticInjector::from(uniform_generators((0..8).map(path), 0.01).unwrap());
+        assert!(!sparse.is_dense(), "8 × 0.01 expected/slot is sparse");
+
+        let asymmetric = BatchStochasticInjector::from(StochasticInjector::new(vec![
+            GeneratorSpec::bernoulli(path(0), 0.9).unwrap(),
+            GeneratorSpec::bernoulli(path(1), 0.5).unwrap(),
+        ]));
+        assert!(!asymmetric.is_dense(), "mixed totals use the calendar");
+
+        let mut idle =
+            BatchStochasticInjector::from(StochasticInjector::new(vec![GeneratorSpec::bernoulli(
+                path(0),
+                0.0,
+            )
+            .unwrap()]));
+        let mut rng = root_rng(1);
+        for slot in 0..100 {
+            assert!(idle.inject(slot, &mut rng).is_empty());
+        }
+    }
+
+    #[test]
+    fn geometric_gap_matches_its_law() {
+        let mut rng = root_rng(5);
+        let p = 0.2;
+        let n = 200_000;
+        let mut counts = [0u64; 4];
+        let mut tail = 0u64;
+        for _ in 0..n {
+            let g = geometric_gap(p, &mut rng);
+            if (g as usize) < counts.len() {
+                counts[g as usize] += 1;
+            } else {
+                tail += 1;
+            }
+        }
+        let observed: Vec<f64> = counts
+            .iter()
+            .map(|&c| c as f64)
+            .chain([tail as f64])
+            .collect();
+        let mut expected: Vec<f64> = (0..counts.len())
+            .map(|k| n as f64 * (1.0 - p).powi(k as i32) * p)
+            .collect();
+        expected.push(n as f64 - expected.iter().sum::<f64>());
+        // df = 4; critical value at α = 0.001 is 18.47.
+        let chi2 = chi_square(&observed, &expected);
+        assert!(chi2 < 18.47, "geometric gap law off: χ² = {chi2}");
+        assert_eq!(geometric_gap(1.0, &mut rng), 0);
+        assert_eq!(geometric_gap(0.0, &mut rng), u64::MAX);
+    }
+
+    /// Regression: for p below ~2⁻⁵², `1.0 − p` rounds to `1.0`, so a
+    /// naive `(1.0 − p).ln()` denominator is `0` and every gap
+    /// collapses to `-inf as u64 = 0` — a generator meant to fire once
+    /// per ~10¹⁷ slots would fire *every* slot. `ln_1p` keeps the
+    /// denominator ≈ −p.
+    #[test]
+    fn geometric_gap_survives_tiny_probabilities() {
+        let mut rng = root_rng(6);
+        for _ in 0..100 {
+            let gap = geometric_gap(1e-17, &mut rng);
+            assert!(
+                gap > 1_000_000_000,
+                "tiny-p gap collapsed to {gap} (expected ~10¹⁷)"
+            );
+        }
+        // And a calendar over such a generator stays silent.
+        let mut batch =
+            BatchStochasticInjector::new(StochasticInjector::new(vec![GeneratorSpec::bernoulli(
+                path(0),
+                1e-17,
+            )
+            .unwrap()]));
+        let mut rng = root_rng(7);
+        for slot in 0..10_000 {
+            assert!(batch.inject(slot, &mut rng).is_empty());
+        }
+    }
+
+    #[test]
+    fn dense_batch_matches_naive_rate_and_occupancy() {
+        let m = 256;
+        let p = 0.3;
+        let slots = 20_000u64;
+        let expected = m as f64 * p;
+
+        let mut batch =
+            BatchStochasticInjector::from(uniform_generators((0..m as u32).map(path), p).unwrap());
+        assert!(batch.is_dense());
+        let mut naive = uniform_generators((0..m as u32).map(path), p).unwrap();
+
+        let mut rng_b = root_rng(21);
+        let mut rng_n = root_rng(22);
+        let mut buf = Vec::new();
+        let (mut total_b, mut total_n) = (0u64, 0u64);
+        let mut per_generator = vec![0u64; m];
+        for slot in 0..slots {
+            batch.inject_into(slot, &mut rng_b, &mut buf);
+            assert!(buf.len() <= m, "more packets than generators");
+            total_b += buf.len() as u64;
+            for route in &buf {
+                per_generator[route.hop(0).unwrap().index()] += 1;
+            }
+            total_n += naive.inject(slot, &mut rng_n).len() as u64;
+        }
+        let mean_b = total_b as f64 / slots as f64;
+        let mean_n = total_n as f64 / slots as f64;
+        assert!(
+            (mean_b - expected).abs() < 0.5,
+            "batch mean {mean_b} vs expected {expected}"
+        );
+        assert!(
+            (mean_b - mean_n).abs() < 1.0,
+            "batch mean {mean_b} vs naive mean {mean_n}"
+        );
+        // Per-generator occupancy is uniform: χ² over m cells, each
+        // expecting slots·p. df = 255; critical at α ≈ 0.001 is ~330.
+        let observed: Vec<f64> = per_generator.iter().map(|&c| c as f64).collect();
+        let expected_cells = vec![slots as f64 * p; m];
+        let chi2 = chi_square(&observed, &expected_cells);
+        assert!(chi2 < 330.0, "per-generator occupancy skewed: χ² = {chi2}");
+    }
+
+    #[test]
+    fn sparse_calendar_matches_naive_rate() {
+        let m = 64;
+        let p = 0.004;
+        let slots = 400_000u64;
+        let expected = m as f64 * p; // 0.256 packets/slot → calendar
+
+        let mut batch =
+            BatchStochasticInjector::from(uniform_generators((0..m as u32).map(path), p).unwrap());
+        assert!(!batch.is_dense());
+        let mut naive = uniform_generators((0..m as u32).map(path), p).unwrap();
+
+        let mut rng_b = root_rng(31);
+        let mut rng_n = root_rng(32);
+        let mut buf = Vec::new();
+        let (mut total_b, mut total_n) = (0u64, 0u64);
+        for slot in 0..slots {
+            batch.inject_into(slot, &mut rng_b, &mut buf);
+            assert!(buf.len() <= m);
+            total_b += buf.len() as u64;
+            total_n += naive.inject(slot, &mut rng_n).len() as u64;
+        }
+        let mean_b = total_b as f64 / slots as f64;
+        let mean_n = total_n as f64 / slots as f64;
+        assert!(
+            (mean_b - expected).abs() < 0.01,
+            "calendar mean {mean_b} vs expected {expected}"
+        );
+        assert!(
+            (mean_b - mean_n).abs() < 0.02,
+            "calendar mean {mean_b} vs naive mean {mean_n}"
+        );
+    }
+
+    #[test]
+    fn per_choice_distribution_matches_naive_chi_square() {
+        // A mixture generator plus an asymmetric companion forces the
+        // calendar; the route distribution conditional on injection must
+        // match the naive sampler's `p_i / total`.
+        let weights = [0.05, 0.03, 0.02];
+        let total: f64 = weights.iter().sum();
+        let make = || {
+            StochasticInjector::new(vec![
+                GeneratorSpec::new(
+                    weights
+                        .iter()
+                        .enumerate()
+                        .map(|(i, &w)| (path(i as u32), w))
+                        .collect(),
+                )
+                .unwrap(),
+                GeneratorSpec::bernoulli(path(9), 0.01).unwrap(),
+            ])
+        };
+        let slots = 300_000u64;
+        let run = |injector: &mut dyn Injector, seed: u64| -> Vec<f64> {
+            let mut rng = root_rng(seed);
+            let mut counts = vec![0f64; weights.len()];
+            let mut buf = Vec::new();
+            for slot in 0..slots {
+                injector.inject_into(slot, &mut rng, &mut buf);
+                for route in &buf {
+                    let link = route.hop(0).unwrap().index();
+                    if link < weights.len() {
+                        counts[link] += 1.0;
+                    }
+                }
+            }
+            counts
+        };
+        let mut batch = BatchStochasticInjector::new(make());
+        assert!(!batch.is_dense());
+        let mut naive = make();
+        let batch_counts = run(&mut batch, 41);
+        let naive_counts = run(&mut naive, 42);
+
+        for (label, counts) in [("batch", &batch_counts), ("naive", &naive_counts)] {
+            let n: f64 = counts.iter().sum();
+            let expected: Vec<f64> = weights.iter().map(|w| n * w / total).collect();
+            // df = 2; critical value at α = 0.001 is 13.82.
+            let chi2 = chi_square(counts, &expected);
+            assert!(chi2 < 13.82, "{label} per-choice skew: χ² = {chi2}");
+        }
+        // And the two samplers' totals agree with the analytic rate.
+        let expected_total = slots as f64 * total;
+        for (label, counts) in [("batch", &batch_counts), ("naive", &naive_counts)] {
+            let n: f64 = counts.iter().sum();
+            assert!(
+                (n - expected_total).abs() / expected_total < 0.05,
+                "{label} total {n} far from {expected_total}"
+            );
+        }
+    }
+
+    #[test]
+    fn calendar_generator_injects_at_most_once_per_slot() {
+        // Two certain generators (p=1, forced asymmetric companion keeps
+        // the calendar) must inject exactly once each, every slot.
+        let mut batch = BatchStochasticInjector::new(StochasticInjector::new(vec![
+            GeneratorSpec::new(vec![(path(0), 0.5), (path(1), 0.5)]).unwrap(),
+            GeneratorSpec::bernoulli(path(2), 0.25).unwrap(),
+        ]));
+        assert!(!batch.is_dense());
+        let mut rng = root_rng(8);
+        let mut buf = Vec::new();
+        for slot in 0..2_000 {
+            batch.inject_into(slot, &mut rng, &mut buf);
+            let from_certain = buf.iter().filter(|r| r.hop(0).unwrap().index() < 2).count();
+            assert_eq!(from_certain, 1, "certain generator must fire every slot");
+            assert!(buf.len() <= 2);
+        }
+    }
+
+    #[test]
+    fn certain_dense_generators_fire_every_slot() {
+        let m = 8;
+        let mut batch =
+            BatchStochasticInjector::from(uniform_generators((0..m).map(path), 1.0).unwrap());
+        assert!(batch.is_dense());
+        let mut rng = root_rng(9);
+        let mut buf = Vec::new();
+        for slot in 0..500 {
+            batch.inject_into(slot, &mut rng, &mut buf);
+            assert_eq!(buf.len(), m as usize);
+        }
+    }
+
+    #[test]
+    fn skipped_slots_are_tolerated() {
+        let mut batch =
+            BatchStochasticInjector::from(uniform_generators((0..16).map(path), 0.02).unwrap());
+        let mut rng = root_rng(12);
+        let mut buf = Vec::new();
+        let mut total = 0usize;
+        // Query every 10th slot: scheduled entries in the gaps must be
+        // rescheduled, not dumped into the queried slot.
+        for step in 0..20_000u64 {
+            batch.inject_into(step * 10, &mut rng, &mut buf);
+            assert!(buf.len() <= 16);
+            total += buf.len();
+        }
+        // Each queried slot is still Bernoulli(0.02) per generator:
+        // expected 16·0.02·20000 = 6400.
+        assert!(
+            (total as f64 - 6400.0).abs() < 400.0,
+            "skip-querying distorted the rate: {total}"
+        );
+    }
+
+    #[test]
+    fn same_seed_reproduces_the_stream() {
+        for p in [0.005, 0.4] {
+            let make =
+                || BatchStochasticInjector::from(uniform_generators((0..32).map(path), p).unwrap());
+            let run = |mut injector: BatchStochasticInjector| -> Vec<usize> {
+                let mut rng = root_rng(77);
+                let mut buf = Vec::new();
+                let mut trace = Vec::new();
+                for slot in 0..5_000 {
+                    injector.inject_into(slot, &mut rng, &mut buf);
+                    trace.extend(buf.iter().map(|r| r.hop(0).unwrap().index()));
+                    trace.push(usize::MAX); // slot separator
+                }
+                trace
+            };
+            assert_eq!(run(make()), run(make()), "p = {p} stream diverged");
+        }
+    }
+}

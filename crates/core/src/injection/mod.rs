@@ -11,6 +11,7 @@
 //!   `λ·w`.
 
 pub mod adversarial;
+pub mod batch;
 pub mod stochastic;
 
 use crate::path::RoutePath;
@@ -24,11 +25,27 @@ pub trait Injector {
     /// Implementations must be driven with strictly increasing slot numbers;
     /// window adversaries rely on this to maintain their budget.
     fn inject(&mut self, slot: u64, rng: &mut dyn RngCore) -> Vec<Arc<RoutePath>>;
+
+    /// Like [`inject`](Injector::inject), but writing the routes into
+    /// `out` (cleared first) instead of allocating a fresh vector — the
+    /// slot loop's hot path stays allocation-free on idle slots.
+    ///
+    /// The default delegates to `inject`; implementations on the hot
+    /// path (the stochastic samplers) override it and make `inject` the
+    /// delegating direction.
+    fn inject_into(&mut self, slot: u64, rng: &mut dyn RngCore, out: &mut Vec<Arc<RoutePath>>) {
+        out.clear();
+        out.append(&mut self.inject(slot, rng));
+    }
 }
 
 impl<T: Injector + ?Sized> Injector for Box<T> {
     fn inject(&mut self, slot: u64, rng: &mut dyn RngCore) -> Vec<Arc<RoutePath>> {
         (**self).inject(slot, rng)
+    }
+
+    fn inject_into(&mut self, slot: u64, rng: &mut dyn RngCore, out: &mut Vec<Arc<RoutePath>>) {
+        (**self).inject_into(slot, rng, out)
     }
 }
 
@@ -39,6 +56,10 @@ pub struct NoInjection;
 impl Injector for NoInjection {
     fn inject(&mut self, _slot: u64, _rng: &mut dyn RngCore) -> Vec<Arc<RoutePath>> {
         Vec::new()
+    }
+
+    fn inject_into(&mut self, _slot: u64, _rng: &mut dyn RngCore, out: &mut Vec<Arc<RoutePath>>) {
+        out.clear();
     }
 }
 
@@ -67,13 +88,18 @@ impl TraceInjector {
 }
 
 impl Injector for TraceInjector {
-    fn inject(&mut self, slot: u64, _rng: &mut dyn RngCore) -> Vec<Arc<RoutePath>> {
+    fn inject(&mut self, slot: u64, rng: &mut dyn RngCore) -> Vec<Arc<RoutePath>> {
         let mut out = Vec::new();
+        self.inject_into(slot, rng, &mut out);
+        out
+    }
+
+    fn inject_into(&mut self, slot: u64, _rng: &mut dyn RngCore, out: &mut Vec<Arc<RoutePath>>) {
+        out.clear();
         while self.next < self.events.len() && self.events[self.next].0 <= slot {
             out.push(self.events[self.next].1.clone());
             self.next += 1;
         }
-        out
     }
 }
 
@@ -113,5 +139,25 @@ mod tests {
         let mut inj = TraceInjector::new(vec![(0, path(0)), (5, path(1))]);
         let all = inj.inject(10, &mut rng);
         assert_eq!(all.len(), 2);
+    }
+
+    #[test]
+    fn inject_into_clears_and_matches_inject() {
+        let mut rng = root_rng(1);
+        let mut buf = vec![path(9)]; // stale content must be cleared
+        NoInjection.inject_into(0, &mut rng, &mut buf);
+        assert!(buf.is_empty());
+
+        let mut by_vec = TraceInjector::new(vec![(0, path(0)), (1, path(1))]);
+        let mut by_buf = by_vec.clone();
+        let mut buf = vec![path(9)];
+        for slot in 0..3 {
+            by_buf.inject_into(slot, &mut rng, &mut buf);
+            let expected = by_vec.inject(slot, &mut rng);
+            assert_eq!(buf.len(), expected.len());
+            for (a, b) in buf.iter().zip(&expected) {
+                assert_eq!(a.links(), b.links());
+            }
+        }
     }
 }

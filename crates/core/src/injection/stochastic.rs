@@ -24,7 +24,28 @@ pub struct GeneratorSpec {
 }
 
 impl GeneratorSpec {
+    /// Validation slack on probability sums: [`GeneratorSpec::new`]
+    /// accepts totals up to `1 + ε`, and
+    /// [`StochasticInjector::scaled_to_rate`] clamps per-choice products
+    /// that rounding pushed up to `1 + ε` back to one.
+    pub const PROBABILITY_TOLERANCE: f64 = 1e-9;
+
+    /// Snap tolerance for totals that should be exactly one: sized for
+    /// float *accumulation* error (a few ulps per choice — ten `0.1`s
+    /// land one ulp below one; thousands of tiny choices stay well
+    /// under `1e-12`), deliberately far tighter than
+    /// [`PROBABILITY_TOLERANCE`](Self::PROBABILITY_TOLERANCE) so a
+    /// user-specified sub-certain probability like `1 − 1e-10` is
+    /// honoured, not silently promoted to certainty.
+    pub const TOTAL_SNAP_TOLERANCE: f64 = 1e-12;
+
     /// Creates a generator from `(route, probability)` pairs.
+    ///
+    /// A total within [`TOTAL_SNAP_TOLERANCE`](Self::TOTAL_SNAP_TOLERANCE)
+    /// of one is snapped to exactly `1.0`: float accumulation of
+    /// probabilities that mathematically sum to one (ten `0.1`s) can land
+    /// an ulp below it, and a generator meant to inject every slot must
+    /// not silently skip slots with probability `≈ 2⁻⁵³`.
     ///
     /// # Errors
     ///
@@ -39,8 +60,11 @@ impl GeneratorSpec {
             }
             total += p;
         }
-        if total > 1.0 + 1e-9 {
+        if total > 1.0 + Self::PROBABILITY_TOLERANCE {
             return Err(ModelError::InvalidProbability(total));
+        }
+        if (total - 1.0).abs() <= Self::TOTAL_SNAP_TOLERANCE {
+            total = 1.0;
         }
         Ok(GeneratorSpec { choices, total })
     }
@@ -64,8 +88,47 @@ impl GeneratorSpec {
         &self.choices
     }
 
+    /// One per-slot draw: `Some(route)` with probability `total`, `None`
+    /// otherwise.
+    ///
+    /// The injection decision compares `u` against the stored `total` —
+    /// not against the re-accumulated cumulative sum, whose intermediate
+    /// rounding used to let `u` land in the gap between the two and
+    /// silently return `None` for a generator with total probability one.
+    /// Once injection is decided, the CDF walk cannot fall off the end
+    /// (`new` accumulated the same sums in the same order), but any
+    /// float-rounding residue falls back to the last choice.
     fn sample(&self, rng: &mut dyn RngCore) -> Option<Arc<RoutePath>> {
         let u: f64 = rng.gen();
+        if u >= self.total {
+            return None;
+        }
+        self.pick(u)
+    }
+
+    /// Picks a route *given that this generator injects* — the
+    /// conditional distribution `p_i / total` the batch samplers need
+    /// after their skip-ahead draw already decided the injection.
+    ///
+    /// Returns `None` only for a generator with no positive-probability
+    /// choice (which never injects and should never be asked).
+    pub fn sample_conditional(&self, rng: &mut dyn RngCore) -> Option<Arc<RoutePath>> {
+        if self.total <= 0.0 || self.choices.is_empty() {
+            return None;
+        }
+        // Single-route generators (the symmetric workload) need no draw.
+        if self.choices.len() == 1 {
+            return Some(self.choices[0].0.clone());
+        }
+        self.pick(rng.gen::<f64>() * self.total)
+    }
+
+    /// The CDF walk over the choices for a decided injection with
+    /// `u ∈ [0, total)`: cannot fall off the end (`new` accumulated the
+    /// same sums in the same order), but any float-rounding residue
+    /// (e.g. a snapped total) falls back to the last choice that can
+    /// actually carry traffic — never a zero-probability route.
+    fn pick(&self, u: f64) -> Option<Arc<RoutePath>> {
         let mut acc = 0.0;
         for (path, p) in &self.choices {
             acc += p;
@@ -73,7 +136,11 @@ impl GeneratorSpec {
                 return Some(path.clone());
             }
         }
-        None
+        self.choices
+            .iter()
+            .rev()
+            .find(|(_, p)| *p > 0.0)
+            .map(|(path, _)| path.clone())
     }
 
     fn accumulate_expected_load(&self, load: &mut LinkLoad) {
@@ -158,7 +225,22 @@ impl StochasticInjector {
                 GeneratorSpec::new(
                     g.choices
                         .iter()
-                        .map(|(path, p)| (path.clone(), p * factor))
+                        .map(|(path, p)| {
+                            // An exactly-feasible target (one that needs
+                            // probability exactly 1) can round `p·factor`
+                            // to `1 + ε`; clamp within the same tolerance
+                            // `GeneratorSpec::new` accepts for totals, so
+                            // feasible targets are never rejected.
+                            let scaled = p * factor;
+                            let scaled = if scaled > 1.0
+                                && scaled <= 1.0 + GeneratorSpec::PROBABILITY_TOLERANCE
+                            {
+                                1.0
+                            } else {
+                                scaled
+                            };
+                            (path.clone(), scaled)
+                        })
                         .collect(),
                 )
             })
@@ -173,6 +255,11 @@ impl Injector for StochasticInjector {
             .iter()
             .filter_map(|g| g.sample(rng))
             .collect()
+    }
+
+    fn inject_into(&mut self, _slot: u64, rng: &mut dyn RngCore, out: &mut Vec<Arc<RoutePath>>) {
+        out.clear();
+        out.extend(self.generators.iter().filter_map(|g| g.sample(rng)));
     }
 }
 
@@ -290,6 +377,127 @@ mod tests {
         let mut rng = root_rng(5);
         for slot in 0..1000 {
             assert!(inj.inject(slot, &mut rng).len() <= 1);
+        }
+    }
+
+    /// An "RNG" whose every `f64` sample is the largest value below one
+    /// (`(2⁵³−1)/2⁵³`) — the adversarial draw for cumulative-sum walks.
+    fn max_rng() -> rand::rngs::mock::StepRng {
+        rand::rngs::mock::StepRng::new(u64::MAX, 0)
+    }
+
+    #[test]
+    fn certain_generator_always_injects_at_p_one() {
+        let g = GeneratorSpec::bernoulli(path(0), 1.0).unwrap();
+        assert_eq!(g.total_probability(), 1.0);
+        let mut rng = max_rng();
+        for _ in 0..100 {
+            assert!(g.sample(&mut rng).is_some(), "p=1 generator skipped a slot");
+        }
+        let mut rng = root_rng(3);
+        for _ in 0..1000 {
+            assert!(g.sample(&mut rng).is_some());
+        }
+    }
+
+    #[test]
+    fn certain_generator_split_across_tiny_choices_always_injects() {
+        // Ten 0.1s accumulate to 1 − 2⁻⁵³, one ulp below the exact sum;
+        // the adversarial draw u = 1 − 2⁻⁵³ used to land in the rounding
+        // gap and silently return `None`. The stored total snaps to 1.
+        let choices: Vec<_> = (0..10).map(|l| (path(l), 0.1)).collect();
+        let g = GeneratorSpec::new(choices).unwrap();
+        assert_eq!(g.total_probability(), 1.0, "total must snap to one");
+        let mut rng = max_rng();
+        for _ in 0..100 {
+            assert!(
+                g.sample(&mut rng).is_some(),
+                "generator with total probability 1 failed to inject"
+            );
+        }
+    }
+
+    #[test]
+    fn rounding_residue_never_picks_a_zero_probability_route() {
+        // Ten 0.1s accumulate an ulp short of one (total snaps to 1),
+        // and the trailing route is explicitly disabled (p = 0): the
+        // adversarial draw u = 1 − 2⁻⁵³ falls through the whole CDF
+        // walk, and the fallback must skip the disabled route.
+        let mut choices: Vec<_> = (0..10).map(|l| (path(l), 0.1)).collect();
+        choices.push((path(99), 0.0));
+        let g = GeneratorSpec::new(choices).unwrap();
+        let mut rng = max_rng();
+        for _ in 0..100 {
+            let route = g.sample(&mut rng).expect("certain generator injects");
+            assert_ne!(
+                route.hop(0).unwrap(),
+                LinkId(99),
+                "zero-probability route was injected"
+            );
+        }
+    }
+
+    #[test]
+    fn sub_certain_generator_is_not_promoted_to_certainty() {
+        // 1 − 1e-10 is a legitimate sub-certain spec (one idle slot per
+        // ~10¹⁰), far outside accumulation-rounding territory: the snap
+        // must leave it alone.
+        let g = GeneratorSpec::bernoulli(path(0), 1.0 - 1e-10).unwrap();
+        assert!(
+            g.total_probability() < 1.0,
+            "sub-certain probability was snapped to certainty"
+        );
+    }
+
+    #[test]
+    fn conditional_sampling_never_fails_for_positive_generators() {
+        let choices: Vec<_> = (0..10).map(|l| (path(l), 0.07)).collect();
+        let g = GeneratorSpec::new(choices).unwrap();
+        let mut rng = max_rng();
+        for _ in 0..100 {
+            assert!(g.sample_conditional(&mut rng).is_some());
+        }
+        let empty = GeneratorSpec::new(vec![]).unwrap();
+        assert!(empty.sample_conditional(&mut root_rng(1)).is_none());
+        let zero = GeneratorSpec::bernoulli(path(0), 0.0).unwrap();
+        assert!(zero.sample_conditional(&mut root_rng(1)).is_none());
+    }
+
+    #[test]
+    fn scaling_to_exactly_feasible_target_is_accepted() {
+        // Ten generators at p = 0.1 under complete interference measure
+        // 0.9999999999999999 (ten 0.1s, accumulated); scaling to the
+        // exactly-feasible target 10 needs every probability at exactly
+        // one, but the factor 10/0.999… pushes `p·factor` an ulp above
+        // it — the clamp must accept instead of rejecting.
+        let routes: Vec<_> = (0..10).map(path).collect();
+        let inj = uniform_generators(routes, 0.1).unwrap();
+        let model = CompleteInterference::new(10);
+        assert!(inj.rate(&model) < 1.0, "premise: accumulated rate < 1");
+        let scaled = inj
+            .scaled_to_rate(&model, 10.0)
+            .expect("exactly-feasible target must not be rejected by rounding");
+        assert!((scaled.rate(&model) - 10.0).abs() < 1e-9);
+        for g in scaled.generators() {
+            assert_eq!(g.total_probability(), 1.0);
+        }
+    }
+
+    #[test]
+    fn inject_into_matches_inject_streams() {
+        let routes: Vec<_> = (0..4).map(path).collect();
+        let mut a = uniform_generators(routes.clone(), 0.4).unwrap();
+        let mut b = a.clone();
+        let mut rng_a = root_rng(17);
+        let mut rng_b = root_rng(17);
+        let mut buf = Vec::new();
+        for slot in 0..500 {
+            let direct = a.inject(slot, &mut rng_a);
+            b.inject_into(slot, &mut rng_b, &mut buf);
+            assert_eq!(direct.len(), buf.len());
+            for (x, y) in direct.iter().zip(&buf) {
+                assert!(Arc::ptr_eq(x, y));
+            }
         }
     }
 

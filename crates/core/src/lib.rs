@@ -88,6 +88,7 @@ pub mod prelude {
     pub use crate::injection::adversarial::{
         BurstyAdversary, RoundRobinAdversary, SingleEdgeAdversary, SmoothAdversary, WindowValidator,
     };
+    pub use crate::injection::batch::BatchStochasticInjector;
     pub use crate::injection::stochastic::{GeneratorSpec, StochasticInjector};
     pub use crate::injection::Injector;
     pub use crate::interference::{

@@ -175,4 +175,60 @@ proptest! {
         let out_total: usize = net.node_ids().map(|v| net.outgoing(v).len()).sum();
         prop_assert_eq!(out_total, edges.len());
     }
+
+    /// The batch injection engine (skip-ahead calendar or dense binomial
+    /// batch, selected from the totals) is distribution-equivalent to
+    /// the naive per-generator sampler: over a long horizon both hit the
+    /// analytic expected injection count, each generator fires at most
+    /// once per slot, and the selected mode never changes the support.
+    #[test]
+    fn batch_injector_matches_naive_distribution(
+        m in 1usize..24,
+        p in 0.0005f64..0.9,
+        seed in 0u64..64,
+    ) {
+        use dps_core::injection::batch::BatchStochasticInjector;
+        use dps_core::injection::stochastic::uniform_generators;
+        use dps_core::injection::Injector;
+
+        let routes: Vec<_> = (0..m as u32)
+            .map(|l| RoutePath::single_hop(LinkId(l)).shared())
+            .collect();
+        let naive = uniform_generators(routes, p).unwrap();
+        let mut batch = BatchStochasticInjector::from(naive.clone());
+        let mut naive = naive;
+
+        // Scale the horizon so each generator expects ≥ ~40 injections.
+        let slots = ((40.0 / p).ceil() as u64).clamp(2_000, 200_000);
+        let expected = m as f64 * p * slots as f64;
+
+        let mut rng_b = split_stream(seed, 0);
+        let mut rng_n = split_stream(seed, 1);
+        let mut buf = Vec::new();
+        let (mut total_b, mut total_n) = (0u64, 0u64);
+        for slot in 0..slots {
+            batch.inject_into(slot, &mut rng_b, &mut buf);
+            prop_assert!(buf.len() <= m, "more packets than generators");
+            let mut seen = vec![false; m];
+            for route in &buf {
+                let g = route.hop(0).unwrap().index();
+                prop_assert!(!seen[g], "generator {g} fired twice in slot {slot}");
+                seen[g] = true;
+            }
+            total_b += buf.len() as u64;
+            total_n += naive.inject(slot, &mut rng_n).len() as u64;
+        }
+        // Both samplers within 6 sigma of the analytic expectation
+        // (binomial σ = √(N·p·(1−p)) per generator-slot trial).
+        let sigma = (expected * (1.0 - p)).sqrt().max(1.0);
+        let tol = 6.0 * sigma;
+        prop_assert!(
+            (total_b as f64 - expected).abs() < tol,
+            "batch total {total_b} vs expected {expected} (tol {tol})"
+        );
+        prop_assert!(
+            (total_n as f64 - expected).abs() < tol,
+            "naive total {total_n} vs expected {expected} (tol {tol})"
+        );
+    }
 }

@@ -17,43 +17,160 @@
 //! substrate through `&`/`Arc`. The golden-fingerprint test in the
 //! integration suite pins shared-substrate sweeps to per-cell
 //! construction bit-for-bit.
+//!
+//! The cache is **bounded**: entries are tracked LRU, charged their
+//! [`Substrate::approx_bytes`] estimate, and evicted when an entry or
+//! byte budget is exceeded — multi-topology sweeps (many sizes or
+//! geometry seeds of a large SINR substrate) no longer hold every
+//! topology alive for the whole run. The most recently used entry is
+//! always retained (best effort: its consumers hold live `Arc`s during
+//! their runs anyway, so evicting it cannot lower the peak). Eviction
+//! never invalidates handed out handles (`Arc` keeps a substrate alive
+//! for whoever still uses it); a later request for an evicted key
+//! simply rebuilds, and concurrent misses on one key share a single
+//! in-flight build. The default budget is [`DEFAULT_BYTE_BUDGET`];
+//! [`SubstrateCache::unbounded`] restores the hold-everything
+//! behaviour.
 
 use crate::error::ScenarioError;
 use crate::substrate::{Substrate, SubstrateSpec};
-use std::collections::HashMap;
-use std::sync::{Arc, Mutex};
+use std::collections::{HashMap, HashSet};
+use std::sync::{Arc, Condvar, Mutex};
 
-/// A keyed store of built substrates, shared via [`Arc`].
+/// Default byte budget of a [`SubstrateCache`]: 1 GiB of estimated
+/// substrate bytes — roughly eight m = 4096 SINR topologies — before
+/// least-recently-used topologies are dropped.
+pub const DEFAULT_BYTE_BUDGET: usize = 1 << 30;
+
+#[derive(Debug)]
+struct CacheEntry {
+    substrate: Arc<Substrate>,
+    bytes: usize,
+    /// Logical access clock: larger = more recently used.
+    last_used: u64,
+}
+
+#[derive(Debug, Default)]
+struct CacheInner {
+    entries: HashMap<String, CacheEntry>,
+    bytes: usize,
+    clock: u64,
+    /// Keys with a build in flight: concurrent misses on the same key
+    /// wait for the builder instead of duplicating the `O(m²)` build —
+    /// with LRU eviction a popular key can miss repeatedly, and every
+    /// cell of a just-evicted topology would otherwise race to rebuild.
+    building: HashSet<String>,
+}
+
+impl CacheInner {
+    /// Evicts least-recently-used entries until both budgets hold —
+    /// except the most recently used entry, which is always retained:
+    /// whoever just built or fetched it holds a live `Arc` for the
+    /// duration of its run anyway, so evicting it could not lower the
+    /// actual peak, only force concurrent consumers of the same key to
+    /// rebuild it serially. A single over-budget topology therefore
+    /// stays shared (best effort) instead of thrashing.
+    fn evict_to_budget(&mut self, max_entries: Option<usize>, max_bytes: Option<usize>) {
+        let over = |inner: &CacheInner| {
+            max_entries.is_some_and(|n| inner.entries.len() > n)
+                || max_bytes.is_some_and(|b| inner.bytes > b)
+        };
+        while self.entries.len() > 1 && over(self) {
+            let Some(victim) = self
+                .entries
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| k.clone())
+            else {
+                break;
+            };
+            let entry = self.entries.remove(&victim).expect("victim exists");
+            self.bytes -= entry.bytes;
+        }
+    }
+}
+
+/// A keyed LRU store of built substrates, shared via [`Arc`].
 ///
 /// Thread-safe; a cache can be consulted concurrently from sweep worker
 /// threads. Specs whose [`SubstrateSpec::cache_key`] is `None` (custom
 /// specs that did not opt in) are built fresh on every call.
 ///
-/// The cache holds every distinct topology alive until it is dropped:
-/// a grid sweeping many large substrates (sizes or geometry seeds)
-/// peaks at the sum of all of their interference matrices, where the
-/// per-cell rebuild it replaces peaked at one topology per worker
-/// thread. Trade memory back by splitting such a sweep into chunks
-/// (one `Sweep::run` per topology group) — each run drops its cache.
-#[derive(Debug, Default)]
+/// Entries are charged their [`Substrate::approx_bytes`] estimate
+/// against a byte budget ([`DEFAULT_BYTE_BUDGET`] unless configured)
+/// and optionally an entry-count budget; exceeding either evicts the
+/// least-recently-used topologies. Evicted substrates stay alive as
+/// long as any consumer still holds their `Arc`; re-requesting them
+/// rebuilds (correct — builds are deterministic — just slower), so the
+/// budget trades peak memory for rebuild time on topology-heavy grids.
+#[derive(Debug)]
 pub struct SubstrateCache {
-    entries: Mutex<HashMap<String, Arc<Substrate>>>,
+    inner: Mutex<CacheInner>,
+    /// Signalled whenever an in-flight build finishes (successfully or
+    /// not), waking the waiters of that key.
+    build_done: Condvar,
+    max_entries: Option<usize>,
+    max_bytes: Option<usize>,
+}
+
+impl Default for SubstrateCache {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl SubstrateCache {
-    /// An empty cache.
+    /// A cache bounded by the default byte budget
+    /// ([`DEFAULT_BYTE_BUDGET`]).
     pub fn new() -> Self {
-        Self::default()
+        Self::with_byte_budget(DEFAULT_BYTE_BUDGET)
+    }
+
+    /// A cache that never evicts — the pre-budget behaviour: every
+    /// distinct topology stays alive until the cache is dropped.
+    pub fn unbounded() -> Self {
+        SubstrateCache {
+            inner: Mutex::new(CacheInner::default()),
+            build_done: Condvar::new(),
+            max_entries: None,
+            max_bytes: None,
+        }
+    }
+
+    /// A cache evicting LRU beyond `budget_bytes` of estimated
+    /// substrate bytes.
+    pub fn with_byte_budget(budget_bytes: usize) -> Self {
+        SubstrateCache {
+            inner: Mutex::new(CacheInner::default()),
+            build_done: Condvar::new(),
+            max_entries: None,
+            max_bytes: Some(budget_bytes),
+        }
+    }
+
+    /// Additionally caps the number of cached topologies.
+    pub fn with_max_entries(mut self, max_entries: usize) -> Self {
+        self.max_entries = Some(max_entries);
+        self
     }
 
     /// Number of distinct topologies currently cached.
     pub fn len(&self) -> usize {
-        self.entries.lock().expect("no panics while cached").len()
+        self.inner
+            .lock()
+            .expect("no panics while cached")
+            .entries
+            .len()
     }
 
     /// Whether the cache holds no topologies yet.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+
+    /// Estimated bytes currently held by cached topologies.
+    pub fn resident_bytes(&self) -> usize {
+        self.inner.lock().expect("no panics while cached").bytes
     }
 
     /// Returns the substrate `spec` builds, building it only if no
@@ -85,26 +202,67 @@ impl SubstrateCache {
             // No key: the spec opted out of sharing.
             return spec.build().map(Arc::new);
         };
-        if let Some(hit) = self
-            .entries
-            .lock()
-            .expect("no panics while cached")
-            .get(key)
         {
-            return Ok(hit.clone());
+            let mut inner = self.inner.lock().expect("no panics while cached");
+            loop {
+                inner.clock += 1;
+                let clock = inner.clock;
+                if let Some(entry) = inner.entries.get_mut(key) {
+                    entry.last_used = clock;
+                    return Ok(entry.substrate.clone());
+                }
+                if !inner.building.contains(key) {
+                    // This caller becomes the key's single builder.
+                    inner.building.insert(key.to_string());
+                    break;
+                }
+                // Another caller is building this key: wait for it
+                // rather than duplicating the `O(m²)` build, then
+                // re-check (the build may have failed, or its entry may
+                // have been oversized/evicted — then this caller takes
+                // over as builder).
+                inner = self.build_done.wait(inner).expect("no panics while cached");
+            }
         }
-        // Build outside the lock: concurrent misses on the same key may
-        // race to build, but builds are deterministic, so whichever
-        // insert wins, every caller holds an interchangeable substrate —
-        // and slow builds never serialize unrelated keys.
+        // Build outside the lock: only this caller builds this key
+        // (the `building` guard above), and slow builds never serialize
+        // unrelated keys. The drop guard re-opens the key and wakes
+        // waiters on every exit path — success, build error, panic — so
+        // waiters can never deadlock on an abandoned build slot.
+        struct BuildSlot<'a> {
+            cache: &'a SubstrateCache,
+            key: &'a str,
+        }
+        impl Drop for BuildSlot<'_> {
+            fn drop(&mut self) {
+                let mut inner = match self.cache.inner.lock() {
+                    Ok(guard) => guard,
+                    Err(poisoned) => poisoned.into_inner(),
+                };
+                inner.building.remove(self.key);
+                self.cache.build_done.notify_all();
+            }
+        }
+        let _slot = BuildSlot { cache: self, key };
         let built = Arc::new(spec.build()?);
-        Ok(self
-            .entries
-            .lock()
-            .expect("no panics while cached")
-            .entry(key.to_string())
-            .or_insert(built)
-            .clone())
+        let bytes = built.approx_bytes();
+        // Even an over-budget substrate is inserted: eviction always
+        // retains the most recent entry (see `evict_to_budget`), so
+        // waiters on this key share this build instead of redoing it.
+        let mut inner = self.inner.lock().expect("no panics while cached");
+        inner.clock += 1;
+        let clock = inner.clock;
+        inner.bytes += bytes;
+        inner.entries.insert(
+            key.to_string(),
+            CacheEntry {
+                substrate: built.clone(),
+                bytes,
+                last_used: clock,
+            },
+        );
+        inner.evict_to_budget(self.max_entries, self.max_bytes);
+        Ok(built)
     }
 }
 
@@ -131,6 +289,7 @@ mod tests {
         let b = cache.get_or_build(&sinr_config(7)).unwrap();
         assert!(Arc::ptr_eq(&a, &b), "same key must share the build");
         assert_eq!(cache.len(), 1);
+        assert!(cache.resident_bytes() > 0);
         // The SINR pieces share one geometry cache in turn.
         let sinr = a.sinr_cache.as_ref().expect("SINR substrate has a cache");
         assert!(sinr.is_dense());
@@ -170,5 +329,99 @@ mod tests {
         let bad = SubstrateConfig::RingRouting { nodes: 2, hops: 5 };
         assert!(cache.get_or_build(&bad).is_err());
         assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn lru_evicts_under_a_tiny_byte_budget() {
+        let probe = SubstrateCache::unbounded();
+        let one = probe.get_or_build(&sinr_config(1)).unwrap().approx_bytes();
+        // Room for two topologies, not three.
+        let cache = SubstrateCache::with_byte_budget(2 * one + one / 2);
+        let a = cache.get_or_build(&sinr_config(1)).unwrap();
+        let _b = cache.get_or_build(&sinr_config(2)).unwrap();
+        assert_eq!(cache.len(), 2);
+        // Touch `a` so seed 2 is the LRU victim when seed 3 arrives.
+        let a_again = cache.get_or_build(&sinr_config(1)).unwrap();
+        assert!(Arc::ptr_eq(&a, &a_again));
+        let _c = cache.get_or_build(&sinr_config(3)).unwrap();
+        assert_eq!(cache.len(), 2, "third topology must evict one");
+        assert!(cache.resident_bytes() <= 2 * one + one / 2);
+        // Seed 1 (recently used) survived; seed 2 was evicted and
+        // rebuilds as a fresh instance.
+        let a_third = cache.get_or_build(&sinr_config(1)).unwrap();
+        assert!(Arc::ptr_eq(&a, &a_third), "recently used entry evicted");
+    }
+
+    #[test]
+    fn entry_cap_bounds_topology_count() {
+        let cache = SubstrateCache::unbounded().with_max_entries(1);
+        let a = cache.get_or_build(&sinr_config(1)).unwrap();
+        let b = cache.get_or_build(&sinr_config(2)).unwrap();
+        assert_eq!(cache.len(), 1);
+        // Handed-out handles survive eviction.
+        assert!(a.sinr_cache.is_some() && b.sinr_cache.is_some());
+        let b_again = cache.get_or_build(&sinr_config(2)).unwrap();
+        assert!(Arc::ptr_eq(&b, &b_again), "resident entry must be shared");
+    }
+
+    #[test]
+    fn oversized_substrate_is_retained_until_displaced() {
+        // Even over budget, the most recent topology stays shared — its
+        // consumers hold live Arcs anyway, so evicting it could only
+        // force serial rebuilds — but the next key displaces it.
+        let cache = SubstrateCache::with_byte_budget(1);
+        let a = cache.get_or_build(&sinr_config(1)).unwrap();
+        assert!(a.num_links > 0);
+        assert_eq!(cache.len(), 1, "newest entry must be retained");
+        let a_again = cache.get_or_build(&sinr_config(1)).unwrap();
+        assert!(Arc::ptr_eq(&a, &a_again), "oversized entry must be shared");
+        let _b = cache.get_or_build(&sinr_config(2)).unwrap();
+        assert_eq!(cache.len(), 1, "over budget keeps only the newest");
+        let a_rebuilt = cache.get_or_build(&sinr_config(1)).unwrap();
+        assert!(!Arc::ptr_eq(&a, &a_rebuilt), "displaced entry rebuilds");
+    }
+
+    #[test]
+    fn concurrent_misses_on_one_key_build_once() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+
+        #[derive(Debug)]
+        struct Counting(Arc<AtomicUsize>);
+        impl SubstrateSpec for Counting {
+            fn label(&self) -> String {
+                "counting".into()
+            }
+            fn cache_key(&self) -> Option<String> {
+                Some("counting".into())
+            }
+            fn build(&self) -> Result<Substrate, ScenarioError> {
+                self.0.fetch_add(1, Ordering::SeqCst);
+                // Widen the race window: all waiters must block on the
+                // in-flight build instead of starting their own.
+                std::thread::sleep(std::time::Duration::from_millis(20));
+                SubstrateConfig::Mac { stations: 3 }.build()
+            }
+        }
+
+        let cache = SubstrateCache::new();
+        let builds = Arc::new(AtomicUsize::new(0));
+        let results: Vec<Arc<Substrate>> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..4)
+                .map(|_| {
+                    let cache = &cache;
+                    let builds = builds.clone();
+                    s.spawn(move || cache.get_or_build(&Counting(builds)).unwrap())
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        assert_eq!(
+            builds.load(Ordering::SeqCst),
+            1,
+            "concurrent misses must share one build"
+        );
+        for pair in results.windows(2) {
+            assert!(Arc::ptr_eq(&pair[0], &pair[1]));
+        }
     }
 }

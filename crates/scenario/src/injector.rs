@@ -8,6 +8,7 @@ use crate::substrate::Substrate;
 use dps_core::injection::adversarial::{
     BurstyAdversary, RoundRobinAdversary, SingleEdgeAdversary, SmoothAdversary, WindowValidator,
 };
+use dps_core::injection::batch::BatchStochasticInjector;
 use dps_core::injection::stochastic::uniform_generators;
 use dps_core::injection::Injector;
 use dps_core::interference::InterferenceModel;
@@ -62,7 +63,13 @@ impl InjectorSpec for InjectionConfig {
         let routes = substrate.routes.clone();
         let w = self.window;
         Ok(match self.kind {
-            InjectionKind::Stochastic => Box::new(stochastic_at_rate(&model, routes, lambda)?),
+            // Stochastic workloads run on the batch engine: same per-slot
+            // distribution as the naive per-generator sampler,
+            // O(1)-amortized idle slots (skip-ahead calendar / dense
+            // binomial batch, selected from the generators' totals).
+            InjectionKind::Stochastic => Box::new(BatchStochasticInjector::from(
+                stochastic_at_rate(&model, routes, lambda)?,
+            )),
             InjectionKind::Smooth => Box::new(SmoothAdversary::new(model, routes, w, lambda)),
             InjectionKind::Bursty => Box::new(BurstyAdversary::new(model, routes, w, lambda)),
             InjectionKind::SingleEdge => Box::new(SingleEdgeAdversary::new(
@@ -106,6 +113,32 @@ pub fn stochastic_at_rate<M: InterferenceModel + ?Sized>(
     Err(last_err.expect("at least one attempt").into())
 }
 
+/// An [`InjectorSpec`] building the naive per-generator stochastic
+/// sampler (one Bernoulli draw per generator per slot) instead of the
+/// batch engine — the pre-batching behaviour, kept for A/B measurement
+/// (`bench_inject`) and as a bisection aid. Distribution-identical to
+/// the batch engine; only the RNG stream and the per-slot cost differ.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NaiveStochasticSpec;
+
+impl InjectorSpec for NaiveStochasticSpec {
+    fn label(&self) -> String {
+        "stochastic (naive per-generator)".into()
+    }
+
+    fn build(
+        &self,
+        substrate: &Substrate,
+        lambda: f64,
+    ) -> Result<Box<dyn Injector + Send>, ScenarioError> {
+        Ok(Box::new(stochastic_at_rate(
+            &*substrate.model,
+            substrate.routes.clone(),
+            lambda,
+        )?))
+    }
+}
+
 /// Wraps an injector and records its trace into a [`WindowValidator`], so
 /// runs can report the *effective* `(w, λ)` rate an adversary achieved.
 pub struct ValidatingInjector<I, M: InterferenceModel> {
@@ -130,10 +163,19 @@ impl<I: Injector, M: InterferenceModel> ValidatingInjector<I, M> {
 
 impl<I: Injector, M: InterferenceModel> Injector for ValidatingInjector<I, M> {
     fn inject(&mut self, slot: u64, rng: &mut dyn rand::RngCore) -> Vec<Arc<RoutePath>> {
-        let injected = self.inner.inject(slot, rng);
-        self.validator
-            .record_slot(injected.iter().map(|p| p.as_ref()));
-        injected
+        let mut out = Vec::new();
+        self.inject_into(slot, rng, &mut out);
+        out
+    }
+
+    fn inject_into(
+        &mut self,
+        slot: u64,
+        rng: &mut dyn rand::RngCore,
+        out: &mut Vec<Arc<RoutePath>>,
+    ) {
+        self.inner.inject_into(slot, rng, out);
+        self.validator.record_slot(out.iter().map(|p| p.as_ref()));
     }
 }
 

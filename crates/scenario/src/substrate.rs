@@ -62,6 +62,38 @@ pub struct Substrate {
     pub sinr_cache: Option<Arc<SinrCache>>,
 }
 
+impl Substrate {
+    /// Rough resident size of this substrate, in bytes — the estimate
+    /// the [`crate::cache::SubstrateCache`] eviction budget is charged
+    /// against.
+    ///
+    /// Dominated by the dense structures: the `m × m` interference
+    /// matrix the protocol designs against (SINR substrates) and, when
+    /// materialized, the SINR cache's `m × m` pairwise gain table.
+    /// Per-link vectors and routes are counted approximately; the value
+    /// is an eviction heuristic, not an allocator measurement.
+    pub fn approx_bytes(&self) -> usize {
+        let m = self.num_links;
+        let mut bytes = std::mem::size_of::<Substrate>() + self.label.len();
+        bytes += self.routes.iter().map(|r| 64 + 4 * r.len()).sum::<usize>();
+        if let Some(cache) = &self.sinr_cache {
+            // Per-link precomputed vectors (endpoints, powers, signals,
+            // margins…) plus the dense W matrix of `SinrInterference`.
+            bytes += cache.num_links() * 64 + m * m * 8;
+            if cache.is_dense() {
+                bytes += m * m * 8;
+            }
+        } else if let Some(conflict) = &self.conflict {
+            bytes += conflict.pi.len() * 4 + m * 32;
+            bytes += conflict.graph.num_conflicts() * 16;
+        } else {
+            // Routing/MAC substrates: O(m) models and oracles.
+            bytes += m * 64;
+        }
+        bytes
+    }
+}
+
 impl fmt::Debug for Substrate {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("Substrate")

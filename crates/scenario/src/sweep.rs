@@ -15,10 +15,8 @@ use crate::cache::SubstrateCache;
 use crate::error::ScenarioError;
 use crate::scenario::{Scenario, ScenarioOutcome};
 use crate::spec::ScenarioSpec;
-use crate::substrate::Substrate;
 use dps_sim::table::{fmt3, Table};
 use serde::Value;
-use std::sync::Arc;
 
 /// A sweep builder over injection rates, substrate sizes, seeds and
 /// repetitions.
@@ -46,6 +44,7 @@ pub struct Sweep {
     repetitions: u64,
     threads: usize,
     share_substrates: bool,
+    substrate_budget_bytes: usize,
 }
 
 /// One grid point of a sweep.
@@ -95,6 +94,7 @@ impl Sweep {
             repetitions: 1,
             threads,
             share_substrates: true,
+            substrate_budget_bytes: crate::cache::DEFAULT_BYTE_BUDGET,
             base,
         }
     }
@@ -144,6 +144,20 @@ impl Sweep {
     /// bit-for-bit identical either way.
     pub fn share_substrates(mut self, share: bool) -> Self {
         self.share_substrates = share;
+        self
+    }
+
+    /// Caps the estimated bytes of topologies the sweep's substrate
+    /// cache keeps resident (default
+    /// [`crate::cache::DEFAULT_BYTE_BUDGET`]).
+    ///
+    /// Multi-topology grids (size or geometry-seed sweeps of large
+    /// substrates) evict least-recently-used topologies beyond the
+    /// budget and rebuild them on demand, trading peak memory for
+    /// rebuild time. Results are bit-for-bit identical under any
+    /// budget — builds are deterministic.
+    pub fn substrate_budget_bytes(mut self, budget_bytes: usize) -> Self {
+        self.substrate_budget_bytes = budget_bytes;
         self
     }
 
@@ -197,15 +211,18 @@ impl Sweep {
             .collect::<Result<_, _>>()?;
         // Prebuild each distinct topology once, spreading the builds of
         // multi-topology grids (size/substrate-seed sweeps) over the
-        // worker threads; afterwards every cell's lookup is a cache hit.
-        // Keyless specs (custom substrates that opted out of sharing)
-        // get no prebuilt handle and rebuild inside their cells — as
-        // does everything when sharing is off (the pre-sharing
-        // behaviour, kept for A/B measurement).
-        let substrates = SubstrateCache::new();
-        let shared: Vec<Option<Arc<Substrate>>> = if self.share_substrates {
+        // worker threads; afterwards a cell's lookup is a cache hit
+        // unless the LRU byte budget evicted its topology, in which case
+        // the cell rebuilds on demand. Cells resolve their substrate
+        // lazily — holding every handle up front would pin all
+        // topologies resident and defeat the budget. Keyless specs
+        // (custom substrates that opted out of sharing) rebuild inside
+        // their cells — as does everything when sharing is off (the
+        // pre-sharing behaviour, kept for A/B measurement).
+        let substrates = SubstrateCache::with_byte_budget(self.substrate_budget_bytes);
+        let keys: Vec<Option<String>> = if self.share_substrates {
             // One cache_key computation per cell, reused for the dedup
-            // pass and the keyed/keyless split below.
+            // pass and the per-cell lookups below.
             let keys: Vec<Option<String>> = scenarios
                 .iter()
                 .map(|(_, scenario)| scenario.substrate.cache_key())
@@ -217,32 +234,44 @@ impl Sweep {
                 .filter(|(_, key)| key.as_ref().is_some_and(|k| seen.insert(k.clone())))
                 .map(|(index, _)| index)
                 .collect();
+            // Stop warming once the cache is at budget or stops
+            // growing (eviction displaced as much as the build added):
+            // building more would only evict topologies just built,
+            // each then built twice — once here, once by its cells.
+            // Skipped topologies are built lazily by their first cell.
+            // The checks are racy across workers, which at worst warms
+            // an extra topology per thread.
+            let warm_stopped = std::sync::atomic::AtomicBool::new(false);
             dps_sim::parallel::parallel_map(first_of_key.len(), self.threads, |i| {
+                use std::sync::atomic::Ordering;
+                if warm_stopped.load(Ordering::Relaxed)
+                    || substrates.resident_bytes() >= self.substrate_budget_bytes
+                {
+                    return Ok::<(), ScenarioError>(());
+                }
+                let before = substrates.resident_bytes();
                 let index = first_of_key[i];
                 substrates
-                    .get_or_build_keyed(keys[index].as_deref(), &*scenarios[index].1.substrate)
-                    .map(|_| ())
+                    .get_or_build_keyed(keys[index].as_deref(), &*scenarios[index].1.substrate)?;
+                if substrates.resident_bytes() <= before {
+                    warm_stopped.store(true, Ordering::Relaxed);
+                }
+                Ok(())
             })
             .into_iter()
             .collect::<Result<Vec<()>, _>>()?;
-            scenarios
-                .iter()
-                .zip(&keys)
-                .map(|((_, scenario), key)| {
-                    key.as_ref()
-                        .map(|_| {
-                            substrates.get_or_build_keyed(key.as_deref(), &*scenario.substrate)
-                        })
-                        .transpose()
-                })
-                .collect::<Result<_, ScenarioError>>()?
+            keys
         } else {
             vec![None; scenarios.len()]
         };
         let outcomes = dps_sim::parallel::parallel_map(scenarios.len(), self.threads, |i| {
             let (point, scenario) = &scenarios[i];
-            match &shared[i] {
-                Some(substrate) => scenario.run_stream_on(substrate, point.rep),
+            match &keys[i] {
+                Some(key) => {
+                    let substrate =
+                        substrates.get_or_build_keyed(Some(key), &*scenario.substrate)?;
+                    scenario.run_stream_on(&substrate, point.rep)
+                }
                 None => scenario.run_stream(point.rep),
             }
         });
@@ -415,5 +444,35 @@ mod tests {
     fn invalid_base_is_rejected_before_running() {
         let spec = quick_base().with_lambda(-1.0);
         assert!(Sweep::new(spec).run().is_err());
+    }
+
+    #[test]
+    fn tiny_substrate_budget_matches_unbounded_results() {
+        // A 1-byte budget evicts every topology immediately, forcing
+        // per-cell rebuilds; builds are deterministic, so the cells must
+        // be bit-for-bit the default-budget cells.
+        let mut spec = registry::spec_for("sinr-linear").unwrap();
+        spec.run.frames = 2;
+        let run = |budget: usize| {
+            Sweep::new(spec.clone())
+                .over_sizes(&[6, 8])
+                .threads(2)
+                .substrate_budget_bytes(budget)
+                .run()
+                .unwrap()
+        };
+        let bounded = run(1);
+        let unbounded = run(usize::MAX);
+        assert_eq!(bounded.cells.len(), unbounded.cells.len());
+        for (a, b) in bounded.cells.iter().zip(&unbounded.cells) {
+            assert_eq!(a.point, b.point);
+            assert_eq!(a.outcome.report.injected, b.outcome.report.injected);
+            assert_eq!(a.outcome.report.delivered, b.outcome.report.delivered);
+            assert_eq!(a.outcome.report.latencies, b.outcome.report.latencies);
+            assert_eq!(
+                a.outcome.report.backlog_series,
+                b.outcome.report.backlog_series
+            );
+        }
     }
 }

@@ -188,10 +188,14 @@ where
         slots: config.slots,
     };
     let mut next_id = 0u64;
+    // Reused across slots so idle slots stay allocation-free: the
+    // injector writes routes into `route_buf` (`inject_into`), and only
+    // slots that actually inject allocate their arrivals vector.
+    let mut route_buf = Vec::new();
     for slot in 0..config.slots {
-        let arrivals: Vec<Packet> = injector
-            .inject(slot, &mut rng)
-            .into_iter()
+        injector.inject_into(slot, &mut rng, &mut route_buf);
+        let arrivals: Vec<Packet> = route_buf
+            .drain(..)
             .map(|path| {
                 let packet = Packet::new(PacketId(next_id), path, slot);
                 next_id += 1;

@@ -20,6 +20,13 @@ pub struct Summary {
 
 impl Summary {
     /// Summarizes a sample.
+    ///
+    /// The Bessel-corrected sample variance divides by `count − 1`, so a
+    /// single sample has no spread estimate at all; dividing anyway
+    /// would make `std_dev` (and everything derived from it) `NaN` and
+    /// poison any aggregate table the summary lands in. A single sample
+    /// therefore reports `std_dev = 0` — a 0-width interval, matching
+    /// [`ci95`](Self::ci95) — and its own value as mean/min/max.
     pub fn of(samples: &[f64]) -> Self {
         if samples.is_empty() {
             return Summary {
@@ -47,6 +54,9 @@ impl Summary {
     }
 
     /// Half-width of the ~95% normal confidence interval for the mean.
+    ///
+    /// With fewer than two samples there is no spread estimate; the
+    /// interval is reported 0-width (never `NaN`).
     pub fn ci95(&self) -> f64 {
         if self.count < 2 {
             return 0.0;
@@ -116,6 +126,22 @@ mod tests {
         assert_eq!(s.count, 0);
         assert_eq!(s.mean, 0.0);
         assert_eq!(s.ci95(), 0.0);
+    }
+
+    /// Regression: a single sample must report a 0-width spread, not the
+    /// `NaN` that a bare `count − 1` division would produce — `NaN`
+    /// here propagates into every aggregate table built on summaries.
+    #[test]
+    fn summary_of_single_sample_has_zero_width_interval() {
+        let s = Summary::of(&[42.5]);
+        assert_eq!(s.count, 1);
+        assert_eq!(s.mean, 42.5);
+        assert_eq!(s.min, 42.5);
+        assert_eq!(s.max, 42.5);
+        assert_eq!(s.std_dev, 0.0, "single sample must not yield NaN spread");
+        assert!(s.std_dev.is_finite());
+        assert_eq!(s.ci95(), 0.0);
+        assert!(s.ci95().is_finite());
     }
 
     #[test]
