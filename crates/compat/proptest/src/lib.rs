@@ -220,7 +220,7 @@ pub mod collection {
     use rand::Rng as _;
     use std::ops::Range;
 
-    /// Anything usable as the size argument of [`vec`].
+    /// Anything usable as the size argument of [`vec()`].
     pub trait IntoSizeRange {
         /// The inclusive-lower, exclusive-upper bounds.
         fn bounds(&self) -> (usize, usize);
@@ -245,7 +245,7 @@ pub mod collection {
         VecStrategy { element, lo, hi }
     }
 
-    /// The strategy returned by [`vec`].
+    /// The strategy returned by [`vec()`].
     #[derive(Clone, Debug)]
     pub struct VecStrategy<S> {
         element: S,

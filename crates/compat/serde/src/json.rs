@@ -1,4 +1,4 @@
-//! JSON rendering and parsing for [`Value`](crate::Value) trees.
+//! JSON rendering and parsing for [`Value`] trees.
 
 use crate::{Deserialize, Error, Serialize, Value};
 use std::fmt::Write as _;

@@ -1,4 +1,4 @@
-//! TOML rendering and parsing for [`Value`](crate::Value) trees.
+//! TOML rendering and parsing for [`Value`] trees.
 //!
 //! Covers the TOML subset declarative specs in this workspace use: tables
 //! and nested tables (`[a]`, `[a.b]`), arrays of tables (`[[a]]`), bare

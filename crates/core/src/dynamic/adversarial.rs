@@ -23,6 +23,8 @@ pub struct AdversarialWrapper<P> {
     /// Min-heap of `(release_slot, sequence, packet)`.
     pending: BinaryHeap<Reverse<(u64, u64, PendingPacket)>>,
     sequence: u64,
+    /// Reused per-slot buffer of packets released to the inner protocol.
+    release_buf: Vec<Packet>,
 }
 
 /// Heap entry wrapper ordering only by the tuple prefix.
@@ -62,6 +64,7 @@ impl<P: Protocol> AdversarialWrapper<P> {
             delay_max,
             pending: BinaryHeap::new(),
             sequence: 0,
+            release_buf: Vec::new(),
         }
     }
 
@@ -88,20 +91,21 @@ impl<P: Protocol> AdversarialWrapper<P> {
 }
 
 impl<P: Protocol> Protocol for AdversarialWrapper<P> {
-    fn on_slot(
+    fn step(
         &mut self,
         slot: u64,
-        arrivals: Vec<Packet>,
+        arrivals: &[Packet],
         phy: &dyn Feasibility,
         rng: &mut dyn RngCore,
-    ) -> SlotOutcome {
+        out: &mut SlotOutcome,
+    ) {
         let t = self.frame_len as u64;
         let current_frame = slot / t;
-        let mut release_now = Vec::new();
+        self.release_buf.clear();
         for packet in arrivals {
             let delta = rng.gen_range(0..self.delay_max);
             if delta == 0 {
-                release_now.push(packet);
+                self.release_buf.push(packet.clone());
             } else {
                 // Release at the start of frame `current_frame + δ`; the
                 // inner protocol then holds it until the *next* frame
@@ -111,7 +115,7 @@ impl<P: Protocol> Protocol for AdversarialWrapper<P> {
                 self.pending.push(Reverse((
                     release_slot,
                     self.sequence,
-                    PendingPacket(packet),
+                    PendingPacket(packet.clone()),
                 )));
                 self.sequence += 1;
             }
@@ -122,9 +126,9 @@ impl<P: Protocol> Protocol for AdversarialWrapper<P> {
             }
             let Reverse((_, _, PendingPacket(packet))) =
                 self.pending.pop().expect("peeked entry exists");
-            release_now.push(packet);
+            self.release_buf.push(packet);
         }
-        self.inner.on_slot(slot, release_now, phy, rng)
+        self.inner.step(slot, &self.release_buf, phy, rng, out)
     }
 
     fn backlog(&self) -> usize {
@@ -162,17 +166,18 @@ mod tests {
     }
 
     impl Protocol for Noop {
-        fn on_slot(
+        fn step(
             &mut self,
             slot: u64,
-            arrivals: Vec<Packet>,
+            arrivals: &[Packet],
             _phy: &dyn Feasibility,
             _rng: &mut dyn RngCore,
-        ) -> SlotOutcome {
-            for _ in &arrivals {
+            out: &mut SlotOutcome,
+        ) {
+            out.clear();
+            for _ in arrivals {
                 self.received.push(slot);
             }
-            SlotOutcome::empty()
         }
 
         fn backlog(&self) -> usize {

@@ -19,24 +19,21 @@
 
 use crate::dynamic::FrameConfig;
 use crate::feasibility::{Attempt, Feasibility};
-use crate::ids::{LinkId, PacketId};
+use crate::ids::LinkId;
 use crate::packet::{DeliveredPacket, Packet};
 use crate::protocol::{Protocol, SlotOutcome};
+use crate::route_table::RouteTable;
 use crate::staticsched::{Request, StaticAlgorithm, StaticScheduler};
+use crate::store::{PacketRef, PacketState, PacketStore};
 use rand::{Rng, RngCore};
 
-/// A packet that has not failed: it advances one hop per frame.
-#[derive(Clone, Debug)]
-struct ActivePacket {
-    packet: Packet,
-    hop: usize,
-}
-
 /// A failed packet waiting in the buffer of its next-hop link.
-#[derive(Clone, Debug)]
-struct FailedPacket {
-    packet: Packet,
-    hop: usize,
+///
+/// The packet itself lives in the protocol's [`PacketStore`]; this entry
+/// is the buffer's four-byte handle plus the failure frame.
+#[derive(Clone, Copy, Debug)]
+struct FailedRef {
+    pkt: PacketRef,
     /// Frame in which the packet originally failed; clean-up selection
     /// picks the smallest (the paper's "failure is longest ago").
     failed_at: u64,
@@ -70,18 +67,25 @@ pub struct DynamicProtocol<S> {
     config: FrameConfig,
     num_links: usize,
 
+    /// Interned route dictionary: every distinct route the injectors
+    /// emit, stored once, with hop links flattened for dense lookup.
+    routes: RouteTable,
+    /// Columnar storage of every packet currently in the system; the
+    /// lists below hold [`PacketRef`] indices into it.
+    store: PacketStore,
+
     /// Packets injected during the current frame; they join at the next
     /// frame start ("after injection a packet waits for the next time
     /// frame to begin").
-    arrivals_buffer: Vec<Packet>,
+    arrivals_buffer: Vec<PacketRef>,
     /// Un-failed packets currently travelling.
-    active: Vec<ActivePacket>,
+    active: Vec<PacketRef>,
     /// Packets delivered during the current main phase that still occupy
     /// an `active` slot (removal is deferred to the clean-up rebuild to
     /// keep indices aligned with the running algorithm).
     delivered_in_active: usize,
     /// Per-link buffers of failed packets.
-    failed: Vec<Vec<FailedPacket>>,
+    failed: Vec<Vec<FailedRef>>,
     failed_total: usize,
     potential: u64,
 
@@ -92,13 +96,13 @@ pub struct DynamicProtocol<S> {
     cleanup_alg: Option<Box<dyn StaticAlgorithm>>,
     /// `(link, packet)` per clean-up request, index-aligned with the
     /// clean-up algorithm's request slice.
-    cleanup_selected: Vec<(LinkId, PacketId)>,
+    cleanup_selected: Vec<(LinkId, PacketRef)>,
 
     // Reusable buffers: the slot loop is the protocol's hot path, and
     // these keep it allocation-free in steady state (each buffer grows to
     // its high-water mark once and is then recycled every slot/frame).
     /// Rebuild target for `active` at the main→clean-up transition.
-    active_scratch: Vec<ActivePacket>,
+    active_scratch: Vec<PacketRef>,
     /// Request slice handed to `StaticScheduler::instantiate`.
     request_scratch: Vec<Request>,
     /// Indices proposed by the running algorithm this slot.
@@ -128,6 +132,8 @@ impl<S: StaticScheduler> DynamicProtocol<S> {
         DynamicProtocol {
             scheduler,
             num_links,
+            routes: RouteTable::new(),
+            store: PacketStore::new(),
             arrivals_buffer: Vec::new(),
             active: Vec::new(),
             delivered_in_active: 0,
@@ -185,10 +191,25 @@ impl<S: StaticScheduler> DynamicProtocol<S> {
         self.failed_total
     }
 
+    /// The protocol's interned route dictionary (one entry per distinct
+    /// route ever injected).
+    pub fn route_table(&self) -> &RouteTable {
+        &self.routes
+    }
+
+    /// Live slots in the columnar store: packets in the system *plus*
+    /// any delivered mid-main-phase whose slots are reclaimed at the
+    /// next main→clean-up rebuild — so this can transiently exceed
+    /// [`Protocol::backlog`] by up to one frame's deliveries.
+    pub fn stored_packets(&self) -> usize {
+        self.store.live()
+    }
+
     fn begin_frame(&mut self, rng: &mut dyn RngCore) {
         // Arrivals of the previous frame join the travelling set.
-        for packet in self.arrivals_buffer.drain(..) {
-            self.active.push(ActivePacket { packet, hop: 0 });
+        for pkt in self.arrivals_buffer.drain(..) {
+            self.store.set_state(pkt, PacketState::Active);
+            self.active.push(pkt);
         }
         self.current_event = FrameEvent {
             frame: self.frame_index,
@@ -204,15 +225,12 @@ impl<S: StaticScheduler> DynamicProtocol<S> {
             None
         } else {
             self.request_scratch.clear();
-            self.request_scratch.extend(self.active.iter().map(|ap| {
-                Request {
-                    packet: ap.packet.id(),
-                    link: ap
-                        .packet
-                        .hop_link(ap.hop)
-                        .expect("active packet always has a next hop"),
-                }
-            }));
+            let (routes, store) = (&self.routes, &self.store);
+            self.request_scratch
+                .extend(self.active.iter().map(|&pkt| Request {
+                    packet: store.id(pkt),
+                    link: routes.link_at(store.route(pkt), store.hop(pkt)),
+                }));
             Some(
                 self.scheduler
                     .instantiate(&self.request_scratch, self.config.j_bound, rng),
@@ -238,14 +256,17 @@ impl<S: StaticScheduler> DynamicProtocol<S> {
             return;
         }
         self.attempt_scratch.clear();
-        self.attempt_scratch
-            .extend(self.idx_scratch.iter().map(|&i| {
-                let ap = &self.active[i];
-                Attempt {
-                    link: ap.packet.hop_link(ap.hop).expect("hop in range"),
-                    packet: ap.packet.id(),
-                }
-            }));
+        {
+            let (routes, store, active) = (&self.routes, &self.store, &self.active);
+            self.attempt_scratch
+                .extend(self.idx_scratch.iter().map(|&i| {
+                    let pkt = active[i];
+                    Attempt {
+                        link: routes.link_at(store.route(pkt), store.hop(pkt)),
+                        packet: store.id(pkt),
+                    }
+                }));
+        }
         outcome.attempts += self.attempt_scratch.len();
         phy.successes_into(&self.attempt_scratch, &mut self.success_scratch, rng);
         for (&idx, &ok) in self.idx_scratch.iter().zip(&self.success_scratch) {
@@ -255,16 +276,18 @@ impl<S: StaticScheduler> DynamicProtocol<S> {
             outcome.successes += 1;
             alg.ack(idx);
             self.main_acked[idx] = true;
-            let ap = &mut self.active[idx];
-            ap.hop += 1;
-            if ap.hop == ap.packet.path_len() {
+            let pkt = self.active[idx];
+            let hop = self.store.advance(pkt);
+            let path_len = self.routes.len_of(self.store.route(pkt));
+            if hop == path_len {
                 self.delivered_total += 1;
                 self.delivered_in_active += 1;
+                self.store.set_state(pkt, PacketState::Delivered);
                 outcome.delivered.push(DeliveredPacket {
-                    id: ap.packet.id(),
-                    injected_at: ap.packet.injected_at(),
+                    id: self.store.id(pkt),
+                    injected_at: self.store.injected_at(pkt),
                     delivered_at: slot,
-                    path_len: ap.packet.path_len(),
+                    path_len,
                 });
             }
         }
@@ -276,21 +299,27 @@ impl<S: StaticScheduler> DynamicProtocol<S> {
         self.main_alg = None;
         self.delivered_in_active = 0;
         self.active_scratch.clear();
-        for (idx, ap) in self.active.drain(..).enumerate() {
+        for (idx, pkt) in self.active.drain(..).enumerate() {
             if self.main_acked.get(idx).copied().unwrap_or(false) {
-                if ap.hop < ap.packet.path_len() {
-                    self.active_scratch.push(ap);
+                let hop = self.store.hop(pkt);
+                if hop < self.routes.len_of(self.store.route(pkt)) {
+                    self.active_scratch.push(pkt);
+                } else {
+                    // Delivered packets were already reported; release
+                    // their store slots.
+                    self.store.free(pkt);
                 }
-                // Delivered packets were already reported; drop them.
             } else {
-                let remaining = (ap.packet.path_len() - ap.hop) as u64;
+                let hop = self.store.hop(pkt);
+                let route = self.store.route(pkt);
+                let remaining = (self.routes.len_of(route) - hop) as u64;
                 self.potential += remaining;
                 self.failed_total += 1;
                 self.current_event.newly_failed += 1;
-                let link = ap.packet.hop_link(ap.hop).expect("hop in range");
-                self.failed[link.index()].push(FailedPacket {
-                    packet: ap.packet,
-                    hop: ap.hop,
+                self.store.set_state(pkt, PacketState::Failed);
+                let link = self.routes.link_at(route, hop);
+                self.failed[link.index()].push(FailedRef {
+                    pkt,
                     failed_at: self.frame_index,
                 });
             }
@@ -308,16 +337,17 @@ impl<S: StaticScheduler> DynamicProtocol<S> {
             if rng.gen::<f64>() >= self.config.cleanup_select_prob {
                 continue;
             }
+            let store = &self.store;
             let oldest = self.failed[link_idx]
                 .iter()
-                .min_by_key(|fp| (fp.failed_at, fp.packet.id()))
+                .min_by_key(|fr| (fr.failed_at, store.id(fr.pkt)))
                 .expect("buffer non-empty");
             let link = LinkId(link_idx as u32);
             self.request_scratch.push(Request {
-                packet: oldest.packet.id(),
+                packet: store.id(oldest.pkt),
                 link,
             });
-            self.cleanup_selected.push((link, oldest.packet.id()));
+            self.cleanup_selected.push((link, oldest.pkt));
         }
         self.current_event.cleanup_selected = self.cleanup_selected.len();
         self.cleanup_alg = if self.request_scratch.is_empty() {
@@ -348,11 +378,17 @@ impl<S: StaticScheduler> DynamicProtocol<S> {
             return;
         }
         self.attempt_scratch.clear();
-        self.attempt_scratch
-            .extend(self.idx_scratch.iter().map(|&i| {
-                let (link, packet) = self.cleanup_selected[i];
-                Attempt { link, packet }
-            }));
+        {
+            let (store, selected) = (&self.store, &self.cleanup_selected);
+            self.attempt_scratch
+                .extend(self.idx_scratch.iter().map(|&i| {
+                    let (link, pkt) = selected[i];
+                    Attempt {
+                        link,
+                        packet: store.id(pkt),
+                    }
+                }));
+        }
         outcome.attempts += self.attempt_scratch.len();
         phy.successes_into(&self.attempt_scratch, &mut self.success_scratch, rng);
         for (&idx, &ok) in self.idx_scratch.iter().zip(&self.success_scratch) {
@@ -362,27 +398,30 @@ impl<S: StaticScheduler> DynamicProtocol<S> {
             outcome.successes += 1;
             alg.ack(idx);
             self.current_event.cleanup_served += 1;
-            let (link, packet_id) = self.cleanup_selected[idx];
+            let (link, pkt) = self.cleanup_selected[idx];
             let buffer = &mut self.failed[link.index()];
             let pos = buffer
                 .iter()
-                .position(|fp| fp.packet.id() == packet_id)
+                .position(|fr| fr.pkt == pkt)
                 .expect("selected packet still buffered");
-            let mut fp = buffer.swap_remove(pos);
-            fp.hop += 1;
+            let fr = buffer.swap_remove(pos);
+            let hop = self.store.advance(pkt);
             self.potential -= 1;
-            if fp.hop == fp.packet.path_len() {
+            let route = self.store.route(pkt);
+            let path_len = self.routes.len_of(route);
+            if hop == path_len {
                 self.failed_total -= 1;
                 self.delivered_total += 1;
                 outcome.delivered.push(DeliveredPacket {
-                    id: fp.packet.id(),
-                    injected_at: fp.packet.injected_at(),
+                    id: self.store.id(pkt),
+                    injected_at: self.store.injected_at(pkt),
                     delivered_at: slot,
-                    path_len: fp.packet.path_len(),
+                    path_len,
                 });
+                self.store.free(pkt);
             } else {
-                let next = fp.packet.hop_link(fp.hop).expect("hop in range");
-                self.failed[next.index()].push(fp);
+                let next = self.routes.link_at(route, hop);
+                self.failed[next.index()].push(fr);
             }
         }
     }
@@ -397,30 +436,35 @@ impl<S: StaticScheduler> DynamicProtocol<S> {
 }
 
 impl<S: StaticScheduler> Protocol for DynamicProtocol<S> {
-    fn on_slot(
+    fn step(
         &mut self,
         slot: u64,
-        arrivals: Vec<Packet>,
+        arrivals: &[Packet],
         phy: &dyn Feasibility,
         rng: &mut dyn RngCore,
-    ) -> SlotOutcome {
-        let mut outcome = SlotOutcome::empty();
+        out: &mut SlotOutcome,
+    ) {
+        out.clear();
         if self.slot_in_frame == 0 {
             self.begin_frame(rng);
         }
         self.injected_total += arrivals.len() as u64;
-        self.arrivals_buffer.extend(arrivals);
+        for packet in arrivals {
+            let route = self.routes.intern(packet.path());
+            let pkt = self.store.insert(packet.id(), route, packet.injected_at());
+            self.arrivals_buffer.push(pkt);
+        }
 
         let main = self.config.main_budget;
         let cleanup_end = main + self.config.cleanup_budget;
         if self.slot_in_frame < main {
-            self.main_slot(slot, phy, rng, &mut outcome);
+            self.main_slot(slot, phy, rng, out);
         } else {
             if self.slot_in_frame == main {
                 self.begin_cleanup(rng);
             }
             if self.slot_in_frame < cleanup_end {
-                self.cleanup_slot(slot, phy, rng, &mut outcome);
+                self.cleanup_slot(slot, phy, rng, out);
             }
             // Slots past the clean-up budget idle out the frame.
         }
@@ -430,7 +474,6 @@ impl<S: StaticScheduler> Protocol for DynamicProtocol<S> {
             self.end_frame();
             self.slot_in_frame = 0;
         }
-        outcome
     }
 
     fn backlog(&self) -> usize {
@@ -448,13 +491,15 @@ mod tests {
     use super::*;
     use crate::feasibility::PerLinkFeasibility;
     use crate::graph::line_network;
+    use crate::ids::PacketId;
     use crate::injection::stochastic::uniform_generators;
     use crate::injection::Injector;
     use crate::path::RoutePath;
     use crate::rng::root_rng;
     use crate::staticsched::greedy::GreedyPerLink;
 
-    /// Drives a protocol with an injector for `slots` slots.
+    /// Drives a protocol with an injector for `slots` slots, through the
+    /// zero-allocation [`Protocol::step`] path with reused buffers.
     fn drive<P: Protocol, I: Injector>(
         protocol: &mut P,
         injector: &mut I,
@@ -467,19 +512,19 @@ mod tests {
         let mut next_id = 0u64;
         let mut injected = 0u64;
         let mut route_buf = Vec::new();
+        let mut arrivals: Vec<Packet> = Vec::new();
+        let mut outcome = SlotOutcome::empty();
         for slot in 0..slots {
             injector.inject_into(slot, &mut rng, &mut route_buf);
-            let arrivals: Vec<Packet> = route_buf
-                .drain(..)
-                .map(|path| {
-                    let p = Packet::new(PacketId(next_id), path, slot);
-                    next_id += 1;
-                    p
-                })
-                .collect();
+            arrivals.clear();
+            arrivals.extend(route_buf.drain(..).map(|path| {
+                let p = Packet::new(PacketId(next_id), path, slot);
+                next_id += 1;
+                p
+            }));
             injected += arrivals.len() as u64;
-            let outcome = protocol.on_slot(slot, arrivals, phy, &mut rng);
-            delivered.extend(outcome.delivered);
+            protocol.step(slot, &arrivals, phy, &mut rng, &mut outcome);
+            delivered.extend_from_slice(&outcome.delivered);
         }
         (delivered, injected)
     }
@@ -699,6 +744,222 @@ mod tests {
         config.frame_len = 1;
         let _ = DynamicProtocol::new(GreedyPerLink::new(), config, 2);
     }
+
+    /// Hand-built frame geometry small enough to reason about slot by
+    /// slot: 2 main slots, 1 clean-up slot, 4-slot frames.
+    fn tiny_config(cleanup_select_prob: f64) -> FrameConfig {
+        FrameConfig {
+            m: 2,
+            lambda: 0.5,
+            epsilon: 0.5,
+            frame_len: 4,
+            j_bound: 4.0,
+            main_budget: 2,
+            cleanup_budget: 1,
+            cleanup_select_prob,
+            cleanup_bound: 1.0,
+        }
+    }
+
+    /// Deterministic oracle failing every attempt of the first
+    /// `fail_calls` slots that issue attempts, succeeding afterwards;
+    /// consumes no randomness.
+    struct FailFirstCalls {
+        remaining: std::cell::Cell<usize>,
+    }
+
+    impl FailFirstCalls {
+        fn new(fail_calls: usize) -> Self {
+            FailFirstCalls {
+                remaining: std::cell::Cell::new(fail_calls),
+            }
+        }
+    }
+
+    impl Feasibility for FailFirstCalls {
+        fn successes(&self, attempts: &[Attempt], _rng: &mut dyn RngCore) -> Vec<bool> {
+            let left = self.remaining.get();
+            if left > 0 {
+                self.remaining.set(left - 1);
+                vec![false; attempts.len()]
+            } else {
+                vec![true; attempts.len()]
+            }
+        }
+    }
+
+    /// A packet delivered in the *final* main-phase slot still occupies
+    /// an `active` index when the main→clean-up rebuild runs; it must be
+    /// dropped there — not re-selected, not double-counted, its store
+    /// slot released.
+    #[test]
+    fn delivery_in_final_main_slot_is_not_double_counted() {
+        let mut protocol = DynamicProtocol::new(GreedyPerLink::new(), tiny_config(1.0), 2);
+        let phy = PerLinkFeasibility::new(2);
+        let mut rng = root_rng(1);
+        let route = RoutePath::single_hop(LinkId(0)).shared();
+        // Two packets on the same link: greedy serves one per slot, so
+        // the second delivery lands exactly in main slot 2 of 2 — the
+        // final main-phase slot of frame 1 (slots 4..8).
+        let arrivals = vec![
+            Packet::new(PacketId(0), route.clone(), 0),
+            Packet::new(PacketId(1), route, 0),
+        ];
+        let mut outcome = SlotOutcome::empty();
+        protocol.step(0, &arrivals, &phy, &mut rng, &mut outcome);
+        let mut delivered = Vec::new();
+        for slot in 1..12 {
+            protocol.step(slot, &[], &phy, &mut rng, &mut outcome);
+            for d in &outcome.delivered {
+                delivered.push((slot, d.id));
+            }
+        }
+        assert_eq!(
+            delivered,
+            vec![(4, PacketId(0)), (5, PacketId(1))],
+            "second delivery must land in the final main-phase slot"
+        );
+        assert_eq!(protocol.delivered_total(), 2, "no double count");
+        assert_eq!(protocol.backlog(), 0);
+        assert_eq!(
+            protocol.failed_backlog(),
+            0,
+            "delivered packet must not fail"
+        );
+        assert_eq!(protocol.potential(), 0);
+        assert_eq!(
+            protocol.stored_packets(),
+            0,
+            "store slots released at the rebuild"
+        );
+        let events = protocol.take_frame_events();
+        // Even with select probability 1.0 nothing may be selected for
+        // clean-up: the delivered-in-active packets are gone.
+        assert!(events.iter().all(|e| e.cleanup_selected == 0));
+        assert!(events.iter().all(|e| e.newly_failed == 0));
+    }
+
+    /// `backlog` must account for packets delivered in the main phase
+    /// whose `active` slots are only reclaimed at the clean-up rebuild.
+    #[test]
+    fn backlog_drops_immediately_on_main_phase_delivery() {
+        let mut protocol = DynamicProtocol::new(GreedyPerLink::new(), tiny_config(0.5), 2);
+        let phy = PerLinkFeasibility::new(2);
+        let mut rng = root_rng(3);
+        let route = RoutePath::single_hop(LinkId(1)).shared();
+        let arrivals = vec![Packet::new(PacketId(7), route, 0)];
+        let mut outcome = SlotOutcome::empty();
+        protocol.step(0, &arrivals, &phy, &mut rng, &mut outcome);
+        assert_eq!(protocol.backlog(), 1);
+        for slot in 1..4 {
+            protocol.step(slot, &[], &phy, &mut rng, &mut outcome);
+        }
+        // Frame 1, main slot 1: delivered. The rebuild has not run yet,
+        // but the backlog must already exclude the delivered packet.
+        protocol.step(4, &[], &phy, &mut rng, &mut outcome);
+        assert_eq!(outcome.delivered.len(), 1);
+        assert_eq!(
+            protocol.backlog(),
+            0,
+            "delivered_in_active must offset backlog"
+        );
+    }
+
+    /// At `cleanup_select_prob = 0.0` no failed packet is ever selected:
+    /// the potential is monotone non-decreasing and failed buffers only
+    /// grow.
+    #[test]
+    fn cleanup_select_prob_zero_never_selects() {
+        let mut protocol = DynamicProtocol::new(GreedyPerLink::new(), tiny_config(0.0), 2);
+        // Fail the whole first frame's main phase (2 attempt slots).
+        let phy = FailFirstCalls::new(2);
+        let mut rng = root_rng(5);
+        let route = RoutePath::single_hop(LinkId(0)).shared();
+        let arrivals = vec![Packet::new(PacketId(0), route, 0)];
+        let mut outcome = SlotOutcome::empty();
+        let mut delivered = 0usize;
+        protocol.step(0, &arrivals, &phy, &mut rng, &mut outcome);
+        for slot in 1..40 {
+            protocol.step(slot, &[], &phy, &mut rng, &mut outcome);
+            delivered += outcome.delivered.len();
+        }
+        assert_eq!(delivered, 0, "an unselected failed packet cannot advance");
+        assert_eq!(protocol.failed_backlog(), 1);
+        assert_eq!(protocol.potential(), 1);
+        let events = protocol.take_frame_events();
+        assert_eq!(events[1].newly_failed, 1, "failure lands in frame 1");
+        assert!(events.iter().all(|e| e.cleanup_selected == 0));
+        assert!(events.iter().all(|e| e.cleanup_served == 0));
+        assert_eq!(protocol.backlog(), 1, "packet is stuck but conserved");
+    }
+
+    /// At `cleanup_select_prob = 1.0` every non-empty buffer selects in
+    /// every frame: a failed multi-hop packet advances exactly one hop
+    /// per frame through clean-up phases until delivered.
+    #[test]
+    fn cleanup_select_prob_one_always_selects() {
+        let num_links = 2;
+        let network = line_network(num_links);
+        let mut config = tiny_config(1.0);
+        config.m = num_links;
+        let mut protocol = DynamicProtocol::new(GreedyPerLink::new(), config, num_links);
+        // Fail the whole first frame's main phase so the 2-hop packet
+        // fails on its first link, then let every clean-up attempt
+        // succeed.
+        let phy = FailFirstCalls::new(2);
+        let mut rng = root_rng(9);
+        let route = RoutePath::new(&network, vec![LinkId(0), LinkId(1)])
+            .unwrap()
+            .shared();
+        let arrivals = vec![Packet::new(PacketId(0), route, 0)];
+        let mut outcome = SlotOutcome::empty();
+        let mut delivered_at = None;
+        protocol.step(0, &arrivals, &phy, &mut rng, &mut outcome);
+        for slot in 1..20 {
+            protocol.step(slot, &[], &phy, &mut rng, &mut outcome);
+            if let Some(d) = outcome.delivered.first() {
+                delivered_at = Some((slot, d.path_len));
+            }
+        }
+        // Frame 1 (slots 4..8): main fails, packet fails with 2 hops
+        // remaining (potential 2), clean-up slot 6 serves hop 1.
+        // Frame 2 (slots 8..12): clean-up slot 10 serves hop 2 → done.
+        assert_eq!(delivered_at, Some((10, 2)));
+        let events = protocol.take_frame_events();
+        assert_eq!(events[1].newly_failed, 1);
+        assert_eq!(events[1].cleanup_selected, 1);
+        assert_eq!(events[1].cleanup_served, 1);
+        assert_eq!(events[1].potential_after, 1);
+        assert_eq!(events[2].cleanup_selected, 1);
+        assert_eq!(events[2].cleanup_served, 1);
+        assert_eq!(events[2].potential_after, 0);
+        assert!(events[3..].iter().all(|e| e.cleanup_selected == 0));
+        assert_eq!(protocol.backlog(), 0);
+        assert_eq!(protocol.stored_packets(), 0);
+    }
+
+    /// Interning collapses structurally identical routes arriving behind
+    /// distinct `Arc`s: the protocol's dictionary stays at one entry no
+    /// matter how many packets flow.
+    #[test]
+    fn protocol_interns_duplicate_routes_once() {
+        let mut protocol = DynamicProtocol::new(GreedyPerLink::new(), tiny_config(1.0), 2);
+        let phy = PerLinkFeasibility::new(2);
+        let mut rng = root_rng(11);
+        let mut outcome = SlotOutcome::empty();
+        for slot in 0..40u64 {
+            // A fresh Arc per packet: the content-dedup path, not the
+            // pointer fast path.
+            let arrivals = vec![Packet::new(
+                PacketId(slot),
+                RoutePath::single_hop(LinkId(0)).shared(),
+                slot,
+            )];
+            protocol.step(slot, &arrivals, &phy, &mut rng, &mut outcome);
+        }
+        assert_eq!(protocol.route_table().len(), 1);
+        assert_eq!(protocol.injected_total(), 40);
+    }
 }
 
 #[cfg(test)]
@@ -755,6 +1016,7 @@ pub(crate) mod tests_support_golden {
     use super::*;
     use crate::feasibility::{LossyFeasibility, PerLinkFeasibility};
     use crate::graph::line_network;
+    use crate::ids::PacketId;
     use crate::injection::batch::BatchStochasticInjector;
     use crate::injection::stochastic::uniform_generators;
     use crate::injection::Injector;
@@ -786,19 +1048,19 @@ pub(crate) mod tests_support_golden {
         let mut next_id = 0u64;
         let mut injected = 0u64;
         let mut route_buf = Vec::new();
+        let mut arrivals: Vec<Packet> = Vec::new();
+        let mut outcome = SlotOutcome::empty();
         for slot in 0..slots {
             injector.inject_into(slot, &mut rng, &mut route_buf);
-            let arrivals: Vec<Packet> = route_buf
-                .drain(..)
-                .map(|path| {
-                    let p = Packet::new(PacketId(next_id), path, slot);
-                    next_id += 1;
-                    p
-                })
-                .collect();
+            arrivals.clear();
+            arrivals.extend(route_buf.drain(..).map(|path| {
+                let p = Packet::new(PacketId(next_id), path, slot);
+                next_id += 1;
+                p
+            }));
             injected += arrivals.len() as u64;
-            let outcome = protocol.on_slot(slot, arrivals, &phy, &mut rng);
-            delivered.extend(outcome.delivered);
+            protocol.step(slot, &arrivals, &phy, &mut rng, &mut outcome);
+            delivered.extend_from_slice(&outcome.delivered);
         }
         let events = protocol.take_frame_events();
         let mut hash = 0xcbf2_9ce4_8422_2325u64;

@@ -25,7 +25,7 @@
 //! The mode is selected automatically from the generators' total
 //! probabilities ([`BatchStochasticInjector::new`]). Both paths draw the
 //! packet's route *conditionally on injection*
-//! ([`GeneratorSpec::sample_conditional`]), so the per-slot distribution
+//! ([`crate::injection::stochastic::GeneratorSpec::sample_conditional`]), so the per-slot distribution
 //! is exactly the naive sampler's: each generator injects independently
 //! with its total probability and picks route `i` with probability
 //! `p_i / total`. The RNG *stream* differs from the naive sampler's
@@ -98,6 +98,13 @@ pub struct BatchStochasticInjector {
     active: Vec<u32>,
     /// The shared per-generator probability of the dense path.
     dense_p: f64,
+    /// Cached `ln(1 − dense_p)` — the geometric-gap denominator. One
+    /// `ln_1p` per *injection* halved the dense path's transcendental
+    /// budget; the gap itself is the bit-identical `u.ln() / ln_q`.
+    dense_ln_q: f64,
+    /// Cached `ln(1 − p)` per generator (aligned with the wrapped
+    /// injector's generator list), for the calendar path.
+    ln_q: Vec<f64>,
     /// Pending `(next injecting slot, generator)` entries; min-heap via
     /// `Reverse`, so ties pop in generator order (matching the naive
     /// sampler's iteration order within a slot).
@@ -137,11 +144,14 @@ impl BatchStochasticInjector {
                 Mode::Calendar
             }
         };
+        let ln_q = totals.iter().map(|&t| (-t).ln_1p()).collect();
         BatchStochasticInjector {
             inner,
             mode,
             active,
             dense_p,
+            dense_ln_q: (-dense_p).ln_1p(),
+            ln_q,
             calendar: BinaryHeap::new(),
             seeded_at: None,
         }
@@ -178,7 +188,8 @@ impl BatchStochasticInjector {
         let generators = self.inner.generators();
         for &i in &self.active {
             let p = generators[i as usize].total_probability();
-            if let Some(next) = slot.checked_add(geometric_gap(p, rng)) {
+            let gap = geometric_gap_cached(p, self.ln_q[i as usize], rng);
+            if let Some(next) = slot.checked_add(gap) {
                 self.calendar.push(Reverse((next, i)));
             }
         }
@@ -196,13 +207,14 @@ impl BatchStochasticInjector {
             self.calendar.pop();
             let generator = &self.inner.generators()[i as usize];
             let p = generator.total_probability();
+            let ln_q = self.ln_q[i as usize];
             if due < slot {
                 // The entry came due in a slot that was never queried
                 // (the caller skipped ahead). The geometric law is
                 // memoryless, so rescheduling with a fresh gap from the
                 // current slot reproduces exactly the conditional
                 // distribution of "next injection at or after `slot`".
-                if let Some(next) = slot.checked_add(geometric_gap(p, rng)) {
+                if let Some(next) = slot.checked_add(geometric_gap_cached(p, ln_q, rng)) {
                     self.calendar.push(Reverse((next, i)));
                 }
                 continue;
@@ -212,7 +224,7 @@ impl BatchStochasticInjector {
             }
             if let Some(next) = slot
                 .checked_add(1)
-                .and_then(|s| s.checked_add(geometric_gap(p, rng)))
+                .and_then(|s| s.checked_add(geometric_gap_cached(p, ln_q, rng)))
             {
                 self.calendar.push(Reverse((next, i)));
             }
@@ -226,16 +238,15 @@ impl BatchStochasticInjector {
         // included independently with probability `p`, so the emitted
         // batch size is Binomial(|active|, p) — without ever touching
         // the generators that stay silent this slot.
-        let mut j = geometric_gap(self.dense_p, rng);
+        let mut j = geometric_gap_cached(self.dense_p, self.dense_ln_q, rng);
         while j < len {
             let i = self.active[j as usize];
             if let Some(route) = generators[i as usize].sample_conditional(rng) {
                 out.push(route);
             }
-            j = match j
-                .checked_add(1)
-                .and_then(|j| j.checked_add(geometric_gap(self.dense_p, rng)))
-            {
+            j = match j.checked_add(1).and_then(|j| {
+                j.checked_add(geometric_gap_cached(self.dense_p, self.dense_ln_q, rng))
+            }) {
                 Some(next) => next,
                 None => break,
             };
@@ -275,6 +286,14 @@ impl Injector for BatchStochasticInjector {
 /// (`u64::MAX`, clamped — callers drop entries that overflow the slot
 /// horizon).
 pub fn geometric_gap(p: f64, rng: &mut dyn RngCore) -> u64 {
+    geometric_gap_cached(p, (-p).ln_1p(), rng)
+}
+
+/// [`geometric_gap`] with the denominator `ln(1 − p)` precomputed (the
+/// injector caches it per generator: one `ln_1p` per construction
+/// instead of one per injection). Bit-identical to [`geometric_gap`]:
+/// same draw, same division.
+fn geometric_gap_cached(p: f64, ln_q: f64, rng: &mut dyn RngCore) -> u64 {
     if p >= 1.0 {
         return 0;
     }
@@ -286,7 +305,7 @@ pub fn geometric_gap(p: f64, rng: &mut dyn RngCore) -> u64 {
     // stays exact (≈ −p) for tiny p where `(1.0 - p).ln()` would round
     // to zero and the division would collapse every gap to 0.
     let u = 1.0 - rng.gen::<f64>();
-    let gap = u.ln() / (-p).ln_1p();
+    let gap = u.ln() / ln_q;
     if gap >= u64::MAX as f64 {
         u64::MAX
     } else {

@@ -14,7 +14,7 @@
 //!   [`packet::Packet`], [`load::LinkLoad`]) — Section 2 of the paper;
 //! * interference models ([`interference::InterferenceModel`]) and physical
 //!   feasibility oracles ([`feasibility::Feasibility`]);
-//! * the two injection models ([`injection::StochasticInjector`] and the
+//! * the two injection models ([`injection::stochastic::StochasticInjector`] and the
 //!   `(w, λ)`-bounded adversaries in [`injection::adversarial`]) — Section 2.1;
 //! * step-wise static scheduling algorithms
 //!   ([`staticsched::StaticScheduler`]), including the uniform-rate algorithm
@@ -72,7 +72,9 @@ pub mod path;
 pub mod potential;
 pub mod protocol;
 pub mod rng;
+pub mod route_table;
 pub mod staticsched;
+pub mod store;
 pub mod transform;
 
 /// Convenience re-exports of the most commonly used types.
@@ -98,11 +100,13 @@ pub mod prelude {
     pub use crate::packet::{DeliveredPacket, Packet};
     pub use crate::path::RoutePath;
     pub use crate::protocol::{Protocol, SlotOutcome};
+    pub use crate::route_table::{RouteId, RouteTable};
     pub use crate::staticsched::greedy::GreedyPerLink;
     pub use crate::staticsched::two_stage::TwoStageDecayScheduler;
     pub use crate::staticsched::uniform_rate::UniformRateScheduler;
     pub use crate::staticsched::{
         run_static, Request, StaticAlgorithm, StaticRunResult, StaticScheduler,
     };
+    pub use crate::store::{PacketRef, PacketState, PacketStore};
     pub use crate::transform::DenseTransform;
 }

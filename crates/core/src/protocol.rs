@@ -5,6 +5,14 @@
 //! physical layer (a [`crate::feasibility::Feasibility`] oracle), and
 //! reports deliveries. The frame protocol of Section 4 implements this, and
 //! so do the custom protocols of the lower-bound experiment (Section 8).
+//!
+//! The driving entry point is [`Protocol::step`]: arrivals are borrowed
+//! and the outcome is written into a caller-owned [`SlotOutcome`], so a
+//! simulation's slot loop reuses two buffers for its entire run and idle
+//! slots allocate nothing. The owned-`Vec` [`Protocol::on_slot`] form is
+//! kept as a convenience shim — each method has a default implemented in
+//! terms of the other, so implementations override exactly one of them
+//! (hot protocols override `step`; overriding neither would recurse).
 
 use crate::feasibility::Feasibility;
 use crate::packet::{DeliveredPacket, Packet};
@@ -26,23 +34,67 @@ impl SlotOutcome {
     pub fn empty() -> Self {
         SlotOutcome::default()
     }
+
+    /// Resets the outcome to no activity, retaining the delivered
+    /// buffer's capacity — the reuse contract of [`Protocol::step`]:
+    /// implementations call this first, so callers can hand the same
+    /// outcome to every slot without clearing it between calls.
+    pub fn clear(&mut self) {
+        self.delivered.clear();
+        self.attempts = 0;
+        self.successes = 0;
+    }
 }
 
 /// A dynamic packet-scheduling protocol, driven slot by slot.
+///
+/// Implementations must override [`Protocol::step`] (preferred; the hot
+/// path) or [`Protocol::on_slot`] (legacy shim); each has a default
+/// delegating to the other.
 pub trait Protocol {
-    /// Advances the protocol by one slot.
+    /// Advances the protocol by one slot, writing what happened into
+    /// `out`.
     ///
     /// `arrivals` are the packets injected in this slot (already stamped
     /// with their injection time); `phy` decides which of the protocol's
-    /// transmission attempts succeed. Implementations must be driven with
-    /// consecutive slot numbers starting at 0.
+    /// transmission attempts succeed. Implementations must be driven
+    /// with consecutive slot numbers starting at 0.
+    ///
+    /// `out` is reset via [`SlotOutcome::clear`] before anything is
+    /// recorded — callers reuse one outcome across slots and read it
+    /// between calls; they never need to clear it themselves.
+    fn step(
+        &mut self,
+        slot: u64,
+        arrivals: &[Packet],
+        phy: &dyn Feasibility,
+        rng: &mut dyn RngCore,
+        out: &mut SlotOutcome,
+    ) {
+        let outcome = self.on_slot(slot, arrivals.to_vec(), phy, rng);
+        out.clear();
+        out.delivered.extend_from_slice(&outcome.delivered);
+        out.attempts = outcome.attempts;
+        out.successes = outcome.successes;
+    }
+
+    /// Advances the protocol by one slot, returning an owned outcome.
+    ///
+    /// Semantically identical to [`Protocol::step`] — same decisions,
+    /// same RNG consumption — kept for call sites that prefer owned
+    /// values over buffer reuse. Callers must drive a protocol through
+    /// one entry point per slot, not both.
     fn on_slot(
         &mut self,
         slot: u64,
         arrivals: Vec<Packet>,
         phy: &dyn Feasibility,
         rng: &mut dyn RngCore,
-    ) -> SlotOutcome;
+    ) -> SlotOutcome {
+        let mut out = SlotOutcome::empty();
+        self.step(slot, &arrivals, phy, rng, &mut out);
+        out
+    }
 
     /// Number of packets currently in the system (injected, not yet
     /// delivered).
@@ -56,6 +108,17 @@ pub trait Protocol {
 }
 
 impl<P: Protocol + ?Sized> Protocol for Box<P> {
+    fn step(
+        &mut self,
+        slot: u64,
+        arrivals: &[Packet],
+        phy: &dyn Feasibility,
+        rng: &mut dyn RngCore,
+        out: &mut SlotOutcome,
+    ) {
+        (**self).step(slot, arrivals, phy, rng, out)
+    }
+
     fn on_slot(
         &mut self,
         slot: u64,
@@ -78,6 +141,10 @@ impl<P: Protocol + ?Sized> Protocol for Box<P> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::feasibility::PerLinkFeasibility;
+    use crate::ids::{LinkId, PacketId};
+    use crate::path::RoutePath;
+    use crate::rng::root_rng;
 
     #[test]
     fn empty_outcome_has_no_activity() {
@@ -85,5 +152,84 @@ mod tests {
         assert!(o.delivered.is_empty());
         assert_eq!(o.attempts, 0);
         assert_eq!(o.successes, 0);
+    }
+
+    #[test]
+    fn clear_resets_and_keeps_capacity() {
+        let mut o = SlotOutcome::empty();
+        o.delivered.push(DeliveredPacket {
+            id: PacketId(1),
+            injected_at: 0,
+            delivered_at: 3,
+            path_len: 1,
+        });
+        o.attempts = 5;
+        o.successes = 2;
+        let cap = o.delivered.capacity();
+        o.clear();
+        assert!(o.delivered.is_empty());
+        assert_eq!(o.attempts, 0);
+        assert_eq!(o.successes, 0);
+        assert_eq!(o.delivered.capacity(), cap);
+    }
+
+    /// A legacy protocol implementing only `on_slot`: instantly delivers
+    /// every arrival.
+    struct LegacySink {
+        seen: usize,
+    }
+
+    impl Protocol for LegacySink {
+        fn on_slot(
+            &mut self,
+            slot: u64,
+            arrivals: Vec<Packet>,
+            _phy: &dyn Feasibility,
+            _rng: &mut dyn RngCore,
+        ) -> SlotOutcome {
+            let mut out = SlotOutcome::empty();
+            for p in &arrivals {
+                out.delivered.push(DeliveredPacket {
+                    id: p.id(),
+                    injected_at: p.injected_at(),
+                    delivered_at: slot,
+                    path_len: p.path_len(),
+                });
+            }
+            out.attempts = arrivals.len();
+            out.successes = arrivals.len();
+            self.seen += arrivals.len();
+            out
+        }
+
+        fn backlog(&self) -> usize {
+            0
+        }
+    }
+
+    #[test]
+    fn step_shim_drives_on_slot_only_protocols_and_clears_stale_state() {
+        let mut p = LegacySink { seen: 0 };
+        let phy = PerLinkFeasibility::new(1);
+        let mut rng = root_rng(1);
+        let packet = Packet::new(PacketId(9), RoutePath::single_hop(LinkId(0)).shared(), 4);
+        let mut out = SlotOutcome::empty();
+        // Pre-dirty the outcome: step must clear it.
+        out.attempts = 99;
+        out.delivered.push(DeliveredPacket {
+            id: PacketId(0),
+            injected_at: 0,
+            delivered_at: 0,
+            path_len: 1,
+        });
+        p.step(5, std::slice::from_ref(&packet), &phy, &mut rng, &mut out);
+        assert_eq!(out.delivered.len(), 1);
+        assert_eq!(out.delivered[0].id, PacketId(9));
+        assert_eq!(out.attempts, 1);
+        assert_eq!(p.seen, 1);
+        // Idle slot leaves a clean outcome.
+        p.step(6, &[], &phy, &mut rng, &mut out);
+        assert!(out.delivered.is_empty());
+        assert_eq!(out.attempts, 0);
     }
 }

@@ -32,11 +32,14 @@ impl StaticScheduler for GreedyPerLink {
         _rng: &mut dyn RngCore,
     ) -> Box<dyn StaticAlgorithm> {
         let mut queues: BTreeMap<LinkId, VecDeque<usize>> = BTreeMap::new();
+        let mut links = Vec::with_capacity(requests.len());
         for (idx, req) in requests.iter().enumerate() {
             queues.entry(req.link).or_default().push_back(idx);
+            links.push(req.link);
         }
         Box::new(GreedyRun {
             queues,
+            links,
             remaining: requests.len(),
         })
     }
@@ -56,6 +59,11 @@ impl StaticScheduler for GreedyPerLink {
 
 struct GreedyRun {
     queues: BTreeMap<LinkId, VecDeque<usize>>,
+    /// Link of each request index, for O(1) acknowledgement lookup (the
+    /// frame protocol acks every success of a slot; a linear scan over
+    /// all queues per ack made acknowledgement O(m) and dominated the
+    /// slot loop at m ≥ 1024).
+    links: Vec<LinkId>,
     remaining: usize,
 }
 
@@ -74,14 +82,16 @@ impl StaticAlgorithm for GreedyRun {
 
     fn ack(&mut self, idx: usize) {
         // The acked request is at the front of its link's queue.
-        for queue in self.queues.values_mut() {
+        let Some(&link) = self.links.get(idx) else {
+            return;
+        };
+        if let Some(queue) = self.queues.get_mut(&link) {
             if queue.front() == Some(&idx) {
                 queue.pop_front();
                 self.remaining -= 1;
-                return;
             }
         }
-        // Ack for a request that was not at any queue front: ignore; the
+        // Ack for a request that was not at its queue front: ignore; the
         // oracle never produces this for per-link feasibility.
     }
 

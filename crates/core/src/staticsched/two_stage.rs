@@ -1,6 +1,6 @@
 //! A spreading-plus-decay static scheduler achieving schedule lengths
 //! `O(I + polylog(m, n))` — the stand-in for the Fanghänel–Kesselheim–
-//! Vöcking algorithm [21] the paper uses for linear power assignments
+//! Vöcking algorithm \[21\] the paper uses for linear power assignments
 //! (Corollary 12).
 //!
 //! Mechanism: random delays split the requests into classes of measure
@@ -103,6 +103,7 @@ impl StaticScheduler for TwoStageDecayScheduler {
             round_len: 0,
             next_measure_bound: measure_bound.max(1.0),
             in_tail: false,
+            tail_list: Vec::new(),
         };
         run.start_round(rng);
         Box::new(run)
@@ -154,6 +155,12 @@ struct TwoStageRun {
     /// Measure bound the *next* round will be planned with.
     next_measure_bound: f64,
     in_tail: bool,
+    /// Surviving request indices for the tail phase, ascending; lazily
+    /// compacted as acknowledgements land so a tail slot costs
+    /// O(survivors), not O(n). Iteration order (and therefore RNG draw
+    /// order: one uniform per surviving request) matches the original
+    /// full-array scan exactly.
+    tail_list: Vec<usize>,
 }
 
 impl TwoStageRun {
@@ -161,6 +168,14 @@ impl TwoStageRun {
         let psi = (self.next_measure_bound / self.chi).ceil().max(1.0) as usize;
         if self.next_measure_bound <= self.chi {
             self.in_tail = true;
+            self.tail_list.clear();
+            self.tail_list.extend(
+                self.pending
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, &p)| p)
+                    .map(|(i, _)| i),
+            );
             return;
         }
         self.classes = vec![Vec::new(); psi];
@@ -179,19 +194,35 @@ impl TwoStageRun {
 
 impl StaticAlgorithm for TwoStageRun {
     fn attempts(&mut self, rng: &mut dyn RngCore) -> Vec<usize> {
+        let mut out = Vec::new();
+        self.attempts_into(rng, &mut out);
+        out
+    }
+
+    fn attempts_into(&mut self, rng: &mut dyn RngCore, out: &mut Vec<usize>) {
+        out.clear();
         if self.remaining == 0 {
-            return Vec::new();
+            return;
         }
         if !self.in_tail && self.slot_in_round >= self.round_len {
             self.start_round(rng);
         }
-        let mut out = Vec::new();
         if self.in_tail {
-            for (idx, &pending) in self.pending.iter().enumerate() {
-                if pending && rng.gen::<f64>() < self.q {
-                    out.push(idx);
+            // Compact acknowledged entries out of the survivor list while
+            // drawing; `tail_list` stays ascending, so the draw sequence
+            // is identical to scanning the full pending array.
+            let mut keep = 0;
+            for read in 0..self.tail_list.len() {
+                let idx = self.tail_list[read];
+                if self.pending[idx] {
+                    self.tail_list[keep] = idx;
+                    keep += 1;
+                    if rng.gen::<f64>() < self.q {
+                        out.push(idx);
+                    }
                 }
             }
+            self.tail_list.truncate(keep);
         } else {
             let class = self.slot_in_round / self.window;
             for &idx in &self.classes[class] {
@@ -201,7 +232,6 @@ impl StaticAlgorithm for TwoStageRun {
             }
             self.slot_in_round += 1;
         }
-        out
     }
 
     fn ack(&mut self, idx: usize) {

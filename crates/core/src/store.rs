@@ -1,0 +1,223 @@
+//! Struct-of-arrays packet storage: the columnar data plane's packet
+//! half.
+//!
+//! The frame protocol's slot loop touches three facts about a packet —
+//! its route, its current hop, its identity — thousands of times per
+//! frame, but the [`crate::packet::Packet`] object optimises for the
+//! injection boundary (an owned `Arc` route handle). A [`PacketStore`]
+//! keeps each fact in its own dense column, indexed by a [`PacketRef`]:
+//! protocols hold plain `u32` index lists (`active`, per-link failed
+//! buffers), moving a packet between lists moves four bytes, and the
+//! hot request/attempt building loops stream over contiguous memory
+//! instead of chasing `Arc`s. A free list recycles slots, so steady
+//! state allocates nothing.
+
+use crate::ids::PacketId;
+use crate::route_table::RouteId;
+
+/// Dense index of a live packet in a [`PacketStore`].
+///
+/// Valid from [`PacketStore::insert`] until the matching
+/// [`PacketStore::free`]; freed refs are recycled for later packets, so
+/// holding one across a `free` is a logic error. Debug builds assert
+/// against double-frees; reads through a recycled ref are not
+/// detectable and simply observe the new occupant.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct PacketRef(pub u32);
+
+impl PacketRef {
+    /// The slot index as a `usize`, for indexing the store's columns.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Where a stored packet currently lives in the frame protocol's
+/// lifecycle.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+#[repr(u8)]
+pub enum PacketState {
+    /// Injected, waiting for the next frame to begin.
+    Queued,
+    /// Travelling in the main phase (never failed).
+    Active,
+    /// In a link's failed buffer, advancing via clean-up phases.
+    Failed,
+    /// Reached its destination; the slot is freed at the next rebuild.
+    Delivered,
+}
+
+/// Struct-of-arrays storage of live packets: parallel columns for id,
+/// route, injection slot, current hop and lifecycle state, plus a free
+/// list of recycled slots.
+#[derive(Clone, Debug, Default)]
+pub struct PacketStore {
+    ids: Vec<PacketId>,
+    routes: Vec<RouteId>,
+    injected_at: Vec<u64>,
+    hops: Vec<u32>,
+    states: Vec<PacketState>,
+    free: Vec<u32>,
+}
+
+impl PacketStore {
+    /// An empty store.
+    pub fn new() -> Self {
+        PacketStore::default()
+    }
+
+    /// Inserts a packet (state [`PacketState::Queued`], hop 0) and
+    /// returns its dense ref, recycling a freed slot when one exists.
+    pub fn insert(&mut self, id: PacketId, route: RouteId, injected_at: u64) -> PacketRef {
+        match self.free.pop() {
+            Some(slot) => {
+                let i = slot as usize;
+                self.ids[i] = id;
+                self.routes[i] = route;
+                self.injected_at[i] = injected_at;
+                self.hops[i] = 0;
+                self.states[i] = PacketState::Queued;
+                PacketRef(slot)
+            }
+            None => {
+                let slot = self.ids.len() as u32;
+                self.ids.push(id);
+                self.routes.push(route);
+                self.injected_at.push(injected_at);
+                self.hops.push(0);
+                self.states.push(PacketState::Queued);
+                PacketRef(slot)
+            }
+        }
+    }
+
+    /// Releases a packet's slot for reuse. The ref (and any copy of it)
+    /// must not be used afterwards.
+    pub fn free(&mut self, p: PacketRef) {
+        debug_assert!(p.index() < self.ids.len(), "freeing unknown ref {p:?}");
+        debug_assert!(!self.free.contains(&p.0), "double free of {p:?}");
+        self.free.push(p.0);
+    }
+
+    /// The packet's unique id.
+    #[inline]
+    pub fn id(&self, p: PacketRef) -> PacketId {
+        self.ids[p.index()]
+    }
+
+    /// The packet's interned route.
+    #[inline]
+    pub fn route(&self, p: PacketRef) -> RouteId {
+        self.routes[p.index()]
+    }
+
+    /// The slot in which the packet entered the system.
+    #[inline]
+    pub fn injected_at(&self, p: PacketRef) -> u64 {
+        self.injected_at[p.index()]
+    }
+
+    /// The packet's current hop (0-based; the next link to cross).
+    #[inline]
+    pub fn hop(&self, p: PacketRef) -> usize {
+        self.hops[p.index()] as usize
+    }
+
+    /// Advances the packet one hop, returning the new hop.
+    #[inline]
+    pub fn advance(&mut self, p: PacketRef) -> usize {
+        let h = &mut self.hops[p.index()];
+        *h += 1;
+        *h as usize
+    }
+
+    /// The packet's lifecycle state.
+    #[inline]
+    pub fn state(&self, p: PacketRef) -> PacketState {
+        self.states[p.index()]
+    }
+
+    /// Updates the packet's lifecycle state.
+    #[inline]
+    pub fn set_state(&mut self, p: PacketRef, state: PacketState) {
+        self.states[p.index()] = state;
+    }
+
+    /// Number of live (inserted, not freed) packets.
+    pub fn live(&self) -> usize {
+        self.ids.len() - self.free.len()
+    }
+
+    /// Total slots ever allocated (live packets plus the free list) —
+    /// the store's high-water mark.
+    pub fn capacity(&self) -> usize {
+        self.ids.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_reads_back_columns() {
+        let mut store = PacketStore::new();
+        let p = store.insert(PacketId(7), RouteId(3), 42);
+        assert_eq!(store.id(p), PacketId(7));
+        assert_eq!(store.route(p), RouteId(3));
+        assert_eq!(store.injected_at(p), 42);
+        assert_eq!(store.hop(p), 0);
+        assert_eq!(store.state(p), PacketState::Queued);
+        assert_eq!(store.live(), 1);
+    }
+
+    #[test]
+    fn advance_and_state_transitions() {
+        let mut store = PacketStore::new();
+        let p = store.insert(PacketId(0), RouteId(0), 0);
+        assert_eq!(store.advance(p), 1);
+        assert_eq!(store.advance(p), 2);
+        assert_eq!(store.hop(p), 2);
+        store.set_state(p, PacketState::Failed);
+        assert_eq!(store.state(p), PacketState::Failed);
+    }
+
+    #[test]
+    fn free_list_recycles_slots() {
+        let mut store = PacketStore::new();
+        let a = store.insert(PacketId(1), RouteId(0), 0);
+        let b = store.insert(PacketId(2), RouteId(1), 1);
+        store.advance(a);
+        store.set_state(a, PacketState::Delivered);
+        store.free(a);
+        assert_eq!(store.live(), 1);
+        let c = store.insert(PacketId(3), RouteId(2), 5);
+        // Recycled slot: same index, fully re-initialised.
+        assert_eq!(c, a);
+        assert_eq!(store.id(c), PacketId(3));
+        assert_eq!(store.hop(c), 0);
+        assert_eq!(store.state(c), PacketState::Queued);
+        assert_eq!(store.live(), 2);
+        assert_eq!(store.capacity(), 2);
+        assert_eq!(store.id(b), PacketId(2), "other slots untouched");
+    }
+
+    #[test]
+    fn capacity_is_the_high_water_mark() {
+        let mut store = PacketStore::new();
+        let refs: Vec<_> = (0..10)
+            .map(|i| store.insert(PacketId(i), RouteId(0), i))
+            .collect();
+        for &p in &refs {
+            store.free(p);
+        }
+        assert_eq!(store.live(), 0);
+        assert_eq!(store.capacity(), 10);
+        for i in 0..10 {
+            store.insert(PacketId(100 + i), RouteId(0), 0);
+        }
+        assert_eq!(store.capacity(), 10, "steady state allocates nothing");
+        assert_eq!(store.live(), 10);
+    }
+}

@@ -1,4 +1,4 @@
-//! **Round-Robin-Withholding** (Lemma 17, following Chlebus et al. [13]):
+//! **Round-Robin-Withholding** (Lemma 17, following Chlebus et al. \[13\]):
 //! the asymmetric multiple-access-channel algorithm.
 //!
 //! Stations (= links) have unique identifiers and can distinguish silence

@@ -1,5 +1,5 @@
 //! **Shortest-In-System (SIS)** — the classic greedy contention-resolution
-//! policy from adversarial queuing theory (Andrews et al. [3], discussed
+//! policy from adversarial queuing theory (Andrews et al. \[3\], discussed
 //! in the paper's related work): every link, every slot, forwards the
 //! queued packet that was injected *earliest*.
 //!
@@ -33,6 +33,11 @@ struct InFlight {
 pub struct SisProtocol {
     queues: Vec<Vec<InFlight>>,
     backlog: usize,
+    // Reusable per-slot buffers keeping the step loop allocation-free in
+    // steady state.
+    chosen_scratch: Vec<(usize, usize)>,
+    attempt_scratch: Vec<Attempt>,
+    success_scratch: Vec<bool>,
 }
 
 impl SisProtocol {
@@ -41,6 +46,9 @@ impl SisProtocol {
         SisProtocol {
             queues: vec![Vec::new(); num_links],
             backlog: 0,
+            chosen_scratch: Vec::new(),
+            attempt_scratch: Vec::new(),
+            success_scratch: Vec::new(),
         }
     }
 
@@ -69,49 +77,61 @@ impl SisProtocol {
 }
 
 impl Protocol for SisProtocol {
-    fn on_slot(
+    fn step(
         &mut self,
         slot: u64,
-        arrivals: Vec<Packet>,
+        arrivals: &[Packet],
         phy: &dyn Feasibility,
         rng: &mut dyn RngCore,
-    ) -> SlotOutcome {
-        let mut outcome = SlotOutcome::empty();
+        out: &mut SlotOutcome,
+    ) {
+        out.clear();
         for packet in arrivals {
-            self.enqueue(InFlight { packet, hop: 0 });
+            self.enqueue(InFlight {
+                packet: packet.clone(),
+                hop: 0,
+            });
         }
         // Each non-empty link transmits its earliest-injected packet.
-        let chosen: Vec<(usize, usize)> = (0..self.queues.len())
-            .filter_map(|link_idx| self.oldest(link_idx).map(|pos| (link_idx, pos)))
-            .collect();
-        if chosen.is_empty() {
-            return outcome;
+        self.chosen_scratch.clear();
+        for link_idx in 0..self.queues.len() {
+            if let Some(pos) = self.oldest(link_idx) {
+                self.chosen_scratch.push((link_idx, pos));
+            }
         }
-        let attempts: Vec<Attempt> = chosen
-            .iter()
-            .map(|&(link_idx, pos)| Attempt {
-                link: LinkId(link_idx as u32),
-                packet: self.queues[link_idx][pos].packet.id(),
-            })
-            .collect();
-        outcome.attempts = attempts.len();
-        let successes = phy.successes(&attempts, rng);
-        // Remove winners in descending position order per queue so the
-        // stored positions stay valid.
-        let mut winners: Vec<(usize, usize)> = chosen
-            .into_iter()
-            .zip(&successes)
-            .filter(|(_, &ok)| ok)
-            .map(|(cp, _)| cp)
-            .collect();
-        winners.sort_by(|a, b| b.cmp(a));
-        for (link_idx, pos) in winners {
-            outcome.successes += 1;
+        if self.chosen_scratch.is_empty() {
+            return;
+        }
+        self.attempt_scratch.clear();
+        {
+            let queues = &self.queues;
+            self.attempt_scratch
+                .extend(self.chosen_scratch.iter().map(|&(link_idx, pos)| Attempt {
+                    link: LinkId(link_idx as u32),
+                    packet: queues[link_idx][pos].packet.id(),
+                }));
+        }
+        out.attempts = self.attempt_scratch.len();
+        phy.successes_into(&self.attempt_scratch, &mut self.success_scratch, rng);
+        // Keep only winners, then remove them in descending position
+        // order per queue so the stored positions stay valid.
+        let mut keep = 0;
+        for i in 0..self.chosen_scratch.len() {
+            if self.success_scratch[i] {
+                self.chosen_scratch[keep] = self.chosen_scratch[i];
+                keep += 1;
+            }
+        }
+        self.chosen_scratch.truncate(keep);
+        self.chosen_scratch.sort_by(|a, b| b.cmp(a));
+        let winners = std::mem::take(&mut self.chosen_scratch);
+        for &(link_idx, pos) in &winners {
+            out.successes += 1;
             let mut inflight = self.queues[link_idx].swap_remove(pos);
             self.backlog -= 1;
             inflight.hop += 1;
             if inflight.hop == inflight.packet.path_len() {
-                outcome.delivered.push(DeliveredPacket {
+                out.delivered.push(DeliveredPacket {
                     id: inflight.packet.id(),
                     injected_at: inflight.packet.injected_at(),
                     delivered_at: slot,
@@ -121,7 +141,7 @@ impl Protocol for SisProtocol {
                 self.enqueue(inflight);
             }
         }
-        outcome
+        self.chosen_scratch = winners;
     }
 
     fn backlog(&self) -> usize {

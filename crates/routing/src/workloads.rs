@@ -7,6 +7,7 @@ use dps_core::graph::{grid_network, line_network, ring_network, Network};
 use dps_core::ids::LinkId;
 use dps_core::interference::IdentityInterference;
 use dps_core::path::RoutePath;
+use dps_core::route_table::RouteTable;
 use std::sync::Arc;
 
 /// All fixed-length routes on a directed line of `num_links` links:
@@ -107,6 +108,12 @@ pub fn grid_row_column_routes(rows: usize, cols: usize) -> Vec<Arc<RoutePath>> {
 /// A bundled routing setup: network, identity interference, per-link
 /// feasibility, and a route family — everything the routing experiments
 /// need.
+///
+/// The route family is routed through a [`RouteTable`]: structurally
+/// identical routes collapse to one interned entry, and `routes` holds
+/// the table's canonical `Arc`s, so every packet injected on the same
+/// route shares one allocation and downstream protocols interning the
+/// same family hit the table's pointer fast path.
 #[derive(Clone, Debug)]
 pub struct RoutingSetup {
     /// The network topology.
@@ -115,25 +122,42 @@ pub struct RoutingSetup {
     pub model: IdentityInterference,
     /// One-packet-per-link feasibility.
     pub feasibility: PerLinkFeasibility,
-    /// The workload's routes.
+    /// The workload's routes (canonical handles from `table`; one entry
+    /// per generated route, duplicates included).
     pub routes: Vec<Arc<RoutePath>>,
+    /// The interned route dictionary (one entry per *distinct* route).
+    pub table: RouteTable,
 }
 
 impl RoutingSetup {
+    /// Bundles an arbitrary route family over `network`, interning it
+    /// through a fresh [`RouteTable`].
+    pub fn with_routes(network: Network, routes: Vec<Arc<RoutePath>>) -> Self {
+        let mut table = RouteTable::new();
+        let routes = routes
+            .iter()
+            .map(|r| {
+                let id = table.intern(r);
+                table.get(id).clone()
+            })
+            .collect();
+        RoutingSetup {
+            model: IdentityInterference::new(network.num_links()),
+            feasibility: PerLinkFeasibility::new(network.num_links()),
+            network,
+            routes,
+            table,
+        }
+    }
+
     /// A ring of `num_nodes` nodes with all routes of length `len`.
     ///
     /// # Errors
     ///
     /// Returns [`ModelError::PathTooLong`] if `len` exceeds the ring size.
     pub fn ring(num_nodes: usize, len: usize) -> Result<Self, ModelError> {
-        let network = ring_network(num_nodes);
         let routes = ring_routes(num_nodes, len)?;
-        Ok(RoutingSetup {
-            model: IdentityInterference::new(network.num_links()),
-            feasibility: PerLinkFeasibility::new(network.num_links()),
-            network,
-            routes,
-        })
+        Ok(Self::with_routes(ring_network(num_nodes), routes))
     }
 
     /// A line of `num_links` links with all routes of length `len`.
@@ -142,26 +166,14 @@ impl RoutingSetup {
     ///
     /// Returns [`ModelError::PathTooLong`] if `len` exceeds the line.
     pub fn line(num_links: usize, len: usize) -> Result<Self, ModelError> {
-        let network = line_network(num_links);
         let routes = line_routes(num_links, len)?;
-        Ok(RoutingSetup {
-            model: IdentityInterference::new(network.num_links()),
-            feasibility: PerLinkFeasibility::new(network.num_links()),
-            network,
-            routes,
-        })
+        Ok(Self::with_routes(line_network(num_links), routes))
     }
 
     /// A `rows × cols` grid with dimension-ordered routes.
     pub fn grid(rows: usize, cols: usize) -> Self {
-        let network = grid_network(rows, cols);
         let routes = grid_row_column_routes(rows, cols);
-        RoutingSetup {
-            model: IdentityInterference::new(network.num_links()),
-            feasibility: PerLinkFeasibility::new(network.num_links()),
-            network,
-            routes,
-        }
+        Self::with_routes(grid_network(rows, cols), routes)
     }
 }
 
@@ -210,5 +222,37 @@ mod tests {
         let setup = RoutingSetup::grid(3, 4);
         assert_eq!(setup.network.num_nodes(), 12);
         assert!(!setup.routes.is_empty());
+    }
+
+    #[test]
+    fn workload_routes_are_table_canonical() {
+        // Built-in generators emit distinct routes: the table holds one
+        // entry per route, and `routes` aliases the table's Arcs.
+        let setup = RoutingSetup::ring(6, 2).unwrap();
+        assert_eq!(setup.table.len(), setup.routes.len());
+        for (i, r) in setup.routes.iter().enumerate() {
+            assert!(Arc::ptr_eq(
+                r,
+                setup.table.get(dps_core::route_table::RouteId(i as u32))
+            ));
+        }
+    }
+
+    #[test]
+    fn duplicate_routes_collapse_in_the_table() {
+        // A workload hammering one link from several generators (the
+        // classic overload family) emits structurally equal routes behind
+        // distinct Arcs; interning collapses them to one entry and one
+        // shared allocation.
+        let network = line_network(2);
+        let dup: Vec<_> = (0..3)
+            .map(|_| RoutePath::single_hop(LinkId(0)).shared())
+            .collect();
+        assert!(!Arc::ptr_eq(&dup[0], &dup[1]), "distinct Arcs on purpose");
+        let setup = RoutingSetup::with_routes(network, dup);
+        assert_eq!(setup.routes.len(), 3, "workload multiplicity preserved");
+        assert_eq!(setup.table.len(), 1, "distinct routes deduplicated");
+        assert!(Arc::ptr_eq(&setup.routes[0], &setup.routes[1]));
+        assert!(Arc::ptr_eq(&setup.routes[1], &setup.routes[2]));
     }
 }

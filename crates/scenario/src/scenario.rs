@@ -228,8 +228,8 @@ impl Scenario {
     /// `threads` OS threads, in stream order.
     ///
     /// For substrate specs that opted into sharing (a `Some`
-    /// [`SubstrateSpec::cache_key`](crate::substrate::SubstrateSpec::cache_key)
-    /// — every built-in config) the substrate is built once and shared
+    /// [`SubstrateSpec::cache_key`] — every built-in config) the
+    /// substrate is built once and shared
     /// by every repetition and worker thread; keyless custom specs keep
     /// the rebuild-per-repetition behaviour their opt-out asks for.
     /// Protocol and injector are rebuilt per stream as always.

@@ -24,8 +24,8 @@ pub struct AggregateReport {
     /// Per-repetition reports, in stream order.
     pub reports: Vec<SimulationReport>,
     /// Per-repetition stability verdicts, index-aligned with `reports`
-    /// (classified once at aggregation, threshold
-    /// [`STABILITY_THRESHOLD`]).
+    /// (classified once at aggregation; the slope threshold is 5% of
+    /// the injection rate).
     pub verdicts: Vec<StabilityVerdict>,
     /// Summary of mean backlogs.
     pub mean_backlog: Summary,

@@ -6,7 +6,7 @@ use dps_core::ids::PacketId;
 use dps_core::injection::Injector;
 use dps_core::packet::Packet;
 use dps_core::potential::PotentialSeries;
-use dps_core::protocol::Protocol;
+use dps_core::protocol::{Protocol, SlotOutcome};
 use dps_core::rng::split_stream;
 
 /// Configuration of one simulation run.
@@ -188,27 +188,29 @@ where
         slots: config.slots,
     };
     let mut next_id = 0u64;
-    // Reused across slots so idle slots stay allocation-free: the
-    // injector writes routes into `route_buf` (`inject_into`), and only
-    // slots that actually inject allocate their arrivals vector.
+    // Reused across slots so the whole run is allocation-free in steady
+    // state: the injector writes routes into `route_buf`
+    // (`inject_into`), arrivals are stamped into `arrivals`, and the
+    // protocol writes each slot's result into `outcome`
+    // (`Protocol::step`'s `SlotOutcome::clear` reuse contract).
     let mut route_buf = Vec::new();
+    let mut arrivals: Vec<Packet> = Vec::new();
+    let mut outcome = SlotOutcome::empty();
     for slot in 0..config.slots {
         injector.inject_into(slot, &mut rng, &mut route_buf);
-        let arrivals: Vec<Packet> = route_buf
-            .drain(..)
-            .map(|path| {
-                let packet = Packet::new(PacketId(next_id), path, slot);
-                next_id += 1;
-                packet
-            })
-            .collect();
+        arrivals.clear();
+        arrivals.extend(route_buf.drain(..).map(|path| {
+            let packet = Packet::new(PacketId(next_id), path, slot);
+            next_id += 1;
+            packet
+        }));
         let injected_now = arrivals.len();
         report.injected += injected_now as u64;
-        let outcome = protocol.on_slot(slot, arrivals, phy, &mut rng);
+        protocol.step(slot, &arrivals, phy, &mut rng, &mut outcome);
         report.attempts += outcome.attempts as u64;
         report.successes += outcome.successes as u64;
         let delivered_now = outcome.delivered.len();
-        for d in outcome.delivered {
+        for d in &outcome.delivered {
             report.delivered += 1;
             report.latencies.push(d.latency());
             report.path_lens.push(d.path_len);

@@ -66,12 +66,12 @@ pub fn total_affectance<P: PowerAssignment + ?Sized>(
         .sum()
 }
 
-/// The maximum average affectance `Ā` of [33]: over all subsets `M` of the
+/// The maximum average affectance `Ā` of \[33\]: over all subsets `M` of the
 /// request multiset, the largest average total affectance within `M`.
 ///
 /// Computing the true maximum is exponential; this returns the standard
 /// lower-bound witness obtained from prefixes of the length-sorted request
-/// list, which is how [33] bounds it and is exact for the instances used in
+/// list, which is how \[33\] bounds it and is exact for the instances used in
 /// the experiments' sanity checks. The paper only needs `I ≥ Ā/2`.
 pub fn average_affectance_witness<P: PowerAssignment + ?Sized>(
     net: &SinrNetwork,

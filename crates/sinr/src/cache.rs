@@ -240,7 +240,7 @@ impl SinrCache {
     /// scalar per-pair loop.
     ///
     /// Structure: sender gain rows are contiguous (`gains[from·m ..]`),
-    /// so the kernel packs [`KERNEL_LANES`] rows at a time — gathering
+    /// so the kernel packs `KERNEL_LANES` (4) rows at a time — gathering
     /// the `k` active receiver columns of each into a contiguous lane —
     /// and then sweeps all `k` accumulators once per block with a
     /// branchless fused update. The per-pair `from == on` test of the

@@ -31,7 +31,7 @@
 //! * [`star`] — the global-clock and local-clock protocols separated by
 //!   Theorem 20;
 //! * [`scheduler::PowerControlScheduler`] — a centralized scheduler in the
-//!   spirit of [32] for the power-control case (Corollary 14).
+//!   spirit of \[32\] for the power-control case (Corollary 14).
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]

@@ -1,5 +1,5 @@
 //! A centralized scheduler for the power-control setting (Section 6.2,
-//! Corollary 14), in the spirit of Kesselheim's SODA 2011 algorithm [32].
+//! Corollary 14), in the spirit of Kesselheim's SODA 2011 algorithm \[32\].
 //!
 //! Requests are processed shortest-link-first and packed into slots by
 //! first fit under the §6.2 interference matrix: a request joins the

@@ -68,6 +68,8 @@ pub struct GlobalClockStarProtocol {
     short_links: Vec<LinkId>,
     long_link: LinkId,
     queues: LinkQueues,
+    transmitters: Vec<LinkId>,
+    scratch: SlotScratch,
 }
 
 impl GlobalClockStarProtocol {
@@ -77,6 +79,8 @@ impl GlobalClockStarProtocol {
             short_links: star.short_links.clone(),
             long_link: star.long_link,
             queues: LinkQueues::new(star.net.num_links()),
+            transmitters: Vec::new(),
+            scratch: SlotScratch::default(),
         }
     }
 
@@ -87,28 +91,37 @@ impl GlobalClockStarProtocol {
 }
 
 impl Protocol for GlobalClockStarProtocol {
-    fn on_slot(
+    fn step(
         &mut self,
         slot: u64,
-        arrivals: Vec<Packet>,
+        arrivals: &[Packet],
         phy: &dyn Feasibility,
         rng: &mut dyn RngCore,
-    ) -> SlotOutcome {
+        out: &mut SlotOutcome,
+    ) {
         for packet in arrivals {
-            self.queues.push(packet);
+            self.queues.push(packet.clone());
         }
-        let transmitters: Vec<LinkId> = if slot.is_multiple_of(2) {
-            self.short_links
-                .iter()
-                .copied()
-                .filter(|&l| self.queues.head(l).is_some())
-                .collect()
+        self.transmitters.clear();
+        if slot.is_multiple_of(2) {
+            self.transmitters.extend(
+                self.short_links
+                    .iter()
+                    .copied()
+                    .filter(|&l| self.queues.head(l).is_some()),
+            );
         } else if self.queues.head(self.long_link).is_some() {
-            vec![self.long_link]
-        } else {
-            Vec::new()
-        };
-        transmit_heads(&mut self.queues, &transmitters, slot, phy, rng)
+            self.transmitters.push(self.long_link);
+        }
+        transmit_heads(
+            &mut self.queues,
+            &self.transmitters,
+            &mut self.scratch,
+            slot,
+            phy,
+            rng,
+            out,
+        )
     }
 
     fn backlog(&self) -> usize {
@@ -125,6 +138,8 @@ pub struct LocalClockAlohaProtocol {
     long_link: LinkId,
     q: f64,
     queues: LinkQueues,
+    transmitters: Vec<LinkId>,
+    scratch: SlotScratch,
 }
 
 impl LocalClockAlohaProtocol {
@@ -145,6 +160,8 @@ impl LocalClockAlohaProtocol {
             long_link: star.long_link,
             q,
             queues: LinkQueues::new(star.net.num_links()),
+            transmitters: Vec::new(),
+            scratch: SlotScratch::default(),
         }
     }
 
@@ -156,23 +173,37 @@ impl LocalClockAlohaProtocol {
 }
 
 impl Protocol for LocalClockAlohaProtocol {
-    fn on_slot(
+    fn step(
         &mut self,
         slot: u64,
-        arrivals: Vec<Packet>,
+        arrivals: &[Packet],
         phy: &dyn Feasibility,
         rng: &mut dyn RngCore,
-    ) -> SlotOutcome {
+        out: &mut SlotOutcome,
+    ) {
         for packet in arrivals {
-            self.queues.push(packet);
+            self.queues.push(packet.clone());
         }
-        let transmitters: Vec<LinkId> = self
-            .links
-            .iter()
-            .copied()
-            .filter(|&l| self.queues.head(l).is_some() && rng.gen::<f64>() < self.q)
-            .collect();
-        transmit_heads(&mut self.queues, &transmitters, slot, phy, rng)
+        self.transmitters.clear();
+        {
+            let queues = &self.queues;
+            let q = self.q;
+            self.transmitters.extend(
+                self.links
+                    .iter()
+                    .copied()
+                    .filter(|&l| queues.head(l).is_some() && rng.gen::<f64>() < q),
+            );
+        }
+        transmit_heads(
+            &mut self.queues,
+            &self.transmitters,
+            &mut self.scratch,
+            slot,
+            phy,
+            rng,
+            out,
+        )
     }
 
     fn backlog(&self) -> usize {
@@ -180,41 +211,51 @@ impl Protocol for LocalClockAlohaProtocol {
     }
 }
 
-/// Transmits the head packet of each listed link and applies the oracle.
+/// Reusable per-slot attempt/success buffers, so the star protocols'
+/// step path stays allocation-free in steady state.
+#[derive(Clone, Debug, Default)]
+struct SlotScratch {
+    attempts: Vec<Attempt>,
+    successes: Vec<bool>,
+}
+
+/// Transmits the head packet of each listed link and applies the oracle,
+/// recording everything into `out` (cleared first).
 fn transmit_heads(
     queues: &mut LinkQueues,
     transmitters: &[LinkId],
+    scratch: &mut SlotScratch,
     slot: u64,
     phy: &dyn Feasibility,
     rng: &mut dyn RngCore,
-) -> SlotOutcome {
-    let mut outcome = SlotOutcome::empty();
+    out: &mut SlotOutcome,
+) {
+    out.clear();
     if transmitters.is_empty() {
-        return outcome;
+        return;
     }
-    let attempts: Vec<Attempt> = transmitters
-        .iter()
-        .map(|&link| Attempt {
+    scratch.attempts.clear();
+    scratch
+        .attempts
+        .extend(transmitters.iter().map(|&link| Attempt {
             link,
             packet: queues.head(link).expect("transmitter has backlog").id(),
-        })
-        .collect();
-    outcome.attempts = attempts.len();
-    let successes = phy.successes(&attempts, rng);
-    for (&link, &ok) in transmitters.iter().zip(&successes) {
+        }));
+    out.attempts = scratch.attempts.len();
+    phy.successes_into(&scratch.attempts, &mut scratch.successes, rng);
+    for (&link, &ok) in transmitters.iter().zip(&scratch.successes) {
         if !ok {
             continue;
         }
-        outcome.successes += 1;
+        out.successes += 1;
         let packet = queues.pop(link);
-        outcome.delivered.push(DeliveredPacket {
+        out.delivered.push(DeliveredPacket {
             id: packet.id(),
             injected_at: packet.injected_at(),
             delivered_at: slot,
             path_len: 1,
         });
     }
-    outcome
 }
 
 #[cfg(test)]
