@@ -1,0 +1,212 @@
+//! Event-engine benchmark: the per-slot reference loop vs the
+//! event-driven slot-skipping fast path.
+//!
+//! The event engine queries the injector's calendar and the protocol's
+//! frame phase for the next slot anything can happen at, and jumps the
+//! clock straight there, accounting for the skipped range in bulk. On a
+//! quiet substrate that turns per-slot cost into per-*event* cost, so
+//! the win grows with the idle fraction.
+//!
+//! Three measurements, written to `BENCH_events.json` at the workspace
+//! root (override with `BENCH_EVENTS_OUT`):
+//!
+//! * **idle-region** — a near-silent ring (a packet every ~100k slots):
+//!   slots/s with the event engine vs per-slot stepping, at m ∈
+//!   {64, 1024}. This is the headline: the engine covers virtually the
+//!   whole horizon with jumps.
+//! * **sparse** — aggregate 0.01 packets/slot (a packet every ~100
+//!   slots), same A/B, same sizes: the regime the `sparse-ring` preset
+//!   models, where jumps are short but still dominate.
+//! * **sparse-sweep-cell** — end-to-end `sparse-ring` scenario cells
+//!   (3 λ × 3 repetitions on one shared substrate), wall-clock with the
+//!   event engine (the default) vs `run.events = false`.
+//!
+//! CI runs this in fast mode (smaller m, shorter horizon, one
+//! measurement run) as a perf-harness smoke test; the checked-in file
+//! is the PR's baseline, captured in full mode. Numbers come from the
+//! shared 1-CPU container, so treat them as ±30%.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dps_core::dynamic::{DynamicProtocol, FrameConfig};
+use dps_core::feasibility::PerLinkFeasibility;
+use dps_core::injection::batch::BatchStochasticInjector;
+use dps_core::injection::stochastic::uniform_generators;
+use dps_core::path::RoutePath;
+use dps_core::prelude::{GreedyPerLink, LinkId};
+use dps_scenario::{registry, Scenario};
+use dps_sim::runner::{run_simulation, SimulationConfig, SimulationReport};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+const SWEEP_LAMBDAS: [f64; 3] = [0.0001, 0.0002, 0.0004];
+const SWEEP_REPS: u64 = 3;
+
+fn routes(m: usize) -> Vec<Arc<RoutePath>> {
+    (0..m as u32)
+        .map(|l| RoutePath::single_hop(LinkId(l)).shared())
+        .collect()
+}
+
+/// One ring run at per-link rate `lambda`, timed.
+fn drive(m: usize, lambda: f64, cfg: SimulationConfig) -> (Duration, SimulationReport) {
+    let frame = FrameConfig::tuned(&GreedyPerLink::new(), m, 0.9).unwrap();
+    let mut protocol = DynamicProtocol::new(GreedyPerLink::new(), frame, m);
+    let mut injector = BatchStochasticInjector::new(uniform_generators(routes(m), lambda).unwrap());
+    let phy = PerLinkFeasibility::new(m);
+    let start = Instant::now();
+    let report = run_simulation(&mut protocol, &mut injector, &phy, cfg);
+    (start.elapsed(), report)
+}
+
+/// Median slots/s over `runs` drives, plus the last run's report.
+fn measure(
+    m: usize,
+    lambda: f64,
+    slots: u64,
+    events: bool,
+    runs: usize,
+) -> (f64, SimulationReport) {
+    let mut samples = Vec::with_capacity(runs);
+    let mut last = None;
+    for run in 0..runs {
+        let cfg = SimulationConfig::new(slots, 40 + run as u64).with_events(events);
+        let (elapsed, report) = drive(m, lambda, cfg);
+        samples.push(elapsed);
+        last = Some(report);
+    }
+    samples.sort();
+    let median = samples[samples.len() / 2];
+    (slots as f64 / median.as_secs_f64(), last.unwrap())
+}
+
+/// Runs the 3λ × 3 repetition sparse-ring grid on one shared substrate
+/// with the given engine; returns the median wall-clock over `runs`.
+fn measure_sweep_cells(frames: u64, events: bool, runs: usize) -> Duration {
+    let mut base = registry::spec_for("sparse-ring").expect("preset exists");
+    base.run.frames = frames;
+    base.run.events = events;
+    let mut samples = Vec::with_capacity(runs);
+    for _ in 0..runs {
+        let substrate = Scenario::from_spec(&base)
+            .expect("valid spec")
+            .build_substrate()
+            .expect("substrate builds");
+        let start = Instant::now();
+        let mut cells = 0usize;
+        for &lambda in &SWEEP_LAMBDAS {
+            let scenario =
+                Scenario::from_spec(&base.clone().with_lambda(lambda)).expect("valid spec");
+            for rep in 0..SWEEP_REPS {
+                let outcome = scenario.run_stream_on(&substrate, rep).expect("cell runs");
+                assert!(outcome.report.slots > 0);
+                cells += 1;
+            }
+        }
+        assert_eq!(cells, SWEEP_LAMBDAS.len() * SWEEP_REPS as usize);
+        samples.push(start.elapsed());
+    }
+    samples.sort();
+    samples[samples.len() / 2]
+}
+
+fn bench_event_engine(c: &mut Criterion) {
+    // Fast mode (CI) shrinks the instance and the measurement budget so
+    // the smoke step stays quick.
+    let fast_mode = std::env::var("CRITERION_MEASUREMENT_MS").is_ok();
+    let (sizes, slots, runs, frames) = if fast_mode {
+        (vec![64usize, 256], 20_000u64, 1usize, 100u64)
+    } else {
+        (vec![64, 1024], 300_000, 3, 2_000)
+    };
+
+    // Criterion smoke: one short sim per engine at the smallest size.
+    let mut group = c.benchmark_group("event_engine");
+    group.sample_size(10);
+    let m0 = sizes[0];
+    for (name, events) in [("event-path", true), ("slot-path", false)] {
+        group.bench_with_input(BenchmarkId::new(name, m0), &events, |b, &events| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                let cfg = SimulationConfig::new(2_000, seed).with_events(events);
+                drive(m0, 1e-6, cfg).1.slots
+            })
+        });
+    }
+    group.finish();
+
+    // Paired measurements for the JSON baseline. `lambda` is per link,
+    // so the aggregate rate is lambda * m.
+    let mut cells = Vec::new();
+    for &m in &sizes {
+        let cases = [
+            // ~3 packets over the whole horizon: jumps cover everything.
+            ("idle-region", 1.0 / (100.0 * slots as f64)),
+            // One packet every ~100 slots, the sparse-ring regime.
+            ("sparse", 0.01 / m as f64),
+        ];
+        for (name, lambda) in cases {
+            let (slot_rate, slow) = measure(m, lambda, slots, false, runs);
+            let (event_rate, fast) = measure(m, lambda, slots, true, runs);
+            assert_eq!(fast.injected, slow.injected, "engines diverged");
+            assert_eq!(fast.delivered, slow.delivered, "engines diverged");
+            let speedup = event_rate / slot_rate;
+            let skipped_frac = fast.idle_slots_skipped as f64 / slots as f64;
+            println!(
+                "event_engine/{name}/m={m}: {speedup:.1}x \
+                 (slot {slot_rate:.3e} slots/s, event {event_rate:.3e} slots/s, \
+                 {:.1}% of slots jumped, {} pkts)",
+                100.0 * skipped_frac,
+                fast.injected,
+            );
+            cells.push(format!(
+                "    {{\n      \"case\": \"{name}\",\n      \"m\": {m},\n      \
+                 \"slots\": {slots},\n      \"injected\": {},\n      \
+                 \"skipped_fraction\": {skipped_frac:.4},\n      \
+                 \"slot_path_slots_per_sec\": {slot_rate:.1},\n      \
+                 \"event_path_slots_per_sec\": {event_rate:.1},\n      \
+                 \"speedup\": {speedup:.2}\n    }}",
+                fast.injected,
+            ));
+        }
+    }
+
+    let slow_cells = measure_sweep_cells(frames, false, runs);
+    let fast_cells = measure_sweep_cells(frames, true, runs);
+    let cell_speedup = slow_cells.as_secs_f64() / fast_cells.as_secs_f64();
+    println!(
+        "event_engine/sparse-sweep-cell: {cell_speedup:.2}x \
+         (slot {:.3}s, event {:.3}s, {} cells)",
+        slow_cells.as_secs_f64(),
+        fast_cells.as_secs_f64(),
+        SWEEP_LAMBDAS.len() * SWEEP_REPS as usize,
+    );
+    cells.push(format!(
+        "    {{\n      \"case\": \"sparse-sweep-cell\",\n      \"cells\": {},\n      \
+         \"slot_path_secs\": {:.4},\n      \"event_path_secs\": {:.4},\n      \
+         \"speedup\": {cell_speedup:.2}\n    }}",
+        SWEEP_LAMBDAS.len() * SWEEP_REPS as usize,
+        slow_cells.as_secs_f64(),
+        fast_cells.as_secs_f64(),
+    ));
+
+    let json = format!(
+        "{{\n  \"bench\": \"bench_events\",\n  \"metric\": \"simulation slot throughput, \
+         per-slot reference loop vs event-driven slot-skipping engine; `idle-region` = \
+         near-silent ring (~3 packets per horizon), `sparse` = 0.01 packets/slot \
+         aggregate, `sparse-sweep-cell` = end-to-end sparse-ring scenario cells \
+         (3 lambdas x 3 repetitions, shared substrate); 1-CPU container, treat as \
+         +/-30%\",\n  \"cells\": [\n{}\n  ]\n}}\n",
+        cells.join(",\n")
+    );
+    let path = std::env::var("BENCH_EVENTS_OUT").unwrap_or_else(|_| {
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_events.json").to_string()
+    });
+    match std::fs::write(&path, &json) {
+        Ok(()) => println!("event_engine: baseline written to {path}"),
+        Err(e) => eprintln!("event_engine: could not write {path}: {e}"),
+    }
+}
+
+criterion_group!(benches, bench_event_engine);
+criterion_main!(benches);

@@ -138,6 +138,26 @@ impl<P: Protocol> Protocol for AdversarialWrapper<P> {
     fn potential(&self) -> u64 {
         self.inner.potential()
     }
+
+    /// The wrapper's own events are its pending releases; it draws RNG
+    /// only per *arrival*, so slots without arrivals and without due
+    /// releases are exactly as inert as the inner protocol says.
+    fn next_event_slot(&self, now: u64) -> Option<u64> {
+        let inner = self.inner.next_event_slot(now)?;
+        Some(match self.pending.peek() {
+            Some(Reverse((release_slot, _, _))) => {
+                inner.min((*release_slot).max(now.saturating_add(1)))
+            }
+            None => inner,
+        })
+    }
+
+    /// No releases are due in an inert gap (the hint stops at the next
+    /// pending release), so only the inner protocol has bookkeeping to
+    /// advance.
+    fn skip_idle_slots(&mut self, from: u64, count: u64) {
+        self.inner.skip_idle_slots(from, count);
+    }
 }
 
 #[cfg(test)]

@@ -19,10 +19,10 @@
 
 use crate::dynamic::FrameConfig;
 use crate::feasibility::{Attempt, Feasibility};
-use crate::ids::LinkId;
+use crate::ids::{LinkId, PacketId};
 use crate::packet::{DeliveredPacket, Packet};
-use crate::protocol::{Protocol, SlotOutcome};
-use crate::route_table::RouteTable;
+use crate::protocol::{InternedArrival, Protocol, SlotOutcome};
+use crate::route_table::{RouteId, RouteTable};
 use crate::staticsched::{Request, StaticAlgorithm, StaticScheduler};
 use crate::store::{PacketRef, PacketState, PacketStore};
 use rand::{Rng, RngCore};
@@ -433,28 +433,25 @@ impl<S: StaticScheduler> DynamicProtocol<S> {
         self.frame_events.push(self.current_event);
         self.frame_index += 1;
     }
-}
 
-impl<S: StaticScheduler> Protocol for DynamicProtocol<S> {
-    fn step(
+    /// Admits one arrival into the current frame's waiting buffer; the
+    /// route must already be interned in this protocol's table.
+    fn admit(&mut self, id: PacketId, route: RouteId, injected_at: u64) {
+        self.injected_total += 1;
+        let pkt = self.store.insert(id, route, injected_at);
+        self.arrivals_buffer.push(pkt);
+    }
+
+    /// The phase body shared by [`Protocol::step`] and
+    /// [`Protocol::step_interned`]: runs this slot's phase, then
+    /// advances the in-frame cursor (closing the frame when it wraps).
+    fn run_slot(
         &mut self,
         slot: u64,
-        arrivals: &[Packet],
         phy: &dyn Feasibility,
         rng: &mut dyn RngCore,
         out: &mut SlotOutcome,
     ) {
-        out.clear();
-        if self.slot_in_frame == 0 {
-            self.begin_frame(rng);
-        }
-        self.injected_total += arrivals.len() as u64;
-        for packet in arrivals {
-            let route = self.routes.intern(packet.path());
-            let pkt = self.store.insert(packet.id(), route, packet.injected_at());
-            self.arrivals_buffer.push(pkt);
-        }
-
         let main = self.config.main_budget;
         let cleanup_end = main + self.config.cleanup_budget;
         if self.slot_in_frame < main {
@@ -475,6 +472,27 @@ impl<S: StaticScheduler> Protocol for DynamicProtocol<S> {
             self.slot_in_frame = 0;
         }
     }
+}
+
+impl<S: StaticScheduler> Protocol for DynamicProtocol<S> {
+    fn step(
+        &mut self,
+        slot: u64,
+        arrivals: &[Packet],
+        phy: &dyn Feasibility,
+        rng: &mut dyn RngCore,
+        out: &mut SlotOutcome,
+    ) {
+        out.clear();
+        if self.slot_in_frame == 0 {
+            self.begin_frame(rng);
+        }
+        for packet in arrivals {
+            let route = self.routes.intern(packet.path());
+            self.admit(packet.id(), route, packet.injected_at());
+        }
+        self.run_slot(slot, phy, rng, out);
+    }
 
     fn backlog(&self) -> usize {
         self.arrivals_buffer.len() + self.active.len() - self.delivered_in_active
@@ -483,6 +501,105 @@ impl<S: StaticScheduler> Protocol for DynamicProtocol<S> {
 
     fn potential(&self) -> u64 {
         self.potential
+    }
+
+    /// The frame protocol's quiescence structure: with both embedded
+    /// algorithms finished (or absent), the only observable slots ahead
+    /// are the next clean-up selection (when anything is active or
+    /// failed) and the next frame start (when anything is waiting or
+    /// active). With the system fully drained, `u64::MAX`: every slot
+    /// is an inert frame-bookkeeping tick that
+    /// [`skip_idle_slots`](Protocol::skip_idle_slots) replays in bulk.
+    fn next_event_slot(&self, now: u64) -> Option<u64> {
+        let main_pending = self.main_alg.as_ref().is_some_and(|a| !a.is_done());
+        let cleanup_pending = self.cleanup_alg.as_ref().is_some_and(|a| !a.is_done());
+        if main_pending || cleanup_pending {
+            return Some(now.saturating_add(1));
+        }
+        let t = self.config.frame_len as u64;
+        let main = self.config.main_budget as u64;
+        // `slot_in_frame` was already advanced past the slot just
+        // stepped, so it is the in-frame index of slot `now + 1`.
+        let sif = self.slot_in_frame as u64;
+        let next_frame_start = now.saturating_add(1).saturating_add((t - sif) % t);
+        let next_cleanup_begin = if sif <= main {
+            now.saturating_add(1).saturating_add(main - sif)
+        } else {
+            next_frame_start.saturating_add(main)
+        };
+        let mut next = u64::MAX;
+        if !self.arrivals_buffer.is_empty() || !self.active.is_empty() {
+            // A frame start merges arrivals into the travelling set and
+            // instantiates the main algorithm.
+            next = next.min(next_frame_start);
+        }
+        if !self.active.is_empty() || self.failed_total > 0 {
+            // A clean-up selection draws RNG per non-empty failed
+            // buffer and rebuilds the active set.
+            next = next.min(next_cleanup_begin);
+        }
+        Some(next)
+    }
+
+    /// Replays the frame bookkeeping of `count` inert slots: advances
+    /// the in-frame cursor, and at each frame boundary crossed performs
+    /// the (empty-system) `begin_frame`/`end_frame` pair — emitting the
+    /// same all-idle [`FrameEvent`]s the per-slot path would have, with
+    /// no RNG consumed.
+    fn skip_idle_slots(&mut self, _from: u64, count: u64) {
+        let t = self.config.frame_len;
+        let mut remaining = count;
+        while remaining > 0 {
+            if self.slot_in_frame == 0 {
+                // An inert frame start: `next_event_slot` only lets the
+                // skip cross a frame boundary when nothing is waiting
+                // or travelling, so this replicates `begin_frame` on an
+                // empty system.
+                debug_assert!(
+                    self.arrivals_buffer.is_empty() && self.active.is_empty(),
+                    "skip crossed a frame start with live packets"
+                );
+                self.current_event = FrameEvent {
+                    frame: self.frame_index,
+                    active_at_start: 0,
+                    newly_failed: 0,
+                    cleanup_selected: 0,
+                    cleanup_served: 0,
+                    potential_after: 0,
+                };
+                self.main_acked.clear();
+                self.main_alg = None;
+            }
+            let step = remaining.min((t - self.slot_in_frame) as u64);
+            self.slot_in_frame += step as usize;
+            remaining -= step;
+            if self.slot_in_frame == t {
+                self.end_frame();
+                self.slot_in_frame = 0;
+            }
+        }
+    }
+
+    fn route_interner(&mut self) -> Option<&mut RouteTable> {
+        Some(&mut self.routes)
+    }
+
+    fn step_interned(
+        &mut self,
+        slot: u64,
+        arrivals: &[InternedArrival],
+        phy: &dyn Feasibility,
+        rng: &mut dyn RngCore,
+        out: &mut SlotOutcome,
+    ) {
+        out.clear();
+        if self.slot_in_frame == 0 {
+            self.begin_frame(rng);
+        }
+        for a in arrivals {
+            self.admit(a.id, a.route, a.injected_at);
+        }
+        self.run_slot(slot, phy, rng, out);
     }
 }
 
@@ -938,6 +1055,74 @@ mod tests {
         assert_eq!(protocol.stored_packets(), 0);
     }
 
+    /// Driving the protocol only at hinted event slots — replaying the
+    /// gaps with `skip_idle_slots` — must reproduce the per-slot run
+    /// exactly: same deliveries, same frame events, same RNG stream.
+    #[test]
+    fn hinted_stepping_matches_per_slot_stepping() {
+        use crate::feasibility::LossyFeasibility;
+        let slots = 200u64;
+        let make = || DynamicProtocol::new(GreedyPerLink::new(), tiny_config(0.5), 2);
+        let phy = LossyFeasibility::new(PerLinkFeasibility::new(2), 0.5);
+        let route = RoutePath::single_hop(LinkId(0)).shared();
+        // A burst at slot 0 and a straggler mid-run; long arrival-free
+        // stretches in between give the hints something to skip.
+        let arrival_slots = [0u64, 97];
+
+        let drive = |hinted: bool| -> (Vec<(u64, PacketId)>, Vec<FrameEvent>, usize) {
+            let mut protocol = make();
+            let mut rng = root_rng(77);
+            let mut outcome = SlotOutcome::empty();
+            let mut delivered = Vec::new();
+            let mut slot = 0u64;
+            while slot < slots {
+                let arrivals: Vec<Packet> = if arrival_slots.contains(&slot) {
+                    vec![
+                        Packet::new(PacketId(2 * slot), route.clone(), slot),
+                        Packet::new(PacketId(2 * slot + 1), route.clone(), slot),
+                    ]
+                } else {
+                    Vec::new()
+                };
+                protocol.step(slot, &arrivals, &phy, &mut rng, &mut outcome);
+                for d in &outcome.delivered {
+                    delivered.push((slot, d.id));
+                }
+                if !hinted {
+                    slot += 1;
+                    continue;
+                }
+                let next = protocol
+                    .next_event_slot(slot)
+                    .expect("frame protocol always hints");
+                // Arrivals are external events the protocol cannot see
+                // coming: cap the skip at the next known arrival.
+                let next_arrival = arrival_slots
+                    .iter()
+                    .copied()
+                    .filter(|&s| s > slot)
+                    .min()
+                    .unwrap_or(u64::MAX);
+                let target = next.min(next_arrival).min(slots);
+                if target > slot + 1 {
+                    protocol.skip_idle_slots(slot + 1, target - slot - 1);
+                }
+                slot = target.max(slot + 1);
+            }
+            // Flush: skip out the remaining inert slots so both runs
+            // observed the same horizon.
+            let events = protocol.take_frame_events();
+            (delivered, events, protocol.backlog())
+        };
+
+        let per_slot = drive(false);
+        let hinted = drive(true);
+        assert_eq!(per_slot.0, hinted.0, "delivery streams diverged");
+        assert_eq!(per_slot.1, hinted.1, "frame event streams diverged");
+        assert_eq!(per_slot.2, hinted.2, "backlogs diverged");
+        assert!(!per_slot.0.is_empty(), "degenerate test: nothing delivered");
+    }
+
     /// Interning collapses structurally identical routes arriving behind
     /// distinct `Arc`s: the protocol's dictionary stays at one entry no
     /// matter how many packets flow.
@@ -980,6 +1165,21 @@ mod golden_trace {
     /// trace, and every downstream decision moves with it. The previous
     /// pin was `hash = 0x5a08_62e8_be39_c7fb`, `injected = 1788`,
     /// `delivered = 1397`.
+    /// The route-id-native lane (`inject_interned_into` feeding
+    /// `step_interned`) must replay the exact same run as the `Packet`
+    /// lane: same RNG stream, same decisions, same fingerprint.
+    #[test]
+    fn interned_lane_reproduces_the_golden_fingerprint() {
+        let (hash, _, delivered, injected) =
+            super::tests_support_golden::golden_fingerprint_interned();
+        assert_eq!(injected, 1742, "interned injection trace diverged");
+        assert_eq!(delivered, 1381, "interned delivered trace diverged");
+        assert_eq!(
+            hash, 0xf543_e521_3371_1729,
+            "interned lane fingerprint diverged from the Packet lane"
+        );
+    }
+
     #[test]
     fn frame_event_stream_survives_buffer_reuse_refactor() {
         let (hash, events_head, delivered, injected) = golden_fingerprint();
@@ -1060,6 +1260,79 @@ pub(crate) mod tests_support_golden {
             }));
             injected += arrivals.len() as u64;
             protocol.step(slot, &arrivals, &phy, &mut rng, &mut outcome);
+            delivered.extend_from_slice(&outcome.delivered);
+        }
+        let events = protocol.take_frame_events();
+        let mut hash = 0xcbf2_9ce4_8422_2325u64;
+        let mut fold = |v: u64| {
+            hash = (hash ^ v).wrapping_mul(0x1000_0000_01b3);
+        };
+        for e in &events {
+            fold(e.frame);
+            fold(e.active_at_start as u64);
+            fold(e.newly_failed as u64);
+            fold(e.cleanup_selected as u64);
+            fold(e.cleanup_served as u64);
+            fold(e.potential_after);
+        }
+        for d in &delivered {
+            fold(d.id.0);
+            fold(d.injected_at);
+            fold(d.delivered_at);
+            fold(d.path_len as u64);
+        }
+        (
+            hash,
+            events.into_iter().take(6).collect(),
+            delivered.len(),
+            injected,
+        )
+    }
+
+    /// The same workload as [`golden_fingerprint`], driven through the
+    /// route-id-native lane: the injector pre-interns routes against the
+    /// protocol's own table and hands over [`InternedArrival`]s. Must
+    /// reproduce the golden fingerprint bit for bit.
+    pub fn golden_fingerprint_interned() -> (u64, Vec<FrameEvent>, usize, u64) {
+        let num_links = 3;
+        let network = line_network(num_links);
+        let config =
+            FrameConfig::tuned(&GreedyPerLink::new(), network.significant_size(), 0.7).unwrap();
+        let mut protocol = DynamicProtocol::new(GreedyPerLink::new(), config, num_links);
+        let phy = LossyFeasibility::new(PerLinkFeasibility::new(num_links), 0.5);
+        let full_path = RoutePath::new(&network, (0..num_links as u32).map(LinkId).collect())
+            .unwrap()
+            .shared();
+        let mut injector =
+            BatchStochasticInjector::from(uniform_generators([full_path], 0.5).unwrap());
+        assert!(injector.interned_capable());
+        let slots = 60 * protocol.config().frame_len as u64;
+        let mut rng = root_rng(20120616);
+        let mut delivered = Vec::new();
+        let mut next_id = 0u64;
+        let mut injected = 0u64;
+        let mut id_buf = Vec::new();
+        let mut arrivals: Vec<InternedArrival> = Vec::new();
+        let mut outcome = SlotOutcome::empty();
+        for slot in 0..slots {
+            {
+                let table = protocol
+                    .route_interner()
+                    .expect("frame protocol interns routes");
+                injector.inject_interned_into(slot, &mut rng, table, &mut id_buf);
+            }
+            arrivals.clear();
+            arrivals.extend(id_buf.drain(..).map(|route| {
+                let a = InternedArrival {
+                    id: PacketId(next_id),
+                    route,
+                    injected_at: slot,
+                };
+                next_id += 1;
+                a
+            }));
+            injected += arrivals.len() as u64;
+            protocol.step_interned(slot, &arrivals, &phy, &mut rng, &mut outcome);
             delivered.extend_from_slice(&outcome.delivered);
         }
         let events = protocol.take_frame_events();

@@ -21,9 +21,15 @@
 //!   sampled directly by geometric index skipping *within* the slot —
 //!   `O(1 + k)` where `k` is the number of packets actually injected,
 //!   with no per-slot heap churn.
+//! * **Counting batch** (dense symmetric workloads): when the expected
+//!   batch is large (`p·m ≥` [`COUNTING_MIN_EXPECTED_PER_SLOT`]), the
+//!   geometric walk's draw-per-packet overhead is itself replaced by
+//!   one CDF-inverted Binomial(m, p) *count* draw plus a Floyd
+//!   `k`-subset sample of the injecting indices — `1 + k` uniform
+//!   draws per slot instead of `1 + 2k`, and no `ln` per packet.
 //!
 //! The mode is selected automatically from the generators' total
-//! probabilities ([`BatchStochasticInjector::new`]). Both paths draw the
+//! probabilities ([`BatchStochasticInjector::new`]). All paths draw the
 //! packet's route *conditionally on injection*
 //! ([`crate::injection::stochastic::GeneratorSpec::sample_conditional`]), so the per-slot distribution
 //! is exactly the naive sampler's: each generator injects independently
@@ -33,11 +39,12 @@
 //! generator per slot), so traces are not bit-identical — equivalence is
 //! distributional, pinned by the chi-square tests below.
 
-use crate::injection::stochastic::StochasticInjector;
+use crate::injection::stochastic::{GeneratorSpec, StochasticInjector};
 use crate::injection::Injector;
 use crate::interference::InterferenceModel;
 use crate::load::LinkLoad;
 use crate::path::RoutePath;
+use crate::route_table::{RouteId, RouteTable};
 use rand::{Rng, RngCore};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
@@ -53,6 +60,17 @@ use std::sync::Arc;
 /// amortized by the packets themselves.
 pub const DENSE_MIN_EXPECTED_PER_SLOT: f64 = 0.5;
 
+/// Expected injections per slot above which the symmetric workload
+/// replaces the geometric index walk with one binomial count draw plus
+/// Floyd index sampling (the counting mode).
+///
+/// The walk costs two draws (one of them an `ln`) per injected packet;
+/// counting costs one uniform draw per packet plus a single CDF
+/// inversion per slot. The crossover favors counting once batches are
+/// reliably large; below it the walk's simplicity wins and tiny-batch
+/// slots avoid the count table's binary search.
+pub const COUNTING_MIN_EXPECTED_PER_SLOT: f64 = 8.0;
+
 /// The sampling strategy selected for a generator set.
 #[derive(Clone, Debug, PartialEq, Eq)]
 enum Mode {
@@ -61,9 +79,68 @@ enum Mode {
     /// Symmetric dense workload: one shared `p`, per-slot binomial batch
     /// via within-slot geometric index skipping over `active`.
     Dense,
+    /// Symmetric very dense workload: one Binomial(m, p) count draw by
+    /// CDF inversion, then a Floyd sample of which generators fired.
+    /// Requires `p < 1` (the count table's recurrence divides by both
+    /// `p` and `1−p`; `p = 1` stays on [`Mode::Dense`], which handles
+    /// it exactly).
+    Counting,
     /// General case: per-generator geometric skip-ahead keyed in a
     /// min-heap slot calendar. Seeded lazily at the first queried slot.
     Calendar,
+}
+
+/// Tabulated Binomial(m, p) count sampler: one uniform draw inverts the
+/// CDF by binary search.
+///
+/// The pmf is built by the mode-anchored ratio recurrence
+/// `w(k+1)/w(k) = ((m−k)/(k+1))·(p/(1−p))` outward from the modal count
+/// (where the pmf is largest), then normalized — anchoring at the mode
+/// keeps every intermediate weight ≤ 1 relative to the anchor, so the
+/// table stays finite even where `C(m,k)` alone would overflow.
+#[derive(Clone, Debug)]
+struct CountingSampler {
+    /// `cdf[k] = P(count ≤ k)` for `k = 0..=m`; last entry is 1.
+    cdf: Vec<f64>,
+}
+
+impl CountingSampler {
+    /// Builds the count table for `m` generators at probability `p`,
+    /// which must be strictly inside `(0, 1)`.
+    fn new(m: usize, p: f64) -> Self {
+        debug_assert!(m > 0 && p > 0.0 && p < 1.0);
+        let q = 1.0 - p;
+        let k_mode = (((m as f64 + 1.0) * p).floor() as usize).min(m);
+        let mut weights = vec![0.0f64; m + 1];
+        weights[k_mode] = 1.0;
+        for k in k_mode..m {
+            weights[k + 1] = weights[k] * ((m - k) as f64 / (k + 1) as f64) * (p / q);
+        }
+        for k in (1..=k_mode).rev() {
+            weights[k - 1] = weights[k] * (k as f64 / (m - k + 1) as f64) * (q / p);
+        }
+        let total: f64 = weights.iter().sum();
+        let mut acc = 0.0;
+        let cdf = weights
+            .iter()
+            .map(|&w| {
+                acc += w / total;
+                acc
+            })
+            .collect();
+        CountingSampler { cdf }
+    }
+
+    /// Draws a Binomial(m, p) count with a single uniform draw.
+    fn sample(&self, rng: &mut dyn RngCore) -> usize {
+        let u = rng.gen::<f64>();
+        // `partition_point` returns the first k with cdf[k] > u, i.e.
+        // the smallest count whose CDF exceeds the draw; the min guards
+        // the (probability-zero up to rounding) case u ≥ cdf[m].
+        self.cdf
+            .partition_point(|&c| c <= u)
+            .min(self.cdf.len() - 1)
+    }
 }
 
 /// Batch sampling engine over a [`StochasticInjector`]'s generators.
@@ -111,14 +188,26 @@ pub struct BatchStochasticInjector {
     calendar: BinaryHeap<Reverse<(u64, u32)>>,
     /// Slot the calendar was seeded at; `None` until the first query.
     seeded_at: Option<u64>,
+    /// The Binomial(m, p) count table of the counting path.
+    counting: Option<CountingSampler>,
+    /// Floyd-sample scratch: membership marks over `active` indices.
+    counting_marks: Vec<bool>,
+    /// Floyd-sample scratch: this slot's chosen `active` indices.
+    counting_picks: Vec<u64>,
+    /// Interned-id cache for the route-id lane, `[generator][choice]`.
+    /// Filled on first emission of each choice; valid only against the
+    /// single [`RouteTable`] this injector has been driven with.
+    route_ids: Vec<Vec<Option<RouteId>>>,
 }
 
 impl BatchStochasticInjector {
     /// Wraps `inner`, selecting the batch path from its generators'
-    /// total probabilities: the dense binomial batch when every positive
-    /// generator shares one probability and the workload expects at
-    /// least [`DENSE_MIN_EXPECTED_PER_SLOT`] packets per slot, the
-    /// skip-ahead calendar otherwise.
+    /// total probabilities: the counting batch when every positive
+    /// generator shares one probability `p < 1` and the workload
+    /// expects at least [`COUNTING_MIN_EXPECTED_PER_SLOT`] packets per
+    /// slot, the dense binomial batch for symmetric workloads above
+    /// [`DENSE_MIN_EXPECTED_PER_SLOT`], the skip-ahead calendar
+    /// otherwise.
     pub fn new(inner: StochasticInjector) -> Self {
         let totals: Vec<f64> = inner
             .generators()
@@ -137,14 +226,33 @@ impl BatchStochasticInjector {
         } else {
             let p0 = totals[active[0] as usize];
             let symmetric = active.iter().all(|&i| totals[i as usize] == p0);
-            if symmetric && p0 * active.len() as f64 >= DENSE_MIN_EXPECTED_PER_SLOT {
+            let expected = p0 * active.len() as f64;
+            if symmetric && p0 < 1.0 && expected >= COUNTING_MIN_EXPECTED_PER_SLOT {
+                dense_p = p0;
+                Mode::Counting
+            } else if symmetric && expected >= DENSE_MIN_EXPECTED_PER_SLOT {
                 dense_p = p0;
                 Mode::Dense
             } else {
                 Mode::Calendar
             }
         };
+        let counting =
+            (mode == Mode::Counting).then(|| CountingSampler::new(active.len(), dense_p));
+        let counting_marks = vec![
+            false;
+            if mode == Mode::Counting {
+                active.len()
+            } else {
+                0
+            }
+        ];
         let ln_q = totals.iter().map(|&t| (-t).ln_1p()).collect();
+        let route_ids = inner
+            .generators()
+            .iter()
+            .map(|g| vec![None; g.choices().len()])
+            .collect();
         BatchStochasticInjector {
             inner,
             mode,
@@ -154,6 +262,10 @@ impl BatchStochasticInjector {
             ln_q,
             calendar: BinaryHeap::new(),
             seeded_at: None,
+            counting,
+            counting_marks,
+            counting_picks: Vec::new(),
+            route_ids,
         }
     }
 
@@ -167,9 +279,17 @@ impl BatchStochasticInjector {
         self.inner
     }
 
-    /// Whether the dense per-slot binomial batch path was selected.
+    /// Whether a dense per-slot batch path was selected (the geometric
+    /// index walk or the counting sampler — both visit every slot and
+    /// draw a Binomial(m, p) batch there).
     pub fn is_dense(&self) -> bool {
-        self.mode == Mode::Dense
+        matches!(self.mode, Mode::Dense | Mode::Counting)
+    }
+
+    /// Whether the counting variant of the dense path was selected
+    /// (one binomial count draw plus Floyd index sampling per slot).
+    pub fn is_counting(&self) -> bool {
+        self.mode == Mode::Counting
     }
 
     /// Expected per-slot load vector `F` (delegates to the wrapped
@@ -185,72 +305,199 @@ impl BatchStochasticInjector {
 
     /// Seeds every active generator's first pending slot from `slot`.
     fn seed_calendar(&mut self, slot: u64, rng: &mut dyn RngCore) {
-        let generators = self.inner.generators();
-        for &i in &self.active {
-            let p = generators[i as usize].total_probability();
-            let gap = geometric_gap_cached(p, self.ln_q[i as usize], rng);
-            if let Some(next) = slot.checked_add(gap) {
-                self.calendar.push(Reverse((next, i)));
-            }
-        }
-        self.seeded_at = Some(slot);
+        seed_calendar_parts(
+            slot,
+            self.inner.generators(),
+            &self.active,
+            &self.ln_q,
+            &mut self.calendar,
+            &mut self.seeded_at,
+            rng,
+        );
     }
+}
 
-    fn inject_calendar(&mut self, slot: u64, rng: &mut dyn RngCore, out: &mut Vec<Arc<RoutePath>>) {
-        if self.seeded_at.is_none() {
-            self.seed_calendar(slot, rng);
-        }
-        while let Some(&Reverse((due, i))) = self.calendar.peek() {
-            if due > slot {
-                break;
-            }
-            self.calendar.pop();
-            let generator = &self.inner.generators()[i as usize];
-            let p = generator.total_probability();
-            let ln_q = self.ln_q[i as usize];
-            if due < slot {
-                // The entry came due in a slot that was never queried
-                // (the caller skipped ahead). The geometric law is
-                // memoryless, so rescheduling with a fresh gap from the
-                // current slot reproduces exactly the conditional
-                // distribution of "next injection at or after `slot`".
-                if let Some(next) = slot.checked_add(geometric_gap_cached(p, ln_q, rng)) {
-                    self.calendar.push(Reverse((next, i)));
-                }
-                continue;
-            }
-            if let Some(route) = generator.sample_conditional(rng) {
-                out.push(route);
-            }
-            if let Some(next) = slot
-                .checked_add(1)
-                .and_then(|s| s.checked_add(geometric_gap_cached(p, ln_q, rng)))
-            {
-                self.calendar.push(Reverse((next, i)));
-            }
+/// Split-borrow view of the sampling-mode state, so the inject paths
+/// can lend `emit` closures mutable access to caller-side output state
+/// (the output buffer, the id cache, a `RouteTable`) while the mode
+/// machinery holds its own `&mut` borrows of the calendar and scratch.
+struct ModeParts<'a> {
+    mode: &'a Mode,
+    active: &'a [u32],
+    dense_p: f64,
+    dense_ln_q: f64,
+    ln_q: &'a [f64],
+    calendar: &'a mut BinaryHeap<Reverse<(u64, u32)>>,
+    seeded_at: &'a mut Option<u64>,
+    counting: &'a Option<CountingSampler>,
+    counting_marks: &'a mut [bool],
+    counting_picks: &'a mut Vec<u64>,
+}
+
+/// Runs the selected sampling mode for `slot`, handing each firing
+/// generator's index to `emit` (which draws the route conditional on
+/// injection — one draw for multi-choice generators, none otherwise).
+fn run_mode(
+    parts: ModeParts<'_>,
+    slot: u64,
+    generators: &[GeneratorSpec],
+    rng: &mut dyn RngCore,
+    emit: &mut dyn FnMut(u32, &mut dyn RngCore),
+) {
+    match parts.mode {
+        Mode::Idle => {}
+        Mode::Dense => run_dense(parts.active, parts.dense_p, parts.dense_ln_q, rng, emit),
+        Mode::Counting => run_counting(
+            parts.active,
+            parts
+                .counting
+                .as_ref()
+                .expect("counting mode has a sampler"),
+            parts.counting_marks,
+            parts.counting_picks,
+            rng,
+            emit,
+        ),
+        Mode::Calendar => run_calendar(
+            slot,
+            generators,
+            parts.active,
+            parts.ln_q,
+            parts.calendar,
+            parts.seeded_at,
+            rng,
+            emit,
+        ),
+    }
+}
+
+/// Seeds every active generator's first pending slot from `slot`
+/// (split-borrow form shared by the inject paths and the hint query).
+fn seed_calendar_parts(
+    slot: u64,
+    generators: &[GeneratorSpec],
+    active: &[u32],
+    ln_q: &[f64],
+    calendar: &mut BinaryHeap<Reverse<(u64, u32)>>,
+    seeded_at: &mut Option<u64>,
+    rng: &mut dyn RngCore,
+) {
+    for &i in active {
+        let p = generators[i as usize].total_probability();
+        let gap = geometric_gap_cached(p, ln_q[i as usize], rng);
+        if let Some(next) = slot.checked_add(gap) {
+            calendar.push(Reverse((next, i)));
         }
     }
+    *seeded_at = Some(slot);
+}
 
-    fn inject_dense(&mut self, rng: &mut dyn RngCore, out: &mut Vec<Arc<RoutePath>>) {
-        let generators = self.inner.generators();
-        let len = self.active.len() as u64;
-        // Geometric index skipping over the active generators: each is
-        // included independently with probability `p`, so the emitted
-        // batch size is Binomial(|active|, p) — without ever touching
-        // the generators that stay silent this slot.
-        let mut j = geometric_gap_cached(self.dense_p, self.dense_ln_q, rng);
-        while j < len {
-            let i = self.active[j as usize];
-            if let Some(route) = generators[i as usize].sample_conditional(rng) {
-                out.push(route);
-            }
-            j = match j.checked_add(1).and_then(|j| {
-                j.checked_add(geometric_gap_cached(self.dense_p, self.dense_ln_q, rng))
-            }) {
-                Some(next) => next,
-                None => break,
-            };
+/// Calendar-mode slot: pop every entry due at `slot`, emitting each and
+/// rescheduling it one fresh geometric gap ahead.
+#[allow(clippy::too_many_arguments)]
+fn run_calendar(
+    slot: u64,
+    generators: &[GeneratorSpec],
+    active: &[u32],
+    ln_q: &[f64],
+    calendar: &mut BinaryHeap<Reverse<(u64, u32)>>,
+    seeded_at: &mut Option<u64>,
+    rng: &mut dyn RngCore,
+    emit: &mut dyn FnMut(u32, &mut dyn RngCore),
+) {
+    if seeded_at.is_none() {
+        seed_calendar_parts(slot, generators, active, ln_q, calendar, seeded_at, rng);
+    }
+    while let Some(&Reverse((due, i))) = calendar.peek() {
+        if due > slot {
+            break;
         }
+        calendar.pop();
+        let p = generators[i as usize].total_probability();
+        let lq = ln_q[i as usize];
+        if due < slot {
+            // The entry came due in a slot that was never queried
+            // (the caller skipped ahead). The geometric law is
+            // memoryless, so rescheduling with a fresh gap from the
+            // current slot reproduces exactly the conditional
+            // distribution of "next injection at or after `slot`".
+            if let Some(next) = slot.checked_add(geometric_gap_cached(p, lq, rng)) {
+                calendar.push(Reverse((next, i)));
+            }
+            continue;
+        }
+        emit(i, rng);
+        if let Some(next) = slot
+            .checked_add(1)
+            .and_then(|s| s.checked_add(geometric_gap_cached(p, lq, rng)))
+        {
+            calendar.push(Reverse((next, i)));
+        }
+    }
+}
+
+/// Dense-mode slot: geometric index skipping over the active
+/// generators. Each is included independently with probability `p`, so
+/// the emitted batch size is Binomial(|active|, p) — without ever
+/// touching the generators that stay silent this slot.
+fn run_dense(
+    active: &[u32],
+    p: f64,
+    ln_q: f64,
+    rng: &mut dyn RngCore,
+    emit: &mut dyn FnMut(u32, &mut dyn RngCore),
+) {
+    let len = active.len() as u64;
+    let mut j = geometric_gap_cached(p, ln_q, rng);
+    while j < len {
+        emit(active[j as usize], rng);
+        j = match j
+            .checked_add(1)
+            .and_then(|j| j.checked_add(geometric_gap_cached(p, ln_q, rng)))
+        {
+            Some(next) => next,
+            None => break,
+        };
+    }
+}
+
+/// Counting-mode slot: draw the batch size `k ~ Binomial(|active|, p)`
+/// with one CDF inversion, then pick *which* `k` generators fired with
+/// Floyd's uniform `k`-subset algorithm (`k` bounded draws, no
+/// rejection). Emission is in ascending generator order, matching the
+/// naive sampler's and the geometric walk's within-slot order.
+fn run_counting(
+    active: &[u32],
+    sampler: &CountingSampler,
+    marks: &mut [bool],
+    picks: &mut Vec<u64>,
+    rng: &mut dyn RngCore,
+    emit: &mut dyn FnMut(u32, &mut dyn RngCore),
+) {
+    let len = active.len();
+    let k = sampler.sample(rng);
+    if k == 0 {
+        return;
+    }
+    if k >= len {
+        for &g in active {
+            emit(g, rng);
+        }
+        return;
+    }
+    picks.clear();
+    // Floyd: for j in m−k..m, draw t uniform in [0, j]; take t unless
+    // already taken, else take j. Every k-subset is equally likely.
+    for j in (len - k)..len {
+        let t = rng.gen_range(0..j as u64 + 1) as usize;
+        let chosen = if marks[t] { j } else { t };
+        marks[chosen] = true;
+        picks.push(chosen as u64);
+    }
+    picks.sort_unstable();
+    for &idx in picks.iter() {
+        marks[idx as usize] = false;
+        emit(active[idx as usize], rng);
     }
 }
 
@@ -269,11 +516,118 @@ impl Injector for BatchStochasticInjector {
 
     fn inject_into(&mut self, slot: u64, rng: &mut dyn RngCore, out: &mut Vec<Arc<RoutePath>>) {
         out.clear();
+        let BatchStochasticInjector {
+            inner,
+            mode,
+            active,
+            dense_p,
+            dense_ln_q,
+            ln_q,
+            calendar,
+            seeded_at,
+            counting,
+            counting_marks,
+            counting_picks,
+            ..
+        } = self;
+        let generators = inner.generators();
+        let parts = ModeParts {
+            mode,
+            active,
+            dense_p: *dense_p,
+            dense_ln_q: *dense_ln_q,
+            ln_q,
+            calendar,
+            seeded_at,
+            counting,
+            counting_marks,
+            counting_picks,
+        };
+        run_mode(parts, slot, generators, rng, &mut |g, rng| {
+            if let Some(route) = generators[g as usize].sample_conditional(rng) {
+                out.push(route);
+            }
+        });
+    }
+
+    /// Calendar mode answers from its min-heap (seeding it lazily on a
+    /// first-ever query); the dense modes may inject every slot, so the
+    /// hint is `after` itself; idle never injects again.
+    fn next_active_slot(&mut self, after: u64, rng: &mut dyn RngCore) -> Option<u64> {
         match self.mode {
-            Mode::Idle => {}
-            Mode::Dense => self.inject_dense(rng, out),
-            Mode::Calendar => self.inject_calendar(slot, rng, out),
+            Mode::Idle => Some(u64::MAX),
+            Mode::Dense | Mode::Counting => Some(after),
+            Mode::Calendar => {
+                if self.seeded_at.is_none() {
+                    self.seed_calendar(after, rng);
+                }
+                Some(
+                    self.calendar
+                        .peek()
+                        .map_or(u64::MAX, |&Reverse((due, _))| due.max(after)),
+                )
+            }
         }
+    }
+
+    fn interned_capable(&self) -> bool {
+        true
+    }
+
+    /// The id cache is filled against the first `table` this injector
+    /// sees; driving one injector against multiple distinct tables is a
+    /// contract violation (ids from the first table would be replayed
+    /// into the second).
+    fn inject_interned_into(
+        &mut self,
+        slot: u64,
+        rng: &mut dyn RngCore,
+        table: &mut RouteTable,
+        out: &mut Vec<RouteId>,
+    ) {
+        out.clear();
+        let BatchStochasticInjector {
+            inner,
+            mode,
+            active,
+            dense_p,
+            dense_ln_q,
+            ln_q,
+            calendar,
+            seeded_at,
+            counting,
+            counting_marks,
+            counting_picks,
+            route_ids,
+        } = self;
+        let generators = inner.generators();
+        let parts = ModeParts {
+            mode,
+            active,
+            dense_p: *dense_p,
+            dense_ln_q: *dense_ln_q,
+            ln_q,
+            calendar,
+            seeded_at,
+            counting,
+            counting_marks,
+            counting_picks,
+        };
+        run_mode(parts, slot, generators, rng, &mut |g, rng| {
+            if let Some(choice) = generators[g as usize].sample_conditional_index(rng) {
+                let cache = &mut route_ids[g as usize];
+                let id = cache[choice].unwrap_or_else(|| {
+                    // First emission of this choice: intern once, then
+                    // replay the id for the rest of the run. Interning
+                    // lazily in emission order assigns exactly the ids
+                    // the `Arc` lane's arrival stream would have.
+                    let id = table.intern(&generators[g as usize].choices()[choice].0);
+                    cache[choice] = Some(id);
+                    id
+                });
+                out.push(id);
+            }
+        });
     }
 }
 
@@ -634,6 +988,282 @@ mod tests {
                 trace
             };
             assert_eq!(run(make()), run(make()), "p = {p} stream diverged");
+        }
+    }
+
+    #[test]
+    fn counting_mode_selection_follows_expected_batch() {
+        // 256 × 0.3 = 76.8 expected/slot: counting.
+        let big =
+            BatchStochasticInjector::from(uniform_generators((0..256).map(path), 0.3).unwrap());
+        assert!(big.is_counting() && big.is_dense());
+        // 16 × 0.25 = 4 expected/slot: dense walk, below the counting bar.
+        let mid =
+            BatchStochasticInjector::from(uniform_generators((0..16).map(path), 0.25).unwrap());
+        assert!(mid.is_dense() && !mid.is_counting());
+        // p = 1 always stays on the exact dense walk (the count table's
+        // recurrence needs p < 1), however large the batch.
+        let certain =
+            BatchStochasticInjector::from(uniform_generators((0..64).map(path), 1.0).unwrap());
+        assert!(certain.is_dense() && !certain.is_counting());
+    }
+
+    #[test]
+    fn counting_batch_matches_naive_count_distribution() {
+        let m = 128usize;
+        let p = 0.25;
+        let slots = 30_000u64;
+        let mut batch =
+            BatchStochasticInjector::from(uniform_generators((0..m as u32).map(path), p).unwrap());
+        assert!(batch.is_counting());
+        let mut naive = uniform_generators((0..m as u32).map(path), p).unwrap();
+
+        let run_counts = |inject: &mut dyn FnMut(u64, &mut Vec<Arc<RoutePath>>),
+                          per_generator: &mut [u64]|
+         -> (f64, f64) {
+            let mut buf = Vec::new();
+            let (mut sum, mut sum_sq) = (0.0f64, 0.0f64);
+            for slot in 0..slots {
+                inject(slot, &mut buf);
+                assert!(buf.len() <= m);
+                for route in buf.iter() {
+                    per_generator[route.hop(0).unwrap().index()] += 1;
+                }
+                let k = buf.len() as f64;
+                sum += k;
+                sum_sq += k * k;
+            }
+            let mean = sum / slots as f64;
+            (mean, sum_sq / slots as f64 - mean * mean)
+        };
+
+        let mut rng_b = root_rng(51);
+        let mut per_gen_b = vec![0u64; m];
+        let (mean_b, var_b) = run_counts(
+            &mut |slot, buf| batch.inject_into(slot, &mut rng_b, buf),
+            &mut per_gen_b,
+        );
+        let mut rng_n = root_rng(52);
+        let mut per_gen_n = vec![0u64; m];
+        let (mean_n, var_n) = run_counts(
+            &mut |slot, buf| {
+                *buf = naive.inject(slot, &mut rng_n);
+            },
+            &mut per_gen_n,
+        );
+
+        // Binomial(128, 0.25): mean 32, variance 24.
+        let (exp_mean, exp_var) = (m as f64 * p, m as f64 * p * (1.0 - p));
+        assert!(
+            (mean_b - exp_mean).abs() < 0.2,
+            "counting mean {mean_b} vs {exp_mean}"
+        );
+        assert!(
+            (mean_b - mean_n).abs() < 0.3,
+            "counting mean {mean_b} vs naive {mean_n}"
+        );
+        assert!(
+            (var_b - exp_var).abs() / exp_var < 0.05,
+            "counting variance {var_b} vs {exp_var}"
+        );
+        assert!(
+            (var_b - var_n).abs() / exp_var < 0.08,
+            "counting variance {var_b} vs naive {var_n}"
+        );
+        // Floyd sampling must keep the injecting set uniform over
+        // generators: χ² over 128 cells, df = 127, α ≈ 0.001 → ~181.
+        let observed: Vec<f64> = per_gen_b.iter().map(|&c| c as f64).collect();
+        let expected = vec![slots as f64 * p; m];
+        let chi2 = chi_square(&observed, &expected);
+        assert!(chi2 < 181.0, "counting occupancy skewed: χ² = {chi2}");
+    }
+
+    #[test]
+    fn counting_batch_preserves_route_mixture() {
+        // Symmetric totals (0.3 each) with two choices per generator
+        // force Counting while still exercising the conditional route
+        // draw; each choice must get half the emissions.
+        let m = 64u32;
+        let make = || {
+            StochasticInjector::new(
+                (0..m)
+                    .map(|i| {
+                        GeneratorSpec::new(vec![(path(2 * i), 0.15), (path(2 * i + 1), 0.15)])
+                            .unwrap()
+                    })
+                    .collect(),
+            )
+        };
+        let mut batch = BatchStochasticInjector::new(make());
+        assert!(batch.is_counting());
+        let mut rng = root_rng(61);
+        let mut buf = Vec::new();
+        let (mut even, mut odd) = (0u64, 0u64);
+        for slot in 0..20_000u64 {
+            batch.inject_into(slot, &mut rng, &mut buf);
+            for route in &buf {
+                if route.hop(0).unwrap().index() % 2 == 0 {
+                    even += 1;
+                } else {
+                    odd += 1;
+                }
+            }
+        }
+        let total = (even + odd) as f64;
+        let ratio = even as f64 / total;
+        assert!(
+            (ratio - 0.5).abs() < 0.01,
+            "choice mixture skewed: {even} even vs {odd} odd"
+        );
+        // And the rate matches 64 × 0.3 = 19.2 packets/slot.
+        let mean = total / 20_000.0;
+        assert!((mean - 19.2).abs() < 0.2, "counting mixture mean {mean}");
+    }
+
+    /// The skip-ahead contract the event engine relies on: driving the
+    /// injector only at hinted slots must reproduce the every-slot
+    /// stream bit for bit. Jumping exactly to the heap's next due slot
+    /// never strands an entry in the past, so the memoryless reschedule
+    /// path (which *would* consume extra draws) is never taken.
+    #[test]
+    fn hint_driven_querying_matches_every_slot_stream() {
+        let horizon = 200_000u64;
+        for (label, make) in [
+            (
+                "sparse-uniform",
+                Box::new(|| {
+                    BatchStochasticInjector::from(
+                        uniform_generators((0..64).map(path), 0.0003).unwrap(),
+                    )
+                }) as Box<dyn Fn() -> BatchStochasticInjector>,
+            ),
+            (
+                "asymmetric",
+                Box::new(|| {
+                    BatchStochasticInjector::new(StochasticInjector::new(vec![
+                        GeneratorSpec::new(vec![(path(0), 0.001), (path(1), 0.002)]).unwrap(),
+                        GeneratorSpec::bernoulli(path(2), 0.0007).unwrap(),
+                    ]))
+                }),
+            ),
+        ] {
+            let mut per_slot = make();
+            let mut rng_a = root_rng(91);
+            let mut buf = Vec::new();
+            let mut stream_a = Vec::new();
+            for slot in 0..horizon {
+                per_slot.inject_into(slot, &mut rng_a, &mut buf);
+                for route in &buf {
+                    stream_a.push((slot, route.hop(0).unwrap().index()));
+                }
+            }
+
+            let mut hinted = make();
+            let mut rng_b = root_rng(91);
+            let mut stream_b = Vec::new();
+            let mut slot = 0u64;
+            while slot < horizon {
+                hinted.inject_into(slot, &mut rng_b, &mut buf);
+                for route in &buf {
+                    stream_b.push((slot, route.hop(0).unwrap().index()));
+                }
+                match hinted.next_active_slot(slot + 1, &mut rng_b) {
+                    Some(next) if next < horizon => slot = next,
+                    _ => break,
+                }
+            }
+            assert_eq!(stream_a, stream_b, "{label}: hinted stream diverged");
+            assert!(
+                !stream_a.is_empty(),
+                "{label}: degenerate test, nothing injected"
+            );
+        }
+    }
+
+    /// Lazy seeding far from the origin must behave like seeding at 0:
+    /// gaps are relative, so a first query at a huge slot neither
+    /// panics nor distorts the rate (entries that would overflow the
+    /// u64 horizon are dropped, not wrapped).
+    #[test]
+    fn lazy_seed_at_late_slot_keeps_rate_and_saturates() {
+        let start = u64::MAX - 2_000_000;
+        let mut batch =
+            BatchStochasticInjector::from(uniform_generators((0..32).map(path), 0.01).unwrap());
+        let mut rng = root_rng(101);
+        let mut buf = Vec::new();
+        let mut total = 0u64;
+        let slots = 300_000u64;
+        for slot in start..start + slots {
+            batch.inject_into(slot, &mut rng, &mut buf);
+            total += buf.len() as u64;
+        }
+        let mean = total as f64 / slots as f64;
+        assert!(
+            (mean - 0.32).abs() < 0.02,
+            "late-seeded rate off: {mean} vs 0.32"
+        );
+        // The hint saturates instead of wrapping past u64::MAX.
+        let hint = batch
+            .next_active_slot(u64::MAX - 1, &mut rng)
+            .expect("calendar always answers");
+        assert!(hint >= u64::MAX - 1);
+
+        // And a generator whose first gap exceeds the representable
+        // horizon is silently dropped: ⌊ln u / ln(1−p)⌋ saturates to
+        // u64::MAX rather than overflowing the cast.
+        let mut tiny =
+            BatchStochasticInjector::new(StochasticInjector::new(vec![GeneratorSpec::bernoulli(
+                path(0),
+                1e-300,
+            )
+            .unwrap()]));
+        let mut rng = root_rng(102);
+        assert_eq!(geometric_gap(1e-300, &mut rng), u64::MAX);
+        assert!(tiny.inject(u64::MAX - 1, &mut rng).is_empty());
+        assert_eq!(tiny.next_active_slot(u64::MAX, &mut rng), Some(u64::MAX));
+    }
+
+    /// The route-id lane must replay exactly the `Arc` lane's stream —
+    /// same slots, same routes, same interning order — for every mode.
+    #[test]
+    fn interned_lane_matches_arc_lane() {
+        use crate::route_table::RouteTable;
+        for (label, p, m) in [
+            ("calendar", 0.003, 64u32),
+            ("dense", 0.2, 4),
+            ("counting", 0.3, 64),
+        ] {
+            let make = || {
+                BatchStochasticInjector::from(StochasticInjector::new(
+                    (0..m)
+                        .map(|i| {
+                            GeneratorSpec::new(vec![
+                                (path(2 * i), p / 2.0),
+                                (path(2 * i + 1), p / 2.0),
+                            ])
+                            .unwrap()
+                        })
+                        .collect(),
+                ))
+            };
+            let mut arcs = make();
+            let mut ids = make();
+            let mut rng_a = root_rng(111);
+            let mut rng_b = root_rng(111);
+            let mut table_a = RouteTable::new();
+            let mut table_b = RouteTable::new();
+            let mut route_buf = Vec::new();
+            let mut id_buf = Vec::new();
+            let mut seen = 0usize;
+            for slot in 0..20_000u64 {
+                arcs.inject_into(slot, &mut rng_a, &mut route_buf);
+                let expected: Vec<_> = route_buf.iter().map(|r| table_a.intern(r)).collect();
+                ids.inject_interned_into(slot, &mut rng_b, &mut table_b, &mut id_buf);
+                assert_eq!(expected, id_buf, "{label}: slot {slot} diverged");
+                seen += id_buf.len();
+            }
+            assert_eq!(table_a.len(), table_b.len(), "{label}: interning drifted");
+            assert!(seen > 0, "{label}: degenerate test, nothing injected");
         }
     }
 }

@@ -15,6 +15,7 @@ pub mod batch;
 pub mod stochastic;
 
 use crate::path::RoutePath;
+use crate::route_table::{RouteId, RouteTable};
 use rand::RngCore;
 use std::sync::Arc;
 
@@ -37,6 +38,59 @@ pub trait Injector {
         out.clear();
         out.append(&mut self.inject(slot, rng));
     }
+
+    /// Event-engine hint: the earliest slot `≥ after` at which this
+    /// injector might emit a packet, or `None` when the injector cannot
+    /// tell (the conservative default — the engine then steps slot by
+    /// slot).
+    ///
+    /// Contract for `Some(s)`:
+    ///
+    /// * no packet is emitted at any slot in `after..s` — those slots
+    ///   may safely be skipped without querying `inject_into`;
+    /// * `s` itself is only a *candidate*: the injector may stay silent
+    ///   there (false positives are allowed, false negatives are not);
+    /// * `Some(u64::MAX)` means "never again";
+    /// * the call must consume no RNG once the injector has been driven
+    ///   through at least one `inject_into` (lazily seeded calendars may
+    ///   draw their gaps on a first-ever query), so that skipping is a
+    ///   pure reindexing of the per-slot RNG stream.
+    fn next_active_slot(&mut self, _after: u64, _rng: &mut dyn RngCore) -> Option<u64> {
+        None
+    }
+
+    /// Whether [`inject_interned_into`](Injector::inject_interned_into)
+    /// has a native, allocation-free implementation. The simulation
+    /// runner only selects the route-id lane when this is `true` (and
+    /// the protocol exposes an interner); the default `false` keeps
+    /// wrappers and custom injectors on the `Arc` lane.
+    fn interned_capable(&self) -> bool {
+        false
+    }
+
+    /// Like [`inject_into`](Injector::inject_into), but emitting
+    /// interned [`RouteId`]s (resolved against `table`) instead of
+    /// cloning route `Arc`s — the hot arrival lane for protocols that
+    /// own a [`RouteTable`].
+    ///
+    /// Must consume exactly the same RNG draws and emit the same routes
+    /// in the same order as `inject_into` would have; interning order
+    /// (and therefore id assignment) must match what interning the
+    /// `Arc` stream in arrival order would produce. The default routes
+    /// through `inject_into` and interns here, which satisfies the
+    /// contract but allocates; native implementations cache ids.
+    fn inject_interned_into(
+        &mut self,
+        slot: u64,
+        rng: &mut dyn RngCore,
+        table: &mut RouteTable,
+        out: &mut Vec<RouteId>,
+    ) {
+        let mut routes = Vec::new();
+        self.inject_into(slot, rng, &mut routes);
+        out.clear();
+        out.extend(routes.iter().map(|route| table.intern(route)));
+    }
 }
 
 impl<T: Injector + ?Sized> Injector for Box<T> {
@@ -46,6 +100,24 @@ impl<T: Injector + ?Sized> Injector for Box<T> {
 
     fn inject_into(&mut self, slot: u64, rng: &mut dyn RngCore, out: &mut Vec<Arc<RoutePath>>) {
         (**self).inject_into(slot, rng, out)
+    }
+
+    fn next_active_slot(&mut self, after: u64, rng: &mut dyn RngCore) -> Option<u64> {
+        (**self).next_active_slot(after, rng)
+    }
+
+    fn interned_capable(&self) -> bool {
+        (**self).interned_capable()
+    }
+
+    fn inject_interned_into(
+        &mut self,
+        slot: u64,
+        rng: &mut dyn RngCore,
+        table: &mut RouteTable,
+        out: &mut Vec<RouteId>,
+    ) {
+        (**self).inject_interned_into(slot, rng, table, out)
     }
 }
 

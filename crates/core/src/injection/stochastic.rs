@@ -103,7 +103,7 @@ impl GeneratorSpec {
         if u >= self.total {
             return None;
         }
-        self.pick(u)
+        self.pick(u).map(|i| self.choices[i].0.clone())
     }
 
     /// Picks a route *given that this generator injects* — the
@@ -113,12 +113,25 @@ impl GeneratorSpec {
     /// Returns `None` only for a generator with no positive-probability
     /// choice (which never injects and should never be asked).
     pub fn sample_conditional(&self, rng: &mut dyn RngCore) -> Option<Arc<RoutePath>> {
+        self.sample_conditional_index(rng)
+            .map(|i| self.choices[i].0.clone())
+    }
+
+    /// [`sample_conditional`](Self::sample_conditional) returning the
+    /// *choice index* instead of cloning the route `Arc` — the
+    /// route-id-native injection lane resolves the index against its
+    /// interned-id cache without touching the reference count.
+    ///
+    /// Consumes exactly the same RNG draws as `sample_conditional`
+    /// (none for single-choice generators, one otherwise), so the two
+    /// entry points are interchangeable mid-stream.
+    pub fn sample_conditional_index(&self, rng: &mut dyn RngCore) -> Option<usize> {
         if self.total <= 0.0 || self.choices.is_empty() {
             return None;
         }
         // Single-route generators (the symmetric workload) need no draw.
         if self.choices.len() == 1 {
-            return Some(self.choices[0].0.clone());
+            return Some(0);
         }
         self.pick(rng.gen::<f64>() * self.total)
     }
@@ -128,19 +141,20 @@ impl GeneratorSpec {
     /// same sums in the same order), but any float-rounding residue
     /// (e.g. a snapped total) falls back to the last choice that can
     /// actually carry traffic — never a zero-probability route.
-    fn pick(&self, u: f64) -> Option<Arc<RoutePath>> {
+    fn pick(&self, u: f64) -> Option<usize> {
         let mut acc = 0.0;
-        for (path, p) in &self.choices {
+        for (i, (_, p)) in self.choices.iter().enumerate() {
             acc += p;
             if u < acc {
-                return Some(path.clone());
+                return Some(i);
             }
         }
         self.choices
             .iter()
+            .enumerate()
             .rev()
-            .find(|(_, p)| *p > 0.0)
-            .map(|(path, _)| path.clone())
+            .find(|(_, (_, p))| *p > 0.0)
+            .map(|(i, _)| i)
     }
 
     fn accumulate_expected_load(&self, load: &mut LinkLoad) {
@@ -461,6 +475,25 @@ mod tests {
         assert!(empty.sample_conditional(&mut root_rng(1)).is_none());
         let zero = GeneratorSpec::bernoulli(path(0), 0.0).unwrap();
         assert!(zero.sample_conditional(&mut root_rng(1)).is_none());
+    }
+
+    /// The index and route entry points must consume identical RNG
+    /// draws and agree on every pick — the route-id injection lane
+    /// swaps one for the other mid-simulation.
+    #[test]
+    fn conditional_index_matches_conditional_route_stream() {
+        let choices: Vec<_> = (0..5).map(|l| (path(l), 0.1)).collect();
+        let g = GeneratorSpec::new(choices).unwrap();
+        let mut rng_a = root_rng(23);
+        let mut rng_b = root_rng(23);
+        for _ in 0..2000 {
+            let by_route = g.sample_conditional(&mut rng_a).unwrap();
+            let by_index = g.sample_conditional_index(&mut rng_b).unwrap();
+            assert!(Arc::ptr_eq(&by_route, &g.choices()[by_index].0));
+        }
+        // Single-choice generators consume no draw on either entry point.
+        let single = GeneratorSpec::bernoulli(path(0), 0.5).unwrap();
+        assert_eq!(single.sample_conditional_index(&mut root_rng(1)), Some(0));
     }
 
     #[test]

@@ -15,8 +15,25 @@
 //! (hot protocols override `step`; overriding neither would recurse).
 
 use crate::feasibility::Feasibility;
+use crate::ids::PacketId;
 use crate::packet::{DeliveredPacket, Packet};
+use crate::route_table::{RouteId, RouteTable};
 use rand::RngCore;
+
+/// A slot arrival in interned form: the packet's route is a [`RouteId`]
+/// against the protocol's own [`RouteTable`] instead of an
+/// `Arc<RoutePath>`. The hot arrival lane of
+/// [`Protocol::step_interned`] — injectors that pre-intern their routes
+/// hand these over without touching any `Arc` reference count.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct InternedArrival {
+    /// The packet's identity.
+    pub id: PacketId,
+    /// The packet's route, interned in the protocol's table.
+    pub route: RouteId,
+    /// Slot the packet was injected at.
+    pub injected_at: u64,
+}
 
 /// What happened during one slot of a protocol run.
 #[derive(Clone, Debug, Default)]
@@ -105,6 +122,65 @@ pub trait Protocol {
     fn potential(&self) -> u64 {
         0
     }
+
+    /// Event-engine hint: the earliest slot `> now` at which stepping
+    /// this protocol *without arrivals* could do anything observable —
+    /// issue an attempt, consume RNG, deliver, or change any reported
+    /// statistic. `None` (the conservative default) means "no idea":
+    /// the engine then steps every slot.
+    ///
+    /// Contract for `Some(s)`: given that no packet arrives in
+    /// `now+1..s`, every slot in that open range is *inert* — stepping
+    /// it would neither consume RNG nor change `backlog()`,
+    /// `potential()`, or any outcome. Such slots may be replaced by one
+    /// [`skip_idle_slots`](Protocol::skip_idle_slots) call. `s` itself
+    /// is only a candidate (false positives allowed); the query must
+    /// not consume RNG or mutate state.
+    fn next_event_slot(&self, _now: u64) -> Option<u64> {
+        None
+    }
+
+    /// Advances internal bookkeeping across `count` slots starting at
+    /// `from`, all of which the caller knows to be inert (declared so
+    /// by [`next_event_slot`](Protocol::next_event_slot) and free of
+    /// arrivals). After the call the protocol must be in exactly the
+    /// state that `count` empty [`step`](Protocol::step) calls would
+    /// have produced, without consuming RNG. The default is a no-op,
+    /// correct for stateless-per-slot protocols; frame protocols
+    /// override it to advance their frame phase.
+    fn skip_idle_slots(&mut self, _from: u64, _count: u64) {}
+
+    /// The protocol's route interner, when it keys packets by
+    /// [`RouteId`] internally. Returning `Some` (paired with an
+    /// injector whose `Injector::interned_capable` is true) lets the
+    /// simulation runner use [`step_interned`](Protocol::step_interned)
+    /// and skip the per-packet `Arc` boundary entirely. The default
+    /// `None` keeps the classic [`Packet`] lane.
+    fn route_interner(&mut self) -> Option<&mut RouteTable> {
+        None
+    }
+
+    /// Advances the protocol by one slot with pre-interned arrivals.
+    ///
+    /// Semantically identical to [`step`](Protocol::step) — same
+    /// decisions, same RNG consumption, same outcome — given that each
+    /// [`InternedArrival`] names the same packets a [`Packet`] slice
+    /// would have, with routes interned in *this* protocol's table
+    /// (obtained via [`route_interner`](Protocol::route_interner)).
+    ///
+    /// Only callable when `route_interner` returns `Some`; the default
+    /// panics, so callers must gate on that (the simulation runner
+    /// does).
+    fn step_interned(
+        &mut self,
+        _slot: u64,
+        _arrivals: &[InternedArrival],
+        _phy: &dyn Feasibility,
+        _rng: &mut dyn RngCore,
+        _out: &mut SlotOutcome,
+    ) {
+        unimplemented!("step_interned requires a protocol exposing route_interner()")
+    }
 }
 
 impl<P: Protocol + ?Sized> Protocol for Box<P> {
@@ -135,6 +211,29 @@ impl<P: Protocol + ?Sized> Protocol for Box<P> {
 
     fn potential(&self) -> u64 {
         (**self).potential()
+    }
+
+    fn next_event_slot(&self, now: u64) -> Option<u64> {
+        (**self).next_event_slot(now)
+    }
+
+    fn skip_idle_slots(&mut self, from: u64, count: u64) {
+        (**self).skip_idle_slots(from, count)
+    }
+
+    fn route_interner(&mut self) -> Option<&mut RouteTable> {
+        (**self).route_interner()
+    }
+
+    fn step_interned(
+        &mut self,
+        slot: u64,
+        arrivals: &[InternedArrival],
+        phy: &dyn Feasibility,
+        rng: &mut dyn RngCore,
+        out: &mut SlotOutcome,
+    ) {
+        (**self).step_interned(slot, arrivals, phy, rng, out)
     }
 }
 

@@ -176,7 +176,9 @@ impl Scenario {
             .build(substrate, lambda, self.run.provision_cap)?;
         let injector = self.injector.build(substrate, lambda)?;
         let slots = self.run.frames.max(1) * built.frame_len.max(1) as u64;
-        let config = SimulationConfig::new(slots, self.run.seed).with_stream(stream);
+        let config = SimulationConfig::new(slots, self.run.seed)
+            .with_stream(stream)
+            .with_events(self.run.events);
 
         let phy = &*substrate.feasibility;
         let mut effective_rate = None;
@@ -290,6 +292,48 @@ mod tests {
         let outcome = Scenario::from_spec(&spec).unwrap().run().unwrap();
         let effective = outcome.effective_rate.expect("validator ran");
         assert!(effective > 0.0 && effective <= spec.injection.lambda + 1e-9);
+    }
+
+    #[test]
+    fn event_engine_matches_per_slot_reference_on_presets() {
+        // The `events` toggle must be observationally transparent: every
+        // report field except the skip diagnostic is bit-for-bit equal.
+        for name in ["sparse-ring", "ring-routing", "adversarial-ring"] {
+            let mut spec = registry::spec_for(name).unwrap();
+            spec.run.frames = 20;
+            let fast = Scenario::from_spec(&spec).unwrap().run().unwrap();
+            spec.run.events = false;
+            let slow = Scenario::from_spec(&spec).unwrap().run().unwrap();
+            assert_eq!(fast.report.injected, slow.report.injected, "{name}");
+            assert_eq!(fast.report.delivered, slow.report.delivered, "{name}");
+            assert_eq!(fast.report.latencies, slow.report.latencies, "{name}");
+            assert_eq!(fast.report.path_lens, slow.report.path_lens, "{name}");
+            assert_eq!(
+                fast.report.backlog_series, slow.report.backlog_series,
+                "{name}"
+            );
+            assert_eq!(
+                fast.report.final_backlog, slow.report.final_backlog,
+                "{name}"
+            );
+            assert_eq!(fast.report.attempts, slow.report.attempts, "{name}");
+            assert_eq!(fast.report.successes, slow.report.successes, "{name}");
+            assert_eq!(slow.report.idle_slots_skipped, 0, "{name}");
+        }
+    }
+
+    #[test]
+    fn sparse_preset_skips_most_of_the_run() {
+        let mut spec = registry::spec_for("sparse-ring").unwrap();
+        spec.run.frames = 40;
+        let outcome = Scenario::from_spec(&spec).unwrap().run().unwrap();
+        assert!(outcome.report.injected > 0, "the ring is quiet, not dead");
+        assert!(
+            outcome.report.idle_slots_skipped > outcome.slots / 2,
+            "skipped only {} of {} slots",
+            outcome.report.idle_slots_skipped,
+            outcome.slots
+        );
     }
 
     #[test]

@@ -185,6 +185,10 @@ pub struct RunConfig {
     /// `Θ(overhead/ε²)`, so experiments cap the provisioning rate while
     /// the injector may exceed it to probe overload.
     pub provision_cap: f64,
+    /// Whether the simulation engine may use the event-driven fast path
+    /// (skipping provably inert slot ranges). Results are identical
+    /// either way; `false` forces the per-slot reference loop.
+    pub events: bool,
 }
 
 impl Default for RunConfig {
@@ -193,6 +197,7 @@ impl Default for RunConfig {
             frames: 50,
             seed: 20120616,
             provision_cap: 0.95,
+            events: true,
         }
     }
 }
@@ -737,6 +742,7 @@ impl Serialize for RunConfig {
             ("frames", self.frames.to_value()),
             ("seed", self.seed.to_value()),
             ("provision_cap", self.provision_cap.to_value()),
+            ("events", self.events.to_value()),
         ])
     }
 }
@@ -749,6 +755,7 @@ impl Deserialize for RunConfig {
             seed: serde::de_field::<Option<u64>>(value, "seed")?.unwrap_or(defaults.seed),
             provision_cap: serde::de_field::<Option<f64>>(value, "provision_cap")?
                 .unwrap_or(defaults.provision_cap),
+            events: serde::de_field::<Option<bool>>(value, "events")?.unwrap_or(defaults.events),
         })
     }
 }
@@ -773,6 +780,7 @@ mod tests {
                 frames: 50,
                 seed: 7,
                 provision_cap: 0.95,
+                events: true,
             },
         }
     }

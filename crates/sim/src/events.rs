@@ -1,0 +1,228 @@
+//! The discrete-event core of the slot-skipping engine.
+//!
+//! The classic slot loop visits every slot, even when the injector's
+//! calendar says nothing arrives for thousands of slots and the
+//! protocol is quiescent. This module supplies the two pieces the
+//! event-driven fast path in [`crate::runner`] is built from:
+//!
+//! * [`EventQueue`] — a min-heap of [`Event`]s keyed by slot, holding
+//!   the *candidate* next-activity slots gathered from the hint methods
+//!   (`Injector::next_active_slot`, `Protocol::next_event_slot`) plus
+//!   the engine's own checkpoints (backlog sampling, simulation end);
+//! * [`SimClock`] — the simulation clock, which either ticks one slot
+//!   at a time (the per-slot fallback) or jumps straight to the next
+//!   event ([`SimClock::advance_to`]), reporting how many slots the
+//!   jump covered so the runner can account for them in bulk.
+//!
+//! Correctness rests on the hint contracts, not on this module: a hint
+//! may be *early* (a false positive costs one inert step) but never
+//! late. The queue therefore only ever shortens a jump, and the
+//! engine degrades gracefully to per-slot stepping when any hint is
+//! unavailable.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// What kind of activity a queued slot is a candidate for.
+///
+/// The ordering only breaks ties between events on the same slot (the
+/// queue pops injection candidates first); the slot key dominates.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum EventKind {
+    /// The injector's next candidate arrival slot.
+    Injection,
+    /// The protocol's next observable slot (frame phase boundary,
+    /// clean-up selection, pending algorithm work).
+    Protocol,
+    /// A periodic engine checkpoint (backlog/potential sample). The
+    /// default runner replays samples in bulk inside a jump — inert
+    /// slots cannot change what a sample would record — so it never
+    /// schedules this kind; it is vocabulary for engines whose
+    /// checkpoints require stepping.
+    Sample,
+    /// The end of the simulation horizon.
+    End,
+}
+
+/// A candidate activity slot.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Event {
+    /// Slot the activity is scheduled at.
+    pub slot: u64,
+    /// What the activity is.
+    pub kind: EventKind,
+}
+
+/// Min-heap of [`Event`]s keyed by slot.
+///
+/// Small by design: the engine clears and refills it between jumps
+/// (hints are re-queried after every stepped slot), so it holds a
+/// handful of entries and its buffer is reused for the whole run.
+#[derive(Clone, Debug, Default)]
+pub struct EventQueue {
+    heap: BinaryHeap<Reverse<Event>>,
+}
+
+impl EventQueue {
+    /// An empty queue.
+    pub fn new() -> Self {
+        EventQueue::default()
+    }
+
+    /// Removes all events, keeping the allocation.
+    pub fn clear(&mut self) {
+        self.heap.clear();
+    }
+
+    /// Schedules `event`.
+    pub fn push(&mut self, event: Event) {
+        self.heap.push(Reverse(event));
+    }
+
+    /// Removes and returns the earliest event.
+    pub fn pop(&mut self) -> Option<Event> {
+        self.heap.pop().map(|Reverse(e)| e)
+    }
+
+    /// The earliest scheduled slot, if any.
+    pub fn peek_slot(&self) -> Option<u64> {
+        self.heap.peek().map(|Reverse(e)| e.slot)
+    }
+
+    /// Number of scheduled events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no events are scheduled.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+/// The simulation clock: current slot plus the run's horizon.
+#[derive(Clone, Copy, Debug)]
+pub struct SimClock {
+    now: u64,
+    horizon: u64,
+}
+
+impl SimClock {
+    /// A clock at slot 0 running until `horizon` (exclusive).
+    pub fn new(horizon: u64) -> Self {
+        SimClock { now: 0, horizon }
+    }
+
+    /// The current slot.
+    pub fn now(&self) -> u64 {
+        self.now
+    }
+
+    /// The first slot *not* simulated.
+    pub fn horizon(&self) -> u64 {
+        self.horizon
+    }
+
+    /// Whether the horizon has been reached.
+    pub fn is_done(&self) -> bool {
+        self.now >= self.horizon
+    }
+
+    /// Advances by one slot (the per-slot fallback path).
+    pub fn tick(&mut self) {
+        self.now += 1;
+    }
+
+    /// Jumps forward to `slot` (clamped to the horizon), returning how
+    /// many slots the jump covered. Jumping to the past is a no-op
+    /// returning 0, so a stale event can never rewind the clock.
+    pub fn advance_to(&mut self, slot: u64) -> u64 {
+        let target = slot.min(self.horizon);
+        let jumped = target.saturating_sub(self.now);
+        self.now = self.now.max(target);
+        jumped
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn queue_pops_in_slot_order() {
+        let mut q = EventQueue::new();
+        q.push(Event {
+            slot: 30,
+            kind: EventKind::End,
+        });
+        q.push(Event {
+            slot: 5,
+            kind: EventKind::Protocol,
+        });
+        q.push(Event {
+            slot: 12,
+            kind: EventKind::Sample,
+        });
+        assert_eq!(q.len(), 3);
+        assert_eq!(q.peek_slot(), Some(5));
+        let slots: Vec<u64> = std::iter::from_fn(|| q.pop()).map(|e| e.slot).collect();
+        assert_eq!(slots, vec![5, 12, 30]);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn same_slot_ties_break_by_kind() {
+        let mut q = EventQueue::new();
+        q.push(Event {
+            slot: 7,
+            kind: EventKind::Sample,
+        });
+        q.push(Event {
+            slot: 7,
+            kind: EventKind::Injection,
+        });
+        assert_eq!(q.pop().unwrap().kind, EventKind::Injection);
+        assert_eq!(q.pop().unwrap().kind, EventKind::Sample);
+    }
+
+    #[test]
+    fn clear_keeps_queue_usable() {
+        let mut q = EventQueue::new();
+        q.push(Event {
+            slot: 1,
+            kind: EventKind::End,
+        });
+        q.clear();
+        assert!(q.is_empty());
+        assert_eq!(q.pop(), None);
+        q.push(Event {
+            slot: 2,
+            kind: EventKind::End,
+        });
+        assert_eq!(q.peek_slot(), Some(2));
+    }
+
+    #[test]
+    fn clock_ticks_and_jumps() {
+        let mut clock = SimClock::new(100);
+        assert_eq!(clock.now(), 0);
+        assert!(!clock.is_done());
+        clock.tick();
+        assert_eq!(clock.now(), 1);
+        assert_eq!(clock.advance_to(50), 49);
+        assert_eq!(clock.now(), 50);
+        // Jumps clamp to the horizon…
+        assert_eq!(clock.advance_to(1_000_000), 50);
+        assert_eq!(clock.now(), 100);
+        assert!(clock.is_done());
+        assert_eq!(clock.horizon(), 100);
+    }
+
+    #[test]
+    fn stale_jump_cannot_rewind() {
+        let mut clock = SimClock::new(10);
+        clock.advance_to(8);
+        assert_eq!(clock.advance_to(3), 0);
+        assert_eq!(clock.now(), 8);
+    }
+}

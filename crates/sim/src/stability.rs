@@ -97,6 +97,7 @@ mod tests {
             attempts: 0,
             successes: 0,
             slots,
+            idle_slots_skipped: 0,
         }
     }
 

@@ -5,6 +5,14 @@
 //! deliveries, backlog); export to CSV for external plotting. Bounded so
 //! long stability runs cannot exhaust memory — the recorder keeps the
 //! *last* `capacity` slots.
+//!
+//! Under the event-driven engine, slot ranges the engine proved inert
+//! are not stepped, so they produce no [`SlotRecord`]s; the engine
+//! records each jump as a [`SkipRecord`] instead (kept in a second
+//! window of the same capacity). [`TraceRecorder::expand`] rehydrates
+//! the skips into the equivalent per-slot stream — every skipped slot
+//! had zero injections, attempts, and deliveries and an unchanged
+//! backlog, which is exactly what a per-slot run would have recorded.
 
 use std::collections::VecDeque;
 
@@ -25,16 +33,35 @@ pub struct SlotRecord {
     pub backlog: usize,
 }
 
-/// A sliding window of [`SlotRecord`]s.
+/// A slot range the event engine jumped over instead of stepping.
+///
+/// Covers slots `from_slot..from_slot + slots`, each of which had zero
+/// injections, attempts, successes, and deliveries, and the recorded
+/// (unchanged) backlog.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SkipRecord {
+    /// First skipped slot.
+    pub from_slot: u64,
+    /// Number of consecutive skipped slots.
+    pub slots: u64,
+    /// Backlog throughout the skipped range.
+    pub backlog: usize,
+}
+
+/// A sliding window of [`SlotRecord`]s plus the [`SkipRecord`]s the
+/// event engine emitted in place of inert slot ranges.
 #[derive(Clone, Debug)]
 pub struct TraceRecorder {
     records: VecDeque<SlotRecord>,
+    skips: VecDeque<SkipRecord>,
     capacity: usize,
     dropped: u64,
+    dropped_skips: u64,
 }
 
 impl TraceRecorder {
-    /// Creates a recorder keeping the last `capacity` slots.
+    /// Creates a recorder keeping the last `capacity` slots (and up to
+    /// `capacity` skip records).
     ///
     /// # Panics
     ///
@@ -43,8 +70,10 @@ impl TraceRecorder {
         assert!(capacity > 0, "capacity must be positive");
         TraceRecorder {
             records: VecDeque::with_capacity(capacity),
+            skips: VecDeque::new(),
             capacity,
             dropped: 0,
+            dropped_skips: 0,
         }
     }
 
@@ -57,9 +86,23 @@ impl TraceRecorder {
         self.records.push_back(record);
     }
 
+    /// Appends a skip record, evicting the oldest when full.
+    pub fn record_skip(&mut self, skip: SkipRecord) {
+        if self.skips.len() == self.capacity {
+            self.skips.pop_front();
+            self.dropped_skips += 1;
+        }
+        self.skips.push_back(skip);
+    }
+
     /// The retained records, oldest first.
     pub fn records(&self) -> impl Iterator<Item = &SlotRecord> {
         self.records.iter()
+    }
+
+    /// The retained skip records, oldest first.
+    pub fn skips(&self) -> impl Iterator<Item = &SkipRecord> {
+        self.skips.iter()
     }
 
     /// Number of retained records.
@@ -67,14 +110,45 @@ impl TraceRecorder {
         self.records.len()
     }
 
-    /// Whether nothing has been recorded.
+    /// Whether nothing has been recorded (skips included).
     pub fn is_empty(&self) -> bool {
-        self.records.is_empty()
+        self.records.is_empty() && self.skips.is_empty()
     }
 
     /// Records evicted due to the capacity bound.
     pub fn dropped(&self) -> u64 {
         self.dropped
+    }
+
+    /// Skip records evicted due to the capacity bound.
+    pub fn dropped_skips(&self) -> u64 {
+        self.dropped_skips
+    }
+
+    /// Rehydrates the retained window into a pure per-slot stream:
+    /// stepped slots contribute their [`SlotRecord`] verbatim, and each
+    /// [`SkipRecord`] contributes one all-zero record per skipped slot
+    /// (constant backlog), sorted by slot. On a fully retained trace
+    /// this equals what a per-slot run of the same configuration would
+    /// have recorded.
+    ///
+    /// Materializes one record per covered slot — intended for
+    /// differential testing and plotting of bounded windows, not for
+    /// billion-slot skips.
+    pub fn expand(&self) -> Vec<SlotRecord> {
+        let mut out: Vec<SlotRecord> = self.records.iter().copied().collect();
+        for skip in &self.skips {
+            out.extend((0..skip.slots).map(|i| SlotRecord {
+                slot: skip.from_slot + i,
+                injected: 0,
+                attempts: 0,
+                successes: 0,
+                delivered: 0,
+                backlog: skip.backlog,
+            }));
+        }
+        out.sort_by_key(|r| r.slot);
+        out
     }
 
     /// Renders the retained window as CSV.
@@ -139,5 +213,46 @@ mod tests {
     #[should_panic(expected = "capacity")]
     fn rejects_zero_capacity() {
         let _ = TraceRecorder::new(0);
+    }
+
+    #[test]
+    fn expand_interleaves_skips_with_records() {
+        let mut t = TraceRecorder::new(16);
+        t.record(rec(0));
+        t.record_skip(SkipRecord {
+            from_slot: 1,
+            slots: 3,
+            backlog: 3,
+        });
+        t.record(rec(4));
+        let expanded = t.expand();
+        let slots: Vec<u64> = expanded.iter().map(|r| r.slot).collect();
+        assert_eq!(slots, vec![0, 1, 2, 3, 4]);
+        // Skipped slots are all-zero with the recorded backlog.
+        for r in &expanded[1..4] {
+            assert_eq!(
+                (r.injected, r.attempts, r.successes, r.delivered, r.backlog),
+                (0, 0, 0, 0, 3)
+            );
+        }
+        // Stepped slots pass through verbatim.
+        assert_eq!(expanded[0], rec(0));
+        assert_eq!(expanded[4], rec(4));
+    }
+
+    #[test]
+    fn skip_window_is_bounded() {
+        let mut t = TraceRecorder::new(2);
+        for i in 0..4 {
+            t.record_skip(SkipRecord {
+                from_slot: i * 10,
+                slots: 5,
+                backlog: 0,
+            });
+        }
+        assert_eq!(t.skips().count(), 2);
+        assert_eq!(t.dropped_skips(), 2);
+        assert_eq!(t.skips().next().unwrap().from_slot, 20);
+        assert!(!t.is_empty(), "retained skips count as recorded data");
     }
 }

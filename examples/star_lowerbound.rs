@@ -124,6 +124,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             frames: slots, // frameless protocols: one slot per frame
             seed: 3,
             provision_cap: 0.95,
+            events: true,
         },
     };
 
