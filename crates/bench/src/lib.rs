@@ -22,8 +22,9 @@
 //! Run everything with `cargo run -p dps-bench --bin experiments --release`
 //! (add experiment ids to select, `--full` for paper-scale parameters).
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![warn(rust_2018_idioms)]
+#![forbid(unsafe_code)]
 
 pub mod experiments;
 pub mod setup;

@@ -22,7 +22,7 @@
 //! * [`coloring::GreedyColoringScheduler`] — a deterministic coloring
 //!   baseline to compare the randomized algorithms against.
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![warn(rust_2018_idioms)]
 #![forbid(unsafe_code)]
 

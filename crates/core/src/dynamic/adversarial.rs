@@ -139,6 +139,10 @@ impl<P: Protocol> Protocol for AdversarialWrapper<P> {
         self.inner.potential()
     }
 
+    fn check_invariants(&self) -> Result<(), crate::invariants::InvariantViolation> {
+        self.inner.check_invariants()
+    }
+
     /// The wrapper's own events are its pending releases; it draws RNG
     /// only per *arrival*, so slots without arrivals and without due
     /// releases are exactly as inert as the inner protocol says.

@@ -20,6 +20,7 @@
 use crate::dynamic::FrameConfig;
 use crate::feasibility::{Attempt, Feasibility};
 use crate::ids::{LinkId, PacketId};
+use crate::invariants::InvariantViolation;
 use crate::packet::{DeliveredPacket, Packet};
 use crate::protocol::{InternedArrival, Protocol, SlotOutcome};
 use crate::route_table::{RouteId, RouteTable};
@@ -470,6 +471,15 @@ impl<S: StaticScheduler> DynamicProtocol<S> {
         if self.slot_in_frame == self.config.frame_len {
             self.end_frame();
             self.slot_in_frame = 0;
+            // Frame-boundary invariant guard: catches a breach within one
+            // frame of its cause even when the caller never checks.
+            #[cfg(feature = "check-invariants")]
+            if let Err(violation) = self.check_invariants() {
+                panic!(
+                    "frame {} closed in a broken state: {violation}",
+                    self.frame_index - 1
+                );
+            }
         }
     }
 }
@@ -582,6 +592,159 @@ impl<S: StaticScheduler> Protocol for DynamicProtocol<S> {
 
     fn route_interner(&mut self) -> Option<&mut RouteTable> {
         Some(&mut self.routes)
+    }
+
+    /// Verifies the bookkeeping identities the stability proof rests on:
+    /// packet conservation (injected = delivered + backlog), potential
+    /// `Φ` = total remaining hops of failed packets (Section 4), the
+    /// per-link failed-buffer structure, lifecycle-state agreement
+    /// between the store and the protocol's lists, and the shared
+    /// store/route-table invariants of [`crate::invariants`].
+    fn check_invariants(&self) -> Result<(), InvariantViolation> {
+        crate::invariants::check_route_table(&self.routes)?;
+        // Live slots = waiting ∪ travelling ∪ failed. Delivered packets
+        // keep their `active` slot until the main→clean-up rebuild, so
+        // they are still "live" from the store's point of view.
+        let live = self
+            .arrivals_buffer
+            .iter()
+            .chain(self.active.iter())
+            .chain(self.failed.iter().flatten().map(|fr| &fr.pkt))
+            .copied();
+        crate::invariants::check_store_partition(&self.store, live)?;
+
+        for &pkt in &self.arrivals_buffer {
+            if self.store.state(pkt) != PacketState::Queued {
+                return Err(InvariantViolation::new(
+                    "state-tags",
+                    format!(
+                        "waiting packet {:?} tagged {:?}, expected Queued",
+                        self.store.id(pkt),
+                        self.store.state(pkt)
+                    ),
+                ));
+            }
+        }
+        let mut delivered_in_active = 0usize;
+        for &pkt in &self.active {
+            let hop = self.store.hop(pkt);
+            let len = self.routes.len_of(self.store.route(pkt));
+            match self.store.state(pkt) {
+                PacketState::Active if hop < len => {}
+                PacketState::Delivered if hop == len => delivered_in_active += 1,
+                state => {
+                    return Err(InvariantViolation::new(
+                        "state-tags",
+                        format!(
+                            "active-list packet {:?} tagged {state:?} at hop {hop} of {len}",
+                            self.store.id(pkt)
+                        ),
+                    ));
+                }
+            }
+        }
+        if delivered_in_active != self.delivered_in_active {
+            return Err(InvariantViolation::new(
+                "state-tags",
+                format!(
+                    "{delivered_in_active} Delivered tags in the active list but \
+                     delivered_in_active = {}",
+                    self.delivered_in_active
+                ),
+            ));
+        }
+
+        let mut failed_count = 0usize;
+        let mut remaining_hops = 0u64;
+        for (link_idx, buffer) in self.failed.iter().enumerate() {
+            for fr in buffer {
+                failed_count += 1;
+                if self.store.state(fr.pkt) != PacketState::Failed {
+                    return Err(InvariantViolation::new(
+                        "state-tags",
+                        format!(
+                            "buffered packet {:?} tagged {:?}, expected Failed",
+                            self.store.id(fr.pkt),
+                            self.store.state(fr.pkt)
+                        ),
+                    ));
+                }
+                let route = self.store.route(fr.pkt);
+                let hop = self.store.hop(fr.pkt);
+                let len = self.routes.len_of(route);
+                if hop >= len {
+                    return Err(InvariantViolation::new(
+                        "failed-buffers",
+                        format!(
+                            "failed packet {:?} at hop {hop} of a {len}-link route",
+                            self.store.id(fr.pkt)
+                        ),
+                    ));
+                }
+                let next = self.routes.link_at(route, hop);
+                if next.index() != link_idx {
+                    return Err(InvariantViolation::new(
+                        "failed-buffers",
+                        format!(
+                            "packet {:?} buffered under link {link_idx} but its next hop is {next}",
+                            self.store.id(fr.pkt)
+                        ),
+                    ));
+                }
+                remaining_hops += (len - hop) as u64;
+            }
+        }
+        if failed_count != self.failed_total {
+            return Err(InvariantViolation::new(
+                "failed-accounting",
+                format!(
+                    "failed buffers hold {failed_count} packets but failed_total = {}",
+                    self.failed_total
+                ),
+            ));
+        }
+        if remaining_hops != self.potential {
+            return Err(InvariantViolation::new(
+                "potential-accounting",
+                format!(
+                    "Φ = {} but failed packets have {remaining_hops} remaining hops",
+                    self.potential
+                ),
+            ));
+        }
+
+        if self.injected_total != self.delivered_total + self.backlog() as u64 {
+            return Err(InvariantViolation::new(
+                "packet-conservation",
+                format!(
+                    "injected {} ≠ delivered {} + backlog {}",
+                    self.injected_total,
+                    self.delivered_total,
+                    self.backlog()
+                ),
+            ));
+        }
+
+        if self.slot_in_frame >= self.config.frame_len {
+            return Err(InvariantViolation::new(
+                "frame-cursor",
+                format!(
+                    "slot_in_frame {} out of range (frame length {})",
+                    self.slot_in_frame, self.config.frame_len
+                ),
+            ));
+        }
+        if self.main_alg.is_some() && self.main_acked.len() != self.active.len() {
+            return Err(InvariantViolation::new(
+                "main-ack-alignment",
+                format!(
+                    "{} ack flags for {} active packets",
+                    self.main_acked.len(),
+                    self.active.len()
+                ),
+            ));
+        }
+        Ok(())
     }
 
     fn step_interned(
@@ -1008,6 +1171,41 @@ mod tests {
         assert!(events.iter().all(|e| e.cleanup_selected == 0));
         assert!(events.iter().all(|e| e.cleanup_served == 0));
         assert_eq!(protocol.backlog(), 1, "packet is stuck but conserved");
+    }
+
+    /// The shared invariant layer must hold between every pair of slots
+    /// of a driven run — injections, failures, clean-up recoveries and
+    /// deliveries included. This is the runtime face of the checks
+    /// `dps-model` proves exhaustively on tiny instances.
+    #[test]
+    fn invariants_hold_after_every_slot_of_a_driven_run() {
+        let mut protocol = DynamicProtocol::new(GreedyPerLink::new(), tiny_config(1.0), 2);
+        // Fail the first three attempt slots so packets traverse the
+        // failed buffers and clean-up selection, then succeed.
+        let phy = FailFirstCalls::new(3);
+        let mut rng = root_rng(11);
+        let network = line_network(2);
+        let route01 = RoutePath::new(&network, vec![LinkId(0), LinkId(1)])
+            .unwrap()
+            .shared();
+        let route1 = RoutePath::single_hop(LinkId(1)).shared();
+        let mut outcome = SlotOutcome::empty();
+        for slot in 0..40u64 {
+            // Stagger injections across frames and links.
+            let arrivals = match slot {
+                0 => vec![Packet::new(PacketId(0), route01.clone(), slot)],
+                5 => vec![Packet::new(PacketId(1), route1.clone(), slot)],
+                9 => vec![Packet::new(PacketId(2), route01.clone(), slot)],
+                _ => Vec::new(),
+            };
+            protocol.step(slot, &arrivals, &phy, &mut rng, &mut outcome);
+            protocol
+                .check_invariants()
+                .unwrap_or_else(|v| panic!("after slot {slot}: {v}"));
+        }
+        assert_eq!(protocol.delivered_total(), 3, "all packets delivered");
+        assert_eq!(protocol.backlog(), 0);
+        protocol.check_invariants().unwrap();
     }
 
     /// At `cleanup_select_prob = 1.0` every non-empty buffer selects in

@@ -1,0 +1,312 @@
+//! Machine-checked protocol invariants: one definition, three consumers.
+//!
+//! The frame protocol's stability guarantee rests on bookkeeping
+//! identities — packet conservation, potential accounting, the
+//! store/free-list partition — that aggressive data-plane refactors can
+//! break silently: a golden fingerprint detects *that* something drifted
+//! but cannot say *which* identity broke. This module states each
+//! invariant once, as a plain check function returning a structured
+//! [`InvariantViolation`], and three layers call the same definitions:
+//!
+//! * the **exhaustive model checker** (`dps-model`) checks them in every
+//!   reachable state of tiny instances;
+//! * the **simulation runner** (`dps_sim::run_simulation`) asserts them
+//!   after every slot when the `check-invariants` cargo feature is
+//!   enabled, so long unattended runs fail loudly on breach instead of
+//!   silently on corrupt statistics;
+//! * **unit tests and proptests** call them directly on hand-built and
+//!   generated states.
+//!
+//! The checks live here rather than inside the data structures so a
+//! violation is reported with the *invariant's* name (the paper's lemma
+//! language) rather than a local `debug_assert!` with no context.
+
+use crate::route_table::RouteTable;
+use crate::store::{PacketRef, PacketStore};
+use std::fmt;
+
+/// A named invariant breach: which identity broke, and how.
+///
+/// The `invariant` tag is a stable machine-readable name (used by the
+/// model checker's counterexample reports and by tests asserting that a
+/// *specific* invariant is detected); `details` is human-readable
+/// context.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct InvariantViolation {
+    /// Stable name of the violated invariant (e.g. `"store-partition"`).
+    pub invariant: &'static str,
+    /// Human-readable description of the breach.
+    pub details: String,
+}
+
+impl InvariantViolation {
+    /// A violation of `invariant` described by `details`.
+    pub fn new(invariant: &'static str, details: impl Into<String>) -> Self {
+        InvariantViolation {
+            invariant,
+            details: details.into(),
+        }
+    }
+}
+
+impl fmt::Display for InvariantViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "invariant `{}` violated: {}",
+            self.invariant, self.details
+        )
+    }
+}
+
+impl std::error::Error for InvariantViolation {}
+
+/// Structural consistency of a [`PacketStore`]: all SoA columns have the
+/// same length, and the free list holds only in-range, pairwise-distinct
+/// slots.
+///
+/// # Errors
+///
+/// Returns the first violated identity as an [`InvariantViolation`]
+/// tagged `store-columns` or `store-free-list`.
+pub fn check_store(store: &PacketStore) -> Result<(), InvariantViolation> {
+    let lens = store.column_lens();
+    if lens.iter().any(|&l| l != lens[0]) {
+        return Err(InvariantViolation::new(
+            "store-columns",
+            format!("SoA columns diverged: id/route/injected/hop/state lengths {lens:?}"),
+        ));
+    }
+    let capacity = lens[0];
+    let free = store.free_slots();
+    let mut seen = vec![false; capacity];
+    for &slot in free {
+        let i = slot as usize;
+        if i >= capacity {
+            return Err(InvariantViolation::new(
+                "store-free-list",
+                format!("free slot {slot} out of range (capacity {capacity})"),
+            ));
+        }
+        if seen[i] {
+            return Err(InvariantViolation::new(
+                "store-free-list",
+                format!("slot {slot} appears twice on the free list"),
+            ));
+        }
+        seen[i] = true;
+    }
+    Ok(())
+}
+
+/// The store-partition invariant: the caller's live refs and the store's
+/// free list partition the store's slots — every slot is either live or
+/// free, never both, never neither, never twice.
+///
+/// This is the identity the frame protocol's slot-recycling discipline
+/// maintains (a delivered packet's slot is freed exactly once, at the
+/// main→clean-up rebuild or on clean-up delivery) and the one a leaked
+/// or double-freed slot breaks.
+///
+/// # Errors
+///
+/// Returns [`check_store`]'s violations, plus `store-partition` when the
+/// live set and free list fail to partition the slots.
+pub fn check_store_partition<I>(store: &PacketStore, live: I) -> Result<(), InvariantViolation>
+where
+    I: IntoIterator<Item = PacketRef>,
+{
+    check_store(store)?;
+    let capacity = store.capacity();
+    // 0 = unaccounted, 1 = live, 2 = free.
+    let mut tag = vec![0u8; capacity];
+    for &slot in store.free_slots() {
+        tag[slot as usize] = 2;
+    }
+    let mut live_count = 0usize;
+    for p in live {
+        let i = p.index();
+        if i >= capacity {
+            return Err(InvariantViolation::new(
+                "store-partition",
+                format!("live ref {p:?} out of range (capacity {capacity})"),
+            ));
+        }
+        match tag[i] {
+            2 => {
+                return Err(InvariantViolation::new(
+                    "store-partition",
+                    format!("ref {p:?} is both live and on the free list"),
+                ))
+            }
+            1 => {
+                return Err(InvariantViolation::new(
+                    "store-partition",
+                    format!("ref {p:?} appears twice in the live set"),
+                ))
+            }
+            _ => tag[i] = 1,
+        }
+        live_count += 1;
+    }
+    if let Some(slot) = tag.iter().position(|&t| t == 0) {
+        return Err(InvariantViolation::new(
+            "store-partition",
+            format!("slot {slot} leaked: neither live nor on the free list"),
+        ));
+    }
+    debug_assert_eq!(live_count + store.free_slots().len(), capacity);
+    if store.live() != live_count {
+        return Err(InvariantViolation::new(
+            "store-partition",
+            format!(
+                "store reports {} live slots but the live set has {live_count}",
+                store.live()
+            ),
+        ));
+    }
+    Ok(())
+}
+
+/// Intern canonicality of a [`RouteTable`]: dense ids, a well-formed CSR
+/// layout that matches the canonical `Arc`s, exactly one content entry
+/// per distinct route, only valid ids behind the pointer fast path, and
+/// the alias-pinning memory bound.
+///
+/// # Errors
+///
+/// Returns the first violated identity, tagged `route-csr`,
+/// `route-content-map`, `route-ptr-map` or `route-pin-bound`.
+pub fn check_route_table(table: &RouteTable) -> Result<(), InvariantViolation> {
+    let n = table.len();
+    let offsets = table.csr_offsets();
+    if offsets.len() != n {
+        return Err(InvariantViolation::new(
+            "route-csr",
+            format!("{n} routes but {} CSR offsets", offsets.len()),
+        ));
+    }
+    let mut prev = 0u32;
+    for (i, &end) in offsets.iter().enumerate() {
+        if end < prev {
+            return Err(InvariantViolation::new(
+                "route-csr",
+                format!("CSR offsets not monotone at route {i}: {end} < {prev}"),
+            ));
+        }
+        prev = end;
+    }
+    if offsets.last().copied().unwrap_or(0) as usize != table.csr_links().len() {
+        return Err(InvariantViolation::new(
+            "route-csr",
+            format!(
+                "CSR tail {} does not cover the {} flattened links",
+                offsets.last().copied().unwrap_or(0),
+                table.csr_links().len()
+            ),
+        ));
+    }
+    for (i, canonical) in table.iter().enumerate() {
+        let id = crate::route_table::RouteId(i as u32);
+        if table.links_of(id) != canonical.links() {
+            return Err(InvariantViolation::new(
+                "route-csr",
+                format!("CSR links of route {id} diverge from the canonical Arc"),
+            ));
+        }
+    }
+    // Content map: a bijection between distinct routes and dense ids.
+    if table.content_entries() != n {
+        return Err(InvariantViolation::new(
+            "route-content-map",
+            format!(
+                "{n} routes but {} content-dedup entries",
+                table.content_entries()
+            ),
+        ));
+    }
+    if let Some((route, id)) = table.find_broken_content_entry() {
+        return Err(InvariantViolation::new(
+            "route-content-map",
+            format!("content entry for {route:?} maps to non-canonical id {id}"),
+        ));
+    }
+    if let Some(id) = table.find_invalid_ptr_entry() {
+        return Err(InvariantViolation::new(
+            "route-ptr-map",
+            format!("pointer fast path maps to out-of-range id {id}"),
+        ));
+    }
+    let (pinned, bound) = table.pin_usage();
+    if pinned > bound {
+        return Err(InvariantViolation::new(
+            "route-pin-bound",
+            format!("{pinned} pinned aliases exceed the bound {bound}"),
+        ));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::{LinkId, PacketId};
+    use crate::path::RoutePath;
+    use crate::route_table::RouteId;
+
+    #[test]
+    fn fresh_store_passes() {
+        let store = PacketStore::new();
+        check_store(&store).unwrap();
+        check_store_partition(&store, []).unwrap();
+    }
+
+    #[test]
+    fn live_and_free_partition_is_enforced() {
+        let mut store = PacketStore::new();
+        let a = store.insert(PacketId(0), RouteId(0), 0);
+        let b = store.insert(PacketId(1), RouteId(0), 0);
+        check_store_partition(&store, [a, b]).unwrap();
+        store.free(a);
+        check_store_partition(&store, [b]).unwrap();
+        // A leaked slot (neither live nor free) is caught…
+        let err = check_store_partition(&store, []).unwrap_err();
+        assert_eq!(err.invariant, "store-partition");
+        assert!(err.details.contains("leaked"), "{err}");
+        // …as is claiming a freed slot live…
+        let err = check_store_partition(&store, [a, b]).unwrap_err();
+        assert_eq!(err.invariant, "store-partition");
+        // …and a duplicated live ref.
+        let err = check_store_partition(&store, [b, b]).unwrap_err();
+        assert_eq!(err.invariant, "store-partition");
+        assert!(err.details.contains("twice"), "{err}");
+    }
+
+    #[test]
+    fn route_table_canonicality_passes_on_real_tables() {
+        let mut table = RouteTable::new();
+        let r1 = RoutePath::from_links_unchecked(vec![LinkId(0), LinkId(1)]).shared();
+        let r2 = RoutePath::from_links_unchecked(vec![LinkId(2)]).shared();
+        table.intern(&r1);
+        table.intern(&r2);
+        // Duplicate content behind a fresh Arc must not break canonicality.
+        let dup = RoutePath::from_links_unchecked(vec![LinkId(0), LinkId(1)]).shared();
+        table.intern(&dup);
+        check_route_table(&table).unwrap();
+        assert_eq!(table.len(), 2);
+    }
+
+    #[test]
+    fn empty_route_table_passes() {
+        check_route_table(&RouteTable::new()).unwrap();
+    }
+
+    #[test]
+    fn violation_displays_its_name() {
+        let v = InvariantViolation::new("store-partition", "slot 3 leaked");
+        assert_eq!(
+            v.to_string(),
+            "invariant `store-partition` violated: slot 3 leaked"
+        );
+    }
+}

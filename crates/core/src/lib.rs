@@ -55,7 +55,7 @@
 //! # Ok::<(), dps_core::error::ModelError>(())
 //! ```
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![warn(rust_2018_idioms)]
 #![forbid(unsafe_code)]
 
@@ -66,6 +66,7 @@ pub mod graph;
 pub mod ids;
 pub mod injection;
 pub mod interference;
+pub mod invariants;
 pub mod load;
 pub mod packet;
 pub mod path;
@@ -96,6 +97,7 @@ pub mod prelude {
     pub use crate::interference::{
         CompleteInterference, DenseInterference, IdentityInterference, InterferenceModel,
     };
+    pub use crate::invariants::InvariantViolation;
     pub use crate::load::LinkLoad;
     pub use crate::packet::{DeliveredPacket, Packet};
     pub use crate::path::RoutePath;

@@ -16,6 +16,7 @@
 
 use crate::feasibility::Feasibility;
 use crate::ids::PacketId;
+use crate::invariants::InvariantViolation;
 use crate::packet::{DeliveredPacket, Packet};
 use crate::route_table::{RouteId, RouteTable};
 use rand::RngCore;
@@ -150,6 +151,23 @@ pub trait Protocol {
     /// override it to advance their frame phase.
     fn skip_idle_slots(&mut self, _from: u64, _count: u64) {}
 
+    /// Verifies the protocol's internal bookkeeping invariants (packet
+    /// conservation, the store/free-list partition, potential
+    /// accounting — see [`crate::invariants`]).
+    ///
+    /// Called between slots by the simulation runner when the
+    /// `check-invariants` cargo feature is enabled, and by the
+    /// exhaustive model checker on every reachable state. Must not
+    /// mutate state or consume RNG. The default reports no violation —
+    /// correct for protocols without checkable internal structure.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated invariant.
+    fn check_invariants(&self) -> Result<(), InvariantViolation> {
+        Ok(())
+    }
+
     /// The protocol's route interner, when it keys packets by
     /// [`RouteId`] internally. Returning `Some` (paired with an
     /// injector whose `Injector::interned_capable` is true) lets the
@@ -223,6 +241,10 @@ impl<P: Protocol + ?Sized> Protocol for Box<P> {
 
     fn route_interner(&mut self) -> Option<&mut RouteTable> {
         (**self).route_interner()
+    }
+
+    fn check_invariants(&self) -> Result<(), InvariantViolation> {
+        (**self).check_invariants()
     }
 
     fn step_interned(

@@ -18,6 +18,11 @@
 
 use crate::ids::LinkId;
 use crate::path::RoutePath;
+// Determinism audit (dps-lint: hash-container): both maps are
+// lookup/insert-only on the hot path — no simulation decision ever
+// iterates them, and ids are assigned by interning order, not map
+// order. The only iteration is the invariant layer's verification walk
+// (a pass/fail conjunction). Audited sites are listed in dps-lint.allow.
 use std::collections::HashMap;
 use std::hash::{BuildHasherDefault, Hasher};
 use std::sync::Arc;
@@ -205,6 +210,53 @@ impl RouteTable {
     pub fn iter(&self) -> impl Iterator<Item = &Arc<RoutePath>> {
         self.routes.iter()
     }
+
+    // Introspection for the shared invariant layer
+    // ([`crate::invariants::check_route_table`]). The map walks below are
+    // verification-only: they decide a deterministic pass/fail
+    // conjunction and never feed simulation state or output, so the
+    // HashMap iteration order cannot reach results (see dps-lint.allow).
+
+    /// CSR end-offsets, one per interned route.
+    pub(crate) fn csr_offsets(&self) -> &[u32] {
+        &self.offsets
+    }
+
+    /// The flattened hop links of all routes.
+    pub(crate) fn csr_links(&self) -> &[LinkId] {
+        &self.links
+    }
+
+    /// Number of content-dedup entries (must equal [`RouteTable::len`]).
+    pub(crate) fn content_entries(&self) -> usize {
+        self.by_content.len()
+    }
+
+    /// First content-dedup entry whose id is out of range or whose
+    /// canonical route differs structurally from the entry's key.
+    pub(crate) fn find_broken_content_entry(&self) -> Option<(Arc<RoutePath>, RouteId)> {
+        self.by_content.iter().find_map(|(route, &id)| {
+            let broken = match self.routes.get(id.index()) {
+                Some(canonical) => canonical.links() != route.links(),
+                None => true,
+            };
+            broken.then(|| (route.clone(), id))
+        })
+    }
+
+    /// First pointer-fast-path entry mapping to an out-of-range id.
+    pub(crate) fn find_invalid_ptr_entry(&self) -> Option<RouteId> {
+        self.by_ptr
+            .values()
+            .copied()
+            .find(|id| id.index() >= self.routes.len())
+    }
+
+    /// Pinned-alias usage: `(pinned, bound)` with `pinned ≤ bound` the
+    /// memory-bound invariant of the pointer fast path.
+    pub(crate) fn pin_usage(&self) -> (usize, usize) {
+        (self.pinned.len(), 4 * self.routes.len() + Self::PIN_SLACK)
+    }
 }
 
 #[cfg(test)]
@@ -288,6 +340,28 @@ mod tests {
             table.routes.len()
         );
         assert!(table.by_ptr.len() <= table.pinned.len() + table.routes.len());
+    }
+
+    /// Every table state producible through the public API must satisfy
+    /// the shared canonicality invariant — including the alias-pinning
+    /// cap path exercised by per-packet fresh `Arc`s.
+    #[test]
+    fn interned_tables_satisfy_the_shared_invariants() {
+        use crate::invariants::check_route_table;
+        let mut table = RouteTable::new();
+        check_route_table(&table).unwrap();
+        for i in 0..16u32 {
+            table.intern(&route(&[i, i + 1, i + 2]));
+            check_route_table(&table).unwrap();
+        }
+        // Duplicate content behind fresh Arcs: exercises both the
+        // alias-pinning path and, once the budget is spent, the pure
+        // content-hash path.
+        for _ in 0..1_000 {
+            table.intern(&route(&[0, 1, 2]));
+        }
+        check_route_table(&table).unwrap();
+        assert_eq!(table.len(), 16);
     }
 
     #[test]

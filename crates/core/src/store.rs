@@ -154,6 +154,23 @@ impl PacketStore {
     pub fn capacity(&self) -> usize {
         self.ids.len()
     }
+
+    /// Lengths of the five SoA columns, for the shared invariant layer
+    /// ([`crate::invariants::check_store`]): all must agree.
+    pub(crate) fn column_lens(&self) -> [usize; 5] {
+        [
+            self.ids.len(),
+            self.routes.len(),
+            self.injected_at.len(),
+            self.hops.len(),
+            self.states.len(),
+        ]
+    }
+
+    /// The recycled-slot free list, for the shared invariant layer.
+    pub(crate) fn free_slots(&self) -> &[u32] {
+        &self.free
+    }
 }
 
 #[cfg(test)]
@@ -201,6 +218,33 @@ mod tests {
         assert_eq!(store.live(), 2);
         assert_eq!(store.capacity(), 2);
         assert_eq!(store.id(b), PacketId(2), "other slots untouched");
+    }
+
+    /// The shared invariant layer must accept every state the store's
+    /// own API can produce: fresh slots, recycled slots, interleaved
+    /// frees — with the live set tracked externally, as protocols do.
+    #[test]
+    fn store_states_satisfy_the_shared_invariants() {
+        use crate::invariants::{check_store, check_store_partition};
+        let mut store = PacketStore::new();
+        let mut live = Vec::new();
+        for i in 0..6 {
+            live.push(store.insert(PacketId(i), RouteId(0), i));
+            check_store_partition(&store, live.iter().copied()).unwrap();
+        }
+        // Free every other packet, then recycle the slots.
+        for i in (0..6).step_by(2).rev() {
+            let p = live.remove(i);
+            store.set_state(p, PacketState::Delivered);
+            store.free(p);
+            check_store_partition(&store, live.iter().copied()).unwrap();
+        }
+        for i in 0..3 {
+            live.push(store.insert(PacketId(100 + i), RouteId(1), 9));
+            check_store(&store).unwrap();
+            check_store_partition(&store, live.iter().copied()).unwrap();
+        }
+        assert_eq!(store.capacity(), 6, "recycling must not grow the store");
     }
 
     #[test]

@@ -1,0 +1,107 @@
+//! CI entry point: scans the workspace's simulation sources for
+//! determinism hazards and fails on any finding not covered by the
+//! audited allowlist (`dps-lint.allow` at the repo root).
+//!
+//! ```text
+//! dps-lint [--root DIR] [--allow FILE]
+//! ```
+//!
+//! Exit code 1 on unaudited findings or a malformed allowlist; stale
+//! allowlist entries (matching nothing) are reported as warnings so
+//! audits do not outlive the code they blessed.
+
+use dps_lint::{apply_allowlist, default_roots, parse_allowlist, scan_roots};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut root = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(|p| p.parent())
+        .map(PathBuf::from)
+        .expect("crates/lint sits two levels under the repo root");
+    let mut allow_path: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => match args.next() {
+                Some(dir) => root = PathBuf::from(dir),
+                None => {
+                    eprintln!("--root needs a directory");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--allow" => match args.next() {
+                Some(file) => allow_path = Some(PathBuf::from(file)),
+                None => {
+                    eprintln!("--allow needs a file");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--help" | "-h" => {
+                println!("usage: dps-lint [--root DIR] [--allow FILE]");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("unknown argument `{other}`");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let allow_path = allow_path.unwrap_or_else(|| root.join("dps-lint.allow"));
+
+    let allow_text = match std::fs::read_to_string(&allow_path) {
+        Ok(text) => text,
+        Err(err) => {
+            eprintln!("cannot read allowlist {}: {err}", allow_path.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    let entries = match parse_allowlist(&allow_text) {
+        Ok(entries) => entries,
+        Err(msg) => {
+            eprintln!("{}: {msg}", allow_path.display());
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let findings = match scan_roots(&default_roots(&root)) {
+        Ok(findings) => findings,
+        Err(err) => {
+            eprintln!("scan failed: {err}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let (violations, used) = apply_allowlist(&findings, &entries);
+
+    for (entry, &was_used) in entries.iter().zip(&used) {
+        if !was_used {
+            eprintln!(
+                "warning: stale allowlist entry `{} | {} | {}` matched nothing",
+                entry.rule, entry.path_suffix, entry.fragment
+            );
+        }
+    }
+    if violations.is_empty() {
+        println!(
+            "dps-lint: clean ({} audited findings, {} allowlist entries)",
+            findings.len(),
+            entries.len()
+        );
+        return ExitCode::SUCCESS;
+    }
+    for v in &violations {
+        let why = dps_lint::RULES
+            .iter()
+            .find(|r| r.name == v.rule)
+            .map(|r| r.why)
+            .unwrap_or("");
+        eprintln!("{v}\n    {why}");
+    }
+    eprintln!(
+        "dps-lint: {} unaudited determinism hazard(s); audit each site and add it to {}",
+        violations.len(),
+        allow_path.display()
+    );
+    ExitCode::FAILURE
+}

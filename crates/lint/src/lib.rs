@@ -1,0 +1,316 @@
+//! Determinism lints for the simulation workspace.
+//!
+//! Every simulation result in this repository is supposed to be a pure
+//! function of `(configuration, seed)` — that is what the golden
+//! fingerprints, the interned/Packet lane-equivalence tests and the
+//! event/per-slot differential tests all assert. Three hazard classes
+//! can silently break that purity:
+//!
+//! * **`hash-container`** — `HashMap`/`HashSet` iteration order is
+//!   randomized per process (`RandomState`); iterating one in a code
+//!   path that feeds simulation decisions or output makes runs
+//!   irreproducible.
+//! * **`std-time`** — wall-clock reads (`std::time`, `SystemTime`,
+//!   `Instant::now`) leak the host's clock into results.
+//! * **`unseeded-rng`** — entropy-seeded generators (`thread_rng`,
+//!   `from_entropy`, `OsRng`, `rand::random`) bypass the workspace's
+//!   root-seed/stream-splitting discipline.
+//!
+//! The linter is a deliberately simple line scanner: it flags every
+//! *use* of a hazardous name (not just iteration), because proving
+//! "this map is never iterated" syntactically is beyond a line scanner
+//! and the workspace's policy is that every such use must be audited
+//! once and recorded in the allowlist (`dps-lint.allow` at the repo
+//! root) with a comment explaining why it is sound. A new hazard —
+//! or an allowlist entry gone stale because the code it blessed was
+//! removed — fails CI.
+//!
+//! Comment text is stripped before matching, so prose *about*
+//! `HashMap` (like this paragraph) never trips the lint.
+
+#![deny(missing_docs)]
+#![warn(rust_2018_idioms)]
+#![forbid(unsafe_code)]
+
+use std::fmt;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// A hazard class the linter scans for.
+pub struct Rule {
+    /// Stable rule name, referenced by allowlist entries.
+    pub name: &'static str,
+    /// Substrings whose presence on a (comment-stripped) line flags it.
+    pub needles: &'static [&'static str],
+    /// One-line rationale shown with findings.
+    pub why: &'static str,
+}
+
+/// The workspace's hazard rules.
+pub const RULES: &[Rule] = &[
+    Rule {
+        name: "hash-container",
+        needles: &["HashMap", "HashSet"],
+        why: "iteration order is randomized per process; audited sites must not let \
+              order reach simulation decisions or output",
+    },
+    Rule {
+        name: "std-time",
+        needles: &["std::time", "SystemTime", "Instant::now"],
+        why: "wall-clock reads make results depend on the host; simulation time is \
+              the slot counter",
+    },
+    Rule {
+        name: "unseeded-rng",
+        needles: &["thread_rng", "from_entropy", "OsRng", "rand::random"],
+        why: "entropy-seeded generators bypass the root-seed/stream discipline",
+    },
+];
+
+/// One flagged line.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Finding {
+    /// Name of the rule that fired.
+    pub rule: &'static str,
+    /// Path of the file, as given to the scanner.
+    pub path: PathBuf,
+    /// 1-based line number.
+    pub line: usize,
+    /// The raw line text (trimmed).
+    pub text: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.path.display(),
+            self.line,
+            self.rule,
+            self.text
+        )
+    }
+}
+
+/// One audited exemption, parsed from `dps-lint.allow`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AllowEntry {
+    /// Rule the exemption applies to.
+    pub rule: String,
+    /// Matched against the end of the finding's path (`/`-normalized).
+    pub path_suffix: String,
+    /// Matched as a substring of the finding's line text.
+    pub fragment: String,
+}
+
+/// Strips `//` line comments. Naive about `//` inside string literals,
+/// which is fine for a lint whose needles are identifiers.
+fn strip_line_comment(line: &str) -> &str {
+    match line.find("//") {
+        Some(pos) => &line[..pos],
+        None => line,
+    }
+}
+
+/// Scans one file's content, returning findings in line order.
+pub fn scan_file(path: &Path, content: &str) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for (idx, raw) in content.lines().enumerate() {
+        let code = strip_line_comment(raw);
+        for rule in RULES {
+            if rule.needles.iter().any(|needle| code.contains(needle)) {
+                findings.push(Finding {
+                    rule: rule.name,
+                    path: path.to_path_buf(),
+                    line: idx + 1,
+                    text: raw.trim().to_string(),
+                });
+            }
+        }
+    }
+    findings
+}
+
+/// Collects every `.rs` file under `root` (recursively), sorted, so the
+/// scan itself is deterministic.
+fn rust_files(root: &Path, into: &mut Vec<PathBuf>) -> io::Result<()> {
+    let mut entries: Vec<PathBuf> = fs::read_dir(root)?
+        .map(|e| e.map(|e| e.path()))
+        .collect::<io::Result<_>>()?;
+    entries.sort();
+    for path in entries {
+        if path.is_dir() {
+            rust_files(&path, into)?;
+        } else if path.extension().is_some_and(|ext| ext == "rs") {
+            into.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Scans every `.rs` file under the given roots.
+///
+/// # Errors
+///
+/// Propagates filesystem errors (a missing root is an error: silently
+/// scanning nothing would pass vacuously).
+pub fn scan_roots(roots: &[PathBuf]) -> io::Result<Vec<Finding>> {
+    let mut files = Vec::new();
+    for root in roots {
+        rust_files(root, &mut files)?;
+    }
+    let mut findings = Vec::new();
+    for file in files {
+        let content = fs::read_to_string(&file)?;
+        findings.extend(scan_file(&file, &content));
+    }
+    Ok(findings)
+}
+
+/// The source roots the workspace lints: the facade plus every `dps-*`
+/// simulation crate. `crates/compat` (vendored stand-ins), `dps-model`
+/// and `dps-lint` itself are exempt — none of them feed simulation
+/// results.
+pub fn default_roots(repo_root: &Path) -> Vec<PathBuf> {
+    [
+        "src",
+        "crates/core/src",
+        "crates/sinr/src",
+        "crates/conflict/src",
+        "crates/mac/src",
+        "crates/routing/src",
+        "crates/sim/src",
+        "crates/scenario/src",
+        "crates/bench/src",
+    ]
+    .iter()
+    .map(|rel| repo_root.join(rel))
+    .collect()
+}
+
+/// Parses `dps-lint.allow`: one `rule | path-suffix | line-fragment`
+/// entry per line; `#` starts a comment; blank lines are skipped.
+///
+/// # Errors
+///
+/// Returns a message naming the offending line on malformed entries or
+/// unknown rule names.
+pub fn parse_allowlist(text: &str) -> Result<Vec<AllowEntry>, String> {
+    let mut entries = Vec::new();
+    for (idx, raw) in text.lines().enumerate() {
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let parts: Vec<&str> = line.splitn(3, '|').map(str::trim).collect();
+        if parts.len() != 3 || parts.iter().any(|p| p.is_empty()) {
+            return Err(format!(
+                "allowlist line {}: expected `rule | path-suffix | line-fragment`, got `{raw}`",
+                idx + 1
+            ));
+        }
+        if !RULES.iter().any(|r| r.name == parts[0]) {
+            return Err(format!(
+                "allowlist line {}: unknown rule `{}`",
+                idx + 1,
+                parts[0]
+            ));
+        }
+        entries.push(AllowEntry {
+            rule: parts[0].to_string(),
+            path_suffix: parts[1].to_string(),
+            fragment: parts[2].to_string(),
+        });
+    }
+    Ok(entries)
+}
+
+/// Splits findings into `(violations, used-entry flags)`: a finding is
+/// exempt when some entry matches its rule, path suffix and line text.
+/// The flags (index-aligned with `entries`) let callers report stale
+/// entries that matched nothing.
+pub fn apply_allowlist(findings: &[Finding], entries: &[AllowEntry]) -> (Vec<Finding>, Vec<bool>) {
+    let mut used = vec![false; entries.len()];
+    let mut violations = Vec::new();
+    for finding in findings {
+        let path = finding.path.to_string_lossy().replace('\\', "/");
+        let mut allowed = false;
+        for (i, entry) in entries.iter().enumerate() {
+            if entry.rule == finding.rule
+                && path.ends_with(&entry.path_suffix)
+                && finding.text.contains(&entry.fragment)
+            {
+                used[i] = true;
+                allowed = true;
+            }
+        }
+        if !allowed {
+            violations.push(finding.clone());
+        }
+    }
+    (violations, used)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flags_each_rule_and_skips_comments() {
+        let src = "\
+use std::collections::HashMap; // lookup only\n\
+// a comment mentioning HashSet does not count\n\
+let t = std::time::Instant::now();\n\
+let mut rng = rand::thread_rng();\n\
+let ok = BTreeMap::new();\n";
+        let findings = scan_file(Path::new("x.rs"), src);
+        let rules: Vec<_> = findings.iter().map(|f| f.rule).collect();
+        assert_eq!(rules, ["hash-container", "std-time", "unseeded-rng"]);
+        assert_eq!(findings[0].line, 1);
+        assert_eq!(findings[1].line, 3);
+    }
+
+    #[test]
+    fn allowlist_matches_on_rule_path_and_fragment() {
+        let findings = vec![
+            Finding {
+                rule: "hash-container",
+                path: PathBuf::from("/repo/crates/core/src/route_table.rs"),
+                line: 26,
+                text: "use std::collections::HashMap;".into(),
+            },
+            Finding {
+                rule: "hash-container",
+                path: PathBuf::from("/repo/crates/sim/src/runner.rs"),
+                line: 10,
+                text: "let m = HashMap::new();".into(),
+            },
+        ];
+        let entries = parse_allowlist(
+            "# audited\nhash-container | crates/core/src/route_table.rs | use std::collections::HashMap\n",
+        )
+        .unwrap();
+        let (violations, used) = apply_allowlist(&findings, &entries);
+        assert_eq!(violations.len(), 1, "only the unaudited site survives");
+        assert_eq!(violations[0].path, findings[1].path);
+        assert_eq!(used, [true]);
+    }
+
+    #[test]
+    fn stale_entries_are_reported_unused() {
+        let entries =
+            parse_allowlist("std-time | crates/gone/src/old.rs | Instant::now\n").unwrap();
+        let (violations, used) = apply_allowlist(&[], &entries);
+        assert!(violations.is_empty());
+        assert_eq!(used, [false]);
+    }
+
+    #[test]
+    fn malformed_and_unknown_rule_lines_are_rejected() {
+        assert!(parse_allowlist("just-two | parts\n").is_err());
+        assert!(parse_allowlist("no-such-rule | a.rs | fragment\n").is_err());
+        assert!(parse_allowlist("# only comments\n\n").unwrap().is_empty());
+    }
+}

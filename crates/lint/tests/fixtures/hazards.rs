@@ -1,0 +1,17 @@
+//! Negative fixture for dps-lint: every rule must fire on this file.
+//! Not compiled — test data only (cargo only builds direct children of
+//! `tests/`).
+
+use std::collections::HashMap;
+use std::time::SystemTime;
+
+fn hazards() {
+    let mut order_hazard: HashMap<u32, u32> = HashMap::new();
+    order_hazard.insert(1, 2);
+    let clock_hazard = SystemTime::now();
+    let timer_hazard = std::time::Instant::now();
+    let mut seed_hazard = rand::thread_rng();
+    let also_seed_hazard: u64 = rand::random();
+    // A comment mentioning HashSet must NOT fire.
+    let _ = (order_hazard, clock_hazard, timer_hazard, seed_hazard, also_seed_hazard);
+}

@@ -1,0 +1,62 @@
+//! The two promises dps-lint makes to CI: the current tree is clean
+//! under the audited allowlist, and the linter actually fires on known
+//! hazards (so "clean" is not vacuous).
+
+use dps_lint::{apply_allowlist, default_roots, parse_allowlist, scan_file, scan_roots};
+use std::path::{Path, PathBuf};
+
+fn repo_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("crates/lint sits two levels under the repo root")
+        .to_path_buf()
+}
+
+#[test]
+fn the_negative_fixture_trips_every_rule() {
+    let fixture = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/hazards.rs");
+    let content = std::fs::read_to_string(&fixture).expect("fixture exists");
+    let findings = scan_file(&fixture, &content);
+    for rule in ["hash-container", "std-time", "unseeded-rng"] {
+        assert!(
+            findings.iter().any(|f| f.rule == rule),
+            "rule {rule} failed to fire on the fixture; findings: {findings:?}"
+        );
+    }
+    // The comment-only mention of HashSet must not fire: every
+    // hash-container finding names HashMap.
+    assert!(findings
+        .iter()
+        .filter(|f| f.rule == "hash-container")
+        .all(|f| f.text.contains("HashMap")));
+}
+
+#[test]
+fn the_workspace_is_clean_under_the_audited_allowlist() {
+    let root = repo_root();
+    let allow = std::fs::read_to_string(root.join("dps-lint.allow")).expect("allowlist exists");
+    let entries = parse_allowlist(&allow).expect("allowlist parses");
+    let findings = scan_roots(&default_roots(&root)).expect("scan succeeds");
+    assert!(
+        !findings.is_empty(),
+        "the audited sites should still be found (else the scanner went blind)"
+    );
+    let (violations, used) = apply_allowlist(&findings, &entries);
+    assert!(
+        violations.is_empty(),
+        "unaudited determinism hazards:\n{}",
+        violations
+            .iter()
+            .map(|v| format!("  {v}"))
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+    let stale: Vec<_> = entries
+        .iter()
+        .zip(&used)
+        .filter(|(_, &u)| !u)
+        .map(|(e, _)| format!("{} | {} | {}", e.rule, e.path_suffix, e.fragment))
+        .collect();
+    assert!(stale.is_empty(), "stale allowlist entries: {stale:?}");
+}

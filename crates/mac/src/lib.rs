@@ -20,7 +20,7 @@
 //!   ids + channel sensing) algorithm of Lemma 17, finishing in `n + m`
 //!   slots, yielding stability for every `λ < 1` (Corollary 18).
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![warn(rust_2018_idioms)]
 #![forbid(unsafe_code)]
 

@@ -1,0 +1,89 @@
+//! Exhausts the tiny-instance presets and fails on any invariant
+//! violation — the CI entry point of `dps-model`.
+//!
+//! ```text
+//! model-check [--list] [--max-states N] [preset ...]
+//! ```
+//!
+//! With no preset arguments every preset runs. Exit code 1 on the first
+//! violation (printing the minimal counterexample trace) or on an
+//! unknown preset name; exit code 0 otherwise.
+
+use dps_model::{check_model, presets, CheckConfig};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut max_states = CheckConfig::default().max_states;
+    let mut wanted: Vec<String> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--list" => {
+                for model in presets() {
+                    println!("{}", model.name());
+                }
+                return ExitCode::SUCCESS;
+            }
+            "--max-states" => {
+                let Some(n) = args.next().and_then(|v| v.parse().ok()) else {
+                    eprintln!("--max-states needs a number");
+                    return ExitCode::FAILURE;
+                };
+                max_states = n;
+            }
+            "--help" | "-h" => {
+                println!("usage: model-check [--list] [--max-states N] [preset ...]");
+                return ExitCode::SUCCESS;
+            }
+            other => wanted.push(other.to_string()),
+        }
+    }
+
+    let all = presets();
+    let selected: Vec<_> = if wanted.is_empty() {
+        all
+    } else {
+        let mut selected = Vec::new();
+        for name in &wanted {
+            match all.iter().find(|m| m.name() == name) {
+                Some(model) => selected.push(model.clone()),
+                None => {
+                    eprintln!(
+                        "unknown preset `{name}`; available: {}",
+                        all.iter().map(|m| m.name()).collect::<Vec<_>>().join(", ")
+                    );
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        selected
+    };
+
+    let config = CheckConfig {
+        max_states,
+        ..CheckConfig::default()
+    };
+    for model in &selected {
+        match check_model(model, &config) {
+            Ok(report) => {
+                println!(
+                    "{:<20} ok: {} states, {} transitions, depth {}{}",
+                    model.name(),
+                    report.distinct_states,
+                    report.transitions,
+                    report.max_depth_reached,
+                    if report.truncated {
+                        " (truncated — smoke only)"
+                    } else {
+                        " (exhausted)"
+                    }
+                );
+            }
+            Err(ce) => {
+                eprintln!("{:<20} FAILED: {ce}", model.name());
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}

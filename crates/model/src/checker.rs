@@ -1,0 +1,338 @@
+//! Breadth-first exhaustive state-space exploration with canonical
+//! fingerprints.
+//!
+//! The checker is deliberately stateright-shaped but hand-rolled: a
+//! [`Model`] exposes initial states, an action enumerator (the explicit
+//! nondeterminism), a transition function and a per-state invariant
+//! check; [`check_model`] explores every reachable canonical state
+//! breadth-first and returns either a [`CheckReport`] (the space was
+//! exhausted, or truncated at the configured limits) or a
+//! [`Counterexample`] — the shortest action sequence from an initial
+//! state to the first state violating an invariant.
+//!
+//! De-duplication uses each state's *canonical fingerprint* (a byte
+//! encoding of its logical content) stored in a `BTreeSet`, so two
+//! physically different states — e.g. differing only in which recycled
+//! store slot a packet occupies — explore their successors once. The
+//! invariant check still runs on every state *before* it is deduped, so
+//! physical-layout invariants are verified on each encountered layout.
+//! A `BTreeSet` rather than a hash set keeps the checker itself free of
+//! the iteration-order hazards `dps-lint` flags elsewhere.
+
+use dps_core::invariants::InvariantViolation;
+use std::collections::{BTreeSet, VecDeque};
+
+/// A checkable transition system with explicit nondeterminism.
+///
+/// Actions carry *all* random choices of a step (injection subsets,
+/// transmission successes, clean-up selections), so enumerating the
+/// actions of a state enumerates every behaviour any adversary, RNG
+/// seed or success probability in `(0, 1)` could produce.
+pub trait Model {
+    /// A reachable configuration of the system.
+    type State: Clone;
+    /// One resolved step of nondeterminism.
+    type Action: Clone;
+
+    /// The initial states (usually one).
+    fn init_states(&self) -> Vec<Self::State>;
+
+    /// Writes every action enabled in `state` into `into` (cleared
+    /// first). An empty set marks `state` as terminal.
+    fn actions(&self, state: &Self::State, into: &mut Vec<Self::Action>);
+
+    /// The successor of `state` under `action`.
+    fn next_state(&self, state: &Self::State, action: &Self::Action) -> Self::State;
+
+    /// Checks every invariant in `state`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated invariant.
+    fn check(&self, state: &Self::State) -> Result<(), InvariantViolation>;
+
+    /// Canonical byte encoding of `state`'s logical content: two states
+    /// with equal fingerprints must have identical future behaviour.
+    fn fingerprint(&self, state: &Self::State) -> Vec<u8>;
+
+    /// Human-readable rendering of `action`, for counterexample traces.
+    fn describe_action(&self, action: &Self::Action) -> String;
+
+    /// Human-readable rendering of `state`, for counterexample traces.
+    fn describe_state(&self, state: &Self::State) -> String;
+}
+
+/// Exploration limits.
+#[derive(Clone, Copy, Debug)]
+pub struct CheckConfig {
+    /// Stop enqueueing once this many distinct states were discovered.
+    pub max_states: usize,
+    /// Do not expand states more than this many actions deep.
+    pub max_depth: usize,
+}
+
+impl Default for CheckConfig {
+    fn default() -> Self {
+        CheckConfig {
+            max_states: 1_000_000,
+            max_depth: 10_000,
+        }
+    }
+}
+
+/// Exploration statistics of a violation-free run.
+#[derive(Clone, Debug)]
+pub struct CheckReport {
+    /// Distinct canonical states discovered (all passed every check).
+    pub distinct_states: usize,
+    /// Transitions taken (successor computations, including those that
+    /// landed on an already-known state).
+    pub transitions: usize,
+    /// Deepest action sequence explored.
+    pub max_depth_reached: usize,
+    /// `true` when a limit in [`CheckConfig`] cut exploration short, so
+    /// the run is a smoke test rather than an exhaustive proof.
+    pub truncated: bool,
+}
+
+/// The shortest path from an initial state to an invariant violation.
+#[derive(Clone, Debug)]
+pub struct Counterexample {
+    /// What broke.
+    pub violation: InvariantViolation,
+    /// Action descriptions from an initial state to the bad state.
+    pub trace: Vec<String>,
+    /// Rendering of the violating state.
+    pub state: String,
+}
+
+impl std::fmt::Display for Counterexample {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "{}", self.violation)?;
+        writeln!(f, "counterexample ({} steps):", self.trace.len())?;
+        for (i, step) in self.trace.iter().enumerate() {
+            writeln!(f, "  {i:>3}. {step}")?;
+        }
+        write!(f, "final state: {}", self.state)
+    }
+}
+
+struct Node {
+    parent: usize,
+    action: Option<String>,
+    depth: usize,
+}
+
+/// Explores every state of `model` reachable within `config`'s limits,
+/// checking invariants on each state as it is first encountered.
+///
+/// Breadth-first order makes a returned counterexample minimal in
+/// action count.
+///
+/// # Errors
+///
+/// Returns the first [`Counterexample`] found.
+pub fn check_model<M: Model>(
+    model: &M,
+    config: &CheckConfig,
+) -> Result<CheckReport, Box<Counterexample>> {
+    let mut visited: BTreeSet<Vec<u8>> = BTreeSet::new();
+    let mut nodes: Vec<Node> = Vec::new();
+    let mut queue: VecDeque<(usize, M::State)> = VecDeque::new();
+    let mut report = CheckReport {
+        distinct_states: 0,
+        transitions: 0,
+        max_depth_reached: 0,
+        truncated: false,
+    };
+
+    let trace_of = |nodes: &[Node], mut idx: usize| {
+        let mut trace = Vec::new();
+        loop {
+            let node = &nodes[idx];
+            if let Some(action) = &node.action {
+                trace.push(action.clone());
+                idx = node.parent;
+            } else {
+                break;
+            }
+        }
+        trace.reverse();
+        trace
+    };
+
+    for state in model.init_states() {
+        if !visited.insert(model.fingerprint(&state)) {
+            continue;
+        }
+        nodes.push(Node {
+            parent: usize::MAX,
+            action: None,
+            depth: 0,
+        });
+        let idx = nodes.len() - 1;
+        if let Err(violation) = model.check(&state) {
+            return Err(Box::new(Counterexample {
+                violation,
+                trace: trace_of(&nodes, idx),
+                state: model.describe_state(&state),
+            }));
+        }
+        queue.push_back((idx, state));
+    }
+    report.distinct_states = nodes.len();
+
+    let mut actions = Vec::new();
+    while let Some((idx, state)) = queue.pop_front() {
+        let depth = nodes[idx].depth;
+        report.max_depth_reached = report.max_depth_reached.max(depth);
+        model.actions(&state, &mut actions);
+        if !actions.is_empty() && depth >= config.max_depth {
+            report.truncated = true;
+            continue;
+        }
+        for action in actions.drain(..) {
+            report.transitions += 1;
+            let next = model.next_state(&state, &action);
+            if !visited.insert(model.fingerprint(&next)) {
+                continue;
+            }
+            if nodes.len() >= config.max_states {
+                report.truncated = true;
+                continue;
+            }
+            nodes.push(Node {
+                parent: idx,
+                action: Some(model.describe_action(&action)),
+                depth: depth + 1,
+            });
+            let next_idx = nodes.len() - 1;
+            report.distinct_states = nodes.len();
+            if let Err(violation) = model.check(&next) {
+                return Err(Box::new(Counterexample {
+                    violation,
+                    trace: trace_of(&nodes, next_idx),
+                    state: model.describe_state(&next),
+                }));
+            }
+            queue.push_back((next_idx, next));
+        }
+    }
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A counter that may +1 or +2 per step, capped at `limit`; the
+    /// invariant forbids reaching `poison`.
+    struct Counter {
+        limit: u32,
+        poison: Option<u32>,
+    }
+
+    impl Model for Counter {
+        type State = u32;
+        type Action = u32;
+
+        fn init_states(&self) -> Vec<u32> {
+            vec![0]
+        }
+
+        fn actions(&self, state: &u32, into: &mut Vec<u32>) {
+            into.clear();
+            for delta in [1, 2] {
+                if state + delta <= self.limit {
+                    into.push(delta);
+                }
+            }
+        }
+
+        fn next_state(&self, state: &u32, action: &u32) -> u32 {
+            state + action
+        }
+
+        fn check(&self, state: &u32) -> Result<(), InvariantViolation> {
+            if Some(*state) == self.poison {
+                return Err(InvariantViolation::new("poison", format!("hit {state}")));
+            }
+            Ok(())
+        }
+
+        fn fingerprint(&self, state: &u32) -> Vec<u8> {
+            state.to_le_bytes().to_vec()
+        }
+
+        fn describe_action(&self, action: &u32) -> String {
+            format!("+{action}")
+        }
+
+        fn describe_state(&self, state: &u32) -> String {
+            format!("counter = {state}")
+        }
+    }
+
+    #[test]
+    fn exhausts_the_reachable_space() {
+        let model = Counter {
+            limit: 10,
+            poison: None,
+        };
+        let report = check_model(&model, &CheckConfig::default()).unwrap();
+        assert_eq!(report.distinct_states, 11, "0..=10 all reachable");
+        assert!(!report.truncated);
+        // BFS records each state at its shortest path: 9 and 10 both
+        // first appear after five steps (four +2s and one +1).
+        assert_eq!(report.max_depth_reached, 5);
+    }
+
+    #[test]
+    fn finds_the_shortest_counterexample() {
+        let model = Counter {
+            limit: 10,
+            poison: Some(7),
+        };
+        let ce = check_model(&model, &CheckConfig::default()).unwrap_err();
+        assert_eq!(ce.violation.invariant, "poison");
+        // BFS: 7 is reachable in ceil(7/2) = 4 steps, never fewer.
+        assert_eq!(ce.trace.len(), 4, "trace {:?}", ce.trace);
+        assert!(ce.to_string().contains("counter = 7"));
+    }
+
+    #[test]
+    fn depth_limit_truncates_and_reports_it() {
+        let model = Counter {
+            limit: 100,
+            poison: None,
+        };
+        let report = check_model(
+            &model,
+            &CheckConfig {
+                max_states: 1_000_000,
+                max_depth: 3,
+            },
+        )
+        .unwrap();
+        assert!(report.truncated);
+        assert!(report.distinct_states < 101);
+    }
+
+    #[test]
+    fn state_limit_truncates_and_reports_it() {
+        let model = Counter {
+            limit: 1000,
+            poison: None,
+        };
+        let report = check_model(
+            &model,
+            &CheckConfig {
+                max_states: 10,
+                max_depth: 10_000,
+            },
+        )
+        .unwrap();
+        assert!(report.truncated);
+        assert_eq!(report.distinct_states, 10);
+    }
+}

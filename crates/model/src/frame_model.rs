@@ -1,0 +1,952 @@
+//! An exhaustively-checkable model of the dynamic frame protocol.
+//!
+//! [`FrameModel`] mirrors the slot-level semantics of
+//! `dps_core::dynamic::DynamicProtocol` on tiny instances, with every
+//! random choice lifted into the action:
+//!
+//! * **injection** — any subset of the scenario's not-yet-injected
+//!   packets may arrive in any slot (all interleavings a `(w, λ)`
+//!   adversary or stochastic injector could produce within the bound);
+//! * **transmission success** — any subset of a slot's attempts may
+//!   succeed (covers every feasibility oracle, including lossy and
+//!   jammed ones);
+//! * **clean-up selection** — any subset of the non-empty failed buffers
+//!   may be selected (covers every coin sequence for any
+//!   `cleanup_select_prob` in `(0, 1)`).
+//!
+//! The state embeds the *real* [`PacketStore`] and [`RouteTable`] from
+//! `dps-core`, driven through their public API exactly as the protocol
+//! drives them — so `dps_core::invariants::check_store_partition` and
+//! `check_route_table` are exercised against genuine data-plane states,
+//! not a re-implementation.
+//!
+//! The deliberate abstractions from `DynamicProtocol` (none affect the
+//! checked identities):
+//!
+//! * the embedded static algorithm's slot-by-slot attempt pattern is
+//!   over-approximated — every un-acked packet may attempt in every
+//!   main-phase slot, and any subset may succeed;
+//! * delivered packets leave the active list (and free their store
+//!   slot) immediately rather than at the main→clean-up rebuild;
+//! * per-frame summaries and reusable scratch buffers are not modelled.
+//!
+//! [`Fault`] re-introduces representative bookkeeping bugs into the
+//! transition function; the crate's mutation tests prove the checker
+//! detects each one with the expected invariant name.
+
+use crate::checker::Model;
+use dps_core::ids::{LinkId, PacketId};
+use dps_core::invariants::{check_route_table, check_store_partition, InvariantViolation};
+use dps_core::path::RoutePath;
+use dps_core::route_table::{RouteId, RouteTable};
+use dps_core::store::{PacketRef, PacketState, PacketStore};
+
+/// Frame geometry of a model instance: a `frame_len`-slot frame opening
+/// with `main_budget` main-phase slots followed by `cleanup_budget`
+/// clean-up slots (the remainder idles).
+#[derive(Clone, Copy, Debug)]
+pub struct Geometry {
+    /// Slots per frame (`T`).
+    pub frame_len: usize,
+    /// Main-phase slots (`T'`).
+    pub main_budget: usize,
+    /// Clean-up slots.
+    pub cleanup_budget: usize,
+}
+
+impl Geometry {
+    /// The tiniest meaningful geometry: 4-slot frames, 2 main slots,
+    /// 1 clean-up slot — the same shape as `dps-core`'s frame tests.
+    pub fn tiny() -> Self {
+        Geometry {
+            frame_len: 4,
+            main_budget: 2,
+            cleanup_budget: 1,
+        }
+    }
+
+    fn validate(&self) {
+        assert!(self.frame_len >= self.main_budget + self.cleanup_budget);
+        assert!(self.main_budget >= 1 && self.cleanup_budget >= 1);
+    }
+}
+
+/// A deliberately-introduced bookkeeping bug, for mutation smoke tests
+/// proving the checker detects real defect classes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Fault {
+    /// A successful clean-up transmission forgets to decrement `Φ`.
+    SkipPotentialDecrement,
+    /// A delivered packet's store slot is never freed.
+    LeakDeliveredSlot,
+    /// Failed packets are always buffered under link 0.
+    WrongBufferLink,
+    /// `failed_total` is not incremented when a packet fails.
+    ForgetFailedTotal,
+    /// A failing packet is pushed into two buffers.
+    DoubleBufferFailed,
+}
+
+/// A tiny protocol instance to explore exhaustively.
+#[derive(Clone, Debug)]
+pub struct FrameModel {
+    name: String,
+    geometry: Geometry,
+    num_links: usize,
+    /// Each route is a non-empty link sequence.
+    routes: Vec<Vec<LinkId>>,
+    /// Scenario packets: the route index each will travel.
+    packets: Vec<usize>,
+    /// Stop expanding states once this many frames have closed.
+    horizon_frames: u64,
+    fault: Option<Fault>,
+}
+
+impl FrameModel {
+    /// A model instance over `num_links` links.
+    ///
+    /// # Panics
+    ///
+    /// Panics on inconsistent geometry, an out-of-range link or route
+    /// index, or more than 16 scenario packets (the injection mask is
+    /// enumerated exhaustively, so keep instances tiny).
+    pub fn new(
+        name: impl Into<String>,
+        geometry: Geometry,
+        num_links: usize,
+        routes: Vec<Vec<LinkId>>,
+        packets: Vec<usize>,
+        horizon_frames: u64,
+    ) -> Self {
+        geometry.validate();
+        assert!(packets.len() <= 16, "keep model instances tiny");
+        for route in &routes {
+            assert!(!route.is_empty(), "routes must be non-empty");
+            for link in route {
+                assert!((link.index()) < num_links, "route uses unknown link");
+            }
+        }
+        for &r in &packets {
+            assert!(r < routes.len(), "packet references unknown route");
+        }
+        FrameModel {
+            name: name.into(),
+            geometry,
+            num_links,
+            routes,
+            packets,
+            horizon_frames,
+            fault: None,
+        }
+    }
+
+    /// The instance's name (used by the `model-check` binary).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of scenario packets.
+    pub fn num_packets(&self) -> usize {
+        self.packets.len()
+    }
+
+    /// Injects `fault` into the transition function.
+    pub fn with_fault(mut self, fault: Fault) -> Self {
+        self.fault = Some(fault);
+        self
+    }
+
+    fn is_terminal(&self, state: &FrameState) -> bool {
+        state.frame >= self.horizon_frames
+    }
+}
+
+/// Where a scenario packet currently is, from the model's perspective.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Spot {
+    NotInjected,
+    Waiting,
+    Active { acked: bool },
+    Failed { selected: bool, acked: bool },
+}
+
+/// A reachable configuration of the modelled protocol.
+#[derive(Clone, Debug)]
+pub struct FrameState {
+    /// The real columnar store, driven through its public API.
+    store: PacketStore,
+    /// The real route interner.
+    table: RouteTable,
+    /// Interned id of each model route (index-aligned with
+    /// `FrameModel::routes`).
+    route_ids: Vec<RouteId>,
+    slot_in_frame: usize,
+    frame: u64,
+    /// Bitmask of scenario packets injected so far.
+    injected: u32,
+    waiting: Vec<PacketRef>,
+    active: Vec<PacketRef>,
+    /// Main-phase ack flags, index-aligned with `active`.
+    acked: Vec<bool>,
+    /// Per-link failed buffers of `(packet, frame it failed in)`.
+    failed: Vec<Vec<(PacketRef, u64)>>,
+    failed_total: usize,
+    potential: u64,
+    delivered: Vec<PacketId>,
+    /// This frame's clean-up selection, with per-entry ack flags.
+    selected: Vec<(LinkId, PacketRef)>,
+    sel_acked: Vec<bool>,
+    /// `Φ` right after this frame's failures were charged; until the
+    /// frame closes, `Φ` may only move down from here (the potential
+    /// argument of Section 4: clean-up successes are the only potential
+    /// changes inside a phase, and each is a decrement).
+    cleanup_floor: Option<u64>,
+}
+
+impl FrameState {
+    fn spot_of(&self, pkt: PacketRef) -> Spot {
+        if let Some(i) = self.active.iter().position(|&p| p == pkt) {
+            return Spot::Active {
+                acked: self.acked[i],
+            };
+        }
+        if self.waiting.contains(&pkt) {
+            return Spot::Waiting;
+        }
+        if self.failed.iter().flatten().any(|&(p, _)| p == pkt) {
+            let sel = self.selected.iter().position(|&(_, p)| p == pkt);
+            return Spot::Failed {
+                selected: sel.is_some(),
+                acked: sel.map(|i| self.sel_acked[i]).unwrap_or(false),
+            };
+        }
+        Spot::NotInjected
+    }
+}
+
+/// One slot's worth of resolved nondeterminism.
+#[derive(Clone, Copy, Debug)]
+pub struct SlotChoice {
+    /// Scenario packets injected this slot (bitmask over packet index).
+    pub inject: u32,
+    /// Buffers selected at a clean-up begin (bitmask over the sorted
+    /// list of non-empty buffers; 0 elsewhere).
+    pub select: u32,
+    /// Attempts succeeding this slot (bitmask over the slot's candidate
+    /// attempt list; 0 in idle slots).
+    pub success: u32,
+}
+
+/// Phase of the slot a state is about to execute.
+enum Phase {
+    Main,
+    CleanupBegin,
+    Cleanup,
+    Idle,
+}
+
+impl FrameModel {
+    fn phase_of(&self, slot_in_frame: usize) -> Phase {
+        let main = self.geometry.main_budget;
+        if slot_in_frame < main {
+            Phase::Main
+        } else if slot_in_frame == main {
+            Phase::CleanupBegin
+        } else if slot_in_frame < main + self.geometry.cleanup_budget {
+            Phase::Cleanup
+        } else {
+            Phase::Idle
+        }
+    }
+
+    /// The links whose buffers will be non-empty at this frame's
+    /// clean-up begin (current buffers plus the imminent failures),
+    /// sorted by link index — the selection mask's domain.
+    fn cleanup_buffers(&self, state: &FrameState) -> Vec<usize> {
+        let mut occupied = vec![false; self.num_links];
+        for (idx, buffer) in state.failed.iter().enumerate() {
+            if !buffer.is_empty() {
+                occupied[idx] = true;
+            }
+        }
+        for (i, &pkt) in state.active.iter().enumerate() {
+            if !state.acked[i] {
+                let link = state
+                    .table
+                    .link_at(state.store.route(pkt), state.store.hop(pkt));
+                occupied[link.index()] = true;
+            }
+        }
+        (0..self.num_links).filter(|&l| occupied[l]).collect()
+    }
+
+    /// The slot's candidate attempt list: positions into `active`
+    /// (main) or `selected` (clean-up) that may transmit.
+    fn candidates(&self, state: &FrameState) -> Vec<usize> {
+        match self.phase_of(state.slot_in_frame) {
+            Phase::Main => {
+                // At a frame start the waiting packets join before the
+                // slot body runs, all un-acked.
+                let joining = if state.slot_in_frame == 0 {
+                    state.waiting.len()
+                } else {
+                    0
+                };
+                (0..state.active.len())
+                    .filter(|&i| !state.acked[i])
+                    .chain(state.active.len()..state.active.len() + joining)
+                    .collect()
+            }
+            Phase::Cleanup => (0..state.selected.len())
+                .filter(|&i| !state.sel_acked[i])
+                .collect(),
+            // Clean-up begin enumerates per selection mask; idle has none.
+            Phase::CleanupBegin | Phase::Idle => Vec::new(),
+        }
+    }
+}
+
+fn subsets(n: usize) -> impl Iterator<Item = u32> {
+    assert!(n < 31, "mask domain too large to enumerate");
+    0..(1u32 << n)
+}
+
+impl Model for FrameModel {
+    type State = FrameState;
+    type Action = SlotChoice;
+
+    fn init_states(&self) -> Vec<FrameState> {
+        let mut table = RouteTable::new();
+        let route_ids = self
+            .routes
+            .iter()
+            .map(|links| table.intern(&RoutePath::from_links_unchecked(links.clone()).shared()))
+            .collect();
+        vec![FrameState {
+            store: PacketStore::new(),
+            table,
+            route_ids,
+            slot_in_frame: 0,
+            frame: 0,
+            injected: 0,
+            waiting: Vec::new(),
+            active: Vec::new(),
+            acked: Vec::new(),
+            failed: vec![Vec::new(); self.num_links],
+            failed_total: 0,
+            potential: 0,
+            delivered: Vec::new(),
+            selected: Vec::new(),
+            sel_acked: Vec::new(),
+            cleanup_floor: None,
+        }]
+    }
+
+    fn actions(&self, state: &FrameState, into: &mut Vec<SlotChoice>) {
+        into.clear();
+        if self.is_terminal(state) {
+            return;
+        }
+        let injectable: Vec<usize> = (0..self.packets.len())
+            .filter(|&i| state.injected & (1 << i) == 0)
+            .collect();
+        for inject_bits in subsets(injectable.len()) {
+            let inject = injectable
+                .iter()
+                .enumerate()
+                .filter(|&(b, _)| inject_bits & (1 << b) != 0)
+                .map(|(_, &i)| 1u32 << i)
+                .sum();
+            match self.phase_of(state.slot_in_frame) {
+                Phase::CleanupBegin => {
+                    let buffers = self.cleanup_buffers(state);
+                    for select in subsets(buffers.len()) {
+                        for success in subsets(select.count_ones() as usize) {
+                            into.push(SlotChoice {
+                                inject,
+                                select,
+                                success,
+                            });
+                        }
+                    }
+                }
+                _ => {
+                    for success in subsets(self.candidates(state).len()) {
+                        into.push(SlotChoice {
+                            inject,
+                            select: 0,
+                            success,
+                        });
+                    }
+                }
+            }
+        }
+    }
+
+    fn next_state(&self, state: &FrameState, action: &SlotChoice) -> FrameState {
+        let mut s = state.clone();
+        let slot = s.frame * self.geometry.frame_len as u64 + s.slot_in_frame as u64;
+
+        // Frame begin: last frame's arrivals join the travelling set.
+        if s.slot_in_frame == 0 {
+            for pkt in s.waiting.drain(..) {
+                s.store.set_state(pkt, PacketState::Active);
+                s.active.push(pkt);
+            }
+            s.acked.clear();
+            s.acked.resize(s.active.len(), false);
+        }
+
+        // Injection: arrivals wait for the next frame to begin.
+        for i in 0..self.packets.len() {
+            if action.inject & (1 << i) != 0 {
+                let route = s.route_ids[self.packets[i]];
+                let pkt = s.store.insert(PacketId(i as u64), route, slot);
+                s.waiting.push(pkt);
+                s.injected |= 1 << i;
+            }
+        }
+
+        match self.phase_of(s.slot_in_frame) {
+            Phase::Main => {
+                let candidates = self.candidates(state);
+                let mut delivered_idx = Vec::new();
+                for (bit, &idx) in candidates.iter().enumerate() {
+                    if action.success & (1 << bit) == 0 {
+                        continue;
+                    }
+                    s.acked[idx] = true;
+                    let pkt = s.active[idx];
+                    let hop = s.store.advance(pkt);
+                    if hop == s.table.len_of(s.store.route(pkt)) {
+                        s.store.set_state(pkt, PacketState::Delivered);
+                        s.delivered.push(s.store.id(pkt));
+                        delivered_idx.push(idx);
+                    }
+                }
+                // Remove delivered packets back-to-front so earlier
+                // indices stay valid; free their store slots.
+                for &idx in delivered_idx.iter().rev() {
+                    let pkt = s.active.remove(idx);
+                    s.acked.remove(idx);
+                    if self.fault != Some(Fault::LeakDeliveredSlot) {
+                        s.store.free(pkt);
+                    }
+                }
+            }
+            Phase::CleanupBegin => {
+                // The main phase is over: un-acked packets fail into the
+                // buffer of the link they were trying to cross.
+                let mut survivors = Vec::new();
+                for (idx, &pkt) in s.active.iter().enumerate() {
+                    if s.acked[idx] {
+                        survivors.push(pkt);
+                        continue;
+                    }
+                    let route = s.store.route(pkt);
+                    let hop = s.store.hop(pkt);
+                    let remaining = (s.table.len_of(route) - hop) as u64;
+                    s.potential += remaining;
+                    if self.fault != Some(Fault::ForgetFailedTotal) {
+                        s.failed_total += 1;
+                    }
+                    s.store.set_state(pkt, PacketState::Failed);
+                    let link = if self.fault == Some(Fault::WrongBufferLink) {
+                        LinkId(0)
+                    } else {
+                        s.table.link_at(route, hop)
+                    };
+                    s.failed[link.index()].push((pkt, s.frame));
+                    if self.fault == Some(Fault::DoubleBufferFailed) {
+                        let other = (link.index() + 1) % self.num_links;
+                        s.failed[other].push((pkt, s.frame));
+                        s.failed_total += 1;
+                    }
+                }
+                s.active = survivors;
+                s.acked.clear();
+                s.acked.resize(s.active.len(), false);
+                s.cleanup_floor = Some(s.potential);
+
+                // Selection: each chosen buffer contributes its
+                // longest-failed packet (ties by id, as in the protocol).
+                // The mask's domain is the actual non-empty buffers,
+                // which equals the prospective list `actions()`
+                // enumerated over (existing buffers plus the links the
+                // un-acked packets just failed into).
+                let buffers: Vec<usize> = (0..self.num_links)
+                    .filter(|&l| !s.failed[l].is_empty())
+                    .collect();
+                s.selected.clear();
+                s.sel_acked.clear();
+                for (bit, &link_idx) in buffers.iter().enumerate() {
+                    if action.select & (1 << bit) == 0 {
+                        continue;
+                    }
+                    let store = &s.store;
+                    let &(pkt, _) = s.failed[link_idx]
+                        .iter()
+                        .min_by_key(|&&(p, at)| (at, store.id(p)))
+                        .expect("selected buffer non-empty");
+                    s.selected.push((LinkId(link_idx as u32), pkt));
+                    s.sel_acked.push(false);
+                }
+                // The first clean-up slot shares this protocol slot.
+                let all_selected: Vec<usize> = (0..s.selected.len()).collect();
+                self.cleanup_successes(&mut s, action.success, all_selected);
+            }
+            Phase::Cleanup => {
+                let candidates = self.candidates(state);
+                self.cleanup_successes(&mut s, action.success, candidates);
+            }
+            Phase::Idle => {}
+        }
+
+        s.slot_in_frame += 1;
+        if s.slot_in_frame == self.geometry.frame_len {
+            s.slot_in_frame = 0;
+            s.frame += 1;
+            s.selected.clear();
+            s.sel_acked.clear();
+            s.cleanup_floor = None;
+        }
+        s
+    }
+
+    fn check(&self, state: &FrameState) -> Result<(), InvariantViolation> {
+        check_route_table(&state.table)?;
+        let live = state
+            .waiting
+            .iter()
+            .chain(state.active.iter())
+            .chain(state.failed.iter().flatten().map(|(p, _)| p))
+            .copied();
+        check_store_partition(&state.store, live)?;
+
+        // Lifecycle tags agree with the lists holding each packet.
+        for &pkt in &state.waiting {
+            if state.store.state(pkt) != PacketState::Queued {
+                return Err(InvariantViolation::new(
+                    "state-tags",
+                    format!("waiting packet tagged {:?}", state.store.state(pkt)),
+                ));
+            }
+        }
+        for &pkt in &state.active {
+            let len = state.table.len_of(state.store.route(pkt));
+            if state.store.state(pkt) != PacketState::Active || state.store.hop(pkt) >= len {
+                return Err(InvariantViolation::new(
+                    "state-tags",
+                    format!(
+                        "active packet {:?} tagged {:?} at hop {} of {len}",
+                        state.store.id(pkt),
+                        state.store.state(pkt),
+                        state.store.hop(pkt)
+                    ),
+                ));
+            }
+        }
+
+        // Failed-buffer discipline and the potential Φ.
+        let mut failed_count = 0usize;
+        let mut remaining_hops = 0u64;
+        for (link_idx, buffer) in state.failed.iter().enumerate() {
+            for &(pkt, _) in buffer {
+                failed_count += 1;
+                if state.store.state(pkt) != PacketState::Failed {
+                    return Err(InvariantViolation::new(
+                        "state-tags",
+                        format!("buffered packet tagged {:?}", state.store.state(pkt)),
+                    ));
+                }
+                let route = state.store.route(pkt);
+                let hop = state.store.hop(pkt);
+                let len = state.table.len_of(route);
+                if hop >= len {
+                    return Err(InvariantViolation::new(
+                        "failed-buffers",
+                        format!("failed packet at hop {hop} of a {len}-link route"),
+                    ));
+                }
+                let next = state.table.link_at(route, hop);
+                if next.index() != link_idx {
+                    return Err(InvariantViolation::new(
+                        "failed-buffers",
+                        format!(
+                            "packet {:?} buffered under link {link_idx}, next hop {next}",
+                            state.store.id(pkt)
+                        ),
+                    ));
+                }
+                remaining_hops += (len - hop) as u64;
+            }
+        }
+        if failed_count != state.failed_total {
+            return Err(InvariantViolation::new(
+                "failed-accounting",
+                format!(
+                    "buffers hold {failed_count} packets, failed_total = {}",
+                    state.failed_total
+                ),
+            ));
+        }
+        if remaining_hops != state.potential {
+            return Err(InvariantViolation::new(
+                "potential-accounting",
+                format!(
+                    "Φ = {} but failed packets have {remaining_hops} remaining hops",
+                    state.potential
+                ),
+            ));
+        }
+        // Within a frame's clean-up tail, Φ only decreases.
+        if let Some(floor) = state.cleanup_floor {
+            if state.potential > floor {
+                return Err(InvariantViolation::new(
+                    "potential-monotone",
+                    format!(
+                        "Φ rose to {} above the frame's floor {floor}",
+                        state.potential
+                    ),
+                ));
+            }
+        }
+
+        // Conservation: every injected packet is in exactly one place,
+        // and nothing is delivered twice.
+        for i in 0..self.packets.len() {
+            let id = PacketId(i as u64);
+            let in_system = state
+                .waiting
+                .iter()
+                .chain(state.active.iter())
+                .chain(state.failed.iter().flatten().map(|(p, _)| p))
+                .filter(|&&p| state.store.id(p) == id)
+                .count();
+            let delivered = state.delivered.iter().filter(|&&d| d == id).count();
+            let expected = usize::from(state.injected & (1 << i) != 0);
+            if delivered > 1 {
+                return Err(InvariantViolation::new(
+                    "no-duplicate-delivery",
+                    format!("packet {id:?} delivered {delivered} times"),
+                ));
+            }
+            if in_system + delivered != expected {
+                return Err(InvariantViolation::new(
+                    "packet-conservation",
+                    format!(
+                        "packet {id:?}: injected {expected}, found {in_system} in system + \
+                         {delivered} delivered"
+                    ),
+                ));
+            }
+        }
+
+        if state.acked.len() != state.active.len() || state.sel_acked.len() != state.selected.len()
+        {
+            return Err(InvariantViolation::new(
+                "main-ack-alignment",
+                format!(
+                    "{} ack flags / {} active, {} selection flags / {} selected",
+                    state.acked.len(),
+                    state.active.len(),
+                    state.sel_acked.len(),
+                    state.selected.len()
+                ),
+            ));
+        }
+        Ok(())
+    }
+
+    fn fingerprint(&self, state: &FrameState) -> Vec<u8> {
+        let mut fp = Vec::with_capacity(8 + 4 * self.packets.len());
+        fp.push(state.slot_in_frame as u8);
+        fp.push(state.frame as u8);
+        fp.extend(state.injected.to_le_bytes());
+        match state.cleanup_floor {
+            None => fp.push(0xff),
+            Some(floor) => {
+                fp.push(0);
+                fp.push(floor as u8);
+            }
+        }
+        // Per-packet logical spot, in scenario order: physical store
+        // layout (which recycled slot a packet occupies) is deliberately
+        // excluded, merging states that differ only in slot reuse.
+        for i in 0..self.packets.len() {
+            let id = PacketId(i as u64);
+            if state.delivered.contains(&id) {
+                fp.extend([6, 0, 0]);
+                continue;
+            }
+            if state.injected & (1 << i) == 0 {
+                fp.extend([0, 0, 0]);
+                continue;
+            }
+            let pkt = state
+                .waiting
+                .iter()
+                .chain(state.active.iter())
+                .chain(state.failed.iter().flatten().map(|(p, _)| p))
+                .copied()
+                .find(|&p| state.store.id(p) == id);
+            match pkt {
+                None => fp.extend([7, 0, 0]), // lost (invariant check will fire)
+                Some(p) => {
+                    let code = match state.spot_of(p) {
+                        Spot::Waiting => 1,
+                        Spot::Active { acked: false } => 2,
+                        Spot::Active { acked: true } => 3,
+                        Spot::Failed {
+                            selected: false, ..
+                        } => 4,
+                        Spot::Failed {
+                            selected: true,
+                            acked,
+                        } => 5 + u8::from(acked) * 3,
+                        Spot::NotInjected => unreachable!("packet was found in a live list"),
+                    };
+                    let failed_at = state
+                        .failed
+                        .iter()
+                        .flatten()
+                        .find(|&&(q, _)| q == p)
+                        .map(|&(_, at)| at as u8)
+                        .unwrap_or(0);
+                    fp.extend([code, state.store.hop(p) as u8, failed_at]);
+                }
+            }
+        }
+        fp
+    }
+
+    fn describe_action(&self, action: &SlotChoice) -> String {
+        format!(
+            "inject {:#06b} | select {:#06b} | succeed {:#06b}",
+            action.inject, action.select, action.success
+        )
+    }
+
+    fn describe_state(&self, state: &FrameState) -> String {
+        format!(
+            "frame {} slot {} | injected {:#06b} | {} waiting, {} active, {} failed, \
+             {} delivered | Φ = {}",
+            state.frame,
+            state.slot_in_frame,
+            state.injected,
+            state.waiting.len(),
+            state.active.len(),
+            state.failed_total,
+            state.delivered.len(),
+            state.potential
+        )
+    }
+}
+
+impl FrameModel {
+    /// Applies a success mask over `candidates` (positions into
+    /// `selected`) in a clean-up slot: each success advances the packet
+    /// one hop, re-buffering or delivering it, and decrements `Φ`.
+    fn cleanup_successes(&self, s: &mut FrameState, success: u32, candidates: Vec<usize>) {
+        for (bit, &idx) in candidates.iter().enumerate() {
+            if success & (1 << bit) == 0 {
+                continue;
+            }
+            s.sel_acked[idx] = true;
+            let (link, pkt) = s.selected[idx];
+            let buffer = &mut s.failed[link.index()];
+            let pos = buffer
+                .iter()
+                .position(|&(p, _)| p == pkt)
+                .expect("selected packet still buffered");
+            let (_, failed_at) = buffer.swap_remove(pos);
+            let hop = s.store.advance(pkt);
+            if self.fault != Some(Fault::SkipPotentialDecrement) {
+                s.potential -= 1;
+            }
+            let route = s.store.route(pkt);
+            if hop == s.table.len_of(route) {
+                s.failed_total -= 1;
+                s.delivered.push(s.store.id(pkt));
+                if self.fault != Some(Fault::LeakDeliveredSlot) {
+                    s.store.free(pkt);
+                }
+            } else {
+                let next = s.table.link_at(route, hop);
+                s.failed[next.index()].push((pkt, failed_at));
+            }
+        }
+    }
+}
+
+/// The instances `model-check` explores by default — each tiny enough
+/// to exhaust in well under a second, together covering single-link
+/// contention, multi-hop pipelining and route merging.
+pub fn presets() -> Vec<FrameModel> {
+    vec![
+        // Three packets racing over one link: maximal contention and
+        // store-slot recycling on the smallest possible network.
+        FrameModel::new(
+            "single-link-burst",
+            Geometry::tiny(),
+            1,
+            vec![vec![LinkId(0)]],
+            vec![0, 0, 0],
+            3,
+        ),
+        // Two packets pipelining down a 2-link line: multi-hop
+        // progress, failures at both hops, buffer hand-off.
+        FrameModel::new(
+            "line2-pipeline",
+            Geometry::tiny(),
+            2,
+            vec![vec![LinkId(0), LinkId(1)]],
+            vec![0, 0],
+            3,
+        ),
+        // Two routes merging on a shared final link: distinct routes in
+        // the interner and buffer contention at the merge point.
+        FrameModel::new(
+            "fork-merge",
+            Geometry::tiny(),
+            3,
+            vec![vec![LinkId(0), LinkId(1)], vec![LinkId(2), LinkId(1)]],
+            vec![0, 1],
+            3,
+        ),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::checker::{check_model, CheckConfig};
+
+    fn exhaust(model: &FrameModel) -> crate::checker::CheckReport {
+        check_model(model, &CheckConfig::default())
+            .unwrap_or_else(|ce| panic!("{} violated: {ce}", model.name()))
+    }
+
+    #[test]
+    fn all_presets_pass_exhaustively() {
+        for model in presets() {
+            let report = exhaust(&model);
+            assert!(
+                !report.truncated,
+                "{} must be exhausted, not sampled",
+                model.name()
+            );
+            assert!(
+                report.distinct_states > 100,
+                "{} explored only {} states — too small to mean anything",
+                model.name(),
+                report.distinct_states
+            );
+        }
+    }
+
+    #[test]
+    fn deliveries_are_reachable() {
+        // The all-success path must deliver: walk one by hand.
+        let model = &presets()[0];
+        let mut state = model.init_states().remove(0);
+        let mut actions = Vec::new();
+        let mut delivered_seen = false;
+        for _ in 0..12 {
+            model.actions(&state, &mut actions);
+            // Inject everything as early as possible, succeed everything.
+            let best = actions
+                .iter()
+                .copied()
+                .max_by_key(|a| (a.inject.count_ones(), a.success.count_ones()))
+                .expect("pre-horizon states have actions");
+            state = model.next_state(&state, &best);
+            model.check(&state).unwrap();
+            delivered_seen |= !state.delivered.is_empty();
+        }
+        assert!(delivered_seen, "all-success path must deliver packets");
+    }
+
+    /// Mutation smoke tests: each seeded fault must be caught, and with
+    /// the invariant name a human would expect for that defect class.
+    #[test]
+    fn faults_are_detected_with_the_expected_invariant() {
+        let cases = [
+            (Fault::SkipPotentialDecrement, "potential-accounting"),
+            (Fault::LeakDeliveredSlot, "store-partition"),
+            (Fault::WrongBufferLink, "failed-buffers"),
+            (Fault::ForgetFailedTotal, "failed-accounting"),
+            (Fault::DoubleBufferFailed, "store-partition"),
+        ];
+        for (fault, expected) in cases {
+            // line2-pipeline reaches every defect trigger: multi-hop
+            // delivery, failures whose correct buffer is not link 0,
+            // and clean-up successes.
+            let model = presets().remove(1).with_fault(fault);
+            let ce = check_model(&model, &CheckConfig::default())
+                .err()
+                .unwrap_or_else(|| panic!("{fault:?} went undetected"));
+            assert_eq!(
+                ce.violation.invariant, expected,
+                "{fault:?} reported as {} ({})",
+                ce.violation.invariant, ce.violation.details
+            );
+            assert!(!ce.trace.is_empty(), "{fault:?} needs a non-trivial trace");
+        }
+    }
+
+    #[test]
+    fn fingerprints_ignore_physical_slot_layout() {
+        // Two orders of inject/deliver that end in the same logical
+        // state must collide, even though store slots were recycled
+        // differently.
+        let model = FrameModel::new(
+            "fp-test",
+            Geometry::tiny(),
+            1,
+            vec![vec![LinkId(0)]],
+            vec![0, 0],
+            4,
+        );
+        let init = model.init_states().remove(0);
+        // Path A: inject packet 0 first, then packet 1 next slot.
+        let a0 = model.next_state(
+            &init,
+            &SlotChoice {
+                inject: 0b01,
+                select: 0,
+                success: 0,
+            },
+        );
+        let a1 = model.next_state(
+            &a0,
+            &SlotChoice {
+                inject: 0b10,
+                select: 0,
+                success: 0,
+            },
+        );
+        // Path B: packet 1 first, then packet 0.
+        let b0 = model.next_state(
+            &init,
+            &SlotChoice {
+                inject: 0b10,
+                select: 0,
+                success: 0,
+            },
+        );
+        let b1 = model.next_state(
+            &b0,
+            &SlotChoice {
+                inject: 0b01,
+                select: 0,
+                success: 0,
+            },
+        );
+        assert_eq!(
+            model.fingerprint(&a1),
+            model.fingerprint(&b1),
+            "logical content is identical"
+        );
+    }
+}

@@ -14,7 +14,7 @@
 //! classic adversarial-queuing topologies (line, ring, grid) and helpers
 //! that assemble complete experiment setups.
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![warn(rust_2018_idioms)]
 #![forbid(unsafe_code)]
 

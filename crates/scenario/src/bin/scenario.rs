@@ -5,6 +5,7 @@
 //! scenario show <preset> [--json]
 //! scenario run <preset|spec.toml|spec.json> [options]
 //! scenario sweep <preset|spec.toml|spec.json> --lambdas 0.5,0.9,1.3 [options]
+//! scenario check <preset|spec.toml|spec.json>
 //!
 //! options:
 //!   --lambda X        override the injection rate
@@ -18,7 +19,7 @@
 //!   --json            print machine-readable JSON instead of tables
 //! ```
 
-use dps_scenario::{registry, Scenario, ScenarioOutcome, ScenarioSpec, Sweep};
+use dps_scenario::{registry, ProtocolConfig, Scenario, ScenarioOutcome, ScenarioSpec, Sweep};
 use dps_sim::table::{fmt3, Table};
 use std::path::Path;
 use std::process::exit;
@@ -46,6 +47,7 @@ fn main() {
         "show" => show(rest),
         "run" => run(rest),
         "sweep" => sweep(rest),
+        "check" => check(rest),
         "--help" | "-h" | "help" => usage(""),
         other => usage(&format!("unknown command `{other}`")),
     }
@@ -113,6 +115,58 @@ fn sweep(rest: &[String]) {
     }
     if let Some(path) = &options.csv {
         std::fs::write(path, report.to_csv()).unwrap_or_else(|e| fail(&e.to_string()));
+    }
+}
+
+/// Exhaustively model-checks the frame-protocol invariants backing the
+/// named scenario. The scenario's own frame geometry is far beyond
+/// exhaustive exploration, so the checker runs `dps-model`'s tiny
+/// instances — same protocol logic, every interleaving — and this
+/// command's job is to tie that guarantee to the scenario the user is
+/// about to trust.
+fn check(rest: &[String]) {
+    let (spec, _options) = load_spec(rest);
+    match spec.protocol {
+        ProtocolConfig::FrameGreedy
+        | ProtocolConfig::FrameTwoStage
+        | ProtocolConfig::FrameUniformTransformed { .. }
+        | ProtocolConfig::FrameMacSymmetric { .. }
+        | ProtocolConfig::FrameMacRoundRobin
+        | ProtocolConfig::ConflictColoring => {}
+        ProtocolConfig::Sis => fail(&format!(
+            "`{}` runs the SIS baseline; only the frame protocols have an exhaustive model",
+            spec.name
+        )),
+    }
+    println!(
+        "# {} — frame-protocol invariants, exhaustively checked on tiny instances",
+        spec.name
+    );
+    println!("# (the scenario's real geometry is too large to exhaust; every injection,");
+    println!("#  success and clean-up interleaving of these instances is explored)");
+    let config = dps_model::CheckConfig::default();
+    let mut ok = true;
+    for model in dps_model::presets() {
+        match dps_model::check_model(&model, &config) {
+            Ok(report) => println!(
+                "{:<20} ok: {} states, {} transitions{}",
+                model.name(),
+                report.distinct_states,
+                report.transitions,
+                if report.truncated {
+                    " (truncated)"
+                } else {
+                    " (exhausted)"
+                }
+            ),
+            Err(ce) => {
+                eprintln!("{:<20} FAILED: {ce}", model.name());
+                ok = false;
+            }
+        }
+    }
+    if !ok {
+        exit(1);
     }
 }
 
@@ -245,7 +299,8 @@ fn usage(message: &str) -> ! {
         \x20      scenario run <preset|spec.toml|spec.json> [--lambda X] [--frames N] \
          [--seed N] [--reps N] [--threads N] [--csv PATH] [--json]\n\
         \x20      scenario sweep <preset|spec.toml|spec.json> [--lambdas a,b,c] \
-         [--sizes a,b,c] [--reps N] [--threads N] [--csv PATH] [--json]"
+         [--sizes a,b,c] [--reps N] [--threads N] [--csv PATH] [--json]\n\
+        \x20      scenario check <preset|spec.toml|spec.json>"
     );
     exit(if message.is_empty() { 0 } else { 2 });
 }

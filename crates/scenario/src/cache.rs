@@ -34,6 +34,10 @@
 
 use crate::error::ScenarioError;
 use crate::substrate::{Substrate, SubstrateSpec};
+// Determinism audit (dps-lint: hash-container): both containers are
+// keyed lookups. The only iteration is eviction's victim scan, which
+// reduces via a total (last_used, key) order, so the randomized
+// iteration order never reaches cache behaviour or output.
 use std::collections::{HashMap, HashSet};
 use std::sync::{Arc, Condvar, Mutex};
 
@@ -76,10 +80,14 @@ impl CacheInner {
                 || max_bytes.is_some_and(|b| inner.bytes > b)
         };
         while self.entries.len() > 1 && over(self) {
+            // Victim order must not depend on the map's randomized
+            // iteration order (dps-lint: hash-container): `last_used`
+            // ties are broken by key, making the minimum unique even
+            // though the logical clock already never repeats.
             let Some(victim) = self
                 .entries
                 .iter()
-                .min_by_key(|(_, e)| e.last_used)
+                .min_by_key(|(k, e)| (e.last_used, k.as_str()))
                 .map(|(k, _)| k.clone())
             else {
                 break;

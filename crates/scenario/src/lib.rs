@@ -65,7 +65,7 @@
 //! # Ok::<(), dps_scenario::ScenarioError>(())
 //! ```
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![warn(rust_2018_idioms)]
 #![forbid(unsafe_code)]
 

@@ -227,6 +227,10 @@ impl Sweep {
                 .iter()
                 .map(|(_, scenario)| scenario.substrate.cache_key())
                 .collect();
+            // Determinism audit (dps-lint: hash-container): the set is
+            // insert-only dedup state; iteration below walks the
+            // insertion-ordered `keys` Vec, so warm-up order is the
+            // config order regardless of the set's internal order.
             let mut seen = std::collections::HashSet::new();
             let first_of_key: Vec<usize> = keys
                 .iter()

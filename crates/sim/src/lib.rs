@@ -15,7 +15,7 @@
 //!   stability-threshold experiments;
 //! * [`table`] — fixed-width text and CSV rendering of experiment tables.
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![warn(rust_2018_idioms)]
 #![forbid(unsafe_code)]
 

@@ -241,6 +241,17 @@ where
     let interned = injector.interned_capable() && protocol.route_interner().is_some();
     let mut clock = SimClock::new(config.slots);
     let mut queue = EventQueue::new();
+    // Runtime invariant guard cadence: the checks walk the whole
+    // protocol state (store, route table, every buffered packet), so
+    // asserting them after *every* slot turns an O(slots) run quadratic
+    // — worse in overloaded runs whose backlog itself grows linearly.
+    // Check densely while the state is young — that is where new
+    // bookkeeping bugs surface in exhaustive-model counterexamples too
+    // — then back off geometrically (interval ∝ elapsed slots), which
+    // keeps the total guard cost linear whatever the backlog does. The
+    // frame-boundary guard inside the protocol is unaffected.
+    #[cfg(feature = "check-invariants")]
+    let (mut stepped_slots, mut next_check) = (0u64, 0u64);
     while !clock.is_done() {
         let slot = clock.now();
         let injected_now = if interned {
@@ -273,6 +284,25 @@ where
             protocol.step(slot, &arrivals, phy, &mut rng, &mut outcome);
             arrivals.len()
         };
+        // Runtime invariant guard: with the `check-invariants` feature
+        // on, stepped slots re-prove the protocol's bookkeeping
+        // identities (dense early, sampled later — see the cadence note
+        // above), so a long unattended run fails loudly near the first
+        // breach instead of silently producing corrupt statistics.
+        #[cfg(feature = "check-invariants")]
+        {
+            stepped_slots += 1;
+            if stepped_slots >= next_check {
+                if let Err(violation) = protocol.check_invariants() {
+                    panic!("after slot {slot}: {violation}");
+                }
+                next_check = if stepped_slots < 1024 {
+                    stepped_slots + 1
+                } else {
+                    stepped_slots + (stepped_slots / 16).max(64)
+                };
+            }
+        }
         report.injected += injected_now as u64;
         report.attempts += outcome.attempts as u64;
         report.successes += outcome.successes as u64;
@@ -335,6 +365,12 @@ where
         let gap = target - now;
         protocol.skip_idle_slots(now, gap);
         report.idle_slots_skipped += gap;
+        // A bulk skip must land in a state as consistent as stepping
+        // each inert slot would have.
+        #[cfg(feature = "check-invariants")]
+        if let Err(violation) = protocol.check_invariants() {
+            panic!("after skipping slots {now}..{target}: {violation}");
+        }
         let backlog = protocol.backlog();
         if let Some(trace) = trace.as_deref_mut() {
             trace.record_skip(crate::trace::SkipRecord {
@@ -355,6 +391,12 @@ where
             sample_slot += config.sample_every;
         }
         clock.advance_to(target);
+    }
+    // The terminal state is always verified, whatever the sampling
+    // cadence landed on.
+    #[cfg(feature = "check-invariants")]
+    if let Err(violation) = protocol.check_invariants() {
+        panic!("at end of run ({} slots): {violation}", config.slots);
     }
     report.final_backlog = protocol.backlog();
     report

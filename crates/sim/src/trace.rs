@@ -241,6 +241,82 @@ mod tests {
     }
 
     #[test]
+    fn expand_ignores_zero_length_skips() {
+        // The event engine never emits `slots: 0`, but a rehydrated
+        // trace must tolerate one (e.g. a hand-built fixture): it
+        // covers no slots, so it contributes no records.
+        let mut t = TraceRecorder::new(8);
+        t.record(rec(0));
+        t.record_skip(SkipRecord {
+            from_slot: 1,
+            slots: 0,
+            backlog: 3,
+        });
+        t.record(rec(1));
+        let expanded = t.expand();
+        let slots: Vec<u64> = expanded.iter().map(|r| r.slot).collect();
+        assert_eq!(slots, vec![0, 1]);
+        assert_eq!(
+            expanded[1],
+            rec(1),
+            "zero-length skip must not shadow slot 1"
+        );
+    }
+
+    #[test]
+    fn expand_covers_a_skip_abutting_the_horizon() {
+        // A run that ends mid-skip records the jump but no trailing
+        // SlotRecord; the rehydrated stream must still end exactly at
+        // the last skipped slot, with no record past the horizon.
+        let mut t = TraceRecorder::new(8);
+        t.record(rec(5));
+        t.record_skip(SkipRecord {
+            from_slot: 6,
+            slots: 4, // covers 6..10; horizon is slot 9
+            backlog: 3,
+        });
+        let expanded = t.expand();
+        let slots: Vec<u64> = expanded.iter().map(|r| r.slot).collect();
+        assert_eq!(slots, vec![5, 6, 7, 8, 9]);
+        assert_eq!(
+            expanded.last().unwrap().backlog,
+            3,
+            "the final synthesized slot carries the recorded backlog"
+        );
+    }
+
+    #[test]
+    fn expand_merges_back_to_back_skips() {
+        // Two adjacent jumps (the engine woke for an event that turned
+        // out to be inert and immediately jumped again) must rehydrate
+        // into one gapless, duplicate-free run of slots.
+        let mut t = TraceRecorder::new(8);
+        t.record(rec(0));
+        t.record_skip(SkipRecord {
+            from_slot: 1,
+            slots: 2,
+            backlog: 3,
+        });
+        t.record_skip(SkipRecord {
+            from_slot: 3,
+            slots: 3,
+            backlog: 3,
+        });
+        t.record(rec(6));
+        let expanded = t.expand();
+        let slots: Vec<u64> = expanded.iter().map(|r| r.slot).collect();
+        assert_eq!(slots, vec![0, 1, 2, 3, 4, 5, 6]);
+        // Every synthesized slot is inert: the two windows do not
+        // overlap, double-count, or leave a seam at slot 3.
+        for r in &expanded[1..6] {
+            assert_eq!(
+                (r.injected, r.attempts, r.successes, r.delivered, r.backlog),
+                (0, 0, 0, 0, 3)
+            );
+        }
+    }
+
+    #[test]
     fn skip_window_is_bounded() {
         let mut t = TraceRecorder::new(2);
         for i in 0..4 {

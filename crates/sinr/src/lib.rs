@@ -33,7 +33,7 @@
 //! * [`scheduler::PowerControlScheduler`] — a centralized scheduler in the
 //!   spirit of \[32\] for the power-control case (Corollary 14).
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![warn(rust_2018_idioms)]
 #![forbid(unsafe_code)]
 
