@@ -23,6 +23,7 @@ use crate::ids::{LinkId, PacketId};
 use crate::invariants::InvariantViolation;
 use crate::packet::{DeliveredPacket, Packet};
 use crate::protocol::{InternedArrival, Protocol, SlotOutcome};
+use crate::region::{ActiveLinkSet, RegionMap};
 use crate::route_table::{RouteId, RouteTable};
 use crate::staticsched::{Request, StaticAlgorithm, StaticScheduler};
 use crate::store::{PacketRef, PacketState, PacketStore};
@@ -66,7 +67,6 @@ pub struct FrameEvent {
 pub struct DynamicProtocol<S> {
     scheduler: S,
     config: FrameConfig,
-    num_links: usize,
 
     /// Interned route dictionary: every distinct route the injectors
     /// emit, stored once, with hop links flattened for dense lookup.
@@ -87,6 +87,13 @@ pub struct DynamicProtocol<S> {
     delivered_in_active: usize,
     /// Per-link buffers of failed packets.
     failed: Vec<Vec<FailedRef>>,
+    /// Region-summarized occupancy of `failed`: exactly the links with a
+    /// non-empty buffer. Clean-up selection iterates this set (ascending
+    /// link order, empty regions skipped wholesale), so the per-frame
+    /// scan costs `O(regions + occupied)` instead of `O(m)` — the same
+    /// links in the same order as the historical full scan, hence the
+    /// same RNG stream (pinned by the golden-fingerprint tests).
+    failed_links: ActiveLinkSet,
     failed_total: usize,
     potential: u64,
 
@@ -112,6 +119,8 @@ pub struct DynamicProtocol<S> {
     attempt_scratch: Vec<Attempt>,
     /// Per-attempt success flags of this slot.
     success_scratch: Vec<bool>,
+    /// Occupied failed-buffer links of the current clean-up selection.
+    link_scratch: Vec<u32>,
 
     frame_events: Vec<FrameEvent>,
     current_event: FrameEvent,
@@ -132,13 +141,16 @@ impl<S: StaticScheduler> DynamicProtocol<S> {
             .expect("frame configuration must be consistent");
         DynamicProtocol {
             scheduler,
-            num_links,
             routes: RouteTable::new(),
             store: PacketStore::new(),
             arrivals_buffer: Vec::new(),
             active: Vec::new(),
             delivered_in_active: 0,
             failed: vec![Vec::new(); num_links],
+            failed_links: ActiveLinkSet::new(RegionMap::contiguous(
+                num_links,
+                RegionMap::default_regions(num_links),
+            )),
             failed_total: 0,
             potential: 0,
             slot_in_frame: 0,
@@ -152,6 +164,7 @@ impl<S: StaticScheduler> DynamicProtocol<S> {
             idx_scratch: Vec::new(),
             attempt_scratch: Vec::new(),
             success_scratch: Vec::new(),
+            link_scratch: Vec::new(),
             frame_events: Vec::new(),
             current_event: FrameEvent {
                 frame: 0,
@@ -323,18 +336,22 @@ impl<S: StaticScheduler> DynamicProtocol<S> {
                     pkt,
                     failed_at: self.frame_index,
                 });
+                self.failed_links.insert(link);
             }
         }
         std::mem::swap(&mut self.active, &mut self.active_scratch);
 
         // Random clean-up selection: each non-empty buffer contributes its
         // longest-failed packet with probability `cleanup_select_prob`.
+        // `failed_links` yields exactly the non-empty buffers in ascending
+        // link order, so the RNG draws match the historical full scan.
         self.cleanup_selected.clear();
         self.request_scratch.clear();
-        for link_idx in 0..self.num_links {
-            if self.failed[link_idx].is_empty() {
-                continue;
-            }
+        self.link_scratch.clear();
+        self.failed_links.collect_into(&mut self.link_scratch);
+        for i in 0..self.link_scratch.len() {
+            let link_idx = self.link_scratch[i] as usize;
+            debug_assert!(!self.failed[link_idx].is_empty());
             if rng.gen::<f64>() >= self.config.cleanup_select_prob {
                 continue;
             }
@@ -406,6 +423,9 @@ impl<S: StaticScheduler> DynamicProtocol<S> {
                 .position(|fr| fr.pkt == pkt)
                 .expect("selected packet still buffered");
             let fr = buffer.swap_remove(pos);
+            if buffer.is_empty() {
+                self.failed_links.remove(link);
+            }
             let hop = self.store.advance(pkt);
             self.potential -= 1;
             let route = self.store.route(pkt);
@@ -423,6 +443,7 @@ impl<S: StaticScheduler> DynamicProtocol<S> {
             } else {
                 let next = self.routes.link_at(route, hop);
                 self.failed[next.index()].push(fr);
+                self.failed_links.insert(next);
             }
         }
     }
@@ -656,7 +677,22 @@ impl<S: StaticScheduler> Protocol for DynamicProtocol<S> {
 
         let mut failed_count = 0usize;
         let mut remaining_hops = 0u64;
+        let mut occupied_buffers = 0usize;
         for (link_idx, buffer) in self.failed.iter().enumerate() {
+            let tracked = self.failed_links.contains(LinkId(link_idx as u32));
+            if tracked == buffer.is_empty() {
+                return Err(InvariantViolation::new(
+                    "failed-buffers",
+                    format!(
+                        "link {link_idx}: buffer len {} but failed_links tracks it as {}",
+                        buffer.len(),
+                        if tracked { "occupied" } else { "empty" }
+                    ),
+                ));
+            }
+            if !buffer.is_empty() {
+                occupied_buffers += 1;
+            }
             for fr in buffer {
                 failed_count += 1;
                 if self.store.state(fr.pkt) != PacketState::Failed {
@@ -693,6 +729,15 @@ impl<S: StaticScheduler> Protocol for DynamicProtocol<S> {
                 }
                 remaining_hops += (len - hop) as u64;
             }
+        }
+        if self.failed_links.len() != occupied_buffers {
+            return Err(InvariantViolation::new(
+                "failed-buffers",
+                format!(
+                    "failed_links tracks {} links but {occupied_buffers} buffers are occupied",
+                    self.failed_links.len()
+                ),
+            ));
         }
         if failed_count != self.failed_total {
             return Err(InvariantViolation::new(

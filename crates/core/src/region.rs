@@ -1,0 +1,469 @@
+//! Region-sharded views of the packet plane: [`RegionMap`] partitions,
+//! [`ActiveLinkSet`] occupancy tracking, and shard-aware invariants.
+//!
+//! The frame protocol's per-slot bookkeeping historically scanned all
+//! `m` links (e.g. the clean-up selection walked every failed buffer,
+//! empty or not), which is fine at `m = 10³` and ruinous at `m = 10⁵`
+//! where almost every link is idle almost always. This module provides
+//! the two pieces that make per-slot work scale with *active* links
+//! instead:
+//!
+//! * [`RegionMap`] — a contiguous partition of the link index space into
+//!   regions, with sharded views of a [`PacketStore`]/[`RouteTable`]
+//!   pair ([`RegionMap::shard_live`], [`RegionMap::routes_through`]) and
+//!   a shard-aware extension of the store-partition invariant
+//!   ([`check_region_partition`]);
+//! * [`ActiveLinkSet`] — a region-summarized occupancy bitset over the
+//!   links: `O(1)` insert/remove, and iteration that visits exactly the
+//!   occupied links **in ascending link order**, skipping empty regions
+//!   wholesale.
+//!
+//! Ascending order is a hard requirement, not a nicety: the clean-up
+//! selection of [`crate::dynamic::DynamicProtocol`] draws one RNG coin
+//! per non-empty failed buffer in ascending link order, so a tracker
+//! that visited links in any other order (or visited empty buffers)
+//! would shift the RNG stream and change every downstream decision. The
+//! golden-fingerprint tests in `dynamic::frame` pin this equivalence.
+//!
+//! Regions are *contiguous* index ranges by construction. That choice is
+//! what lets region-by-region iteration preserve the global link order —
+//! an arbitrary (e.g. geometric) partition would interleave regions and
+//! break the RNG-stream guarantee. Callers that want spatially coherent
+//! regions should assign link indices spatially at instance-construction
+//! time; the map then shards space and index order simultaneously.
+
+use crate::ids::LinkId;
+use crate::invariants::{check_store_partition, InvariantViolation};
+use crate::route_table::{RouteId, RouteTable};
+use crate::store::{PacketRef, PacketStore};
+
+/// A contiguous partition of the link index space `0..num_links` into
+/// regions; region `r` covers `boundaries[r]..boundaries[r+1]`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RegionMap {
+    num_links: usize,
+    /// `num_regions + 1` monotone boundaries; first `0`, last `num_links`.
+    boundaries: Vec<u32>,
+}
+
+impl RegionMap {
+    /// A balanced contiguous partition into `num_regions` regions (the
+    /// first `num_links % num_regions` regions hold one extra link).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_regions == 0`, or if `num_links > 0` but there are
+    /// more regions than links.
+    pub fn contiguous(num_links: usize, num_regions: usize) -> Self {
+        assert!(num_regions > 0, "a RegionMap needs at least one region");
+        assert!(
+            num_links == 0 || num_regions <= num_links,
+            "more regions ({num_regions}) than links ({num_links})"
+        );
+        let base = num_links / num_regions;
+        let extra = num_links % num_regions;
+        let mut boundaries = Vec::with_capacity(num_regions + 1);
+        let mut next = 0usize;
+        boundaries.push(0);
+        for r in 0..num_regions {
+            next += base + usize::from(r < extra);
+            boundaries.push(next as u32);
+        }
+        RegionMap {
+            num_links,
+            boundaries,
+        }
+    }
+
+    /// The default region count for `num_links` links: one region per 64
+    /// links (matching the occupancy words of [`ActiveLinkSet`]), at
+    /// least one, at most 1024 — so the per-slot region scan stays
+    /// trivially cheap even at `m = 10⁵`.
+    pub fn default_regions(num_links: usize) -> usize {
+        (num_links / 64).clamp(1, 1024)
+    }
+
+    /// Number of links the map partitions.
+    pub fn num_links(&self) -> usize {
+        self.num_links
+    }
+
+    /// Number of regions.
+    pub fn num_regions(&self) -> usize {
+        self.boundaries.len() - 1
+    }
+
+    /// The region containing `link`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `link` is out of range.
+    pub fn region_of(&self, link: LinkId) -> usize {
+        assert!(
+            link.index() < self.num_links,
+            "link {link} out of range ({} links)",
+            self.num_links
+        );
+        // partition_point: first boundary strictly above the link index
+        // is the end of its region.
+        self.boundaries.partition_point(|&b| b <= link.0) - 1
+    }
+
+    /// The contiguous link index range of `region`.
+    pub fn links_in(&self, region: usize) -> std::ops::Range<u32> {
+        self.boundaries[region]..self.boundaries[region + 1]
+    }
+
+    /// Shards a live packet set by the region of each packet's *current*
+    /// link (`routes.link_at(route, hop)`): the per-region
+    /// [`PacketStore`] view the region-scaled protocol paths work from.
+    /// A delivered packet (hop past the end) is sharded by its final
+    /// link, so every live ref lands in exactly one shard.
+    pub fn shard_live<I>(
+        &self,
+        store: &PacketStore,
+        routes: &RouteTable,
+        live: I,
+    ) -> Vec<Vec<PacketRef>>
+    where
+        I: IntoIterator<Item = PacketRef>,
+    {
+        let mut shards = vec![Vec::new(); self.num_regions()];
+        for pkt in live {
+            let link = current_link(store, routes, pkt);
+            shards[self.region_of(link)].push(pkt);
+        }
+        shards
+    }
+
+    /// The routes of `routes` crossing `region` (at least one link of the
+    /// route lies in the region), in route-id order: the per-region
+    /// [`RouteTable`] view.
+    pub fn routes_through(&self, routes: &RouteTable, region: usize) -> Vec<RouteId> {
+        let range = self.links_in(region);
+        (0..routes.len() as u32)
+            .map(RouteId)
+            .filter(|&id| routes.links_of(id).iter().any(|l| range.contains(&l.0)))
+            .collect()
+    }
+}
+
+/// The link a stored packet currently waits on (its final link once
+/// delivered, so delivered-but-not-yet-freed packets still shard).
+fn current_link(store: &PacketStore, routes: &RouteTable, pkt: PacketRef) -> LinkId {
+    let route = store.route(pkt);
+    let len = routes.len_of(route);
+    let hop = store.hop(pkt).min(len.saturating_sub(1));
+    routes.link_at(route, hop)
+}
+
+/// The region-sharded face of the store-partition invariant: the shards
+/// must agree with `map` (every packet in the shard of its current
+/// link), and, chained together, they must satisfy the global
+/// [`check_store_partition`] — so sharding neither leaks, duplicates nor
+/// misfiles a packet.
+///
+/// # Errors
+///
+/// Returns a violation tagged `region-shard` when a packet sits in the
+/// wrong shard (or the shard count disagrees with the map), plus
+/// everything [`check_store_partition`] reports on the chained shards.
+pub fn check_region_partition(
+    map: &RegionMap,
+    store: &PacketStore,
+    routes: &RouteTable,
+    shards: &[Vec<PacketRef>],
+) -> Result<(), InvariantViolation> {
+    if shards.len() != map.num_regions() {
+        return Err(InvariantViolation::new(
+            "region-shard",
+            format!(
+                "{} shards for a {}-region map",
+                shards.len(),
+                map.num_regions()
+            ),
+        ));
+    }
+    for (region, shard) in shards.iter().enumerate() {
+        for &pkt in shard {
+            let link = current_link(store, routes, pkt);
+            let actual = map.region_of(link);
+            if actual != region {
+                return Err(InvariantViolation::new(
+                    "region-shard",
+                    format!(
+                        "packet {pkt:?} on link {link} belongs to region {actual}, \
+                         found in shard {region}"
+                    ),
+                ));
+            }
+        }
+    }
+    // Globally, the concatenated shards must still partition the store.
+    check_store_partition(store, shards.iter().flatten().copied())
+}
+
+/// An occupancy set over the links of a [`RegionMap`]: a bitset word per
+/// 64 links plus a per-region occupancy counter, so iteration skips
+/// empty regions wholesale and still yields occupied links in ascending
+/// link order.
+#[derive(Clone, Debug)]
+pub struct ActiveLinkSet {
+    map: RegionMap,
+    /// One bit per link, `words[l / 64] >> (l % 64)`.
+    words: Vec<u64>,
+    /// Occupied-link count per region of `map`.
+    region_count: Vec<u32>,
+    len: usize,
+}
+
+impl ActiveLinkSet {
+    /// An empty set over the links of `map`.
+    pub fn new(map: RegionMap) -> Self {
+        let words = vec![0u64; map.num_links().div_ceil(64)];
+        let region_count = vec![0u32; map.num_regions()];
+        ActiveLinkSet {
+            map,
+            words,
+            region_count,
+            len: 0,
+        }
+    }
+
+    /// The region map this set summarizes over.
+    pub fn region_map(&self) -> &RegionMap {
+        &self.map
+    }
+
+    /// Number of links currently in the set.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Whether `link` is in the set.
+    pub fn contains(&self, link: LinkId) -> bool {
+        self.words[link.index() / 64] & (1u64 << (link.index() % 64)) != 0
+    }
+
+    /// Inserts `link`; no-op if already present.
+    pub fn insert(&mut self, link: LinkId) {
+        let (word, bit) = (link.index() / 64, 1u64 << (link.index() % 64));
+        if self.words[word] & bit == 0 {
+            self.words[word] |= bit;
+            self.region_count[self.map.region_of(link)] += 1;
+            self.len += 1;
+        }
+    }
+
+    /// Removes `link`; no-op if absent.
+    pub fn remove(&mut self, link: LinkId) {
+        let (word, bit) = (link.index() / 64, 1u64 << (link.index() % 64));
+        if self.words[word] & bit != 0 {
+            self.words[word] &= !bit;
+            self.region_count[self.map.region_of(link)] -= 1;
+            self.len -= 1;
+        }
+    }
+
+    /// Appends the set's links to `out` in ascending link order, visiting
+    /// only the words of occupied regions: `O(regions + 64·occupied)`
+    /// instead of `O(num_links)`.
+    pub fn collect_into(&self, out: &mut Vec<u32>) {
+        for (region, &count) in self.region_count.iter().enumerate() {
+            if count == 0 {
+                continue;
+            }
+            let range = self.map.links_in(region);
+            let (start, end) = (range.start as usize, range.end as usize);
+            let mut link = start;
+            while link < end {
+                // Mask the current word down to the bits inside both the
+                // region and the link range, then drain its set bits.
+                let word_idx = link / 64;
+                let lo = link % 64;
+                let hi = (end - word_idx * 64).min(64);
+                let mut bits = self.words[word_idx] >> lo << lo;
+                if hi < 64 {
+                    bits &= (1u64 << hi) - 1;
+                }
+                while bits != 0 {
+                    let offset = bits.trailing_zeros() as usize;
+                    out.push((word_idx * 64 + offset) as u32);
+                    bits &= bits - 1;
+                }
+                link = (word_idx + 1) * 64;
+            }
+        }
+    }
+
+    /// The set's links in ascending order (allocating convenience over
+    /// [`ActiveLinkSet::collect_into`]).
+    pub fn to_vec(&self) -> Vec<u32> {
+        let mut out = Vec::with_capacity(self.len);
+        self.collect_into(&mut out);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::PacketId;
+    use crate::path::RoutePath;
+
+    #[test]
+    fn contiguous_map_covers_every_link_once() {
+        for (links, regions) in [(10, 3), (64, 1), (65, 2), (1000, 7), (1, 1)] {
+            let map = RegionMap::contiguous(links, regions);
+            assert_eq!(map.num_regions(), regions);
+            let mut covered = 0usize;
+            for r in 0..regions {
+                let range = map.links_in(r);
+                for l in range.clone() {
+                    assert_eq!(map.region_of(LinkId(l)), r, "{links}/{regions} link {l}");
+                }
+                covered += range.len();
+            }
+            assert_eq!(covered, links);
+        }
+    }
+
+    #[test]
+    fn balanced_split_is_off_by_at_most_one() {
+        let map = RegionMap::contiguous(10, 3);
+        let sizes: Vec<usize> = (0..3).map(|r| map.links_in(r).len()).collect();
+        assert_eq!(sizes.iter().sum::<usize>(), 10);
+        assert!(sizes.iter().all(|&s| s == 3 || s == 4), "{sizes:?}");
+    }
+
+    #[test]
+    fn default_regions_are_clamped() {
+        assert_eq!(RegionMap::default_regions(0), 1);
+        assert_eq!(RegionMap::default_regions(63), 1);
+        assert_eq!(RegionMap::default_regions(640), 10);
+        assert_eq!(RegionMap::default_regions(1 << 20), 1024);
+    }
+
+    #[test]
+    #[should_panic(expected = "more regions")]
+    fn rejects_more_regions_than_links() {
+        let _ = RegionMap::contiguous(2, 3);
+    }
+
+    #[test]
+    fn active_set_iterates_in_ascending_order_and_skips_empty_regions() {
+        let map = RegionMap::contiguous(300, 4);
+        let mut set = ActiveLinkSet::new(map);
+        // Insert out of order, with duplicates, across region boundaries.
+        for l in [299u32, 0, 75, 76, 0, 150, 299, 63, 64] {
+            set.insert(LinkId(l));
+        }
+        assert_eq!(set.len(), 7);
+        assert!(set.contains(LinkId(75)));
+        assert!(!set.contains(LinkId(1)));
+        assert_eq!(set.to_vec(), vec![0, 63, 64, 75, 76, 150, 299]);
+        set.remove(LinkId(75));
+        set.remove(LinkId(75));
+        set.remove(LinkId(0));
+        assert_eq!(set.to_vec(), vec![63, 64, 76, 150, 299]);
+        assert_eq!(set.len(), 5);
+        for l in set.to_vec() {
+            set.remove(LinkId(l));
+        }
+        assert!(set.is_empty());
+        assert_eq!(set.to_vec(), Vec::<u32>::new());
+    }
+
+    #[test]
+    fn active_set_matches_a_reference_scan_across_patterns() {
+        // Region sizes that straddle word boundaries in awkward ways.
+        for (links, regions) in [(1usize, 1usize), (64, 1), (130, 3), (257, 5)] {
+            let map = RegionMap::contiguous(links, regions);
+            let mut set = ActiveLinkSet::new(map);
+            let mut reference = vec![false; links];
+            // A deterministic pseudo-random insert/remove pattern.
+            let mut x = 0x9e3779b97f4a7c15u64;
+            for step in 0..4 * links {
+                x = x
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                let l = (x >> 33) as usize % links;
+                if step % 3 == 0 {
+                    set.remove(LinkId(l as u32));
+                    reference[l] = false;
+                } else {
+                    set.insert(LinkId(l as u32));
+                    reference[l] = true;
+                }
+            }
+            let expected: Vec<u32> = (0..links as u32)
+                .filter(|&l| reference[l as usize])
+                .collect();
+            assert_eq!(set.to_vec(), expected, "{links}/{regions}");
+            assert_eq!(set.len(), expected.len());
+        }
+    }
+
+    fn two_region_setup() -> (RegionMap, PacketStore, RouteTable, Vec<PacketRef>) {
+        let map = RegionMap::contiguous(4, 2);
+        let mut routes = RouteTable::new();
+        // Route 0 crosses both regions; route 1 stays in region 1.
+        let r0 =
+            routes.intern(&RoutePath::from_links_unchecked(vec![LinkId(0), LinkId(3)]).shared());
+        let r1 = routes.intern(&RoutePath::from_links_unchecked(vec![LinkId(2)]).shared());
+        let mut store = PacketStore::new();
+        let a = store.insert(PacketId(0), r0, 0); // hop 0 → link 0 → region 0
+        let b = store.insert(PacketId(1), r0, 0);
+        store.advance(b); // hop 1 → link 3 → region 1
+        let c = store.insert(PacketId(2), r1, 0); // link 2 → region 1
+        (map, store, routes, vec![a, b, c])
+    }
+
+    #[test]
+    fn shard_live_files_packets_by_current_link_region() {
+        let (map, store, routes, live) = two_region_setup();
+        let shards = map.shard_live(&store, &routes, live.iter().copied());
+        assert_eq!(shards[0], vec![live[0]]);
+        assert_eq!(shards[1], vec![live[1], live[2]]);
+        check_region_partition(&map, &store, &routes, &shards).unwrap();
+    }
+
+    #[test]
+    fn misfiled_and_leaked_packets_are_caught() {
+        let (map, store, routes, live) = two_region_setup();
+        // Swap a packet into the wrong shard: tagged region-shard.
+        let wrong = vec![vec![live[1]], vec![live[0], live[2]]];
+        let err = check_region_partition(&map, &store, &routes, &wrong).unwrap_err();
+        assert_eq!(err.invariant, "region-shard");
+        // Drop a packet: the chained global partition check fires.
+        let leaky = vec![vec![live[0]], vec![live[2]]];
+        let err = check_region_partition(&map, &store, &routes, &leaky).unwrap_err();
+        assert_eq!(err.invariant, "store-partition");
+        // Wrong shard arity is rejected outright.
+        let err = check_region_partition(&map, &store, &routes, &[]).unwrap_err();
+        assert_eq!(err.invariant, "region-shard");
+    }
+
+    #[test]
+    fn routes_through_lists_crossing_routes_in_id_order() {
+        let (map, _store, routes, _live) = two_region_setup();
+        assert_eq!(map.routes_through(&routes, 0), vec![RouteId(0)]);
+        assert_eq!(map.routes_through(&routes, 1), vec![RouteId(0), RouteId(1)]);
+    }
+
+    #[test]
+    fn delivered_packets_shard_by_their_final_link() {
+        let (map, mut store, routes, live) = two_region_setup();
+        // Drive packet a past the end of its 2-link route.
+        store.advance(live[0]);
+        store.advance(live[0]);
+        let shards = map.shard_live(&store, &routes, live.iter().copied());
+        assert!(shards[1].contains(&live[0]), "final link 3 is region 1");
+        check_region_partition(&map, &store, &routes, &shards).unwrap();
+    }
+}

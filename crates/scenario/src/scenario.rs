@@ -323,6 +323,54 @@ mod tests {
     }
 
     #[test]
+    fn event_engine_is_transparent_on_tiled_substrate() {
+        // Skip hints must compose with tiled feasibility: a city-shaped
+        // (but test-sized) tiled spec reports identical results with the
+        // event engine on and off, at ε = 0 and at ε > 0.
+        for epsilon in [0.0, 1e-2] {
+            let mut spec = registry::spec_for("sinr-city").unwrap();
+            if let crate::spec::SubstrateConfig::SinrTiled {
+                links,
+                side,
+                grid,
+                epsilon: eps,
+                ..
+            } = &mut spec.substrate
+            {
+                *links = 32;
+                *side = 120.0;
+                *grid = 4;
+                *eps = epsilon;
+            } else {
+                panic!("sinr-city is tiled");
+            }
+            spec.run.frames = 6;
+            let fast = Scenario::from_spec(&spec).unwrap().run().unwrap();
+            spec.run.events = false;
+            let slow = Scenario::from_spec(&spec).unwrap().run().unwrap();
+            assert_eq!(fast.report.injected, slow.report.injected, "eps {epsilon}");
+            assert_eq!(
+                fast.report.delivered, slow.report.delivered,
+                "eps {epsilon}"
+            );
+            assert_eq!(
+                fast.report.latencies, slow.report.latencies,
+                "eps {epsilon}"
+            );
+            assert_eq!(fast.report.attempts, slow.report.attempts, "eps {epsilon}");
+            assert_eq!(
+                fast.report.successes, slow.report.successes,
+                "eps {epsilon}"
+            );
+            assert_eq!(
+                fast.report.final_backlog, slow.report.final_backlog,
+                "eps {epsilon}"
+            );
+            assert_eq!(slow.report.idle_slots_skipped, 0, "eps {epsilon}");
+        }
+    }
+
+    #[test]
     fn sparse_preset_skips_most_of_the_run() {
         let mut spec = registry::spec_for("sparse-ring").unwrap();
         spec.run.frames = 40;

@@ -69,6 +69,33 @@ pub enum SubstrateConfig {
         /// instance can be driven by many runs).
         seed: u64,
     },
+    /// A random SINR instance judged through the spatially-tiled
+    /// substrate ([`dps_sinr::tiles`]): near-field gain panels,
+    /// far-field tile aggregation under the error knob `epsilon`
+    /// (`0` = bit-for-bit the exact oracle), and an on-demand `O(m)`-
+    /// memory interference model — the metro-scale configuration.
+    SinrTiled {
+        /// Number of links.
+        links: usize,
+        /// Side length of the deployment square.
+        side: f64,
+        /// Minimum link length.
+        min_len: f64,
+        /// Maximum link length.
+        max_len: f64,
+        /// The power assignment shaping the interference matrix.
+        power: PowerConfig,
+        /// Geometry seed (kept separate from the run seed so the same
+        /// instance can be driven by many runs).
+        seed: u64,
+        /// Tiles per grid side (`1..=64`).
+        grid: usize,
+        /// Far-field error knob `ε ≥ 0`; per-receiver interference is
+        /// perturbed by at most `ε · margin` per slot.
+        epsilon: f64,
+        /// Byte budget for near-field gain panels.
+        panel_budget: usize,
+    },
     /// The multiple-access channel (Section 7.1): `stations` stations on
     /// one shared medium, all-ones interference.
     Mac {
@@ -353,6 +380,28 @@ impl SubstrateConfig {
                 power,
                 seed,
             },
+            SubstrateConfig::SinrTiled {
+                side,
+                min_len,
+                max_len,
+                power,
+                seed,
+                links,
+                grid,
+                epsilon,
+                panel_budget,
+            } => SubstrateConfig::SinrTiled {
+                // Keep the density constant while scaling.
+                side: side * (m as f64 / links.max(1) as f64).sqrt(),
+                links: m,
+                min_len,
+                max_len,
+                power,
+                seed,
+                grid,
+                epsilon,
+                panel_budget,
+            },
             SubstrateConfig::Mac { .. } => SubstrateConfig::Mac { stations: m },
             SubstrateConfig::ConflictGeometric {
                 side_factor,
@@ -416,6 +465,36 @@ impl SubstrateConfig {
                 if !(*min_len > 0.0 && min_len <= max_len) {
                     return Err(ScenarioError::spec(format!(
                         "substrate link lengths must satisfy 0 < min_len ({min_len}) <= max_len ({max_len})"
+                    )));
+                }
+            }
+            SubstrateConfig::SinrTiled {
+                links,
+                side,
+                min_len,
+                max_len,
+                grid,
+                epsilon,
+                ..
+            } => {
+                positive(*links, "substrate.links")?;
+                if side.is_nan() || *side <= 0.0 {
+                    return Err(ScenarioError::spec("substrate.side must be positive"));
+                }
+                if !(*min_len > 0.0 && min_len <= max_len) {
+                    return Err(ScenarioError::spec(format!(
+                        "substrate link lengths must satisfy 0 < min_len ({min_len}) <= max_len ({max_len})"
+                    )));
+                }
+                if !(1..=dps_sinr::tiles::MAX_TILES_PER_SIDE).contains(grid) {
+                    return Err(ScenarioError::spec(format!(
+                        "substrate.grid must be in 1..={}, got {grid}",
+                        dps_sinr::tiles::MAX_TILES_PER_SIDE
+                    )));
+                }
+                if !(epsilon.is_finite() && *epsilon >= 0.0) {
+                    return Err(ScenarioError::spec(format!(
+                        "substrate.epsilon must be finite and non-negative, got {epsilon}"
                     )));
                 }
             }
@@ -551,6 +630,28 @@ impl Serialize for SubstrateConfig {
                 ("power", power.to_value()),
                 ("seed", seed.to_value()),
             ]),
+            SubstrateConfig::SinrTiled {
+                links,
+                side,
+                min_len,
+                max_len,
+                power,
+                seed,
+                grid,
+                epsilon,
+                panel_budget,
+            } => map(vec![
+                ("kind", "sinr-tiled".to_value()),
+                ("links", links.to_value()),
+                ("side", side.to_value()),
+                ("min_len", min_len.to_value()),
+                ("max_len", max_len.to_value()),
+                ("power", power.to_value()),
+                ("seed", seed.to_value()),
+                ("grid", grid.to_value()),
+                ("epsilon", epsilon.to_value()),
+                ("panel_budget", panel_budget.to_value()),
+            ]),
             SubstrateConfig::Mac { stations } => map(vec![
                 ("kind", "mac".to_value()),
                 ("stations", stations.to_value()),
@@ -593,6 +694,18 @@ impl Deserialize for SubstrateConfig {
                 max_len: serde::de_field(value, "max_len")?,
                 power: serde::de_field(value, "power")?,
                 seed: serde::de_field::<Option<u64>>(value, "seed")?.unwrap_or(0),
+            }),
+            "sinr-tiled" => Ok(SubstrateConfig::SinrTiled {
+                links: serde::de_field(value, "links")?,
+                side: serde::de_field(value, "side")?,
+                min_len: serde::de_field(value, "min_len")?,
+                max_len: serde::de_field(value, "max_len")?,
+                power: serde::de_field(value, "power")?,
+                seed: serde::de_field::<Option<u64>>(value, "seed")?.unwrap_or(0),
+                grid: serde::de_field::<Option<usize>>(value, "grid")?.unwrap_or(16),
+                epsilon: serde::de_field::<Option<f64>>(value, "epsilon")?.unwrap_or(0.0),
+                panel_budget: serde::de_field::<Option<usize>>(value, "panel_budget")?
+                    .unwrap_or(dps_sinr::tiles::DEFAULT_PANEL_BUDGET_BYTES),
             }),
             "mac" => Ok(SubstrateConfig::Mac {
                 stations: serde::de_field(value, "stations")?,
@@ -888,6 +1001,91 @@ lambda = 0.4
         ));
     }
 
+    fn tiled_substrate() -> SubstrateConfig {
+        SubstrateConfig::SinrTiled {
+            links: 256,
+            side: 200.0,
+            min_len: 0.8,
+            max_len: 3.0,
+            power: PowerConfig::Linear,
+            seed: 42,
+            grid: 8,
+            epsilon: 1e-2,
+            panel_budget: 1 << 20,
+        }
+    }
+
+    #[test]
+    fn sinr_tiled_round_trips_and_defaults() {
+        let mut spec = sample_spec();
+        spec.substrate = tiled_substrate();
+        spec.protocol = ProtocolConfig::FrameTwoStage;
+        let toml = spec.to_toml();
+        assert_eq!(ScenarioSpec::from_toml(&toml).unwrap(), spec);
+        let json = spec.to_json();
+        assert_eq!(ScenarioSpec::from_json(&json).unwrap(), spec);
+
+        // grid/epsilon/panel_budget may be omitted.
+        let toml = r#"
+name = "tiled minimal"
+[substrate]
+kind = "sinr-tiled"
+links = 64
+side = 100.0
+min_len = 1.0
+max_len = 2.0
+power = "uniform"
+[protocol]
+kind = "frame-two-stage"
+[injection]
+lambda = 0.4
+"#;
+        let spec = ScenarioSpec::from_toml(toml).unwrap();
+        match spec.substrate {
+            SubstrateConfig::SinrTiled {
+                grid,
+                epsilon,
+                panel_budget,
+                seed,
+                ..
+            } => {
+                assert_eq!(grid, 16);
+                assert_eq!(epsilon, 0.0);
+                assert_eq!(panel_budget, dps_sinr::tiles::DEFAULT_PANEL_BUDGET_BYTES);
+                assert_eq!(seed, 0);
+            }
+            other => panic!("wrong variant: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn sinr_tiled_rejects_bad_grid_and_epsilon() {
+        let mut spec = sample_spec();
+        for (grid, epsilon) in [
+            (0, 0.0),
+            (65, 0.0),
+            (8, -1.0),
+            (8, f64::NAN),
+            (8, f64::INFINITY),
+        ] {
+            let mut substrate = tiled_substrate();
+            if let SubstrateConfig::SinrTiled {
+                grid: g,
+                epsilon: e,
+                ..
+            } = &mut substrate
+            {
+                *g = grid;
+                *e = epsilon;
+            }
+            spec.substrate = substrate;
+            assert!(
+                spec.validate().is_err(),
+                "grid {grid}, epsilon {epsilon} must be rejected"
+            );
+        }
+    }
+
     #[test]
     fn with_size_scales_every_substrate() {
         let ring = SubstrateConfig::RingRouting { nodes: 8, hops: 2 }.with_size(16);
@@ -906,6 +1104,17 @@ lambda = 0.4
         if let SubstrateConfig::SinrRandom { links, side, .. } = sinr {
             assert_eq!(links, 64);
             assert!((side - 160.0).abs() < 1e-9, "density-preserving scaling");
+        } else {
+            panic!("variant changed");
+        }
+        let tiled = tiled_substrate().with_size(1024);
+        if let SubstrateConfig::SinrTiled {
+            links, side, grid, ..
+        } = tiled
+        {
+            assert_eq!(links, 1024);
+            assert!((side - 400.0).abs() < 1e-9, "density-preserving scaling");
+            assert_eq!(grid, 8, "grid resolution survives scaling");
         } else {
             panic!("variant changed");
         }

@@ -24,6 +24,7 @@ use dps_sinr::matrix::SinrInterference;
 use dps_sinr::network::SinrNetwork;
 use dps_sinr::params::SinrParams;
 use dps_sinr::power::{LinearPower, PowerAssignment, SquareRootPower, UniformPower};
+use dps_sinr::tiles::{TiledInterference, TiledSinrCache, TiledSinrFeasibility};
 use std::fmt;
 use std::sync::Arc;
 
@@ -60,6 +61,10 @@ pub struct Substrate {
     /// oracle of this substrate were built from (and that sweep cells
     /// sharing this substrate reuse).
     pub sinr_cache: Option<Arc<SinrCache>>,
+    /// The spatial tile index, for tiled SINR substrates: near-field
+    /// gain panels and far-field aggregation state shared by the
+    /// feasibility oracle (and charged against the cache budget).
+    pub sinr_tiles: Option<Arc<TiledSinrCache>>,
 }
 
 impl Substrate {
@@ -67,20 +72,29 @@ impl Substrate {
     /// the [`crate::cache::SubstrateCache`] eviction budget is charged
     /// against.
     ///
-    /// Dominated by the dense structures: the `m × m` interference
-    /// matrix the protocol designs against (SINR substrates) and, when
-    /// materialized, the SINR cache's `m × m` pairwise gain table.
-    /// Per-link vectors and routes are counted approximately; the value
-    /// is an eviction heuristic, not an allocator measurement.
+    /// SINR substrates defer to the caches' own accounting:
+    /// [`SinrCache::approx_bytes`] charges the per-link vectors plus the
+    /// dense gain table exactly when it was materialized, and
+    /// [`TiledSinrCache::approx_bytes`] charges the tile index and the
+    /// allocated near-field panels. The dense `m × m` W matrix of
+    /// [`SinrInterference`] is charged only for non-tiled substrates
+    /// (tiled ones judge through the on-demand [`TiledInterference`]).
+    /// Routes and conflict structures are counted approximately; the
+    /// value is an eviction heuristic, not an allocator measurement.
     pub fn approx_bytes(&self) -> usize {
         let m = self.num_links;
         let mut bytes = std::mem::size_of::<Substrate>() + self.label.len();
         bytes += self.routes.iter().map(|r| 64 + 4 * r.len()).sum::<usize>();
         if let Some(cache) = &self.sinr_cache {
-            // Per-link precomputed vectors (endpoints, powers, signals,
-            // margins…) plus the dense W matrix of `SinrInterference`.
-            bytes += cache.num_links() * 64 + m * m * 8;
-            if cache.is_dense() {
+            // The geometry cache knows whether its dense gain table was
+            // materialized; don't guess here (the old heuristic charged
+            // `m²` twice for dense substrates and once even when the
+            // table was never built).
+            bytes += cache.approx_bytes();
+            if let Some(tiles) = &self.sinr_tiles {
+                bytes += tiles.approx_bytes();
+            } else {
+                // The dense W matrix of `SinrInterference`.
                 bytes += m * m * 8;
             }
         } else if let Some(conflict) = &self.conflict {
@@ -174,6 +188,20 @@ impl SubstrateSpec for SubstrateConfig {
                 };
                 format!("SINR random(m={links}), {power} power")
             }
+            SubstrateConfig::SinrTiled {
+                links,
+                power,
+                grid,
+                epsilon,
+                ..
+            } => {
+                let power = match power {
+                    PowerConfig::Uniform => "uniform",
+                    PowerConfig::Linear => "linear",
+                    PowerConfig::SquareRoot => "sqrt",
+                };
+                format!("SINR tiled(m={links}, g={grid}, eps={epsilon}), {power} power")
+            }
             SubstrateConfig::Mac { stations } => format!("MAC({stations} stations)"),
             SubstrateConfig::ConflictGeometric { links, .. } => {
                 format!("conflict protocol-model(m={links})")
@@ -239,6 +267,54 @@ impl SubstrateSpec for SubstrateConfig {
                     routes: single_hop_routes(links),
                     conflict: None,
                     sinr_cache: Some(cache),
+                    sinr_tiles: None,
+                })
+            }
+            SubstrateConfig::SinrTiled {
+                links,
+                side,
+                min_len,
+                max_len,
+                power,
+                seed,
+                grid,
+                epsilon,
+                panel_budget,
+            } => {
+                let params = SinrParams::default_noiseless();
+                // Same geometry stream as `SinrRandom`: a tiled spec
+                // with ε = 0 judges the *identical* instance bit-for-bit.
+                let mut geo_rng = split_stream(seed, 0);
+                let net = random_instance(links, side, min_len, max_len, params, &mut geo_rng);
+                let (model, feasibility, cache, tiles) = match power {
+                    PowerConfig::Uniform => {
+                        tiled_parts(&net, UniformPower::unit(), grid, epsilon, panel_budget)
+                    }
+                    PowerConfig::Linear => tiled_parts(
+                        &net,
+                        LinearPower::new(params.alpha),
+                        grid,
+                        epsilon,
+                        panel_budget,
+                    ),
+                    PowerConfig::SquareRoot => tiled_parts(
+                        &net,
+                        SquareRootPower::new(params.alpha),
+                        grid,
+                        epsilon,
+                        panel_budget,
+                    ),
+                };
+                Ok(Substrate {
+                    label,
+                    num_links: links,
+                    m: links,
+                    model,
+                    feasibility,
+                    routes: single_hop_routes(links),
+                    conflict: None,
+                    sinr_cache: Some(cache),
+                    sinr_tiles: Some(tiles),
                 })
             }
             SubstrateConfig::Mac { stations } => Ok(Substrate {
@@ -250,6 +326,7 @@ impl SubstrateSpec for SubstrateConfig {
                 routes: single_hop_routes(stations),
                 conflict: None,
                 sinr_cache: None,
+                sinr_tiles: None,
             }),
             SubstrateConfig::ConflictGeometric {
                 links,
@@ -275,6 +352,7 @@ impl SubstrateSpec for SubstrateConfig {
                     routes: single_hop_routes(links),
                     conflict: Some(ConflictParts { graph, pi }),
                     sinr_cache: None,
+                    sinr_tiles: None,
                 })
             }
         }
@@ -303,6 +381,41 @@ fn sinr_parts<P: PowerAssignment + Clone + Send + Sync + 'static>(
     (model, feasibility, cache)
 }
 
+/// Builds the on-demand model + tiled oracle of a tiled SINR substrate
+/// from one shared [`SinrCache`] (the dense gain table stays under the
+/// default cap, so metro-scale instances are `O(m)` — panels and
+/// far-field aggregation stand in beyond it) and one shared
+/// [`TiledSinrCache`].
+type TiledParts = (
+    Arc<dyn InterferenceModel + Send + Sync>,
+    Arc<dyn Feasibility + Send + Sync>,
+    Arc<SinrCache>,
+    Arc<TiledSinrCache>,
+);
+
+fn tiled_parts<P: PowerAssignment + Clone + Send + Sync + 'static>(
+    net: &SinrNetwork,
+    power: P,
+    tiles_per_side: usize,
+    epsilon: f64,
+    panel_budget: usize,
+) -> TiledParts {
+    let cache = Arc::new(SinrCache::new(net, &power));
+    let tiles = Arc::new(TiledSinrCache::new(
+        cache.clone(),
+        tiles_per_side,
+        epsilon,
+        panel_budget,
+    ));
+    let model = Arc::new(TiledInterference::new(cache.clone()));
+    let feasibility = Arc::new(TiledSinrFeasibility::with_tiles(
+        net.clone(),
+        power,
+        tiles.clone(),
+    ));
+    (model, feasibility, cache, tiles)
+}
+
 fn routing_substrate(label: String, setup: RoutingSetup) -> Result<Substrate, ScenarioError> {
     let num_links = setup.network.num_links();
     Ok(Substrate {
@@ -314,6 +427,7 @@ fn routing_substrate(label: String, setup: RoutingSetup) -> Result<Substrate, Sc
         routes: setup.routes,
         conflict: None,
         sinr_cache: None,
+        sinr_tiles: None,
     })
 }
 
@@ -336,6 +450,17 @@ mod tests {
                 power: PowerConfig::Linear,
                 seed: 3,
             },
+            SubstrateConfig::SinrTiled {
+                links: 6,
+                side: 40.0,
+                min_len: 1.0,
+                max_len: 3.0,
+                power: PowerConfig::Linear,
+                seed: 3,
+                grid: 4,
+                epsilon: 0.0,
+                panel_budget: 1 << 16,
+            },
             SubstrateConfig::Mac { stations: 5 },
             SubstrateConfig::ConflictGeometric {
                 links: 10,
@@ -357,6 +482,60 @@ mod tests {
                 "{config:?}"
             );
         }
+    }
+
+    #[test]
+    fn tiled_substrate_matches_exact_substrate_at_epsilon_zero() {
+        // Same geometry seed ⇒ the tiled substrate judges the identical
+        // instance: model weights and feasibility verdicts bit-for-bit.
+        let links = 12;
+        let exact = SubstrateConfig::SinrRandom {
+            links,
+            side: 60.0,
+            min_len: 1.0,
+            max_len: 3.0,
+            power: PowerConfig::Linear,
+            seed: 9,
+        }
+        .build()
+        .unwrap();
+        let tiled = SubstrateConfig::SinrTiled {
+            links,
+            side: 60.0,
+            min_len: 1.0,
+            max_len: 3.0,
+            power: PowerConfig::Linear,
+            seed: 9,
+            grid: 4,
+            epsilon: 0.0,
+            panel_budget: 1 << 16,
+        }
+        .build()
+        .unwrap();
+        assert!(tiled.sinr_tiles.is_some());
+        for on in 0..links as u32 {
+            for from in 0..links as u32 {
+                let a = exact.model.weight(LinkId(on), LinkId(from));
+                let b = tiled.model.weight(LinkId(on), LinkId(from));
+                assert_eq!(a.to_bits(), b.to_bits(), "W[{on}][{from}]");
+            }
+        }
+        let attempts: Vec<dps_core::feasibility::Attempt> = (0..links as u32)
+            .map(|l| dps_core::feasibility::Attempt {
+                link: LinkId(l),
+                packet: dps_core::ids::PacketId(l as u64),
+            })
+            .collect();
+        let rng = split_stream(5, 0);
+        assert_eq!(
+            exact.feasibility.successes(&attempts, &mut rng.clone()),
+            tiled.feasibility.successes(&attempts, &mut rng.clone()),
+        );
+        // The byte estimate charges the tile index and panels (the
+        // dense gain table is auto-gated by the cache's cap, so metro
+        // sizes stay O(m); this small instance keeps it).
+        let tiles = tiled.sinr_tiles.as_ref().unwrap();
+        assert!(tiled.approx_bytes() >= tiles.approx_bytes());
     }
 
     #[test]

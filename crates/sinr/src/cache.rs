@@ -309,13 +309,57 @@ impl SinrCache {
         }
         true
     }
+
+    /// Approximate heap footprint of the cache in bytes: the per-link
+    /// scalar and position tables, plus the dense `m × m` gain table
+    /// when materialized. Substrate-cache byte accounting charges this
+    /// instead of guessing (a lazy cache must *not* be billed for a
+    /// dense table it never built).
+    pub fn approx_bytes(&self) -> usize {
+        let mut bytes = std::mem::size_of::<Self>();
+        bytes += (self.tx_power.len() + self.signal.len() + self.margin.len())
+            * std::mem::size_of::<f64>();
+        bytes +=
+            (self.sender.len() + self.receiver.len()) * std::mem::size_of::<crate::geom::Point>();
+        if let Some(table) = &self.gains {
+            bytes += table.len() * std::mem::size_of::<f64>();
+        }
+        bytes
+    }
+
+    /// The path-loss exponent `α` the cache was built with.
+    pub(crate) fn alpha(&self) -> f64 {
+        self.alpha
+    }
+
+    /// Per-link sender positions (crate-internal: the tiled substrate
+    /// derives tile geometry from them).
+    pub(crate) fn sender_positions(&self) -> &[crate::geom::Point] {
+        &self.sender
+    }
+
+    /// Per-link receiver positions (crate-internal).
+    pub(crate) fn receiver_positions(&self) -> &[crate::geom::Point] {
+        &self.receiver
+    }
+
+    /// Per-link transmission powers as a slice (crate-internal).
+    pub(crate) fn tx_powers(&self) -> &[f64] {
+        &self.tx_power
+    }
+
+    /// Per-link noise-adjusted margins as a slice (crate-internal).
+    pub(crate) fn margins(&self) -> &[f64] {
+        &self.margin
+    }
 }
 
 /// The one gain expression shared by the dense table, the on-the-fly
-/// fallback and the naive reference oracle: same operations, same
-/// rounding, bit-for-bit interchangeable.
+/// fallback, the tiled near-field panels ([`crate::tiles`]) and the
+/// naive reference oracle: same operations, same rounding, bit-for-bit
+/// interchangeable.
 #[inline]
-fn raw_gain(
+pub(crate) fn raw_gain(
     sender: &[crate::geom::Point],
     receiver: &[crate::geom::Point],
     tx_power: &[f64],

@@ -31,7 +31,11 @@
 //! * [`star`] — the global-clock and local-clock protocols separated by
 //!   Theorem 20;
 //! * [`scheduler::PowerControlScheduler`] — a centralized scheduler in the
-//!   spirit of \[32\] for the power-control case (Corollary 14).
+//!   spirit of \[32\] for the power-control case (Corollary 14);
+//! * [`tiles`] — the spatially-tiled substrate for metro-scale instances:
+//!   near-field gain panels, far-field tile aggregation under an explicit
+//!   error knob `ε` (exact and bit-for-bit at `ε = 0`), and an on-demand
+//!   `O(1)`-memory interference model.
 
 #![deny(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -49,6 +53,7 @@ pub mod params;
 pub mod power;
 pub mod scheduler;
 pub mod star;
+pub mod tiles;
 
 /// Convenience re-exports of the most commonly used types.
 pub mod prelude {
@@ -64,4 +69,5 @@ pub mod prelude {
     pub use crate::power::{LinearPower, PowerAssignment, SquareRootPower, UniformPower};
     pub use crate::scheduler::PowerControlScheduler;
     pub use crate::star::{GlobalClockStarProtocol, LocalClockAlohaProtocol};
+    pub use crate::tiles::{TileGrid, TiledInterference, TiledSinrCache, TiledSinrFeasibility};
 }

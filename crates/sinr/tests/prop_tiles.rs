@@ -1,0 +1,287 @@
+//! Referee suite for the spatially-tiled SINR substrate: the tiled
+//! oracle vs the exact one.
+//!
+//! The contract under test ([`dps_sinr::tiles`]):
+//!
+//! * `epsilon = 0` — bit-for-bit: verdicts and per-receiver
+//!   interference sums identical to the exact oracle (and hence to
+//!   `successes_naive`).
+//! * `epsilon > 0` — bounded: per-receiver interference within
+//!   `epsilon · margin` of the exact sum (for positive margins; a
+//!   non-positive margin disqualifies its whole receiver tile from
+//!   far-field aggregation, so those receivers stay bit-exact), and
+//!   verdicts identical whenever the exact comparison sits outside the
+//!   error band.
+//! * Zero cross distances (shared nodes) poison both paths with `NaN`
+//!   at any epsilon: coincident points share a tile and tiles only
+//!   far-qualify at strictly positive centre separation.
+
+use dps_core::feasibility::{Attempt, Feasibility};
+use dps_core::ids::{LinkId, PacketId};
+use dps_sinr::feasibility::SinrFeasibility;
+use dps_sinr::instances::{line_instance, random_instance};
+use dps_sinr::network::SinrNetwork;
+use dps_sinr::params::SinrParams;
+use dps_sinr::power::{LinearPower, PowerAssignment, UniformPower};
+use dps_sinr::tiles::TiledSinrFeasibility;
+use proptest::prelude::*;
+use proptest::TestCaseError;
+use rand::SeedableRng;
+use rand_chacha::ChaCha12Rng;
+
+fn attempt(link: u32, id: u64) -> Attempt {
+    Attempt {
+        link: LinkId(link),
+        packet: PacketId(id),
+    }
+}
+
+/// The epsilon lattice the ISSUE pins: exact, tight, loose.
+const EPSILONS: [f64; 3] = [0.0, 1e-6, 1e-2];
+
+/// Distinct attempted links with multiplicities, ascending — the shared
+/// preamble of both kernels, reproduced independently here.
+fn dedup(attempts: &[Attempt]) -> Vec<(u32, u32)> {
+    let mut active: Vec<(u32, u32)> = attempts.iter().map(|a| (a.link.0, 1)).collect();
+    active.sort_unstable_by_key(|&(link, _)| link);
+    let mut out: Vec<(u32, u32)> = Vec::new();
+    for (link, count) in active {
+        match out.last_mut() {
+            Some(last) if last.0 == link => last.1 += count,
+            _ => out.push((link, count)),
+        }
+    }
+    out
+}
+
+/// Runs the full referee for one `(net, power, attempts, grid, eps)`
+/// cell: naive-vs-cached sanity, interference-sum pinning, and
+/// band-aware verdict comparison.
+fn referee<P: PowerAssignment + Clone>(
+    net: &SinrNetwork,
+    power: P,
+    attempts: &[Attempt],
+    grid: usize,
+    eps: f64,
+) -> Result<(), TestCaseError> {
+    let exact = SinrFeasibility::new(net.clone(), power.clone());
+    let tiled = TiledSinrFeasibility::new(net.clone(), power, grid, eps);
+    let mut srng = ChaCha12Rng::seed_from_u64(7);
+    let naive = exact.successes_naive(attempts, &mut srng.clone());
+    let fast = exact.successes(attempts, &mut srng.clone());
+    prop_assert_eq!(&fast, &naive, "exact oracle self-check diverged");
+    let tiled_verdicts = tiled.successes(attempts, &mut srng);
+
+    let cache = exact.cache();
+    let beta = cache.beta();
+    let noise = cache.noise();
+    let active = dedup(attempts);
+    let tiled_sums = tiled.slot_interference(attempts);
+    prop_assert_eq!(tiled_sums.len(), active.len());
+
+    // Exact per-receiver sums, recomputed in kernel order (ascending
+    // link index, count-weighted) from the cache's gain expression.
+    let mut exact_sums = Vec::with_capacity(active.len());
+    for &(on_raw, _) in &active {
+        let on = LinkId(on_raw);
+        let mut sum = 0.0f64;
+        for &(from_raw, count) in &active {
+            if from_raw == on_raw {
+                continue;
+            }
+            sum += count as f64 * cache.gain(LinkId(from_raw), on);
+        }
+        exact_sums.push(sum);
+    }
+
+    for (slot, &(on_raw, _)) in active.iter().enumerate() {
+        let on = LinkId(on_raw);
+        let (tiled_link, tiled_sum) = tiled_sums[slot];
+        prop_assert_eq!(tiled_link, on);
+        let exact_sum = exact_sums[slot];
+        let margin = cache.margin(on);
+        if eps == 0.0 || margin <= 0.0 || margin.is_nan() {
+            // ε = 0 disables aggregation globally; a non-positive (or
+            // NaN) margin disqualifies the receiver's tile. Either way
+            // the sum must be the exact bits.
+            prop_assert_eq!(
+                exact_sum.to_bits(),
+                tiled_sum.to_bits(),
+                "link {} (eps {}, margin {}): {} vs {}",
+                on,
+                eps,
+                margin,
+                exact_sum,
+                tiled_sum
+            );
+        } else if exact_sum.is_nan() {
+            prop_assert!(
+                tiled_sum.is_nan(),
+                "link {}: NaN blockage lost by the tiled path",
+                on
+            );
+        } else {
+            // |I_tiled − I_exact| ≤ ε·margin, with a relative-rounding
+            // slack for the far aggregate's reassociated additions.
+            let slack = 1e-12 * exact_sum.abs().max(margin);
+            prop_assert!(
+                (tiled_sum - exact_sum).abs() <= eps * margin + slack,
+                "link {}: |{} - {}| > {}·{}",
+                on,
+                tiled_sum,
+                exact_sum,
+                eps,
+                margin
+            );
+        }
+    }
+
+    if eps == 0.0 {
+        prop_assert_eq!(&tiled_verdicts, &naive, "ε = 0 verdicts diverged");
+    } else {
+        // Verdicts must agree whenever the exact comparison clears the
+        // error band; inside the band either answer is within contract.
+        for (j, a) in attempts.iter().enumerate() {
+            let slot = active
+                .binary_search_by_key(&a.link.0, |&(link, _)| link)
+                .expect("attempted link is active");
+            let (_, count) = active[slot];
+            if count != 1 {
+                prop_assert!(!naive[j] && !tiled_verdicts[j], "collisions fail both");
+                continue;
+            }
+            let on = LinkId(a.link.0);
+            let margin = cache.margin(on);
+            let exact_sum = exact_sums[slot];
+            if exact_sum.is_nan() {
+                prop_assert!(!naive[j] && !tiled_verdicts[j], "NaN blocks both");
+                continue;
+            }
+            let band = if margin > 0.0 {
+                beta * (eps * margin + 2e-12 * exact_sum.abs().max(margin))
+            } else {
+                0.0
+            };
+            let gap = cache.signal(on) - beta * (exact_sum + noise);
+            if gap.abs() > band {
+                prop_assert_eq!(
+                    tiled_verdicts[j],
+                    naive[j],
+                    "link {} flipped outside the ε-band (gap {}, band {})",
+                    on,
+                    gap,
+                    band
+                );
+            }
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Random geometry across the epsilon lattice, subsets with
+    /// duplicate attempts mixed in, uniform and linear powers, with and
+    /// without noise.
+    #[test]
+    fn tiled_oracle_respects_error_contract(
+        seed in 0u64..500,
+        subset_bits in 1u32..0xff_ffff,
+        dup_a in 0u32..24,
+        dup_b in 0u32..24,
+        grid in 1usize..9,
+        eps_sel in 0usize..3,
+        noisy in 0u32..2,
+        power_sel in 0u32..2,
+    ) {
+        let mut rng = ChaCha12Rng::seed_from_u64(seed);
+        let params = if noisy == 1 {
+            SinrParams::with_noise(1e-3)
+        } else {
+            SinrParams::default_noiseless()
+        };
+        let net = random_instance(24, 120.0, 0.8, 3.0, params, &mut rng);
+        let mut attempts: Vec<Attempt> = (0..24u32)
+            .filter(|i| subset_bits & (1 << i) != 0)
+            .enumerate()
+            .map(|(i, l)| attempt(l, i as u64))
+            .collect();
+        attempts.push(attempt(dup_a, 100));
+        attempts.push(attempt(dup_b, 101));
+        let eps = EPSILONS[eps_sel];
+        if power_sel == 0 {
+            referee(&net, UniformPower::unit(), &attempts, grid, eps)?;
+        } else {
+            referee(&net, LinearPower::new(params.alpha), &attempts, grid, eps)?;
+        }
+    }
+
+    /// Shared-node lines: zero cross distances at every grid resolution
+    /// and epsilon — the NaN blockage rule must survive tiling, and
+    /// ε = 0 stays bit-for-bit.
+    #[test]
+    fn tiled_oracle_preserves_zero_distance_blockage(
+        hops in 2usize..20,
+        spacing in 0.5f64..3.0,
+        dup in 0u32..5,
+        grid in 1usize..9,
+        eps_sel in 0usize..3,
+    ) {
+        let net = line_instance(hops, spacing, SinrParams::default_noiseless());
+        let mut attempts: Vec<Attempt> = (0..hops as u32)
+            .map(|l| attempt(l, l as u64))
+            .collect();
+        attempts.push(attempt(dup % hops as u32, 99));
+        referee(&net, UniformPower::unit(), &attempts, grid, EPSILONS[eps_sel])?;
+    }
+
+    /// Tiny panel budgets must not change a single bit: panels are a
+    /// speed layer, not a semantic one.
+    #[test]
+    fn panel_budget_is_bitwise_neutral(
+        seed in 0u64..200,
+        budget_cells in 0usize..80,
+        grid in 1usize..5,
+    ) {
+        let mut rng = ChaCha12Rng::seed_from_u64(seed);
+        let params = SinrParams::default_noiseless();
+        let net = random_instance(12, 60.0, 1.0, 3.0, params, &mut rng);
+        let attempts: Vec<Attempt> = (0..12u32).map(|l| attempt(l, l as u64)).collect();
+        let full = TiledSinrFeasibility::new(
+            net.clone(), UniformPower::unit(), grid, 0.0);
+        let starved = TiledSinrFeasibility::with_budget(
+            net, UniformPower::unit(), grid, 0.0,
+            budget_cells * std::mem::size_of::<f64>());
+        let srng = ChaCha12Rng::seed_from_u64(11);
+        prop_assert_eq!(
+            full.successes(&attempts, &mut srng.clone()),
+            starved.successes(&attempts, &mut srng.clone())
+        );
+        let a = full.slot_interference(&attempts);
+        let b = starved.slot_interference(&attempts);
+        for ((link_a, sum_a), (link_b, sum_b)) in a.into_iter().zip(b) {
+            prop_assert_eq!(link_a, link_b);
+            prop_assert_eq!(sum_a.to_bits(), sum_b.to_bits(), "at {}", link_a);
+        }
+    }
+}
+
+/// The ISSUE's upper referee size: one deterministic m = 256 instance
+/// across the full epsilon lattice, everything transmitting plus
+/// duplicates.
+#[test]
+fn referee_at_m_256_across_epsilons() {
+    let mut rng = ChaCha12Rng::seed_from_u64(2012);
+    let params = SinrParams::with_noise(1e-4);
+    let net = random_instance(256, 400.0, 0.8, 3.0, params, &mut rng);
+    let mut attempts: Vec<Attempt> = (0..256u32).map(|l| attempt(l, l as u64)).collect();
+    attempts.push(attempt(17, 500));
+    attempts.push(attempt(200, 501));
+    for grid in [1usize, 4, 16] {
+        for eps in EPSILONS {
+            referee(&net, LinearPower::new(params.alpha), &attempts, grid, eps)
+                .unwrap_or_else(|e| panic!("grid {grid}, eps {eps}: {e}"));
+        }
+    }
+}

@@ -50,6 +50,7 @@ impl SubstrateSpec for StarSubstrate {
             routes,
             conflict: None,
             sinr_cache: None,
+            sinr_tiles: None,
         })
     }
 }
