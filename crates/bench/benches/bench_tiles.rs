@@ -10,6 +10,11 @@
 //! — panels are pure speed) and `ε = 10⁻³` (far-field aggregation under
 //! the error contract of `dps_sinr::tiles`). CI runs this in fast mode
 //! as a perf smoke test; the checked-in file is the PR's baseline.
+//!
+//! A separate scale section benches `m = 65536` flat (one tile level)
+//! against the hierarchical walk (four coarsening levels) and the
+//! region-sharded threaded kernel on the same leaf grid, with the same
+//! in-harness `ε = 0` bit-for-bit assertion at every configuration.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use dps_core::feasibility::{Attempt, Feasibility};
@@ -20,7 +25,7 @@ use dps_sinr::instances::random_instance;
 use dps_sinr::network::SinrNetwork;
 use dps_sinr::params::SinrParams;
 use dps_sinr::power::LinearPower;
-use dps_sinr::tiles::TiledSinrFeasibility;
+use dps_sinr::tiles::{PanelCacheMode, TileOptions, TiledSinrFeasibility};
 use std::time::{Duration, Instant};
 
 const SIZES: [usize; 3] = [1024, 4096, 16384];
@@ -208,10 +213,129 @@ fn bench_tiled_slot(c: &mut Criterion) {
     }
     group.finish();
 
+    // Hierarchical scale cell: m = 65536 on the flat grid's far-table
+    // cap (g = 64), at *megacity density* (side 80·√m — the
+    // `sinr-megacity` preset's spacing, four times sparser per area
+    // than the small cells). At that spacing the near field shrinks to
+    // a few tiles per receiver and the far-field walk dominates: flat
+    // (one level) pays one far term per qualified leaf tile pair
+    // (thousands per receiver), while the four-level hierarchy walks
+    // the same leaf grid from an 8-per-side coarsest level and only
+    // descends where the centre-substitution bound forces it,
+    // replacing those leaf terms with a few coarse aggregates. The
+    // threaded row shards receivers by region and must stay
+    // bit-for-bit.
+    const HIER_M: usize = 65536;
+    const HIER_LEVELS: usize = 4;
+    let hier_json = {
+        let net = {
+            let mut rng = split_stream(9, (HIER_M + 1) as u64);
+            random_instance(
+                HIER_M,
+                80.0 * (HIER_M as f64).sqrt(),
+                1.0,
+                3.0,
+                SinrParams::default_noiseless(),
+                &mut rng,
+            )
+        };
+        let alpha = net.params().alpha;
+        let grid = grid_for(HIER_M);
+        let attempts = slot_attempts(HIER_M);
+        let make = |eps: f64, levels: usize, threads: usize| {
+            TiledSinrFeasibility::with_options(
+                net.clone(),
+                LinearPower::new(alpha),
+                TileOptions::new(grid, eps)
+                    .with_levels(levels)
+                    .with_panel_budget(PANEL_BUDGET)
+                    .with_panel_mode(PanelCacheMode::Adaptive),
+            )
+            .kernel_threads(threads)
+        };
+
+        // ε = 0 is bit-for-bit exact at every depth and thread count.
+        // The assert drives a m/16 attempt subset: the exact oracle is
+        // O(k²) powf at this size, and the full-k contract is already
+        // referee-tested across (levels, threads) in `prop_tiles`.
+        {
+            let assert_attempts: Vec<Attempt> = attempts.iter().step_by(4).copied().collect();
+            let exact = SinrFeasibility::new(net.clone(), LinearPower::new(alpha));
+            let rng = split_stream(10, HIER_M as u64);
+            let reference = exact.successes(&assert_attempts, &mut rng.clone());
+            for (levels, threads) in [(1usize, 1usize), (HIER_LEVELS, 1), (HIER_LEVELS, 2)] {
+                assert_eq!(
+                    reference,
+                    make(0.0, levels, threads).successes(&assert_attempts, &mut rng.clone()),
+                    "m = {HIER_M}, levels = {levels}, threads = {threads}: \
+                     ε = 0 must match the exact oracle"
+                );
+            }
+        }
+
+        let flat = make(1e-3, 1, 1);
+        let hier = make(1e-3, HIER_LEVELS, 1);
+        let hier_t2 = make(1e-3, HIER_LEVELS, 2);
+        let mut out = Vec::new();
+        let mut rng = split_stream(10, HIER_M as u64);
+        let flat_t = measure_slot(
+            || {
+                flat.successes_into(&attempts, &mut out, &mut rng);
+            },
+            budget,
+        );
+        let hier_t = measure_slot(
+            || {
+                hier.successes_into(&attempts, &mut out, &mut rng);
+            },
+            budget,
+        );
+        let hier_t2_t = measure_slot(
+            || {
+                hier_t2.successes_into(&attempts, &mut out, &mut rng);
+            },
+            budget,
+        );
+        let per_sec = |d: Duration| 1.0 / d.as_secs_f64();
+        let hier_speedup = flat_t.as_secs_f64() / hier_t.as_secs_f64();
+        let far_per_level: Vec<String> = (0..HIER_LEVELS)
+            .map(|l| hier.tiles().far_pairs_at(l).to_string())
+            .collect();
+        println!(
+            "tiles_slot_throughput/scale m={HIER_M} (grid {grid}, L={HIER_LEVELS}): \
+             flat ε=1e-3 {:.3e} slots/s, hier {:.3e} slots/s ({hier_speedup:.2}x), \
+             hier 2-thread {:.3e} slots/s, far pairs flat {} vs per-level [{}]",
+            per_sec(flat_t),
+            per_sec(hier_t),
+            per_sec(hier_t2_t),
+            flat.tiles().far_pairs(),
+            far_per_level.join(", "),
+        );
+        format!(
+            "  \"scale\": {{\n    \"m\": {HIER_M},\n    \"side\": {:.0},\n    \
+             \"grid\": {grid},\n    \
+             \"levels\": {HIER_LEVELS},\n    \"attempts_per_slot\": {},\n    \
+             \"flat_eps1e3_slots_per_sec\": {:.2},\n    \
+             \"hier_eps1e3_slots_per_sec\": {:.2},\n    \
+             \"hier_speedup_vs_flat\": {:.2},\n    \
+             \"hier_t2_eps1e3_slots_per_sec\": {:.2},\n    \
+             \"flat_far_pairs\": {},\n    \"hier_far_pairs_per_level\": [{}]\n  }}",
+            80.0 * (HIER_M as f64).sqrt(),
+            attempts.len(),
+            per_sec(flat_t),
+            per_sec(hier_t),
+            hier_speedup,
+            per_sec(hier_t2_t),
+            flat.tiles().far_pairs(),
+            far_per_level.join(", "),
+        )
+    };
+
     let json = format!(
         "{{\n  \"bench\": \"bench_tiles\",\n  \"metric\": \"exact on-the-fly fallback vs \
-         tiled oracle, k = m/4 attempts per slot\",\n  \"cells\": [\n{}\n  ]\n}}\n",
-        cells.join(",\n")
+         tiled oracle, k = m/4 attempts per slot\",\n  \"cells\": [\n{}\n  ],\n{}\n}}\n",
+        cells.join(",\n"),
+        hier_json
     );
     let path = std::env::var("BENCH_TILES_OUT").unwrap_or_else(|_| {
         concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_tiles.json").to_string()

@@ -69,6 +69,7 @@ pub mod interference;
 pub mod invariants;
 pub mod load;
 pub mod packet;
+pub mod parallel;
 pub mod path;
 pub mod potential;
 pub mod protocol;

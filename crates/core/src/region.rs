@@ -114,6 +114,42 @@ impl RegionMap {
         self.boundaries[region]..self.boundaries[region + 1]
     }
 
+    /// Splits an ascending list of link ids into the non-empty
+    /// per-region index spans, in region (hence link) order: span `i`
+    /// covers the consecutive entries of `links` whose links fall in
+    /// the `i`-th occupied region. Concatenating the spans reproduces
+    /// `0..links.len()`, which is what lets a per-receiver kernel fan
+    /// the spans over threads and splice the per-span results back
+    /// together bit-for-bit in the original order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `links` is not strictly ascending or contains a link
+    /// outside `0..num_links`.
+    pub fn shard_sorted(&self, links: &[u32]) -> Vec<std::ops::Range<usize>> {
+        assert!(
+            links.windows(2).all(|w| w[0] < w[1]),
+            "shard_sorted requires strictly ascending link ids"
+        );
+        let mut spans = Vec::new();
+        let mut at = 0usize;
+        for region in 0..self.num_regions() {
+            let end_link = self.boundaries[region + 1];
+            let end = at + links[at..].partition_point(|&l| l < end_link);
+            if end > at {
+                spans.push(at..end);
+            }
+            at = end;
+        }
+        assert!(
+            at == links.len(),
+            "link {} out of range ({} links)",
+            links[at],
+            self.num_links
+        );
+        spans
+    }
+
     /// Shards a live packet set by the region of each packet's *current*
     /// link (`routes.link_at(route, hop)`): the per-region
     /// [`PacketStore`] view the region-scaled protocol paths work from.
@@ -353,6 +389,40 @@ mod tests {
     #[should_panic(expected = "more regions")]
     fn rejects_more_regions_than_links() {
         let _ = RegionMap::contiguous(2, 3);
+    }
+
+    #[test]
+    fn shard_sorted_partitions_ascending_lists() {
+        let map = RegionMap::contiguous(100, 4);
+        // Mixed occupancy: empty first region, entries on both sides of
+        // a boundary, a lone trailing entry.
+        let links = [25u32, 26, 49, 50, 74, 99];
+        let spans = map.shard_sorted(&links);
+        assert_eq!(spans, vec![0..3, 3..5, 5..6]);
+        let mut covered = Vec::new();
+        for span in &spans {
+            let region = map.region_of(LinkId(links[span.start]));
+            for i in span.clone() {
+                assert_eq!(map.region_of(LinkId(links[i])), region);
+                covered.push(i);
+            }
+        }
+        assert_eq!(covered, (0..links.len()).collect::<Vec<_>>());
+        assert!(map.shard_sorted(&[]).is_empty());
+        // Every link in one region collapses to a single span.
+        assert_eq!(map.shard_sorted(&[0, 1, 2]), vec![0..3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly ascending")]
+    fn shard_sorted_rejects_unsorted_input() {
+        let _ = RegionMap::contiguous(10, 2).shard_sorted(&[3, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn shard_sorted_rejects_out_of_range_links() {
+        let _ = RegionMap::contiguous(10, 2).shard_sorted(&[3, 10]);
     }
 
     #[test]

@@ -75,12 +75,35 @@ fn show(rest: &[String]) {
 fn run(rest: &[String]) {
     let (spec, options) = load_spec(rest);
     let scenario = Scenario::from_spec(&spec).unwrap_or_else(|e| fail(&e.to_string()));
-    let outcomes = scenario
-        .run_repetitions(options.reps, options.threads)
+    // Hold the substrate here (when its spec opts into sharing) so
+    // per-substrate diagnostics survive the runs and can be reported.
+    let shared = scenario
+        .substrate
+        .cache_key()
+        .is_some()
+        .then(|| scenario.build_substrate())
+        .transpose()
         .unwrap_or_else(|e| fail(&e.to_string()));
+    let outcomes = match &shared {
+        Some(substrate) => scenario.run_repetitions_on(substrate, options.reps, options.threads),
+        None => scenario.run_repetitions(options.reps, options.threads),
+    }
+    .unwrap_or_else(|e| fail(&e.to_string()));
     let table = outcome_table(&spec.name, &outcomes);
     if options.json {
-        println!("{}", table.to_json());
+        let serde::Value::Map(mut fields) = table.to_value() else {
+            unreachable!("Table::to_value always yields a map")
+        };
+        if let Some(tiles) = shared.as_ref().and_then(|s| s.sinr_tiles.as_ref()) {
+            fields.push((
+                "tile_diagnostics".to_string(),
+                tile_diagnostics_value(&tiles.diagnostics()),
+            ));
+        }
+        println!(
+            "{}",
+            serde::json::to_string_pretty(&serde::Value::Map(fields))
+        );
     } else {
         println!(
             "# {} — {} | {} | {}",
@@ -168,6 +191,51 @@ fn check(rest: &[String]) {
     if !ok {
         exit(1);
     }
+}
+
+/// The tiled substrate's far-walk and panel-cache counters as a JSON
+/// map, spliced next to the outcome table under `tile_diagnostics`.
+fn tile_diagnostics_value(diag: &dps_sinr::tiles::TileDiagnostics) -> serde::Value {
+    let seq_u64 =
+        |values: &[u64]| serde::Value::Seq(values.iter().map(|&v| serde::Value::U64(v)).collect());
+    serde::Value::Map(vec![
+        ("slots".to_string(), serde::Value::U64(diag.slots)),
+        (
+            "level_tiles_per_side".to_string(),
+            serde::Value::Seq(
+                diag.level_tiles_per_side
+                    .iter()
+                    .map(|&g| serde::Value::U64(g as u64))
+                    .collect(),
+            ),
+        ),
+        (
+            "tiles_visited_per_level".to_string(),
+            seq_u64(&diag.tiles_visited_per_level),
+        ),
+        (
+            "far_terms_per_level".to_string(),
+            seq_u64(&diag.far_terms_per_level),
+        ),
+        ("near_terms".to_string(), serde::Value::U64(diag.near_terms)),
+        ("panel_hits".to_string(), serde::Value::U64(diag.panel_hits)),
+        (
+            "panel_misses".to_string(),
+            serde::Value::U64(diag.panel_misses),
+        ),
+        (
+            "panel_evictions".to_string(),
+            serde::Value::U64(diag.panel_evictions),
+        ),
+        (
+            "panel_resident_bytes".to_string(),
+            serde::Value::U64(diag.panel_resident_bytes as u64),
+        ),
+        (
+            "panel_high_water_bytes".to_string(),
+            serde::Value::U64(diag.panel_high_water_bytes as u64),
+        ),
+    ])
 }
 
 fn outcome_table(name: &str, outcomes: &[ScenarioOutcome]) -> Table {

@@ -250,11 +250,36 @@ impl Scenario {
             .is_some()
             .then(|| self.build_substrate())
             .transpose()?;
-        let results =
-            dps_sim::parallel::parallel_map(reps as usize, threads, |rep| match &shared {
-                Some(substrate) => self.run_stream_on(substrate, rep as u64),
-                None => self.run_stream(rep as u64),
-            });
+        match &shared {
+            Some(substrate) => self.run_repetitions_on(substrate, reps, threads),
+            None => {
+                let results = dps_sim::parallel::parallel_map(reps as usize, threads, |rep| {
+                    self.run_stream(rep as u64)
+                });
+                results.into_iter().collect()
+            }
+        }
+    }
+
+    /// Runs `reps` independent repetitions (streams `0..reps`) against
+    /// one caller-supplied substrate, on up to `threads` OS threads, in
+    /// stream order — [`run_repetitions`](Self::run_repetitions) with
+    /// the substrate held by the caller, so per-substrate diagnostics
+    /// (e.g. [`Substrate::sinr_tiles`]'s far-walk and panel counters)
+    /// can be read back after the runs.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first per-stream error, if any.
+    pub fn run_repetitions_on(
+        &self,
+        substrate: &Arc<Substrate>,
+        reps: u64,
+        threads: usize,
+    ) -> Result<Vec<ScenarioOutcome>, ScenarioError> {
+        let results = dps_sim::parallel::parallel_map(reps as usize, threads, |rep| {
+            self.run_stream_on(substrate, rep as u64)
+        });
         results.into_iter().collect()
     }
 }

@@ -88,13 +88,22 @@ pub enum SubstrateConfig {
         /// Geometry seed (kept separate from the run seed so the same
         /// instance can be driven by many runs).
         seed: u64,
-        /// Tiles per grid side (`1..=64`).
+        /// Tiles per grid side (`1..=1024`).
         grid: usize,
         /// Far-field error knob `ε ≥ 0`; per-receiver interference is
         /// perturbed by at most `ε · margin` per slot.
         epsilon: f64,
         /// Byte budget for near-field gain panels.
         panel_budget: usize,
+        /// Hierarchy depth: quadtree coarsening levels stacked over the
+        /// leaf grid (`1..=8`; `1` is the flat index).
+        levels: usize,
+        /// Near-field panel residency policy (`"fixed"` build-time
+        /// allocation or `"adaptive"` LRU evict/refill).
+        panel_cache: dps_sinr::tiles::PanelCacheMode,
+        /// Worker threads of the slot kernel (`1..=64`). Verdicts are
+        /// bit-for-bit identical at any setting.
+        threads: usize,
     },
     /// The multiple-access channel (Section 7.1): `stations` stations on
     /// one shared medium, all-ones interference.
@@ -390,6 +399,9 @@ impl SubstrateConfig {
                 grid,
                 epsilon,
                 panel_budget,
+                levels,
+                panel_cache,
+                threads,
             } => SubstrateConfig::SinrTiled {
                 // Keep the density constant while scaling.
                 side: side * (m as f64 / links.max(1) as f64).sqrt(),
@@ -401,6 +413,9 @@ impl SubstrateConfig {
                 grid,
                 epsilon,
                 panel_budget,
+                levels,
+                panel_cache,
+                threads,
             },
             SubstrateConfig::Mac { .. } => SubstrateConfig::Mac { stations: m },
             SubstrateConfig::ConflictGeometric {
@@ -475,6 +490,8 @@ impl SubstrateConfig {
                 max_len,
                 grid,
                 epsilon,
+                levels,
+                threads,
                 ..
             } => {
                 positive(*links, "substrate.links")?;
@@ -495,6 +512,18 @@ impl SubstrateConfig {
                 if !(epsilon.is_finite() && *epsilon >= 0.0) {
                     return Err(ScenarioError::spec(format!(
                         "substrate.epsilon must be finite and non-negative, got {epsilon}"
+                    )));
+                }
+                if !(1..=dps_sinr::tiles::MAX_TILE_LEVELS).contains(levels) {
+                    return Err(ScenarioError::spec(format!(
+                        "substrate.levels must be in 1..={}, got {levels}",
+                        dps_sinr::tiles::MAX_TILE_LEVELS
+                    )));
+                }
+                if !(1..=dps_sinr::tiles::MAX_KERNEL_THREADS).contains(threads) {
+                    return Err(ScenarioError::spec(format!(
+                        "substrate.threads must be in 1..={}, got {threads}",
+                        dps_sinr::tiles::MAX_KERNEL_THREADS
                     )));
                 }
             }
@@ -640,6 +669,9 @@ impl Serialize for SubstrateConfig {
                 grid,
                 epsilon,
                 panel_budget,
+                levels,
+                panel_cache,
+                threads,
             } => map(vec![
                 ("kind", "sinr-tiled".to_value()),
                 ("links", links.to_value()),
@@ -651,6 +683,21 @@ impl Serialize for SubstrateConfig {
                 ("grid", grid.to_value()),
                 ("epsilon", epsilon.to_value()),
                 ("panel_budget", panel_budget.to_value()),
+                ("levels", levels.to_value()),
+                (
+                    "panel_cache",
+                    // Inline (the mode lives in dps-sinr, the serde
+                    // traits here — the orphan rule forbids a direct
+                    // impl).
+                    Value::Str(
+                        match panel_cache {
+                            dps_sinr::tiles::PanelCacheMode::Fixed => "fixed",
+                            dps_sinr::tiles::PanelCacheMode::Adaptive => "adaptive",
+                        }
+                        .to_string(),
+                    ),
+                ),
+                ("threads", threads.to_value()),
             ]),
             SubstrateConfig::Mac { stations } => map(vec![
                 ("kind", "mac".to_value()),
@@ -706,6 +753,19 @@ impl Deserialize for SubstrateConfig {
                 epsilon: serde::de_field::<Option<f64>>(value, "epsilon")?.unwrap_or(0.0),
                 panel_budget: serde::de_field::<Option<usize>>(value, "panel_budget")?
                     .unwrap_or(dps_sinr::tiles::DEFAULT_PANEL_BUDGET_BYTES),
+                levels: serde::de_field::<Option<usize>>(value, "levels")?.unwrap_or(1),
+                panel_cache: match serde::de_field::<Option<String>>(value, "panel_cache")?
+                    .as_deref()
+                {
+                    None | Some("fixed") => dps_sinr::tiles::PanelCacheMode::Fixed,
+                    Some("adaptive") => dps_sinr::tiles::PanelCacheMode::Adaptive,
+                    Some(other) => {
+                        return Err(SerdeError::custom(format!(
+                            "unknown panel_cache `{other}` (expected `fixed` or `adaptive`)"
+                        )))
+                    }
+                },
+                threads: serde::de_field::<Option<usize>>(value, "threads")?.unwrap_or(1),
             }),
             "mac" => Ok(SubstrateConfig::Mac {
                 stations: serde::de_field(value, "stations")?,
@@ -1012,6 +1072,9 @@ lambda = 0.4
             grid: 8,
             epsilon: 1e-2,
             panel_budget: 1 << 20,
+            levels: 3,
+            panel_cache: dps_sinr::tiles::PanelCacheMode::Adaptive,
+            threads: 2,
         }
     }
 
@@ -1025,7 +1088,8 @@ lambda = 0.4
         let json = spec.to_json();
         assert_eq!(ScenarioSpec::from_json(&json).unwrap(), spec);
 
-        // grid/epsilon/panel_budget may be omitted.
+        // grid/epsilon/panel_budget/levels/panel_cache/threads may be
+        // omitted.
         let toml = r#"
 name = "tiled minimal"
 [substrate]
@@ -1047,12 +1111,18 @@ lambda = 0.4
                 epsilon,
                 panel_budget,
                 seed,
+                levels,
+                panel_cache,
+                threads,
                 ..
             } => {
                 assert_eq!(grid, 16);
                 assert_eq!(epsilon, 0.0);
                 assert_eq!(panel_budget, dps_sinr::tiles::DEFAULT_PANEL_BUDGET_BYTES);
                 assert_eq!(seed, 0);
+                assert_eq!(levels, 1);
+                assert_eq!(panel_cache, dps_sinr::tiles::PanelCacheMode::Fixed);
+                assert_eq!(threads, 1);
             }
             other => panic!("wrong variant: {other:?}"),
         }
@@ -1063,7 +1133,7 @@ lambda = 0.4
         let mut spec = sample_spec();
         for (grid, epsilon) in [
             (0, 0.0),
-            (65, 0.0),
+            (1025, 0.0),
             (8, -1.0),
             (8, f64::NAN),
             (8, f64::INFINITY),
@@ -1084,6 +1154,35 @@ lambda = 0.4
                 "grid {grid}, epsilon {epsilon} must be rejected"
             );
         }
+    }
+
+    #[test]
+    fn sinr_tiled_rejects_bad_levels_threads_and_panel_cache() {
+        let mut spec = sample_spec();
+        for (levels, threads) in [(0, 1), (9, 1), (1, 0), (1, 65)] {
+            let mut substrate = tiled_substrate();
+            if let SubstrateConfig::SinrTiled {
+                levels: l,
+                threads: t,
+                ..
+            } = &mut substrate
+            {
+                *l = levels;
+                *t = threads;
+            }
+            spec.substrate = substrate;
+            assert!(
+                spec.validate().is_err(),
+                "levels {levels}, threads {threads} must be rejected"
+            );
+        }
+        // An unknown residency policy fails at parse time.
+        spec.substrate = tiled_substrate();
+        let toml = spec.to_toml().replace("adaptive", "clairvoyant");
+        assert!(matches!(
+            ScenarioSpec::from_toml(&toml),
+            Err(ScenarioError::Parse(_))
+        ));
     }
 
     #[test]

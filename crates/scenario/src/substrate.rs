@@ -24,7 +24,7 @@ use dps_sinr::matrix::SinrInterference;
 use dps_sinr::network::SinrNetwork;
 use dps_sinr::params::SinrParams;
 use dps_sinr::power::{LinearPower, PowerAssignment, SquareRootPower, UniformPower};
-use dps_sinr::tiles::{TiledInterference, TiledSinrCache, TiledSinrFeasibility};
+use dps_sinr::tiles::{TileOptions, TiledInterference, TiledSinrCache, TiledSinrFeasibility};
 use std::fmt;
 use std::sync::Arc;
 
@@ -193,6 +193,8 @@ impl SubstrateSpec for SubstrateConfig {
                 power,
                 grid,
                 epsilon,
+                levels,
+                threads,
                 ..
             } => {
                 let power = match power {
@@ -200,7 +202,10 @@ impl SubstrateSpec for SubstrateConfig {
                     PowerConfig::Linear => "linear",
                     PowerConfig::SquareRoot => "sqrt",
                 };
-                format!("SINR tiled(m={links}, g={grid}, eps={epsilon}), {power} power")
+                format!(
+                    "SINR tiled(m={links}, g={grid}, L={levels}, eps={epsilon}, th={threads}), \
+                     {power} power"
+                )
             }
             SubstrateConfig::Mac { stations } => format!("MAC({stations} stations)"),
             SubstrateConfig::ConflictGeometric { links, .. } => {
@@ -280,30 +285,29 @@ impl SubstrateSpec for SubstrateConfig {
                 grid,
                 epsilon,
                 panel_budget,
+                levels,
+                panel_cache,
+                threads,
             } => {
                 let params = SinrParams::default_noiseless();
                 // Same geometry stream as `SinrRandom`: a tiled spec
                 // with ε = 0 judges the *identical* instance bit-for-bit.
                 let mut geo_rng = split_stream(seed, 0);
                 let net = random_instance(links, side, min_len, max_len, params, &mut geo_rng);
+                let options = TileOptions::new(grid, epsilon)
+                    .with_levels(levels)
+                    .with_panel_budget(panel_budget)
+                    .with_panel_mode(panel_cache);
                 let (model, feasibility, cache, tiles) = match power {
                     PowerConfig::Uniform => {
-                        tiled_parts(&net, UniformPower::unit(), grid, epsilon, panel_budget)
+                        tiled_parts(&net, UniformPower::unit(), options, threads)
                     }
-                    PowerConfig::Linear => tiled_parts(
-                        &net,
-                        LinearPower::new(params.alpha),
-                        grid,
-                        epsilon,
-                        panel_budget,
-                    ),
-                    PowerConfig::SquareRoot => tiled_parts(
-                        &net,
-                        SquareRootPower::new(params.alpha),
-                        grid,
-                        epsilon,
-                        panel_budget,
-                    ),
+                    PowerConfig::Linear => {
+                        tiled_parts(&net, LinearPower::new(params.alpha), options, threads)
+                    }
+                    PowerConfig::SquareRoot => {
+                        tiled_parts(&net, SquareRootPower::new(params.alpha), options, threads)
+                    }
                 };
                 Ok(Substrate {
                     label,
@@ -396,23 +400,19 @@ type TiledParts = (
 fn tiled_parts<P: PowerAssignment + Clone + Send + Sync + 'static>(
     net: &SinrNetwork,
     power: P,
-    tiles_per_side: usize,
-    epsilon: f64,
-    panel_budget: usize,
+    options: TileOptions,
+    threads: usize,
 ) -> TiledParts {
     let cache = Arc::new(SinrCache::new(net, &power));
-    let tiles = Arc::new(TiledSinrCache::new(
-        cache.clone(),
-        tiles_per_side,
-        epsilon,
-        panel_budget,
-    ));
-    let model = Arc::new(TiledInterference::new(cache.clone()));
-    let feasibility = Arc::new(TiledSinrFeasibility::with_tiles(
-        net.clone(),
-        power,
-        tiles.clone(),
-    ));
+    let tiles = Arc::new(TiledSinrCache::with_options(cache.clone(), options));
+    // Tiles-backed model: entries stay exact, but the whole-matrix
+    // measure (injection-rate normalization) routes through the index's
+    // far-field aggregation — at m = 2²⁰ the trait-default O(m²) row
+    // walk costs hours, the tiled walk seconds.
+    let model = Arc::new(TiledInterference::with_tiles(tiles.clone()));
+    let feasibility = Arc::new(
+        TiledSinrFeasibility::with_tiles(net.clone(), power, tiles.clone()).kernel_threads(threads),
+    );
     (model, feasibility, cache, tiles)
 }
 
@@ -460,6 +460,9 @@ mod tests {
                 grid: 4,
                 epsilon: 0.0,
                 panel_budget: 1 << 16,
+                levels: 2,
+                panel_cache: dps_sinr::tiles::PanelCacheMode::Fixed,
+                threads: 1,
             },
             SubstrateConfig::Mac { stations: 5 },
             SubstrateConfig::ConflictGeometric {
@@ -499,6 +502,8 @@ mod tests {
         }
         .build()
         .unwrap();
+        // Hierarchy depth, adaptive panels and worker threads are all
+        // bitwise-neutral knobs — ε = 0 is the whole contract.
         let tiled = SubstrateConfig::SinrTiled {
             links,
             side: 60.0,
@@ -509,6 +514,9 @@ mod tests {
             grid: 4,
             epsilon: 0.0,
             panel_budget: 1 << 16,
+            levels: 3,
+            panel_cache: dps_sinr::tiles::PanelCacheMode::Adaptive,
+            threads: 2,
         }
         .build()
         .unwrap();

@@ -87,6 +87,13 @@ impl Table {
     /// `{"title": …, "headers": […], "rows": [{header: cell, …}, …]}` —
     /// the machine-readable mirror of [`Table::to_csv`].
     pub fn to_json(&self) -> String {
+        serde::json::to_string_pretty(&self.to_value())
+    }
+
+    /// The table as a serde [`serde::Value`] map (`title`, `headers`,
+    /// `rows`) — the [`Table::to_json`] payload before rendering, for
+    /// callers that splice extra fields alongside the table.
+    pub fn to_value(&self) -> serde::Value {
         let rows: Vec<serde::Value> = self
             .rows
             .iter()
@@ -100,7 +107,7 @@ impl Table {
                 )
             })
             .collect();
-        let value = serde::Value::Map(vec![
+        serde::Value::Map(vec![
             ("title".to_string(), serde::Value::Str(self.title.clone())),
             (
                 "headers".to_string(),
@@ -112,8 +119,7 @@ impl Table {
                 ),
             ),
             ("rows".to_string(), serde::Value::Seq(rows)),
-        ]);
-        serde::json::to_string_pretty(&value)
+        ])
     }
 
     /// Renders the table as CSV (headers first, comma-separated, cells

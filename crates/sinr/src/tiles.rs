@@ -1,5 +1,7 @@
-//! Spatially-tiled SINR substrate: far-field tile aggregation and
-//! panel-blocked near-field gain storage for metro-scale instances.
+//! Spatially-tiled SINR substrate: hierarchical far-field tile
+//! aggregation, panel-blocked near-field gain storage with fixed or
+//! adaptive residency, and a region-sharded slot kernel for metro- to
+//! megacity-scale instances.
 //!
 //! The exact oracle ([`crate::feasibility::SinrFeasibility`]) judges a
 //! slot in `O(k²)` pairwise gain evaluations; beyond the dense-table
@@ -12,1194 +14,170 @@
 //!   `g × g` grid of square tiles covering the deployment's bounding
 //!   box (a link has *two* tiles: one for its sender position, one for
 //!   its receiver position).
-//! * **Far-field aggregation.** A tile pair `(S, R)` is *far* when
-//!   replacing every sender `s ∈ S` by the tile centre `c_S` perturbs
-//!   the interference any receiver in `R` sees by at most
+//! * **Hierarchy.** Above the leaf grid sit up to
+//!   [`MAX_TILE_LEVELS`] quadtree-style coarsening levels (each level
+//!   merges 2×2 tiles of the level below). Far qualification runs
+//!   independently at every level with that level's centres, radii,
+//!   powers and margins, and the slot kernel charges each far region at
+//!   the *coarsest* level that qualifies — so the far-field walk visits
+//!   `O(occupied tiles at the coarsest qualifying level)` instead of
+//!   `O(occupied leaf tiles)`. This is what lifts the old
+//!   `tiles_per_side ≤ 64` cap (the flat walk forced it) to
+//!   [`MAX_TILES_PER_SIDE`]`= 1024`: fine leaf grids keep panels small
+//!   while coarse levels keep the walk short.
+//! * **Far-field aggregation.** A tile pair `(S, R)` at any level is
+//!   *far* when replacing every sender `s ∈ S` by the tile centre `c_S`
+//!   perturbs the interference any receiver in `R` sees by at most
 //!   `ε·margin/m` per transmission (an analytic worst-case bound from
 //!   tile centres, radii, powers and margins — see
 //!   [`TiledSinrCache::is_far`]). The slot kernel then charges far
 //!   tiles one aggregated term `W_S/d(c_S, r)^α` instead of one term
 //!   per sender, and the total approximation error at a receiver with
-//!   `k ≤ m` concurrent transmissions stays within `ε·margin`.
+//!   `k ≤ m` concurrent transmissions stays within `ε·margin`
+//!   regardless of which levels the charges land on (each transmission
+//!   is charged exactly once, at exactly one level).
 //! * **Panels.** Near tile pairs store their pairwise gains as small
-//!   dense *panels* (one `|S|×|R|` block per pair, allocated in
-//!   deterministic row-major tile order within a byte budget), so the
-//!   near-field path does cache-resident table lookups instead of
-//!   `sqrt`/`powf`. Panel entries are produced by the *same*
-//!   floating-point expression as the flat dense table and the naive
-//!   oracle ([`crate::cache`]'s `raw_gain`), so panel hits and misses
-//!   are bit-for-bit interchangeable.
+//!   dense *panels* (one `|S|×|R|` block per leaf pair). Under
+//!   [`PanelCacheMode::Fixed`] panels are allocated once at build time
+//!   in deterministic row-major tile order within a byte budget; under
+//!   [`PanelCacheMode::Adaptive`] they live in a touch-count LRU cache
+//!   that refills from the exact gain expression on miss and evicts the
+//!   stalest pairs when the budget overflows, so the resident set
+//!   tracks the *active* tiles of a long run. Panel entries are
+//!   produced by the *same* floating-point expression as the flat dense
+//!   table and the naive oracle ([`crate::cache`]'s `raw_gain`), so
+//!   panel hits, misses, refills and evictions are all bit-for-bit
+//!   interchangeable.
+//! * **Parallel slot kernel.** [`TiledSinrFeasibility`] can fan the
+//!   per-receiver interference accumulation across worker threads
+//!   ([`dps_core::parallel::parallel_map`], re-exported as
+//!   `dps_sim::parallel::parallel_map`): the active receivers are
+//!   sharded by [`dps_core::region::RegionMap`] span, every receiver's
+//!   accumulation order is independent of the sharding, and the
+//!   per-shard verdict vectors are spliced back in shard order — so
+//!   verdicts are bit-for-bit identical at any thread count.
 //!
 //! **Exactness knob.** `epsilon = 0` disables far-field aggregation
-//! entirely: no tile pair qualifies as far, the kernel accumulates the
-//! same terms in the same (ascending link index) order as the exact
-//! oracle's scalar path, and the verdicts are bit-for-bit identical —
-//! property-tested in `tests/prop_tiles.rs`. `epsilon > 0` trades a
-//! bounded verdict perturbation for `O(active tiles)` far-field work.
+//! entirely: no tile pair qualifies as far at any level, the kernel
+//! accumulates the same terms in the same (ascending link index) order
+//! as the exact oracle's scalar path, and the verdicts are bit-for-bit
+//! identical — property-tested in `tests/prop_tiles.rs` across level
+//! and thread counts. `epsilon > 0` trades a bounded verdict
+//! perturbation for `O(active tiles at the coarsest qualifying level)`
+//! far-field work.
 //!
 //! Zero cross distances (a sender on top of another link's receiver)
-//! can never be far-qualified — coincident points always share a tile,
-//! and a tile pair qualifies only when the centre distance strictly
-//! exceeds both radii — so the `NaN`-poisoning blockage rule of the
-//! exact oracle is preserved verbatim.
+//! can never be far-qualified — coincident points always share a tile
+//! at every level, and a tile pair qualifies only when the centre
+//! distance strictly exceeds both radii — so the `NaN`-poisoning
+//! blockage rule of the exact oracle is preserved verbatim.
 
-use crate::cache::{raw_gain, SinrCache};
-use crate::geom::Point;
-use crate::network::SinrNetwork;
-use crate::power::PowerAssignment;
-use dps_core::feasibility::{Attempt, Feasibility};
-use dps_core::ids::LinkId;
-use dps_core::interference::InterferenceModel;
-use rand::RngCore;
-use std::cell::RefCell;
-use std::sync::Arc;
-
-/// Default byte budget for near-field gain panels (`8 MiB`, matching
-/// [`crate::cache::DEFAULT_DENSE_GAIN_BUDGET_BYTES`]): panels are
-/// allocated in deterministic tile order until the next one would
-/// exceed the budget; un-panelled pairs fall back to on-the-fly
-/// evaluation of the same expression.
-pub const DEFAULT_PANEL_BUDGET_BYTES: usize = 8 << 20;
-
-/// Largest supported grid resolution (tiles per side). `64` caps the
-/// far-qualification table at `64⁴` bytes (16 MiB) and keeps per-slot
-/// tile bookkeeping trivially small.
-pub const MAX_TILES_PER_SIDE: usize = 64;
-
-/// A uniform grid of square tiles covering a deployment's bounding box.
-///
-/// Tile indices are row-major: `tile = row · g + col`. A point exactly
-/// on an interior tile boundary belongs to the tile on its right/top
-/// (floor semantics); points on the bounding box's max edge are clamped
-/// into the last row/column, so every point of the covered set maps to
-/// a valid tile.
-#[derive(Clone, Copy, Debug)]
-pub struct TileGrid {
-    tiles_per_side: usize,
-    origin: Point,
-    tile_size: f64,
-}
-
-impl TileGrid {
-    /// Builds the grid covering every point of `senders` and
-    /// `receivers` with `tiles_per_side × tiles_per_side` square tiles.
-    ///
-    /// The grid is anchored at the bounding box's min corner; the tile
-    /// side is `max(width, height)/tiles_per_side`. A zero-area
-    /// (single-point or empty) deployment gets tile side `1.0`, mapping
-    /// every point into tile `0`.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `tiles_per_side` is `0` or exceeds
-    /// [`MAX_TILES_PER_SIDE`], or if any coordinate is non-finite.
-    pub fn cover(senders: &[Point], receivers: &[Point], tiles_per_side: usize) -> Self {
-        assert!(
-            (1..=MAX_TILES_PER_SIDE).contains(&tiles_per_side),
-            "tiles_per_side must be in 1..={MAX_TILES_PER_SIDE}, got {tiles_per_side}"
-        );
-        let mut min = Point::new(f64::INFINITY, f64::INFINITY);
-        let mut max = Point::new(f64::NEG_INFINITY, f64::NEG_INFINITY);
-        for p in senders.iter().chain(receivers) {
-            assert!(
-                p.x.is_finite() && p.y.is_finite(),
-                "tile grids require finite coordinates, got {p}"
-            );
-            min.x = min.x.min(p.x);
-            min.y = min.y.min(p.y);
-            max.x = max.x.max(p.x);
-            max.y = max.y.max(p.y);
-        }
-        let (origin, extent) = if min.x <= max.x {
-            (min, (max.x - min.x).max(max.y - min.y))
-        } else {
-            // No points at all: any anchored unit grid works.
-            (Point::new(0.0, 0.0), 0.0)
-        };
-        let tile_size = if extent > 0.0 {
-            extent / tiles_per_side as f64
-        } else {
-            1.0
-        };
-        TileGrid {
-            tiles_per_side,
-            origin,
-            tile_size,
-        }
-    }
-
-    /// Tiles per side `g`.
-    pub fn tiles_per_side(&self) -> usize {
-        self.tiles_per_side
-    }
-
-    /// Total number of tiles `g²`.
-    pub fn num_tiles(&self) -> usize {
-        self.tiles_per_side * self.tiles_per_side
-    }
-
-    /// The side length of each square tile.
-    pub fn tile_size(&self) -> f64 {
-        self.tile_size
-    }
-
-    /// The row-major tile index of `point` (clamped into the grid, so
-    /// points outside the covered box map to the nearest border tile).
-    pub fn tile_of(&self, point: &Point) -> u32 {
-        let g = self.tiles_per_side as i64;
-        let col = ((point.x - self.origin.x) / self.tile_size).floor() as i64;
-        let row = ((point.y - self.origin.y) / self.tile_size).floor() as i64;
-        let col = col.clamp(0, g - 1);
-        let row = row.clamp(0, g - 1);
-        (row * g + col) as u32
-    }
-
-    /// The geometric centre of tile `tile` (the tile *box* centre, not
-    /// a member centroid — empty tiles have centres too).
-    pub fn center(&self, tile: u32) -> Point {
-        let g = self.tiles_per_side as u32;
-        let col = (tile % g) as f64;
-        let row = (tile / g) as f64;
-        Point::new(
-            self.origin.x + (col + 0.5) * self.tile_size,
-            self.origin.y + (row + 0.5) * self.tile_size,
-        )
-    }
-}
-
-/// Offset sentinel for tile pairs without an allocated panel.
-const NO_PANEL: usize = usize::MAX;
-
-/// Tiled spatial index over a [`SinrCache`]: per-link tile assignments,
-/// per-tile membership and summary statistics, the far-qualification
-/// table, and the near-field gain panels.
-///
-/// Built once per `(network, power, grid, epsilon, budget)` combination
-/// and shared behind an [`Arc`] by the tiled oracle
-/// ([`TiledSinrFeasibility`]) and any diagnostics.
-#[derive(Clone, Debug)]
-pub struct TiledSinrCache {
-    cache: Arc<SinrCache>,
-    grid: TileGrid,
-    epsilon: f64,
-    panel_budget_bytes: usize,
-
-    /// Per-link tile of the *sender* position.
-    sender_tile: Vec<u32>,
-    /// Per-link tile of the *receiver* position.
-    receiver_tile: Vec<u32>,
-    /// Per-link rank within its sender tile's member list.
-    sender_rank: Vec<u32>,
-    /// Per-link rank within its receiver tile's member list.
-    receiver_rank: Vec<u32>,
-    /// CSR starts (length `T+1`) of the per-tile sender member lists.
-    senders_start: Vec<u32>,
-    /// Link ids with sender in each tile, ascending within a tile.
-    senders_links: Vec<u32>,
-    /// CSR starts (length `T+1`) of the per-tile receiver member lists.
-    receivers_start: Vec<u32>,
-    /// Link ids with receiver in each tile, ascending within a tile.
-    receivers_links: Vec<u32>,
-
-    /// Max sender distance from the tile centre, per tile (`0` empty).
-    sender_radius: Vec<f64>,
-    /// Max receiver distance from the tile centre, per tile (`0` empty).
-    receiver_radius: Vec<f64>,
-    /// Max transmission power among senders in each tile (`0` empty).
-    tile_max_power: Vec<f64>,
-    /// Min noise-adjusted margin among receivers in each tile
-    /// (`+∞` empty).
-    tile_min_margin: Vec<f64>,
-
-    /// `far[s·T + r] != 0` iff sender tile `s` is far-qualified for
-    /// receiver tile `r`.
-    far: Vec<u8>,
-    /// Number of far-qualified pairs (fast "anything far at all?").
-    far_pairs: usize,
-
-    /// `panel_offset[s·T + r]` indexes the pair's panel in `panels`
-    /// ([`NO_PANEL`] when un-panelled). Panel layout:
-    /// `panel[receiver_rank · |S| + sender_rank]`.
-    panel_offset: Vec<usize>,
-    /// Panel arena: raw gains of panelled near pairs, bit-for-bit the
-    /// shared gain expression.
-    panels: Vec<f64>,
-    /// Number of allocated panels.
-    panel_count: usize,
-}
-
-impl TiledSinrCache {
-    /// Builds the tiled index over an already-built shared cache.
-    ///
-    /// `epsilon` is the per-slot relative error budget: a slot with at
-    /// most `m` concurrent transmissions sees its per-receiver
-    /// interference perturbed by at most `epsilon · margin(receiver)`.
-    /// `epsilon = 0` disables far-field aggregation entirely (the tiled
-    /// kernel is then bit-for-bit the exact oracle).
-    ///
-    /// # Panics
-    ///
-    /// Panics if `tiles_per_side` is out of `1..=`[`MAX_TILES_PER_SIDE`],
-    /// if `epsilon` is negative or non-finite, or if any position is
-    /// non-finite.
-    pub fn new(
-        cache: Arc<SinrCache>,
-        tiles_per_side: usize,
-        epsilon: f64,
-        panel_budget_bytes: usize,
-    ) -> Self {
-        assert!(
-            epsilon.is_finite() && epsilon >= 0.0,
-            "epsilon must be finite and non-negative, got {epsilon}"
-        );
-        let m = cache.num_links();
-        let grid = TileGrid::cover(
-            cache.sender_positions(),
-            cache.receiver_positions(),
-            tiles_per_side,
-        );
-        let t = grid.num_tiles();
-        let alpha = cache.alpha();
-
-        let sender_tile: Vec<u32> = cache
-            .sender_positions()
-            .iter()
-            .map(|p| grid.tile_of(p))
-            .collect();
-        let receiver_tile: Vec<u32> = cache
-            .receiver_positions()
-            .iter()
-            .map(|p| grid.tile_of(p))
-            .collect();
-
-        // Counting sort into CSR member lists (ascending link ids per
-        // tile, since links are visited in ascending order).
-        let csr = |tiles: &[u32]| -> (Vec<u32>, Vec<u32>, Vec<u32>) {
-            let mut start = vec![0u32; t + 1];
-            for &tile in tiles {
-                start[tile as usize + 1] += 1;
-            }
-            for i in 0..t {
-                start[i + 1] += start[i];
-            }
-            let mut cursor = start.clone();
-            let mut links = vec![0u32; m];
-            let mut rank = vec![0u32; m];
-            for (link, &tile) in tiles.iter().enumerate() {
-                let at = cursor[tile as usize];
-                links[at as usize] = link as u32;
-                rank[link] = at - start[tile as usize];
-                cursor[tile as usize] += 1;
-            }
-            (start, links, rank)
-        };
-        let (senders_start, senders_links, sender_rank) = csr(&sender_tile);
-        let (receivers_start, receivers_links, receiver_rank) = csr(&receiver_tile);
-
-        // Per-tile summary statistics for the far-qualification bound.
-        let mut sender_radius = vec![0.0f64; t];
-        let mut tile_max_power = vec![0.0f64; t];
-        for (link, &tile) in sender_tile.iter().enumerate() {
-            let d = grid.center(tile).distance(&cache.sender_positions()[link]);
-            sender_radius[tile as usize] = sender_radius[tile as usize].max(d);
-            tile_max_power[tile as usize] =
-                tile_max_power[tile as usize].max(cache.tx_powers()[link]);
-        }
-        let mut receiver_radius = vec![0.0f64; t];
-        let mut tile_min_margin = vec![f64::INFINITY; t];
-        for (link, &tile) in receiver_tile.iter().enumerate() {
-            let d = grid
-                .center(tile)
-                .distance(&cache.receiver_positions()[link]);
-            receiver_radius[tile as usize] = receiver_radius[tile as usize].max(d);
-            tile_min_margin[tile as usize] =
-                tile_min_margin[tile as usize].min(cache.margins()[link]);
-        }
-
-        // Far qualification. For sender tile S and receiver tile R with
-        // centre distance D, every receiver r ∈ R has d(c_S, r) ≥
-        // D − ρ_R =: d_min, and every sender s ∈ S has
-        // |d(s, r) − d(c_S, r)| ≤ ρ_S. Since x ↦ 1/x^α is decreasing
-        // and its spread over [d − ρ_S, d + ρ_S] shrinks with d, the
-        // per-transmission error of charging s's power from c_S instead
-        // of s is at most
-        //   P_max(S) · (1/(d_min − ρ_S)^α − 1/(d_min + ρ_S)^α),
-        // which must fit the per-transmission budget
-        // ε · margin_min(R) / m. Pairs with d_min ≤ ρ_S (possible
-        // zero/negative distances) or margin_min ≤ 0 (a comparison that
-        // tolerates no perturbation) never qualify.
-        let mut far = vec![0u8; t * t];
-        let mut far_pairs = 0usize;
-        if epsilon > 0.0 {
-            for s in 0..t {
-                if senders_start[s] == senders_start[s + 1] {
-                    continue;
-                }
-                let rho_s = sender_radius[s];
-                let p_max = tile_max_power[s];
-                for r in 0..t {
-                    if receivers_start[r] == receivers_start[r + 1] {
-                        continue;
-                    }
-                    let margin = tile_min_margin[r];
-                    // NaN margins fail `is_finite`, so `<=` is safe here.
-                    if margin <= 0.0 || !margin.is_finite() {
-                        continue;
-                    }
-                    let d_min =
-                        grid.center(s as u32).distance(&grid.center(r as u32)) - receiver_radius[r];
-                    if d_min <= rho_s {
-                        continue;
-                    }
-                    let spread = p_max
-                        * (1.0 / (d_min - rho_s).powf(alpha) - 1.0 / (d_min + rho_s).powf(alpha));
-                    if spread <= epsilon * margin / m as f64 {
-                        far[s * t + r] = 1;
-                        far_pairs += 1;
-                    }
-                }
-            }
-        }
-
-        // Panel allocation: near pairs get dense |S|×|R| gain panels in
-        // deterministic row-major (S, R) order until the budget is
-        // spent. Panels are a speed layer only — un-panelled pairs fall
-        // back to the identical on-the-fly expression.
-        let budget_cells = panel_budget_bytes / std::mem::size_of::<f64>();
-        let mut panel_offset = vec![NO_PANEL; t * t];
-        let mut panels = Vec::new();
-        let mut panel_count = 0usize;
-        for s in 0..t {
-            let s_links = &senders_links[senders_start[s] as usize..senders_start[s + 1] as usize];
-            if s_links.is_empty() {
-                continue;
-            }
-            for r in 0..t {
-                if far[s * t + r] != 0 {
-                    continue;
-                }
-                let r_links =
-                    &receivers_links[receivers_start[r] as usize..receivers_start[r + 1] as usize];
-                if r_links.is_empty() {
-                    continue;
-                }
-                let cells = s_links.len() * r_links.len();
-                if panels.len() + cells > budget_cells {
-                    continue;
-                }
-                panel_offset[s * t + r] = panels.len();
-                for &on in r_links {
-                    for &from in s_links {
-                        panels.push(raw_gain(
-                            cache.sender_positions(),
-                            cache.receiver_positions(),
-                            cache.tx_powers(),
-                            alpha,
-                            from as usize,
-                            on as usize,
-                        ));
-                    }
-                }
-                panel_count += 1;
-            }
-        }
-
-        TiledSinrCache {
-            cache,
-            grid,
-            epsilon,
-            panel_budget_bytes,
-            sender_tile,
-            receiver_tile,
-            sender_rank,
-            receiver_rank,
-            senders_start,
-            senders_links,
-            receivers_start,
-            receivers_links,
-            sender_radius,
-            receiver_radius,
-            tile_max_power,
-            tile_min_margin,
-            far,
-            far_pairs,
-            panel_offset,
-            panels,
-            panel_count,
-        }
-    }
-
-    /// The underlying shared geometry cache.
-    pub fn cache(&self) -> &SinrCache {
-        &self.cache
-    }
-
-    /// The shared handle to the underlying geometry cache.
-    pub fn shared_cache(&self) -> &Arc<SinrCache> {
-        &self.cache
-    }
-
-    /// The tile grid.
-    pub fn grid(&self) -> &TileGrid {
-        &self.grid
-    }
-
-    /// The far-field error knob `ε` the index was built with.
-    pub fn epsilon(&self) -> f64 {
-        self.epsilon
-    }
-
-    /// The panel byte budget the index was built with.
-    pub fn panel_budget_bytes(&self) -> usize {
-        self.panel_budget_bytes
-    }
-
-    /// Number of links covered.
-    pub fn num_links(&self) -> usize {
-        self.cache.num_links()
-    }
-
-    /// Total number of tiles `g²`.
-    pub fn num_tiles(&self) -> usize {
-        self.grid.num_tiles()
-    }
-
-    /// Tile of `link`'s sender position.
-    pub fn sender_tile_of(&self, link: LinkId) -> u32 {
-        self.sender_tile[link.index()]
-    }
-
-    /// Tile of `link`'s receiver position.
-    pub fn receiver_tile_of(&self, link: LinkId) -> u32 {
-        self.receiver_tile[link.index()]
-    }
-
-    /// Whether sender tile `s` is far-qualified for receiver tile `r`.
-    pub fn is_far(&self, s: u32, r: u32) -> bool {
-        self.far[s as usize * self.grid.num_tiles() + r as usize] != 0
-    }
-
-    /// Number of far-qualified tile pairs (`0` iff the kernel is fully
-    /// exact, in particular always `0` at `epsilon = 0`).
-    pub fn far_pairs(&self) -> usize {
-        self.far_pairs
-    }
-
-    /// Number of allocated near-field gain panels.
-    pub fn panel_count(&self) -> usize {
-        self.panel_count
-    }
-
-    /// Bytes held by the panel arena.
-    pub fn panel_bytes(&self) -> usize {
-        self.panels.len() * std::mem::size_of::<f64>()
-    }
-
-    /// Approximate heap footprint of the tiled index in bytes (tile
-    /// assignments, member lists, summary tables, far map and panels;
-    /// the underlying [`SinrCache`] is accounted separately via
-    /// [`SinrCache::approx_bytes`]).
-    pub fn approx_bytes(&self) -> usize {
-        let u32s = self.sender_tile.len()
-            + self.receiver_tile.len()
-            + self.sender_rank.len()
-            + self.receiver_rank.len()
-            + self.senders_start.len()
-            + self.senders_links.len()
-            + self.receivers_start.len()
-            + self.receivers_links.len();
-        let f64s = self.sender_radius.len()
-            + self.receiver_radius.len()
-            + self.tile_max_power.len()
-            + self.tile_min_margin.len()
-            + self.panels.len();
-        std::mem::size_of::<Self>()
-            + u32s * std::mem::size_of::<u32>()
-            + f64s * std::mem::size_of::<f64>()
-            + self.far.len()
-            + self.panel_offset.len() * std::mem::size_of::<usize>()
-    }
-
-    /// The gain `p(d(from))/d(s_from, r_on)^α`, served from the pair's
-    /// panel when one is allocated and recomputed on the fly otherwise —
-    /// bit-for-bit [`SinrCache::gain`] either way. The value for
-    /// `from == on` is unspecified; SINR sums never include it.
-    #[inline]
-    pub fn gain(&self, from: LinkId, on: LinkId) -> f64 {
-        let s = self.sender_tile[from.index()] as usize;
-        let r = self.receiver_tile[on.index()] as usize;
-        let offset = self.panel_offset[s * self.grid.num_tiles() + r];
-        if offset != NO_PANEL {
-            let s_count = (self.senders_start[s + 1] - self.senders_start[s]) as usize;
-            self.panels[offset
-                + self.receiver_rank[on.index()] as usize * s_count
-                + self.sender_rank[from.index()] as usize]
-        } else {
-            raw_gain(
-                self.cache.sender_positions(),
-                self.cache.receiver_positions(),
-                self.cache.tx_powers(),
-                self.cache.alpha(),
-                from.index(),
-                on.index(),
-            )
-        }
-    }
-}
-
-/// Per-thread slot scratch for the tiled oracle: distinct links with
-/// multiplicity, per-distinct-link verdicts, and the per-slot tile
-/// grouping (all sized by the *active* set, never by the tile count —
-/// sparse slots stay cheap).
-struct TiledSlotScratch {
-    active: Vec<(u32, u32)>,
-    verdicts: Vec<bool>,
-    groups: TileGroups,
-    interference: Vec<f64>,
-    lanes: Vec<f64>,
-}
-
-/// The active set bucketed by sender tile, rebuilt per slot:
-/// `entries` holds `(tile, link, count)` sorted by `(tile, link)`;
-/// `touched[i]` is the `i`-th occupied tile (ascending) whose entries
-/// span `entries[start[i]..start[i + 1]]` and whose summed transmission
-/// weight `Σ count·p` is `weight[i]`.
-#[derive(Default)]
-struct TileGroups {
-    entries: Vec<(u32, u32, u32)>,
-    touched: Vec<u32>,
-    start: Vec<u32>,
-    weight: Vec<f64>,
-}
-
-thread_local! {
-    /// Keeps [`TiledSinrFeasibility`] callable through `&self`/`Arc`
-    /// across threads while the slot loop stays allocation-free in
-    /// steady state.
-    static TILED_SLOT_SCRATCH: RefCell<TiledSlotScratch> = RefCell::new(TiledSlotScratch {
-        active: Vec::new(),
-        verdicts: Vec::new(),
-        groups: TileGroups::default(),
-        interference: Vec::new(),
-        lanes: Vec::new(),
-    });
-}
-
-/// The tiled accumulative SINR oracle: near-field terms exactly (from
-/// panels or on-the-fly gains), far-field tiles as one aggregated term
-/// each, within the `ε·margin` error contract of [`TiledSinrCache`].
-///
-/// At `epsilon = 0` this is bit-for-bit [`SinrFeasibility`]'s fallback
-/// scalar path (property-tested in `tests/prop_tiles.rs`).
-///
-/// [`SinrFeasibility`]: crate::feasibility::SinrFeasibility
-#[derive(Clone, Debug)]
-pub struct TiledSinrFeasibility<P> {
-    net: SinrNetwork,
-    power: P,
-    tiles: Arc<TiledSinrCache>,
-}
-
-impl<P: PowerAssignment> TiledSinrFeasibility<P> {
-    /// Creates the tiled oracle, deriving a geometry cache (the flat
-    /// dense gain table is materialized only under
-    /// [`crate::cache::SinrCache`]'s dense cap, so metro-scale
-    /// instances stay `O(m)` — panels and far-field aggregation replace
-    /// the table beyond it) and the tiled index under
-    /// [`DEFAULT_PANEL_BUDGET_BYTES`].
-    pub fn new(net: SinrNetwork, power: P, tiles_per_side: usize, epsilon: f64) -> Self {
-        Self::with_budget(
-            net,
-            power,
-            tiles_per_side,
-            epsilon,
-            DEFAULT_PANEL_BUDGET_BYTES,
-        )
-    }
-
-    /// Creates the tiled oracle with an explicit panel byte budget
-    /// (`0` forces every gain onto the on-the-fly path).
-    pub fn with_budget(
-        net: SinrNetwork,
-        power: P,
-        tiles_per_side: usize,
-        epsilon: f64,
-        panel_budget_bytes: usize,
-    ) -> Self {
-        let cache = Arc::new(SinrCache::new(&net, &power));
-        let tiles = Arc::new(TiledSinrCache::new(
-            cache,
-            tiles_per_side,
-            epsilon,
-            panel_budget_bytes,
-        ));
-        TiledSinrFeasibility { net, power, tiles }
-    }
-
-    /// Creates the oracle around an already-built shared tiled index —
-    /// the substrate-sharing path.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the index's underlying cache was not built for this
-    /// `(network, power)` pair: the link count must match and every
-    /// link's cached transmission power and signal strength must be
-    /// bit-for-bit what `power` produces on `net` (the same pairing
-    /// contract as [`crate::feasibility::SinrFeasibility::with_cache`]).
-    pub fn with_tiles(net: SinrNetwork, power: P, tiles: Arc<TiledSinrCache>) -> Self {
-        let cache = tiles.cache();
-        assert_eq!(
-            cache.num_links(),
-            net.num_links(),
-            "shared TiledSinrCache must cover the oracle's network"
-        );
-        assert!(
-            cache.beta().to_bits() == net.params().beta.to_bits()
-                && cache.noise().to_bits() == net.params().noise.to_bits(),
-            "shared TiledSinrCache was built under different SINR parameters"
-        );
-        let alpha = net.params().alpha;
-        for (index, &len) in net.lengths().iter().enumerate() {
-            let link = LinkId(index as u32);
-            let p = power.power(len);
-            assert!(
-                cache.tx_power(link).to_bits() == p.to_bits()
-                    && cache.signal(link).to_bits() == (p / len.powf(alpha)).to_bits(),
-                "shared TiledSinrCache was built for a different (network, power) pair \
-                 (mismatch at link {index})"
-            );
-        }
-        TiledSinrFeasibility { net, power, tiles }
-    }
-
-    /// The network the oracle judges.
-    pub fn network(&self) -> &SinrNetwork {
-        &self.net
-    }
-
-    /// The power assignment the oracle judges under.
-    pub fn power(&self) -> &P {
-        &self.power
-    }
-
-    /// The tiled index the oracle judges from.
-    pub fn tiles(&self) -> &TiledSinrCache {
-        &self.tiles
-    }
-
-    /// The shared handle to the tiled index.
-    pub fn shared_tiles(&self) -> &Arc<TiledSinrCache> {
-        &self.tiles
-    }
-
-    /// The accumulated tiled interference each *distinct* attempted
-    /// link sees this slot, in ascending link order — the exact value
-    /// the kernel compares against `β·(I + ν)`. Diagnostic/referee
-    /// surface: `tests/prop_tiles.rs` pins `|I_tiled − I_exact| ≤
-    /// ε·margin` against the naive oracle's sums.
-    pub fn slot_interference(&self, attempts: &[Attempt]) -> Vec<(LinkId, f64)> {
-        let mut active: Vec<(u32, u32)> = Vec::new();
-        dedup_attempts(attempts, &mut active);
-        let mut groups = TileGroups::default();
-        self.group_active_by_tile(&active, &mut groups);
-        active
-            .iter()
-            .map(|&(on_raw, _)| {
-                (
-                    LinkId(on_raw),
-                    self.interference_at(on_raw, &active, &groups),
-                )
-            })
-            .collect()
-    }
-
-    /// Buckets the active list by sender tile: entries sorted by
-    /// `(tile, link)`, touched tiles ascending with group extents and
-    /// summed transmission weights `W_S = Σ count·p`. Skipped entirely
-    /// when nothing is far-qualified — the slot kernel then runs the
-    /// plain (exact) scalar loop and never reads the grouping.
-    fn group_active_by_tile(&self, active: &[(u32, u32)], groups: &mut TileGroups) {
-        groups.entries.clear();
-        groups.touched.clear();
-        groups.start.clear();
-        groups.weight.clear();
-        if self.tiles.far_pairs == 0 {
-            return;
-        }
-        groups.entries.extend(
-            active
-                .iter()
-                .map(|&(from, count)| (self.tiles.sender_tile[from as usize], from, count)),
-        );
-        groups
-            .entries
-            .sort_unstable_by_key(|&(tile, link, _)| (tile, link));
-        let tx_power = self.tiles.cache.tx_powers();
-        for (i, &(tile, from, count)) in groups.entries.iter().enumerate() {
-            if groups.touched.last() != Some(&tile) {
-                groups.touched.push(tile);
-                groups.start.push(i as u32);
-                groups.weight.push(0.0);
-            }
-            *groups.weight.last_mut().expect("group opened above") +=
-                count as f64 * tx_power[from as usize];
-        }
-        groups.start.push(groups.entries.len() as u32);
-    }
-
-    /// The tiled interference accumulated at distinct active link
-    /// `on_raw`.
-    ///
-    /// With no far-qualified tile pairs (`ε = 0`, or geometry that never
-    /// qualifies) this is the exact oracle's scalar loop — ascending
-    /// link order over the shared cache's gains, bit-for-bit.
-    ///
-    /// Otherwise the kernel walks the touched tiles in ascending tile
-    /// order: a far tile contributes one aggregated term
-    /// `W_S / d(center_S, r)^α` (with `on`'s own power removed from its
-    /// home tile), a near tile streams its active senders through the
-    /// tile-pair panel row (contiguous reads) or on-the-fly gains when
-    /// the pair is un-panelled.
-    #[inline]
-    fn interference_at(&self, on_raw: u32, active: &[(u32, u32)], groups: &TileGroups) -> f64 {
-        let tiles = &*self.tiles;
-        let cache = &*tiles.cache;
-        let on = LinkId(on_raw);
-        let mut interference = 0.0;
-        if groups.touched.is_empty() {
-            for &(from_raw, from_count) in active {
-                if from_raw == on_raw {
-                    continue;
-                }
-                // A NaN gain (coincident endpoints) poisons the sum,
-                // failing the comparison — the naive "zero cross
-                // distance blocks the receiver" rule.
-                interference += from_count as f64 * cache.gain(LinkId(from_raw), on);
-            }
-            return interference;
-        }
-        let t = tiles.grid.num_tiles();
-        let r_tile = tiles.receiver_tile[on_raw as usize] as usize;
-        let r_rank = tiles.receiver_rank[on_raw as usize] as usize;
-        let far_row = &tiles.far[..];
-        let alpha = cache.alpha();
-        let receiver = cache.receiver_positions()[on_raw as usize];
-        let own_tile = tiles.sender_tile[on_raw as usize];
-        for (i, &s_tile) in groups.touched.iter().enumerate() {
-            let s = s_tile as usize;
-            if far_row[s * t + r_tile] != 0 {
-                // Far tiles are geometrically incapable of zero cross
-                // distances, so aggregating them never hides a NaN.
-                let mut weight = groups.weight[i];
-                if s_tile == own_tile {
-                    // The exact sum excludes `on`'s own transmission;
-                    // remove it from the aggregate. Receivers sharing a
-                    // slot with their own multiplicity > 1 are judged
-                    // failed before interference is evaluated, so one
-                    // transmission is exact here.
-                    weight -= cache.tx_powers()[on_raw as usize];
-                }
-                let d = tiles.grid.center(s_tile).distance(&receiver);
-                interference += weight / d.powf(alpha);
-                continue;
-            }
-            let group = &groups.entries[groups.start[i] as usize..groups.start[i + 1] as usize];
-            let offset = tiles.panel_offset[s * t + r_tile];
-            if offset != NO_PANEL {
-                let s_count = (tiles.senders_start[s + 1] - tiles.senders_start[s]) as usize;
-                let row = &tiles.panels[offset + r_rank * s_count..][..s_count];
-                for &(_, from_raw, from_count) in group {
-                    if from_raw == on_raw {
-                        continue;
-                    }
-                    interference +=
-                        from_count as f64 * row[tiles.sender_rank[from_raw as usize] as usize];
-                }
-            } else {
-                for &(_, from_raw, from_count) in group {
-                    if from_raw == on_raw {
-                        continue;
-                    }
-                    interference += from_count as f64 * cache.gain(LinkId(from_raw), on);
-                }
-            }
-        }
-        interference
-    }
-}
-
-/// Collapses `attempts` into the distinct attempted links with their
-/// multiplicities, ascending by link index — the shared preamble of the
-/// exact and tiled slot kernels (identical ordering is part of the
-/// `epsilon = 0` bitwise contract).
-fn dedup_attempts(attempts: &[Attempt], active: &mut Vec<(u32, u32)>) {
-    active.clear();
-    active.extend(attempts.iter().map(|a| (a.link.0, 1u32)));
-    active.sort_unstable_by_key(|&(link, _)| link);
-    let mut write = 0;
-    for read in 1..active.len() {
-        if active[read].0 == active[write].0 {
-            active[write].1 += active[read].1;
-        } else {
-            write += 1;
-            active[write] = active[read];
-        }
-    }
-    active.truncate(write + 1);
-}
-
-impl<P: PowerAssignment> Feasibility for TiledSinrFeasibility<P> {
-    fn successes(&self, attempts: &[Attempt], rng: &mut dyn RngCore) -> Vec<bool> {
-        let mut out = Vec::new();
-        self.successes_into(attempts, &mut out, rng);
-        out
-    }
-
-    fn successes_into(&self, attempts: &[Attempt], out: &mut Vec<bool>, _rng: &mut dyn RngCore) {
-        out.clear();
-        if attempts.is_empty() {
-            return;
-        }
-        let cache = self.tiles.cache();
-        let beta = cache.beta();
-        let noise = cache.noise();
-        TILED_SLOT_SCRATCH.with(|scratch| {
-            let TiledSlotScratch {
-                active,
-                verdicts,
-                groups,
-                interference,
-                lanes,
-            } = &mut *scratch.borrow_mut();
-            dedup_attempts(attempts, active);
-            self.group_active_by_tile(active, groups);
-            verdicts.clear();
-            if groups.touched.is_empty()
-                && cache.active_interference_into(active, interference, lanes)
-            {
-                // No far machinery and a dense gain table: the exact
-                // oracle's blocked kernel produced every receiver's
-                // accumulated interference, bit-for-bit in the scalar
-                // order; only the comparisons remain.
-                verdicts.extend(active.iter().zip(interference.iter()).map(
-                    |(&(on_raw, count), &interference)| {
-                        // A shared transmitter collides regardless of SINR.
-                        count == 1 && cache.signal(LinkId(on_raw)) >= beta * (interference + noise)
-                    },
-                ));
-            } else {
-                verdicts.extend(active.iter().map(|&(on_raw, count)| {
-                    if count != 1 {
-                        // A shared transmitter collides regardless of SINR.
-                        return false;
-                    }
-                    let interference = self.interference_at(on_raw, active, groups);
-                    cache.signal(LinkId(on_raw)) >= beta * (interference + noise)
-                }));
-            }
-            out.extend(attempts.iter().map(|a| {
-                let slot = active
-                    .binary_search_by_key(&a.link.0, |&(link, _)| link)
-                    .expect("every attempted link is in the active list");
-                verdicts[slot]
-            }));
-        });
-    }
-}
-
-/// On-demand interference rows over a shared [`SinrCache`]: the
-/// `O(1)`-memory companion of
-/// [`crate::matrix::SinrInterference::fixed_power`] for metro-scale
-/// instances, where materializing the dense `m × m` table is
-/// prohibitive (34 GiB at `m = 65536`).
-///
-/// Entries are bit-for-bit the fixed-power matrix construction:
-/// diagonal `1`, off-diagonal `a_p(from, on)` clamped into `[0, 1]`
-/// (affectance already lands there, `NaN`s included via the clamp).
-#[derive(Clone, Debug)]
-pub struct TiledInterference {
-    cache: Arc<SinrCache>,
-}
-
-impl TiledInterference {
-    /// Wraps a shared geometry cache as an on-demand interference
-    /// model.
-    pub fn new(cache: Arc<SinrCache>) -> Self {
-        TiledInterference { cache }
-    }
-
-    /// The shared handle to the underlying geometry cache.
-    pub fn shared_cache(&self) -> &Arc<SinrCache> {
-        &self.cache
-    }
-}
-
-impl InterferenceModel for TiledInterference {
-    fn num_links(&self) -> usize {
-        self.cache.num_links()
-    }
-
-    fn weight(&self, on: LinkId, from: LinkId) -> f64 {
-        if on == from {
-            1.0
-        } else {
-            self.cache.affectance(from, on).clamp(0.0, 1.0)
-        }
-    }
-}
+mod grid;
+mod hierarchy;
+mod index;
+mod kernel;
+mod measure;
+mod panels;
 
 #[cfg(test)]
-mod tests {
-    use super::*;
-    use crate::feasibility::SinrFeasibility;
-    use crate::instances::{line_instance, random_instance};
-    use crate::matrix::SinrInterference;
-    use crate::network::SinrNetworkBuilder;
-    use crate::params::SinrParams;
-    use crate::power::{LinearPower, UniformPower};
-    use dps_core::ids::PacketId;
-    use rand::SeedableRng;
-    use rand_chacha::ChaCha12Rng;
+mod tests;
 
-    fn attempt(link: u32, packet: u64) -> Attempt {
-        Attempt {
-            link: LinkId(link),
-            packet: PacketId(packet),
+pub use grid::TileGrid;
+pub use index::{TileDiagnostics, TiledSinrCache};
+pub use kernel::{TiledInterference, TiledSinrFeasibility};
+pub use panels::PanelCacheMode;
+
+/// Default byte budget for near-field gain panels (`8 MiB`, matching
+/// [`crate::cache::DEFAULT_DENSE_GAIN_BUDGET_BYTES`]). Under
+/// [`PanelCacheMode::Fixed`] panels are allocated in deterministic tile
+/// order until the next one would exceed the budget; under
+/// [`PanelCacheMode::Adaptive`] the budget bounds the resident set.
+/// Un-panelled pairs fall back to on-the-fly evaluation of the same
+/// expression.
+pub const DEFAULT_PANEL_BUDGET_BYTES: usize = 8 << 20;
+
+/// Largest supported leaf grid resolution (tiles per side). The
+/// hierarchical far walk only ever consults far tables at levels coarse
+/// enough for one ([`MAX_FAR_TABLE_SIDE`]), so the leaf grid is bounded
+/// by per-tile bookkeeping memory (`O(g²)` summary floats), not by the
+/// `g⁴` far table the old flat walk required.
+pub const MAX_TILES_PER_SIDE: usize = 1024;
+
+/// Coarsest side length at which a level still materializes its
+/// far-qualification table: `64⁴` bytes (16 MiB) is the largest table a
+/// single level may hold. Finer levels carry no table and never
+/// far-qualify — their tiles always descend (or fall to the near path),
+/// which is exactly the old flat behaviour for `g ≤ 64`.
+pub const MAX_FAR_TABLE_SIDE: usize = 64;
+
+/// Most coarsening levels a tiled index may stack (including the leaf
+/// level). Eight levels coarsen a `1024`-side leaf grid down to `8`
+/// tiles per side; building more would only duplicate the coarsest.
+pub const MAX_TILE_LEVELS: usize = 8;
+
+/// Most worker threads the slot kernel will fan receiver shards over.
+pub const MAX_KERNEL_THREADS: usize = 64;
+
+/// Build options for [`TiledSinrCache::with_options`] /
+/// [`TiledSinrFeasibility::with_options`]: leaf resolution, hierarchy
+/// depth, far-field error knob, and the panel cache's budget and
+/// residency mode.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct TileOptions {
+    /// Leaf tiles per side, `1..=`[`MAX_TILES_PER_SIDE`].
+    pub tiles_per_side: usize,
+    /// Hierarchy depth including the leaf level,
+    /// `1..=`[`MAX_TILE_LEVELS`]; `1` is the flat (single-level) index.
+    /// Levels past the one-tile-per-side point are dropped silently.
+    pub levels: usize,
+    /// Per-slot relative far-field error budget; `0` keeps the kernel
+    /// bit-for-bit exact.
+    pub epsilon: f64,
+    /// Byte budget for near-field gain panels.
+    pub panel_budget_bytes: usize,
+    /// Residency policy of the panel store.
+    pub panel_mode: PanelCacheMode,
+}
+
+impl TileOptions {
+    /// Flat single-level options at the given resolution and epsilon,
+    /// with the default panel budget and fixed panels — the historical
+    /// [`TiledSinrCache::new`] configuration.
+    pub fn new(tiles_per_side: usize, epsilon: f64) -> Self {
+        TileOptions {
+            tiles_per_side,
+            epsilon,
+            ..TileOptions::default()
         }
     }
 
-    fn rng() -> ChaCha12Rng {
-        ChaCha12Rng::seed_from_u64(1)
+    /// Sets the hierarchy depth.
+    pub fn with_levels(mut self, levels: usize) -> Self {
+        self.levels = levels;
+        self
     }
 
-    #[test]
-    fn boundary_points_take_floor_semantics_and_max_edge_clamps() {
-        // 2×2 grid over [0, 2]²: tile side 1.
-        let senders = [Point::new(0.0, 0.0), Point::new(2.0, 2.0)];
-        let receivers = [Point::new(0.5, 0.5), Point::new(1.5, 1.5)];
-        let grid = TileGrid::cover(&senders, &receivers, 2);
-        assert_eq!(grid.tile_size(), 1.0);
-        // Interior boundary: exactly on the x = 1 line goes right,
-        // y = 1 goes up.
-        assert_eq!(grid.tile_of(&Point::new(1.0, 0.0)), 1);
-        assert_eq!(grid.tile_of(&Point::new(0.0, 1.0)), 2);
-        assert_eq!(grid.tile_of(&Point::new(1.0, 1.0)), 3);
-        // The max corner and edges clamp into the last row/column
-        // instead of falling off the grid.
-        assert_eq!(grid.tile_of(&Point::new(2.0, 2.0)), 3);
-        assert_eq!(grid.tile_of(&Point::new(2.0, 0.0)), 1);
-        // Corners of the box.
-        assert_eq!(grid.tile_of(&Point::new(0.0, 0.0)), 0);
-        assert_eq!(grid.tile_of(&Point::new(0.999, 0.999)), 0);
+    /// Sets the panel byte budget.
+    pub fn with_panel_budget(mut self, bytes: usize) -> Self {
+        self.panel_budget_bytes = bytes;
+        self
     }
 
-    #[test]
-    fn zero_area_deployment_collapses_to_tile_zero() {
-        let p = [Point::new(3.0, -4.0); 5];
-        let grid = TileGrid::cover(&p, &p, 4);
-        assert_eq!(grid.tile_size(), 1.0);
-        for q in &p {
-            assert_eq!(grid.tile_of(q), 0);
-        }
-        // Degenerate 1-D extent still builds square tiles from the max
-        // extent.
-        let line = [Point::new(0.0, 0.0), Point::new(0.0, 8.0)];
-        let grid = TileGrid::cover(&line, &line, 4);
-        assert_eq!(grid.tile_size(), 2.0);
-        assert_eq!(grid.tile_of(&Point::new(0.0, 0.0)), 0);
-        assert_eq!(grid.tile_of(&Point::new(0.0, 8.0)), 12);
+    /// Sets the panel residency mode.
+    pub fn with_panel_mode(mut self, mode: PanelCacheMode) -> Self {
+        self.panel_mode = mode;
+        self
     }
+}
 
-    #[test]
-    fn grid_rejects_invalid_resolutions() {
-        let p = [Point::new(0.0, 0.0)];
-        for bad in [0, MAX_TILES_PER_SIDE + 1] {
-            let result = std::panic::catch_unwind(|| TileGrid::cover(&p, &p, bad));
-            assert!(result.is_err(), "tiles_per_side = {bad} must be rejected");
-        }
-    }
-
-    #[test]
-    fn one_tile_grid_is_bitwise_exact_for_any_epsilon() {
-        let mut rng_geo = ChaCha12Rng::seed_from_u64(11);
-        let params = SinrParams::with_noise(0.01);
-        let net = random_instance(24, 50.0, 1.0, 3.0, params, &mut rng_geo);
-        let power = LinearPower::new(params.alpha);
-        let exact = SinrFeasibility::new(net.clone(), power);
-        let tiled = TiledSinrFeasibility::new(net, power, 1, 0.5);
-        // One tile: no pair can satisfy d_min > ρ_S, so nothing is far.
-        assert_eq!(tiled.tiles().far_pairs(), 0);
-        let attempts: Vec<Attempt> = (0..24).map(|i| attempt(i % 24, i as u64)).collect();
-        assert_eq!(
-            exact.successes(&attempts, &mut rng()),
-            tiled.successes(&attempts, &mut rng())
-        );
-    }
-
-    #[test]
-    fn epsilon_zero_never_qualifies_far_pairs() {
-        // Two clusters 10⁴ apart: far-qualifiable in principle, but
-        // ε = 0 tolerates no perturbation at all.
-        let mut b = SinrNetworkBuilder::new(SinrParams::default_noiseless());
-        for i in 0..4 {
-            let x = i as f64 * 0.5;
-            b.add_isolated_link((x, 0.0), (x, 1.0));
-            b.add_isolated_link((x + 10_000.0, 0.0), (x + 10_000.0, 1.0));
-        }
-        let net = b.build();
-        let zero = TiledSinrFeasibility::new(net.clone(), UniformPower::unit(), 8, 0.0);
-        assert_eq!(zero.tiles().far_pairs(), 0);
-        let loose = TiledSinrFeasibility::new(net, UniformPower::unit(), 8, 1e-2);
-        assert!(
-            loose.tiles().far_pairs() > 0,
-            "well-separated clusters must far-qualify under ε = 1e-2"
-        );
-    }
-
-    #[test]
-    fn panel_budget_boundary_controls_allocation_but_not_bits() {
-        let mut rng_geo = ChaCha12Rng::seed_from_u64(7);
-        let params = SinrParams::default_noiseless();
-        let net = random_instance(16, 40.0, 1.0, 2.0, params, &mut rng_geo);
-        let power = UniformPower::unit();
-        let cache = Arc::new(SinrCache::with_dense_limit(&net, &power, 0));
-        let full = TiledSinrCache::new(Arc::clone(&cache), 2, 0.0, usize::MAX);
-        // Every non-empty (S, R) pair panelled under an unlimited
-        // budget; total cells = m² when every tile pair is populated
-        // with all members (here Σ|S|·Σ|R| over pairs = m·m).
-        assert_eq!(full.panel_bytes(), 16 * 16 * 8);
-        // One byte below the full requirement: the largest pair that
-        // no longer fits is skipped, later smaller ones may still land.
-        let trimmed = TiledSinrCache::new(Arc::clone(&cache), 2, 0.0, full.panel_bytes() - 1);
-        assert!(trimmed.panel_count() < full.panel_count());
-        assert!(trimmed.panel_bytes() < full.panel_bytes());
-        // Zero budget: no panels at all.
-        let none = TiledSinrCache::new(Arc::clone(&cache), 2, 0.0, 0);
-        assert_eq!(none.panel_count(), 0);
-        assert_eq!(none.panel_bytes(), 0);
-        // Budget is a speed knob only: gains agree bitwise across all
-        // three, and with the flat cache expression.
-        let reference = SinrCache::new(&net, &power);
-        for from in 0..16u32 {
-            for on in 0..16u32 {
-                if from == on {
-                    continue;
-                }
-                let (f, o) = (LinkId(from), LinkId(on));
-                let expect = reference.gain(f, o).to_bits();
-                assert_eq!(full.gain(f, o).to_bits(), expect);
-                assert_eq!(trimmed.gain(f, o).to_bits(), expect);
-                assert_eq!(none.gain(f, o).to_bits(), expect);
-            }
-        }
-    }
-
-    #[test]
-    fn approx_bytes_tracks_panel_allocation() {
-        let mut rng_geo = ChaCha12Rng::seed_from_u64(3);
-        let params = SinrParams::default_noiseless();
-        let net = random_instance(12, 30.0, 1.0, 2.0, params, &mut rng_geo);
-        let cache = Arc::new(SinrCache::with_dense_limit(&net, &UniformPower::unit(), 0));
-        let none = TiledSinrCache::new(Arc::clone(&cache), 3, 0.0, 0);
-        let full = TiledSinrCache::new(Arc::clone(&cache), 3, 0.0, usize::MAX);
-        assert_eq!(
-            full.approx_bytes() - none.approx_bytes(),
-            full.panel_bytes()
-        );
-        assert!(none.approx_bytes() > 0);
-    }
-
-    #[test]
-    fn shared_node_zero_distances_stay_exact() {
-        // Consecutive line links put senders on receivers: NaN gains.
-        // Those pairs always share a tile, so they can never be far —
-        // the blockage rule survives any epsilon.
-        let net = line_instance(6, 1.0, SinrParams::default_noiseless());
-        let exact = SinrFeasibility::new(net.clone(), UniformPower::unit());
-        for eps in [0.0, 1e-2, 0.5] {
-            let tiled = TiledSinrFeasibility::new(net.clone(), UniformPower::unit(), 4, eps);
-            let attempts: Vec<Attempt> = (0..6).map(|i| attempt(i, i as u64)).collect();
-            assert_eq!(
-                exact.successes(&attempts, &mut rng()),
-                tiled.successes(&attempts, &mut rng()),
-                "eps = {eps}"
-            );
-        }
-    }
-
-    #[test]
-    fn far_aggregation_flips_no_verdict_on_well_separated_clusters() {
-        // Two tight clusters 500 apart: the far path aggregates the
-        // other cluster, and with margins far from the decision
-        // boundary the verdicts match the exact oracle.
-        let mut b = SinrNetworkBuilder::new(SinrParams::default_noiseless());
-        for i in 0..6 {
-            let x = i as f64 * 3.0;
-            b.add_isolated_link((x, 0.0), (x, 1.0));
-            b.add_isolated_link((x + 500.0, 0.0), (x + 500.0, 1.0));
-        }
-        let net = b.build();
-        let exact = SinrFeasibility::new(net.clone(), UniformPower::unit());
-        let tiled = TiledSinrFeasibility::new(net, UniformPower::unit(), 8, 1e-2);
-        assert!(tiled.tiles().far_pairs() > 0);
-        let attempts: Vec<Attempt> = (0..12).map(|i| attempt(i, i as u64)).collect();
-        assert_eq!(
-            exact.successes(&attempts, &mut rng()),
-            tiled.successes(&attempts, &mut rng())
-        );
-    }
-
-    #[test]
-    fn with_tiles_rejects_mismatched_pairing() {
-        let params = SinrParams::default_noiseless();
-        // Spacing 2: on unit-length links every power assignment
-        // coincides at p(1) and the pairing check could not tell them
-        // apart.
-        let net = line_instance(3, 2.0, params);
-        let cache = Arc::new(SinrCache::new(&net, &UniformPower::unit()));
-        let tiles = Arc::new(TiledSinrCache::new(cache, 2, 0.0, 0));
-        let result = std::panic::catch_unwind(|| {
-            TiledSinrFeasibility::with_tiles(net.clone(), LinearPower::new(params.alpha), tiles)
-        });
-        assert!(result.is_err(), "mismatched power assignment must panic");
-    }
-
-    #[test]
-    fn tiled_interference_matches_fixed_power_matrix_bitwise() {
-        let mut rng_geo = ChaCha12Rng::seed_from_u64(21);
-        let params = SinrParams::with_noise(0.001);
-        let net = random_instance(10, 30.0, 1.0, 3.0, params, &mut rng_geo);
-        let power = LinearPower::new(params.alpha);
-        let cache = Arc::new(SinrCache::with_dense_limit(&net, &power, 0));
-        let lazy = TiledInterference::new(Arc::clone(&cache));
-        let dense = SinrInterference::fixed_power_with_cache(&net, &cache);
-        dps_core::interference::validate(&lazy).unwrap();
-        for on in 0..10u32 {
-            for from in 0..10u32 {
-                assert_eq!(
-                    lazy.weight(LinkId(on), LinkId(from)).to_bits(),
-                    dense.weight(LinkId(on), LinkId(from)).to_bits(),
-                    "W[{on}][{from}]"
-                );
-            }
-        }
-    }
-
-    #[test]
-    fn slot_interference_reports_kernel_sums() {
-        let mut rng_geo = ChaCha12Rng::seed_from_u64(31);
-        let params = SinrParams::default_noiseless();
-        let net = random_instance(8, 25.0, 1.0, 2.0, params, &mut rng_geo);
-        let tiled = TiledSinrFeasibility::new(net, UniformPower::unit(), 2, 0.0);
-        let attempts: Vec<Attempt> = (0..8).map(|i| attempt(i, i as u64)).collect();
-        let sums = tiled.slot_interference(&attempts);
-        assert_eq!(sums.len(), 8);
-        let beta = tiled.tiles().cache().beta();
-        let noise = tiled.tiles().cache().noise();
-        let verdicts = tiled.successes(&attempts, &mut rng());
-        for ((link, interference), ok) in sums.into_iter().zip(verdicts) {
-            let expect = tiled.tiles().cache().signal(link) >= beta * (interference + noise);
-            assert_eq!(expect, ok, "verdict of {link} disagrees with its sum");
+impl Default for TileOptions {
+    fn default() -> Self {
+        TileOptions {
+            tiles_per_side: 16,
+            levels: 1,
+            epsilon: 0.0,
+            panel_budget_bytes: DEFAULT_PANEL_BUDGET_BYTES,
+            panel_mode: PanelCacheMode::Fixed,
         }
     }
 }

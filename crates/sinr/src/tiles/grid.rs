@@ -1,0 +1,112 @@
+//! The uniform leaf tile grid: point-to-tile assignment and tile
+//! geometry. Hierarchy levels above the leaf live in
+//! [`super::hierarchy`].
+
+use super::MAX_TILES_PER_SIDE;
+use crate::geom::Point;
+
+/// A uniform grid of square tiles covering a deployment's bounding box.
+///
+/// Tile indices are row-major: `tile = row · g + col`. A point exactly
+/// on an interior tile boundary belongs to the tile on its right/top
+/// (floor semantics); points on the bounding box's max edge are clamped
+/// into the last row/column, so every point of the covered set maps to
+/// a valid tile.
+#[derive(Clone, Copy, Debug)]
+pub struct TileGrid {
+    tiles_per_side: usize,
+    origin: Point,
+    tile_size: f64,
+}
+
+impl TileGrid {
+    /// Builds the grid covering every point of `senders` and
+    /// `receivers` with `tiles_per_side × tiles_per_side` square tiles.
+    ///
+    /// The grid is anchored at the bounding box's min corner; the tile
+    /// side is `max(width, height)/tiles_per_side`. A zero-area
+    /// (single-point or empty) deployment gets tile side `1.0`, mapping
+    /// every point into tile `0`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tiles_per_side` is `0` or exceeds
+    /// [`MAX_TILES_PER_SIDE`], or if any coordinate is non-finite.
+    pub fn cover(senders: &[Point], receivers: &[Point], tiles_per_side: usize) -> Self {
+        assert!(
+            (1..=MAX_TILES_PER_SIDE).contains(&tiles_per_side),
+            "tiles_per_side must be in 1..={MAX_TILES_PER_SIDE}, got {tiles_per_side}"
+        );
+        let mut min = Point::new(f64::INFINITY, f64::INFINITY);
+        let mut max = Point::new(f64::NEG_INFINITY, f64::NEG_INFINITY);
+        for p in senders.iter().chain(receivers) {
+            assert!(
+                p.x.is_finite() && p.y.is_finite(),
+                "tile grids require finite coordinates, got {p}"
+            );
+            min.x = min.x.min(p.x);
+            min.y = min.y.min(p.y);
+            max.x = max.x.max(p.x);
+            max.y = max.y.max(p.y);
+        }
+        let (origin, extent) = if min.x <= max.x {
+            (min, (max.x - min.x).max(max.y - min.y))
+        } else {
+            // No points at all: any anchored unit grid works.
+            (Point::new(0.0, 0.0), 0.0)
+        };
+        let tile_size = if extent > 0.0 {
+            extent / tiles_per_side as f64
+        } else {
+            1.0
+        };
+        TileGrid {
+            tiles_per_side,
+            origin,
+            tile_size,
+        }
+    }
+
+    /// Tiles per side `g`.
+    pub fn tiles_per_side(&self) -> usize {
+        self.tiles_per_side
+    }
+
+    /// Total number of tiles `g²`.
+    pub fn num_tiles(&self) -> usize {
+        self.tiles_per_side * self.tiles_per_side
+    }
+
+    /// The side length of each square tile.
+    pub fn tile_size(&self) -> f64 {
+        self.tile_size
+    }
+
+    /// The min corner of the covered bounding box (the grid anchor).
+    pub fn origin(&self) -> Point {
+        self.origin
+    }
+
+    /// The row-major tile index of `point` (clamped into the grid, so
+    /// points outside the covered box map to the nearest border tile).
+    pub fn tile_of(&self, point: &Point) -> u32 {
+        let g = self.tiles_per_side as i64;
+        let col = ((point.x - self.origin.x) / self.tile_size).floor() as i64;
+        let row = ((point.y - self.origin.y) / self.tile_size).floor() as i64;
+        let col = col.clamp(0, g - 1);
+        let row = row.clamp(0, g - 1);
+        (row * g + col) as u32
+    }
+
+    /// The geometric centre of tile `tile` (the tile *box* centre, not
+    /// a member centroid — empty tiles have centres too).
+    pub fn center(&self, tile: u32) -> Point {
+        let g = self.tiles_per_side as u32;
+        let col = (tile % g) as f64;
+        let row = (tile / g) as f64;
+        Point::new(
+            self.origin.x + (col + 0.5) * self.tile_size,
+            self.origin.y + (row + 0.5) * self.tile_size,
+        )
+    }
+}

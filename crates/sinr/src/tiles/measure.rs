@@ -1,0 +1,331 @@
+//! Load-weighted interference measure `‖W·R‖∞` over the tiled index.
+//!
+//! The trait-default [`InterferenceModel::measure`] walks every
+//! `(row, loaded link)` pair — `O(m²)` on-the-fly `powf` affectances
+//! for the near-uniform loads the stochastic injector normalizes
+//! against, which at `m = 2²⁰` costs hours and dwarfs the simulation
+//! it feeds. The tiled measure reuses the far-field machinery of
+//! [`TiledSinrCache`]: per-tile *rate-weighted* power aggregates
+//! (`Σ rate·p`, the load-vector analogue of the slot kernel's active
+//! `Σ count·p` sums) are coarsened up the hierarchy once, and each
+//! receiver row charges far subtrees as one centre-substituted term at
+//! the coarsest qualifying level — the slot kernel's walk, under the
+//! same per-transmission `ε·margin/m` error contract, so a row of
+//! total rate `R` is perturbed by at most `ε·β·R·max(rate)` relative
+//! to centre-exact far charges. Near-field affectances are evaluated
+//! per link with the exact clamp `min(1, β·g/margin)`.
+//!
+//! Two further deviations from the trait default, both confined to the
+//! far-qualified regime this function is gated on:
+//!
+//! * far-aggregated entries are charged *unclamped* (`β·g/margin`
+//!   without the `min(1, ·)`), an overestimate wherever a far link's
+//!   affectance would have saturated — conservative for the measure's
+//!   one caller, injection-rate normalization;
+//! * near-field gains use an `α = 3` specialised power
+//!   (`d³ = d·d·d`) instead of `powf` on the measure's dominant loop.
+//!
+//! With no far-qualified pairs (`ε = 0`, or geometry that never
+//! qualifies) callers must take the trait-default row walk instead —
+//! [`super::TiledInterference`]'s `measure` override delegates
+//! accordingly, so `ε = 0` substrates keep the default bit-for-bit.
+//!
+//! [`InterferenceModel::measure`]: dps_core::interference::InterferenceModel::measure
+
+use super::index::TiledSinrCache;
+use dps_core::load::LinkLoad;
+
+/// `d^α` with the hot `α = 3` case specialised to multiplications.
+#[inline]
+fn pow_alpha(d: f64, alpha: f64) -> f64 {
+    if alpha == 3.0 {
+        d * d * d
+    } else {
+        d.powf(alpha)
+    }
+}
+
+/// One hierarchy level's occupied tiles under the load (the load-vector
+/// analogue of the slot kernel's `SlotCoarse`): `tiles` ascending,
+/// `weight[i] = Σ rate·p` over the subtree, `children` spans indexing
+/// the level below's occupied list.
+struct LoadCoarse {
+    tiles: Vec<u32>,
+    weight: Vec<f64>,
+    child_start: Vec<u32>,
+    children: Vec<u32>,
+}
+
+/// The measure `‖W·R‖∞` of `load` under the fixed-power affectance
+/// matrix, far field aggregated through `tiles`' qualification tables.
+///
+/// Callers must gate on `tiles.far_pairs() > 0`: with no far tables the
+/// walk degenerates to a slower exact loop in a different summation
+/// order than the trait default, which would break the `ε = 0`
+/// bit-for-bit story for no benefit.
+pub(super) fn measure_with_tiles(tiles: &TiledSinrCache, load: &LinkLoad) -> f64 {
+    debug_assert!(tiles.far_pairs() > 0, "caller gates on far_pairs() > 0");
+    let cache = &*tiles.cache;
+    let m = cache.num_links();
+    let beta = cache.beta();
+    let alpha = cache.alpha();
+    let powers = cache.tx_powers();
+    let margins = cache.margins();
+    let senders = cache.sender_positions();
+    let receivers = cache.receiver_positions();
+
+    let mut rate = vec![0.0f64; m];
+    let mut total_rate = 0.0;
+    for (link, r) in load.support() {
+        rate[link.index()] = r;
+        total_rate += r;
+    }
+    if total_rate <= 0.0 {
+        return 0.0;
+    }
+
+    // Rate-weighted power per occupied leaf tile (occupied iff some
+    // sender in it carries positive rate), ascending tile order via the
+    // sender CSR.
+    let num_leaves = tiles.grid.num_tiles();
+    let mut leaf_tiles: Vec<u32> = Vec::new();
+    let mut leaf_weight: Vec<f64> = Vec::new();
+    for t in 0..num_leaves {
+        let span = tiles.senders_start[t] as usize..tiles.senders_start[t + 1] as usize;
+        let mut w = 0.0;
+        let mut occupied = false;
+        for &link in &tiles.senders_links[span] {
+            let r = rate[link as usize];
+            if r > 0.0 {
+                occupied = true;
+                w += r * powers[link as usize];
+            }
+        }
+        if occupied {
+            leaf_tiles.push(t as u32);
+            leaf_weight.push(w);
+        }
+    }
+
+    // Coarsen the occupied list level by level — the slot kernel's
+    // `build_coarse`, with rates folded into the weights.
+    let g0 = tiles.grid.tiles_per_side();
+    let levels = &tiles.levels;
+    let mut coarse: Vec<LoadCoarse> = Vec::with_capacity(levels.len().saturating_sub(1));
+    for l in 1..levels.len() {
+        let (below_tiles, below_weight, below_side): (&[u32], &[f64], usize) = if l == 1 {
+            (&leaf_tiles, &leaf_weight, g0)
+        } else {
+            let below = &coarse[l - 2];
+            (&below.tiles, &below.weight, levels[l - 1].tiles_per_side)
+        };
+        let this_side = levels[l].tiles_per_side;
+        // Parent indices are not monotone in the child's row-major
+        // order (a row of children alternates between two parent rows),
+        // so sorting restores ascending tile order.
+        let mut pairs: Vec<(u32, u32)> = below_tiles
+            .iter()
+            .enumerate()
+            .map(|(i, &tile)| {
+                let row = tile as usize / below_side;
+                let col = tile as usize % below_side;
+                (((row >> 1) * this_side + (col >> 1)) as u32, i as u32)
+            })
+            .collect();
+        pairs.sort_unstable();
+        let mut up = LoadCoarse {
+            tiles: Vec::new(),
+            weight: Vec::new(),
+            child_start: Vec::new(),
+            children: Vec::with_capacity(pairs.len()),
+        };
+        for &(parent, child) in &pairs {
+            if up.tiles.last() != Some(&parent) {
+                up.tiles.push(parent);
+                up.child_start.push(up.children.len() as u32);
+                up.weight.push(0.0);
+            }
+            up.children.push(child);
+            *up.weight.last_mut().expect("group opened above") += below_weight[child as usize];
+        }
+        up.child_start.push(up.children.len() as u32);
+        coarse.push(up);
+    }
+
+    // Walk every receiver tile with members once (rows in tiles without
+    // loaded senders are still charged by every loaded sender, and the
+    // max may land on a zero-rate row), then fold its member rows.
+    let top = levels.len() - 1;
+    let mut far_plan: Vec<(u8, u32)> = Vec::new();
+    let mut near_plan: Vec<u32> = Vec::new();
+    let mut stack: Vec<(u8, u32)> = Vec::new();
+    let mut max_row = 0.0f64;
+    for rt in 0..num_leaves {
+        let members = &tiles.receivers_links
+            [tiles.receivers_start[rt] as usize..tiles.receivers_start[rt + 1] as usize];
+        if members.is_empty() {
+            continue;
+        }
+        far_plan.clear();
+        near_plan.clear();
+        stack.clear();
+        if top == 0 {
+            for j in (0..leaf_tiles.len()).rev() {
+                stack.push((0, j as u32));
+            }
+        } else {
+            for j in (0..coarse[top - 1].tiles.len()).rev() {
+                stack.push((top as u8, j as u32));
+            }
+        }
+        while let Some((l, j)) = stack.pop() {
+            let l_us = l as usize;
+            if l == 0 {
+                let s = leaf_tiles[j as usize];
+                if levels[0].is_far(s, rt as u32) {
+                    far_plan.push((0, j));
+                } else {
+                    near_plan.push(s);
+                }
+            } else {
+                let occ = &coarse[l_us - 1];
+                let s = occ.tiles[j as usize];
+                let r = levels[l_us].tile_of_leaf(rt as u32, g0);
+                if levels[l_us].is_far(s, r) {
+                    far_plan.push((l, j));
+                } else {
+                    let span = occ.child_start[j as usize] as usize
+                        ..occ.child_start[j as usize + 1] as usize;
+                    for k in span.rev() {
+                        stack.push((l - 1, occ.children[k]));
+                    }
+                }
+            }
+        }
+
+        for &on in members {
+            let on_us = on as usize;
+            let margin = margins[on_us];
+            // A non-positive (or NaN) margin saturates every off-diagonal
+            // affectance at 1 and the diagonal weighs 1: the row is the
+            // whole rate mass. (`margin > 0.0` is false for NaN, which
+            // is exactly the saturating branch.)
+            let row = if margin > 0.0 {
+                let receiver = receivers[on_us];
+                let own_leaf = tiles.sender_tile[on_us];
+                let mut near = 0.0f64;
+                for &s in &near_plan {
+                    let span = tiles.senders_start[s as usize] as usize
+                        ..tiles.senders_start[s as usize + 1] as usize;
+                    for &from in &tiles.senders_links[span] {
+                        if from == on {
+                            continue;
+                        }
+                        let r = rate[from as usize];
+                        if r <= 0.0 {
+                            continue;
+                        }
+                        let d = senders[from as usize].distance(&receiver);
+                        // Mirrors `SinrCache::affectance`: a non-positive
+                        // cross distance blocks the receiver outright
+                        // (affectance 1), otherwise clamp into [0, 1].
+                        let a = if d <= 0.0 {
+                            1.0
+                        } else {
+                            (beta * (powers[from as usize] / pow_alpha(d, alpha)) / margin).min(1.0)
+                        };
+                        near += r * a;
+                    }
+                }
+                let mut far_gain = 0.0f64;
+                for &(l, j) in &far_plan {
+                    let l_us = l as usize;
+                    let (s_tile, mut weight) = if l == 0 {
+                        (leaf_tiles[j as usize], leaf_weight[j as usize])
+                    } else {
+                        let occ = &coarse[l_us - 1];
+                        (occ.tiles[j as usize], occ.weight[j as usize])
+                    };
+                    if levels[l_us].tile_of_leaf(own_leaf, g0) == s_tile {
+                        // The diagonal is charged separately at weight 1;
+                        // remove `on`'s own mass from the aggregate.
+                        weight -= rate[on_us] * powers[on_us];
+                    }
+                    let d = levels[l_us].center(s_tile).distance(&receiver);
+                    far_gain += weight / pow_alpha(d, alpha);
+                }
+                rate[on_us] + near + beta * far_gain / margin
+            } else {
+                total_rate
+            };
+            max_row = max_row.max(row);
+        }
+    }
+    max_row
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cache::SinrCache;
+    use crate::instances::random_instance;
+    use crate::params::SinrParams;
+    use crate::power::LinearPower;
+    use crate::tiles::{TileOptions, TiledInterference};
+    use dps_core::ids::LinkId;
+    use dps_core::interference::InterferenceModel;
+    use dps_core::rng::split_stream;
+    use std::sync::Arc;
+
+    fn tiled(m: usize, side: f64, eps: f64, levels: usize) -> Arc<TiledSinrCache> {
+        let mut rng = split_stream(71, m as u64);
+        let net = random_instance(m, side, 1.0, 3.0, SinrParams::default_noiseless(), &mut rng);
+        let cache = Arc::new(SinrCache::new(&net, &LinearPower::new(3.0)));
+        let tiles = Arc::new(TiledSinrCache::with_options(
+            cache,
+            TileOptions::new(8, eps).with_levels(levels),
+        ));
+        assert!(tiles.far_pairs() > 0, "geometry must qualify far pairs");
+        tiles
+    }
+
+    #[test]
+    fn tiled_measure_matches_trait_default_within_contract() {
+        for levels in [1usize, 3] {
+            let tiles = tiled(256, 400.0, 1e-3, levels);
+            let load = LinkLoad::from_links(256, (0..256u32).map(LinkId));
+            let fast = measure_with_tiles(&tiles, &load);
+            let model = TiledInterference::new(tiles.cache.clone());
+            let exact = (0..256u32)
+                .map(|e| model.row_load(LinkId(e), &load))
+                .fold(0.0, f64::max);
+            let tol = 0.05 * exact + 1e-9;
+            assert!(
+                (fast - exact).abs() <= tol,
+                "levels {levels}: tiled measure {fast} vs trait default {exact}"
+            );
+        }
+    }
+
+    #[test]
+    fn tiled_measure_is_linear_in_uniform_rate_scaling() {
+        let tiles = tiled(128, 300.0, 1e-2, 2);
+        let mut half = LinkLoad::new(128);
+        for l in 0..128u32 {
+            half.add(LinkId(l), 0.5);
+        }
+        let full = LinkLoad::from_links(128, (0..128u32).map(LinkId));
+        let m_half = measure_with_tiles(&tiles, &half);
+        let m_full = measure_with_tiles(&tiles, &full);
+        assert!(
+            (2.0 * m_half - m_full).abs() <= 1e-9 * m_full.max(1.0),
+            "uniform scaling must scale the measure: {m_half} vs {m_full}"
+        );
+    }
+
+    #[test]
+    fn tiled_measure_of_empty_load_is_zero() {
+        let tiles = tiled(64, 200.0, 1e-2, 2);
+        assert_eq!(measure_with_tiles(&tiles, &LinkLoad::new(64)), 0.0);
+    }
+}

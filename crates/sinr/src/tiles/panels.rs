@@ -1,0 +1,281 @@
+//! Near-field gain panel storage: one dense `|S|×|R|` block of raw
+//! gains per near leaf tile pair, under one of two residency policies.
+//!
+//! * [`PanelCacheMode::Fixed`] — panels are filled once at build time,
+//!   in deterministic row-major `(S, R)` tile order, until the next
+//!   panel would exceed the byte budget. Zero slot-time bookkeeping.
+//! * [`PanelCacheMode::Adaptive`] — panels live in a touch-count LRU
+//!   cache: a slot's plan resolution touches the pairs it needs,
+//!   missing pairs are refilled from the exact gain expression, and
+//!   when the resident bytes overflow the budget the least-recently
+//!   touched pairs are evicted (stale first, then smallest tile key —
+//!   fully deterministic, O(log n) per eviction via an ordered
+//!   eviction queue). Panels touched by the *current* slot are never
+//!   evicted: when a slot's working set outgrows the budget the cache
+//!   refuses further admissions for that slot instead of churning —
+//!   refused pairs fall back to the on-the-fly path, so a hot resident
+//!   set stays resident and thrash degrades to at most one fill per
+//!   admitted pair. Panels are handed to the slot kernel as [`Arc`]
+//!   clones, so an eviction mid-slot can never invalidate a panel in
+//!   use.
+//!
+//! Every panel entry is produced by the same floating-point expression
+//! as the on-the-fly path, so residency is a speed layer only: hits,
+//! misses, refills and evictions are bit-for-bit interchangeable.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Residency policy of the near-field panel store.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum PanelCacheMode {
+    /// Build-time allocation in deterministic tile order within the
+    /// byte budget; the resident set never changes afterwards.
+    #[default]
+    Fixed,
+    /// Touch-count LRU evict/refill cache bounded by the byte budget;
+    /// the resident set tracks the slots' active tiles.
+    Adaptive,
+}
+
+/// Approximate per-resident-panel bookkeeping overhead (map node, key,
+/// `Arc` header) charged by the byte accounting.
+const PANEL_ENTRY_OVERHEAD: usize = 64;
+
+/// A slot-duration handle to one tile pair's panel.
+#[derive(Clone, Debug)]
+pub(super) enum PanelRef {
+    /// No panel resident: compute gains on the fly.
+    None,
+    /// Offset into the fixed store's arena.
+    Arena(usize),
+    /// Shared ownership of an adaptive-cache panel (outlives eviction).
+    Owned(Arc<Vec<f64>>),
+}
+
+/// Hit/miss/eviction counters of the panel store (diagnostics only;
+/// relaxed atomics, never part of any verdict).
+#[derive(Debug, Default)]
+pub(super) struct PanelCounters {
+    pub(super) hits: AtomicU64,
+    pub(super) misses: AtomicU64,
+    pub(super) evictions: AtomicU64,
+}
+
+/// The panel store behind [`super::TiledSinrCache`].
+#[derive(Debug)]
+pub(super) enum PanelStore {
+    /// Build-time panels: `(sender_tile, receiver_tile) → arena offset`.
+    Fixed {
+        offsets: BTreeMap<(u32, u32), usize>,
+        arena: Vec<f64>,
+        counters: PanelCounters,
+    },
+    /// LRU evict/refill cache.
+    Adaptive {
+        budget_bytes: usize,
+        state: Mutex<AdaptivePanels>,
+        counters: PanelCounters,
+    },
+}
+
+/// Mutable state of the adaptive cache (behind the store's mutex).
+#[derive(Debug, Default)]
+pub(super) struct AdaptivePanels {
+    resident: BTreeMap<(u32, u32), PanelSlot>,
+    /// Eviction order: `(last_touch, key)` ascending — stalest first,
+    /// ties by tile key. Mirrors `resident` exactly.
+    queue: BTreeSet<(u64, (u32, u32))>,
+    /// Panel-data bytes currently resident (excludes map overhead).
+    bytes: usize,
+    /// Bytes of panels touched since the last [`PanelStore::tick`] —
+    /// the current slot's pinned working set, never evicted.
+    pinned_bytes: usize,
+    /// High-water mark of `bytes` over the store's lifetime.
+    high_water: usize,
+    /// Slot clock: advanced once per slot, stamped on every touch.
+    clock: u64,
+}
+
+#[derive(Debug)]
+struct PanelSlot {
+    data: Arc<Vec<f64>>,
+    last_touch: u64,
+}
+
+impl PanelStore {
+    /// An adaptive store with nothing resident yet.
+    pub(super) fn adaptive(budget_bytes: usize) -> Self {
+        PanelStore::Adaptive {
+            budget_bytes,
+            state: Mutex::new(AdaptivePanels::default()),
+            counters: PanelCounters::default(),
+        }
+    }
+
+    /// A fixed store over a prebuilt arena.
+    pub(super) fn fixed(offsets: BTreeMap<(u32, u32), usize>, arena: Vec<f64>) -> Self {
+        PanelStore::Fixed {
+            offsets,
+            arena,
+            counters: PanelCounters::default(),
+        }
+    }
+
+    /// The store's hit/miss/eviction counters.
+    pub(super) fn counters(&self) -> &PanelCounters {
+        match self {
+            PanelStore::Fixed { counters, .. } | PanelStore::Adaptive { counters, .. } => counters,
+        }
+    }
+
+    /// Number of panels currently resident.
+    pub(super) fn resident_count(&self) -> usize {
+        match self {
+            PanelStore::Fixed { offsets, .. } => offsets.len(),
+            PanelStore::Adaptive { state, .. } => state.lock().expect("panel lock").resident.len(),
+        }
+    }
+
+    /// Panel-data bytes currently resident.
+    pub(super) fn resident_bytes(&self) -> usize {
+        match self {
+            PanelStore::Fixed { arena, .. } => arena.len() * std::mem::size_of::<f64>(),
+            PanelStore::Adaptive { state, .. } => state.lock().expect("panel lock").bytes,
+        }
+    }
+
+    /// High-water mark of resident panel-data bytes (for a fixed store
+    /// this is just the arena size).
+    pub(super) fn high_water_bytes(&self) -> usize {
+        match self {
+            PanelStore::Fixed { arena, .. } => arena.len() * std::mem::size_of::<f64>(),
+            PanelStore::Adaptive { state, .. } => state.lock().expect("panel lock").high_water,
+        }
+    }
+
+    /// Heap bytes the store pins, charged at the *high-water* mark (not
+    /// the current resident set) so LRU budget accounting upstream
+    /// stays honest about what the store has grown to.
+    pub(super) fn approx_bytes(&self) -> usize {
+        self.high_water_bytes() + self.resident_count() * PANEL_ENTRY_OVERHEAD
+    }
+
+    /// Advances the adaptive slot clock (no-op for fixed stores). Call
+    /// once per slot before resolving that slot's panels.
+    pub(super) fn tick(&self) {
+        if let PanelStore::Adaptive { state, .. } = self {
+            let mut state = state.lock().expect("panel lock");
+            state.clock += 1;
+            state.pinned_bytes = 0;
+        }
+    }
+
+    /// Resolves the panel of tile pair `key` for the current slot,
+    /// counting a hit or a miss. Fixed stores never fill on miss
+    /// (`PanelRef::None` sends the pair to the on-the-fly path).
+    /// Adaptive stores fill via `fill` (which must append exactly
+    /// `cells` raw gains in panel layout), evicting least-recently
+    /// touched *stale* panels — never a panel this slot already
+    /// touched — when the budget overflows. If the current slot's
+    /// pinned working set leaves too little evictable room (or the
+    /// panel is larger than the whole budget), the pair is refused:
+    /// `fill` is never called and the pair takes the on-the-fly path
+    /// for this slot, so an over-budget working set cannot thrash the
+    /// resident panels.
+    pub(super) fn resolve<F>(&self, key: (u32, u32), cells: usize, fill: F) -> PanelRef
+    where
+        F: FnOnce(&mut Vec<f64>),
+    {
+        match self {
+            PanelStore::Fixed {
+                offsets, counters, ..
+            } => match offsets.get(&key) {
+                Some(&offset) => {
+                    counters.hits.fetch_add(1, Ordering::Relaxed);
+                    PanelRef::Arena(offset)
+                }
+                None => {
+                    counters.misses.fetch_add(1, Ordering::Relaxed);
+                    PanelRef::None
+                }
+            },
+            PanelStore::Adaptive {
+                budget_bytes,
+                state,
+                counters,
+            } => {
+                let mut state = state.lock().expect("panel lock");
+                let clock = state.clock;
+                let panel_bytes = |data: &Arc<Vec<f64>>| data.len() * std::mem::size_of::<f64>();
+                if let Some(slot) = state.resident.get(&key) {
+                    let data = Arc::clone(&slot.data);
+                    let prev_touch = slot.last_touch;
+                    if prev_touch != clock {
+                        state.queue.remove(&(prev_touch, key));
+                        state.queue.insert((clock, key));
+                        state.resident.get_mut(&key).expect("resident").last_touch = clock;
+                        state.pinned_bytes += panel_bytes(&data);
+                    }
+                    counters.hits.fetch_add(1, Ordering::Relaxed);
+                    return PanelRef::Owned(data);
+                }
+                counters.misses.fetch_add(1, Ordering::Relaxed);
+                let new_bytes = cells * std::mem::size_of::<f64>();
+                // Admission control: the current slot's touched panels
+                // are pinned, so only `bytes - pinned_bytes` is
+                // evictable. Refuse rather than churn.
+                let needed = (state.bytes + new_bytes).saturating_sub(*budget_bytes);
+                if new_bytes > *budget_bytes || needed > state.bytes - state.pinned_bytes {
+                    return PanelRef::None;
+                }
+                let mut data = Vec::with_capacity(cells);
+                fill(&mut data);
+                debug_assert_eq!(data.len(), cells, "panel fill must produce |S|·|R| cells");
+                let data = Arc::new(data);
+                while state.bytes + new_bytes > *budget_bytes {
+                    let &(touch, stalest) = state
+                        .queue
+                        .iter()
+                        .next()
+                        .expect("admission check guarantees evictable bytes");
+                    debug_assert!(touch < clock, "current-slot panels are pinned");
+                    state.queue.remove(&(touch, stalest));
+                    let evicted = state.resident.remove(&stalest).expect("queue mirrors map");
+                    state.bytes -= panel_bytes(&evicted.data);
+                    counters.evictions.fetch_add(1, Ordering::Relaxed);
+                }
+                state.resident.insert(
+                    key,
+                    PanelSlot {
+                        data: Arc::clone(&data),
+                        last_touch: clock,
+                    },
+                );
+                state.queue.insert((clock, key));
+                state.bytes += new_bytes;
+                state.pinned_bytes += new_bytes;
+                state.high_water = state.high_water.max(state.bytes);
+                PanelRef::Owned(data)
+            }
+        }
+    }
+
+    /// Reads one panel cell if the pair is resident (no touch, no
+    /// counter traffic) — the single-gain probe behind
+    /// [`super::TiledSinrCache::gain`].
+    pub(super) fn probe(&self, key: (u32, u32), index: usize) -> Option<f64> {
+        match self {
+            PanelStore::Fixed { offsets, arena, .. } => {
+                offsets.get(&key).map(|&offset| arena[offset + index])
+            }
+            PanelStore::Adaptive { state, .. } => state
+                .lock()
+                .expect("panel lock")
+                .resident
+                .get(&key)
+                .map(|slot| slot.data[index]),
+        }
+    }
+}

@@ -23,7 +23,7 @@ use dps_sinr::instances::{line_instance, random_instance};
 use dps_sinr::network::SinrNetwork;
 use dps_sinr::params::SinrParams;
 use dps_sinr::power::{LinearPower, PowerAssignment, UniformPower};
-use dps_sinr::tiles::TiledSinrFeasibility;
+use dps_sinr::tiles::{PanelCacheMode, TileOptions, TiledSinrFeasibility};
 use proptest::prelude::*;
 use proptest::TestCaseError;
 use rand::SeedableRng;
@@ -38,6 +38,10 @@ fn attempt(link: u32, id: u64) -> Attempt {
 
 /// The epsilon lattice the ISSUE pins: exact, tight, loose.
 const EPSILONS: [f64; 3] = [0.0, 1e-6, 1e-2];
+
+/// Kernel thread counts the referee exercises; verdicts must be
+/// bit-for-bit identical across all of them.
+const THREADS: [usize; 3] = [1, 2, 4];
 
 /// Distinct attempted links with multiplicities, ascending — the shared
 /// preamble of both kernels, reproduced independently here.
@@ -55,17 +59,22 @@ fn dedup(attempts: &[Attempt]) -> Vec<(u32, u32)> {
 }
 
 /// Runs the full referee for one `(net, power, attempts, grid, eps)`
-/// cell: naive-vs-cached sanity, interference-sum pinning, and
-/// band-aware verdict comparison.
-fn referee<P: PowerAssignment + Clone>(
+/// cell at one hierarchy depth and kernel thread count:
+/// naive-vs-cached sanity, interference-sum pinning, and band-aware
+/// verdict comparison.
+fn referee_at<P: PowerAssignment + Clone>(
     net: &SinrNetwork,
     power: P,
     attempts: &[Attempt],
     grid: usize,
     eps: f64,
+    levels: usize,
+    threads: usize,
 ) -> Result<(), TestCaseError> {
     let exact = SinrFeasibility::new(net.clone(), power.clone());
-    let tiled = TiledSinrFeasibility::new(net.clone(), power, grid, eps);
+    let options = TileOptions::new(grid, eps).with_levels(levels);
+    let tiled =
+        TiledSinrFeasibility::with_options(net.clone(), power, options).kernel_threads(threads);
     let mut srng = ChaCha12Rng::seed_from_u64(7);
     let naive = exact.successes_naive(attempts, &mut srng.clone());
     let fast = exact.successes(attempts, &mut srng.clone());
@@ -178,6 +187,17 @@ fn referee<P: PowerAssignment + Clone>(
     Ok(())
 }
 
+/// The flat single-threaded referee cell — the pre-hierarchy contract.
+fn referee<P: PowerAssignment + Clone>(
+    net: &SinrNetwork,
+    power: P,
+    attempts: &[Attempt],
+    grid: usize,
+    eps: f64,
+) -> Result<(), TestCaseError> {
+    referee_at(net, power, attempts, grid, eps, 1, 1)
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
 
@@ -194,6 +214,8 @@ proptest! {
         eps_sel in 0usize..3,
         noisy in 0u32..2,
         power_sel in 0u32..2,
+        levels in 1usize..5,
+        threads_sel in 0usize..3,
     ) {
         let mut rng = ChaCha12Rng::seed_from_u64(seed);
         let params = if noisy == 1 {
@@ -210,10 +232,11 @@ proptest! {
         attempts.push(attempt(dup_a, 100));
         attempts.push(attempt(dup_b, 101));
         let eps = EPSILONS[eps_sel];
+        let threads = THREADS[threads_sel];
         if power_sel == 0 {
-            referee(&net, UniformPower::unit(), &attempts, grid, eps)?;
+            referee_at(&net, UniformPower::unit(), &attempts, grid, eps, levels, threads)?;
         } else {
-            referee(&net, LinearPower::new(params.alpha), &attempts, grid, eps)?;
+            referee_at(&net, LinearPower::new(params.alpha), &attempts, grid, eps, levels, threads)?;
         }
     }
 
@@ -233,7 +256,102 @@ proptest! {
             .map(|l| attempt(l, l as u64))
             .collect();
         attempts.push(attempt(dup % hops as u32, 99));
-        referee(&net, UniformPower::unit(), &attempts, grid, EPSILONS[eps_sel])?;
+        referee_at(
+            &net, UniformPower::unit(), &attempts, grid,
+            EPSILONS[eps_sel], 1 + (hops % 3), THREADS[hops % 3])?;
+    }
+
+    /// Hierarchical coarsening vs the flat grid vs the naive oracle:
+    /// ε = 0 is bit-for-bit at every depth and thread count, and every
+    /// depth independently honours the ε-band contract. On top of the
+    /// per-config referee, all configs must agree bitwise with the
+    /// flat single-threaded sums at ε = 0.
+    #[test]
+    fn hierarchy_depth_and_threads_preserve_the_contract(
+        seed in 0u64..200,
+        grid in 4usize..17,
+        eps_sel in 0usize..3,
+    ) {
+        let mut rng = ChaCha12Rng::seed_from_u64(seed);
+        let params = SinrParams::with_noise(1e-4);
+        let net = random_instance(32, 200.0, 0.8, 3.0, params, &mut rng);
+        let attempts: Vec<Attempt> = (0..32u32).map(|l| attempt(l, l as u64)).collect();
+        let eps = EPSILONS[eps_sel];
+        let flat = TiledSinrFeasibility::with_options(
+            net.clone(),
+            UniformPower::unit(),
+            TileOptions::new(grid, eps),
+        );
+        let flat_sums = flat.slot_interference(&attempts);
+        for levels in [2usize, 4] {
+            for threads in THREADS {
+                referee_at(
+                    &net, UniformPower::unit(), &attempts, grid, eps, levels, threads)?;
+                if eps == 0.0 {
+                    let deep = TiledSinrFeasibility::with_options(
+                        net.clone(),
+                        UniformPower::unit(),
+                        TileOptions::new(grid, eps).with_levels(levels),
+                    )
+                    .kernel_threads(threads);
+                    let deep_sums = deep.slot_interference(&attempts);
+                    for (&(link_a, sum_a), &(link_b, sum_b)) in
+                        flat_sums.iter().zip(&deep_sums)
+                    {
+                        prop_assert_eq!(link_a, link_b);
+                        prop_assert_eq!(
+                            sum_a.to_bits(), sum_b.to_bits(),
+                            "levels {} threads {} diverged at {}",
+                            levels, threads, link_a
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// Adaptive panel eviction under a one-panel budget must not change
+    /// a single bit relative to the fixed build-time panels: the cache
+    /// replacement policy is a speed layer, not a semantic one.
+    #[test]
+    fn adaptive_eviction_is_bitwise_neutral(
+        seed in 0u64..200,
+        grid in 2usize..9,
+        eps_sel in 0usize..3,
+        levels in 1usize..4,
+    ) {
+        let mut rng = ChaCha12Rng::seed_from_u64(seed);
+        let params = SinrParams::default_noiseless();
+        let net = random_instance(16, 80.0, 0.8, 3.0, params, &mut rng);
+        let attempts: Vec<Attempt> = (0..16u32).map(|l| attempt(l, l as u64)).collect();
+        let eps = EPSILONS[eps_sel];
+        let fixed = TiledSinrFeasibility::with_options(
+            net.clone(),
+            UniformPower::unit(),
+            TileOptions::new(grid, eps).with_levels(levels),
+        );
+        // Budget fits at most one 4×4 panel, so any second panel evicts.
+        let adaptive = TiledSinrFeasibility::with_options(
+            net,
+            UniformPower::unit(),
+            TileOptions::new(grid, eps)
+                .with_levels(levels)
+                .with_panel_mode(PanelCacheMode::Adaptive)
+                .with_panel_budget(16 * std::mem::size_of::<f64>()),
+        );
+        let srng = ChaCha12Rng::seed_from_u64(23);
+        for _ in 0..3 {
+            prop_assert_eq!(
+                fixed.successes(&attempts, &mut srng.clone()),
+                adaptive.successes(&attempts, &mut srng.clone())
+            );
+        }
+        let a = fixed.slot_interference(&attempts);
+        let b = adaptive.slot_interference(&attempts);
+        for ((link_a, sum_a), (link_b, sum_b)) in a.into_iter().zip(b) {
+            prop_assert_eq!(link_a, link_b);
+            prop_assert_eq!(sum_a.to_bits(), sum_b.to_bits(), "at {}", link_a);
+        }
     }
 
     /// Tiny panel budgets must not change a single bit: panels are a
@@ -282,6 +400,35 @@ fn referee_at_m_256_across_epsilons() {
         for eps in EPSILONS {
             referee(&net, LinearPower::new(params.alpha), &attempts, grid, eps)
                 .unwrap_or_else(|e| panic!("grid {grid}, eps {eps}: {e}"));
+        }
+    }
+}
+
+/// The same m = 256 instance through the hierarchy: every
+/// (levels, threads) cell of the lattice refereed at grid 16, which
+/// gives the 4-level build genuine 8- and 4-per-side coarse levels.
+#[test]
+fn referee_at_m_256_across_levels_and_threads() {
+    let mut rng = ChaCha12Rng::seed_from_u64(2012);
+    let params = SinrParams::with_noise(1e-4);
+    let net = random_instance(256, 400.0, 0.8, 3.0, params, &mut rng);
+    let mut attempts: Vec<Attempt> = (0..256u32).map(|l| attempt(l, l as u64)).collect();
+    attempts.push(attempt(17, 500));
+    attempts.push(attempt(200, 501));
+    for levels in [2usize, 4] {
+        for threads in THREADS {
+            for eps in EPSILONS {
+                referee_at(
+                    &net,
+                    LinearPower::new(params.alpha),
+                    &attempts,
+                    16,
+                    eps,
+                    levels,
+                    threads,
+                )
+                .unwrap_or_else(|e| panic!("levels {levels}, threads {threads}, eps {eps}: {e}"));
+            }
         }
     }
 }
